@@ -1,0 +1,61 @@
+//! AODV protocol parameters.
+
+use mwn_sim::SimDuration;
+
+/// Tunable AODV parameters.
+///
+/// Defaults follow ns-2's AODV agent as used in the paper's era, scaled for
+/// static multihop networks (no HELLO messages; link failures come from MAC
+/// feedback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AodvConfig {
+    /// How long an unused route stays valid; refreshed every time the route
+    /// forwards a packet.
+    pub active_route_lifetime: SimDuration,
+    /// Base time to wait for an RREP after originating an RREQ; doubles on
+    /// each retry.
+    pub rreq_wait: SimDuration,
+    /// RREQ retries after the first attempt before giving up on a
+    /// destination.
+    pub rreq_retries: u32,
+    /// Maximum random delay applied to every broadcast transmission to
+    /// de-synchronise flooded RREQs/RERRs.
+    pub broadcast_jitter: SimDuration,
+    /// Maximum packets buffered per destination while discovery runs.
+    pub buffer_capacity: usize,
+    /// Whether intermediate nodes with a fresh-enough route may answer an
+    /// RREQ themselves.
+    pub intermediate_rrep: bool,
+    /// Explicit link failure notification (extension; Holland & Vaidya):
+    /// when a route is invalidated, notify local transport senders whose
+    /// destination just became unreachable so they freeze instead of
+    /// backing off. Off by default (the paper's configuration).
+    pub elfn: bool,
+}
+
+impl Default for AodvConfig {
+    fn default() -> Self {
+        AodvConfig {
+            active_route_lifetime: SimDuration::from_secs(10),
+            rreq_wait: SimDuration::from_secs(1),
+            rreq_retries: 2,
+            broadcast_jitter: SimDuration::from_millis(10),
+            buffer_capacity: 64,
+            intermediate_rrep: true,
+            elfn: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = AodvConfig::default();
+        assert!(c.rreq_wait > c.broadcast_jitter);
+        assert!(c.buffer_capacity > 0);
+        assert!(c.active_route_lifetime > c.rreq_wait);
+    }
+}

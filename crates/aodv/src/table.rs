@@ -1,0 +1,232 @@
+//! The sequence-numbered routing table.
+
+use std::collections::HashMap;
+
+use mwn_pkt::NodeId;
+use mwn_sim::{SimDuration, SimTime};
+
+/// One routing table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Neighbor to forward through.
+    pub next_hop: NodeId,
+    /// Hops to the destination.
+    pub hop_count: u8,
+    /// Destination sequence number the route was learned with.
+    pub dst_seq: u32,
+    /// `false` after an RERR or link failure invalidated the entry (the
+    /// sequence number is retained for freshness comparisons).
+    pub valid: bool,
+    /// Entry expiry; refreshed whenever the route carries traffic.
+    pub expires: SimTime,
+}
+
+/// AODV routing table: destination → [`Route`].
+///
+/// # Example
+///
+/// ```
+/// use mwn_aodv::RoutingTable;
+/// use mwn_pkt::NodeId;
+/// use mwn_sim::{SimDuration, SimTime};
+///
+/// let mut t = RoutingTable::new();
+/// let now = SimTime::ZERO;
+/// let life = SimDuration::from_secs(10);
+/// t.update(NodeId(5), NodeId(1), 3, 7, now, life);
+/// assert_eq!(t.active(NodeId(5), now).unwrap().next_hop, NodeId(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    routes: HashMap<NodeId, Route>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry for `dst` regardless of validity or expiry.
+    pub fn get(&self, dst: NodeId) -> Option<&Route> {
+        self.routes.get(&dst)
+    }
+
+    /// The entry for `dst` if it is valid and unexpired.
+    pub fn active(&self, dst: NodeId, now: SimTime) -> Option<&Route> {
+        self.routes.get(&dst).filter(|r| r.valid && r.expires > now)
+    }
+
+    /// Installs or refreshes a route to `dst` if the new information is
+    /// fresher (higher sequence number) or equally fresh but shorter, or if
+    /// the existing entry is invalid/expired. Returns `true` if the table
+    /// changed.
+    pub fn update(
+        &mut self,
+        dst: NodeId,
+        next_hop: NodeId,
+        hop_count: u8,
+        dst_seq: u32,
+        now: SimTime,
+        lifetime: SimDuration,
+    ) -> bool {
+        let fresh = Route { next_hop, hop_count, dst_seq, valid: true, expires: now + lifetime };
+        match self.routes.get_mut(&dst) {
+            Some(old) => {
+                let stale = !old.valid || old.expires <= now;
+                let better = dst_seq > old.dst_seq
+                    || (dst_seq == old.dst_seq && hop_count < old.hop_count)
+                    || (dst_seq == old.dst_seq && next_hop == old.next_hop);
+                if stale || better {
+                    *old = fresh;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.routes.insert(dst, fresh);
+                true
+            }
+        }
+    }
+
+    /// Extends the lifetime of the route to `dst`, if present and valid.
+    pub fn refresh(&mut self, dst: NodeId, now: SimTime, lifetime: SimDuration) {
+        if let Some(r) = self.routes.get_mut(&dst) {
+            if r.valid {
+                r.expires = r.expires.max(now + lifetime);
+            }
+        }
+    }
+
+    /// Invalidates every valid route using `next_hop`, bumping each
+    /// destination's sequence number (per RFC 3561 §6.11). Returns the
+    /// `(destination, new sequence number)` pairs for the RERR.
+    pub fn invalidate_via(&mut self, next_hop: NodeId) -> Vec<(NodeId, u32)> {
+        let mut broken = Vec::new();
+        for (&dst, route) in &mut self.routes {
+            if route.valid && route.next_hop == next_hop {
+                route.valid = false;
+                route.dst_seq = route.dst_seq.wrapping_add(1);
+                broken.push((dst, route.dst_seq));
+            }
+        }
+        broken.sort_by_key(|(d, _)| *d); // deterministic ordering
+        broken
+    }
+
+    /// Invalidates the route to `dst` if it currently goes through `via`
+    /// and is valid; adopts `dst_seq` if it is newer. Returns `true` if a
+    /// route was invalidated (so the RERR should propagate).
+    pub fn invalidate_from_rerr(&mut self, dst: NodeId, dst_seq: u32, via: NodeId) -> Option<u32> {
+        let r = self.routes.get_mut(&dst)?;
+        if r.valid && r.next_hop == via {
+            r.valid = false;
+            r.dst_seq = r.dst_seq.max(dst_seq);
+            Some(r.dst_seq)
+        } else {
+            None
+        }
+    }
+
+    /// Number of entries (valid or not).
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIFE: SimDuration = SimDuration::from_secs(10);
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let mut rt = RoutingTable::new();
+        assert!(rt.update(NodeId(5), NodeId(1), 3, 7, t(0), LIFE));
+        let r = rt.active(NodeId(5), t(1)).unwrap();
+        assert_eq!(r.next_hop, NodeId(1));
+        assert_eq!(r.hop_count, 3);
+    }
+
+    #[test]
+    fn expired_route_is_not_active() {
+        let mut rt = RoutingTable::new();
+        rt.update(NodeId(5), NodeId(1), 3, 7, t(0), LIFE);
+        assert!(rt.active(NodeId(5), t(11)).is_none());
+        assert!(rt.get(NodeId(5)).is_some());
+    }
+
+    #[test]
+    fn refresh_extends_lifetime() {
+        let mut rt = RoutingTable::new();
+        rt.update(NodeId(5), NodeId(1), 3, 7, t(0), LIFE);
+        rt.refresh(NodeId(5), t(8), LIFE);
+        assert!(rt.active(NodeId(5), t(15)).is_some());
+    }
+
+    #[test]
+    fn newer_sequence_replaces_route() {
+        let mut rt = RoutingTable::new();
+        rt.update(NodeId(5), NodeId(1), 3, 7, t(0), LIFE);
+        // Older seq: rejected.
+        assert!(!rt.update(NodeId(5), NodeId(2), 1, 6, t(0), LIFE));
+        // Same seq, longer: rejected.
+        assert!(!rt.update(NodeId(5), NodeId(2), 5, 7, t(0), LIFE));
+        // Same seq, shorter: accepted.
+        assert!(rt.update(NodeId(5), NodeId(2), 2, 7, t(0), LIFE));
+        // Newer seq, longer: accepted.
+        assert!(rt.update(NodeId(5), NodeId(3), 9, 8, t(0), LIFE));
+        assert_eq!(rt.active(NodeId(5), t(1)).unwrap().next_hop, NodeId(3));
+    }
+
+    #[test]
+    fn same_next_hop_same_seq_refreshes() {
+        let mut rt = RoutingTable::new();
+        rt.update(NodeId(5), NodeId(1), 3, 7, t(0), LIFE);
+        assert!(rt.update(NodeId(5), NodeId(1), 3, 7, t(5), LIFE));
+        assert!(rt.active(NodeId(5), t(12)).is_some());
+    }
+
+    #[test]
+    fn invalidate_via_bumps_sequences() {
+        let mut rt = RoutingTable::new();
+        rt.update(NodeId(5), NodeId(1), 3, 7, t(0), LIFE);
+        rt.update(NodeId(6), NodeId(1), 4, 2, t(0), LIFE);
+        rt.update(NodeId(7), NodeId(2), 1, 9, t(0), LIFE);
+        let broken = rt.invalidate_via(NodeId(1));
+        assert_eq!(broken, vec![(NodeId(5), 8), (NodeId(6), 3)]);
+        assert!(rt.active(NodeId(5), t(1)).is_none());
+        assert!(rt.active(NodeId(7), t(1)).is_some());
+    }
+
+    #[test]
+    fn stale_entry_always_replaceable() {
+        let mut rt = RoutingTable::new();
+        rt.update(NodeId(5), NodeId(1), 3, 7, t(0), LIFE);
+        rt.invalidate_via(NodeId(1));
+        // Even an older seq may reinstall over an invalid entry.
+        assert!(rt.update(NodeId(5), NodeId(2), 4, 1, t(1), LIFE));
+        assert!(rt.active(NodeId(5), t(2)).is_some());
+    }
+
+    #[test]
+    fn rerr_invalidation_only_matches_via() {
+        let mut rt = RoutingTable::new();
+        rt.update(NodeId(5), NodeId(1), 3, 7, t(0), LIFE);
+        assert_eq!(rt.invalidate_from_rerr(NodeId(5), 9, NodeId(2)), None);
+        assert_eq!(rt.invalidate_from_rerr(NodeId(5), 9, NodeId(1)), Some(9));
+        assert!(rt.active(NodeId(5), t(1)).is_none());
+    }
+}

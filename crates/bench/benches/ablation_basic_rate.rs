@@ -1,0 +1,12 @@
+//! Ablation B: control frames at the basic rate vs the data rate
+//! (DESIGN.md §4.3).
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Ablation B — basic-rate control frames",
+        "expectation: with control frames at the data rate, goodput scales nearly \
+         linearly in bandwidth; at the fixed 1 Mbit/s basic rate it is sub-linear \
+         (the paper's Figs 4/11 behaviour)",
+        mwn::experiments::ablation_basic_rate,
+    );
+}

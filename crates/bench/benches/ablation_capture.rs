@@ -1,0 +1,10 @@
+//! Ablation A: physical capture on/off (DESIGN.md §4.1/§4.6).
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Ablation A — physical capture",
+        "expectation: without ns-2's 10x capture threshold, same-direction chain \
+         traffic corrupts itself and goodput collapses for every variant",
+        mwn::experiments::ablation_capture,
+    );
+}

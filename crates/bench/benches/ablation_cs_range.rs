@@ -1,0 +1,12 @@
+//! Ablation C: carrier-sense range vs hidden-terminal losses
+//! (DESIGN.md §4.1).
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Ablation C — carrier-sense range",
+        "expectation: with CS range >= 600 m (3 hops) the chain has no hidden \
+         terminals and NewReno's retransmission rate falls sharply; shrinking the \
+         range below 550 m makes it worse",
+        mwn::experiments::ablation_cs_range,
+    );
+}

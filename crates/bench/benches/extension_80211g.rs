@@ -1,0 +1,12 @@
+//! Extension: 802.11g OFDM rates (the future bandwidths the paper's
+//! introduction motivates).
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Extension — 802.11g OFDM rates",
+        "expectation: goodput keeps growing sub-linearly as the data rate rises \
+         to 54 Mbit/s — fixed preamble + basic-rate control frames dominate; \
+         Vegas/NewReno ordering unchanged",
+        mwn::experiments::extension_80211g,
+    );
+}

@@ -1,0 +1,13 @@
+//! Extension: Fu et al.'s link-layer adaptive pacing and link-RED under
+//! TCP NewReno — the link-layer alternative the paper's related work
+//! compares Vegas against.
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Extension — Fu et al. link-layer enhancements",
+        "Fu et al. (INFOCOM 2003) report 5-30% NewReno goodput improvement from \
+         adaptive pacing + link RED; the paper argues Vegas achieves the same end \
+         by transport-layer means",
+        mwn::experiments::extension_fu_enhancements,
+    );
+}

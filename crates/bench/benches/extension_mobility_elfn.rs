@@ -1,0 +1,12 @@
+//! Extension: mobility + ELFN (Holland & Vaidya), the line of work the
+//! paper's related-work section defers to for mobile scenarios.
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Extension — mobility and ELFN",
+        "Holland & Vaidya: TCP goodput degrades with node speed, and explicit \
+         link failure notification recovers a large share of it; the paper \
+         suggests combining its Vegas findings with ELFN",
+        mwn::experiments::extension_mobility_elfn,
+    );
+}

@@ -1,0 +1,11 @@
+//! Extension: the h/4 optimal-window law (paper §2, citing Fu et al.).
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Extension — optimal window bound vs chain length",
+        "the paper: 'for the h-hop chain the optimum TCP window size is given by \
+         h/4' — expect goodput maxima near MaxWin = 1, 2 and 4 for 4-, 8- and \
+         16-hop chains",
+        mwn::experiments::extension_optimal_window,
+    );
+}

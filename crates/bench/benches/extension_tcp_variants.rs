@@ -1,0 +1,12 @@
+//! Extension: Tahoe / Reno / NewReno / Vegas side by side, the comparison
+//! of the paper's reference [15] (Xu & Saadawi).
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Extension — four TCP variants on the chain",
+        "Xu & Saadawi (WCMC 2002) report 15-20% more goodput for Vegas over the \
+         reactive variants on chains of up to 7 hops; the paper, with alpha=2, \
+         finds up to 83%",
+        mwn::experiments::extension_tcp_variants,
+    );
+}

@@ -1,0 +1,12 @@
+//! Figures 11–14: 7-hop chain across bandwidths — goodput,
+//! retransmissions, window size and link-layer drop probability for six
+//! transport variants.
+
+fn main() {
+    mwn_bench::reproduce(
+        "Figs 11-14 — 7-hop chain across bandwidths",
+        "goodput grows sub-linearly; ACK thinning gains ~20% at 11 Mbit/s; Vegas \
+         matches NewReno-with-optimal-window; Vegas variants retransmit least",
+        |scale| (mwn::experiments::figs_11_to_14(scale).to_vec(), vec![]),
+    );
+}

@@ -1,0 +1,14 @@
+//! Figures 16–17 and Table 3: the 21-node grid with six competing flows.
+
+fn main() {
+    mwn_bench::reproduce(
+        "Figs 16-17 + Table 3 — grid topology",
+        "aggregate goodputs comparable across variants; NewReno starves flows \
+         (fairness 0.32-0.52); Vegas much fairer (0.54-0.73); Vegas+thinning \
+         fairest (0.69-0.94) at ~10% aggregate cost vs NewReno+thinning",
+        |scale| {
+            let (f16, f17, t3) = mwn::experiments::grid_study(scale);
+            (vec![f16, f17], vec![t3])
+        },
+    );
+}

@@ -1,0 +1,14 @@
+//! Figures 18–19 and Table 4: 120 random nodes, ten concurrent flows.
+
+fn main() {
+    mwn_bench::reproduce(
+        "Figs 18-19 + Table 4 — random topology",
+        "Vegas and NewReno comparable in aggregate; NewReno lets flows starve; \
+         Vegas+thinning achieves the best fairness (0.62-0.90) without \
+         sacrificing aggregate goodput",
+        |scale| {
+            let (f18, f19, t4) = mwn::experiments::random_study(scale);
+            (vec![f18, f19], vec![t4])
+        },
+    );
+}

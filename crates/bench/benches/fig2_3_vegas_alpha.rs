@@ -1,0 +1,14 @@
+//! Figures 2 and 3: TCP Vegas α ∈ {2,3,4} on the 2 Mbit/s chain —
+//! goodput and average window vs hops.
+
+fn main() {
+    mwn_bench::reproduce(
+        "Figs 2-3 — Vegas alpha sweep on the chain",
+        "alpha=2 has the highest goodput for 4-20 hops and the smallest window; \
+         goodput converges for long chains",
+        |scale| {
+            let (f2, f3) = mwn::experiments::figs_2_3(scale);
+            (vec![f2, f3], vec![])
+        },
+    );
+}

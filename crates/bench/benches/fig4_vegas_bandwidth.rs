@@ -1,0 +1,10 @@
+//! Figure 4: 7-hop chain, Vegas goodput for different bandwidths.
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Fig 4 — Vegas goodput vs bandwidth (7 hops)",
+        "sub-linear growth with bandwidth; alpha=2 best at 2 Mbit/s, \
+         differences vanish at 11 Mbit/s",
+        mwn::experiments::fig4,
+    );
+}

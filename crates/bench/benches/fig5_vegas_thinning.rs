@@ -1,0 +1,9 @@
+//! Figure 5: Vegas with ACK thinning, α ∈ {2,3,4}, vs plain Vegas α=2.
+
+fn main() {
+    mwn_bench::reproduce_figure(
+        "Fig 5 — Vegas + ACK thinning on the chain (2 Mbit/s)",
+        "plain Vegas alpha=2 slightly better than thinning variants for h > 6",
+        mwn::experiments::fig5,
+    );
+}

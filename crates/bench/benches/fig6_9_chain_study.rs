@@ -1,0 +1,13 @@
+//! Figures 6–9: the main chain comparison at 2 Mbit/s — goodput,
+//! retransmissions, window size and false route failures vs hops for
+//! Vegas, NewReno, NewReno+thinning and paced UDP.
+
+fn main() {
+    mwn_bench::reproduce(
+        "Figs 6-9 — chain study at 2 Mbit/s",
+        "Vegas up to 83% more goodput and up to 99% fewer retransmissions than \
+         NewReno; NewReno window much larger; NewReno causes 93-100% more false \
+         route failures; paced UDP upper-bounds everyone",
+        |scale| (mwn::experiments::figs_6_to_9(scale).to_vec(), vec![]),
+    );
+}

@@ -1,0 +1,9 @@
+//! Table 2: 4-hop propagation delay for different bandwidths.
+
+fn main() {
+    mwn_bench::reproduce(
+        "Table 2 — 4-hop propagation delay",
+        "29 ms at 2 Mbit/s, 12 ms at 5.5 Mbit/s, 8 ms at 11 Mbit/s",
+        |_scale| (vec![], vec![mwn::experiments::table2()]),
+    );
+}

@@ -1,0 +1,52 @@
+//! Shared plumbing for the figure/table bench targets.
+//!
+//! Each `cargo bench` target in this crate regenerates one figure or table
+//! of the paper. These are *reproduction* benches — they print the data
+//! series the paper reports rather than measuring wall-clock time (the
+//! Criterion target `engine_micro` covers simulator performance).
+//!
+//! Scale is controlled by `MWN_SCALE` (default 1 = 11 × 400-packet runs;
+//! `MWN_SCALE=25` reproduces the paper's 11 × 10 000 packets).
+
+use std::time::Instant;
+
+use mwn::experiments::{FigureData, TableData};
+use mwn::ExperimentScale;
+
+/// Runs one reproduction bench: prints the banner, produces the figures
+/// and tables, and prints them with timing.
+pub fn reproduce(
+    name: &str,
+    paper_expectation: &str,
+    produce: impl FnOnce(ExperimentScale) -> (Vec<FigureData>, Vec<TableData>),
+) {
+    let scale = ExperimentScale::from_env();
+    println!("=== {name} ===");
+    println!(
+        "scale: {} batches x {} packets (MWN_SCALE={}; 25 = paper scale)",
+        scale.batches,
+        scale.batch_packets,
+        std::env::var("MWN_SCALE").unwrap_or_else(|_| "1".into()),
+    );
+    println!("paper: {paper_expectation}");
+    let started = Instant::now();
+    let (figures, tables) = produce(scale);
+    for f in &figures {
+        println!();
+        print!("{}", f.render());
+    }
+    for t in &tables {
+        println!();
+        print!("{}", t.render());
+    }
+    println!("\n[{name} completed in {:.1}s]", started.elapsed().as_secs_f64());
+}
+
+/// Convenience for single-figure benches.
+pub fn reproduce_figure(
+    name: &str,
+    paper_expectation: &str,
+    produce: impl FnOnce(ExperimentScale) -> FigureData,
+) {
+    reproduce(name, paper_expectation, |scale| (vec![produce(scale)], vec![]));
+}

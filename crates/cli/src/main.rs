@@ -1,0 +1,100 @@
+//! `mwn` — command-line front end for the multihop-wireless TCP study.
+//!
+//! ```text
+//! mwn repro <experiment|all> [--scale N] [--csv]   regenerate paper figures/tables
+//! mwn run [options]                                run one scenario, print measures
+//! mwn list                                         list reproducible experiments
+//! mwn trace [--hops H] [--events N]                print an annotated event trace
+//! ```
+
+use std::process::ExitCode;
+
+mod repro;
+mod run;
+mod trace_cmd;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("repro") => repro::command(&args[1..]),
+        Some("run") => run::command(&args[1..]),
+        Some("list") => {
+            repro::list();
+            Ok(())
+        }
+        Some("trace") => trace_cmd::command(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "mwn — TCP over multihop wireless 802.11, reproduction of \
+         ElRakabawy/Lindemann/Vernon (DSN 2005)\n\n\
+         USAGE:\n\
+         \x20 mwn repro <experiment|all> [--scale N] [--csv]\n\
+         \x20     Regenerate a paper figure/table (see `mwn list`).\n\
+         \x20     --scale N   batch size multiplier (1 = quick, 25 = paper scale)\n\
+         \x20     --csv       emit CSV instead of aligned text\n\n\
+         \x20 mwn run [--topology chain|grid|random] [--hops H] [--mbits 2|5.5|11]\n\
+         \x20         [--variant vegas|vegas-thin|newreno|newreno-thin|reno|tahoe|optwin|udp]\n\
+         \x20         [--seed S] [--scale N]\n\
+         \x20     Run one scenario and print the steady-state measures.\n\n\
+         \x20 mwn trace [--hops H] [--events N]\n\
+         \x20     Show the annotated event trace of a chain's first packets.\n\n\
+         \x20 mwn list\n\
+         \x20     List the reproducible experiments."
+    );
+}
+
+/// Shared argument helpers.
+pub(crate) mod args {
+    /// Extracts `--key value` from `argv`, returning the remaining args.
+    pub fn take_value(argv: &mut Vec<String>, key: &str) -> Result<Option<String>, String> {
+        if let Some(pos) = argv.iter().position(|a| a == key) {
+            if pos + 1 >= argv.len() {
+                return Err(format!("{key} needs a value"));
+            }
+            let value = argv.remove(pos + 1);
+            argv.remove(pos);
+            Ok(Some(value))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Extracts a boolean `--flag`.
+    pub fn take_flag(argv: &mut Vec<String>, key: &str) -> bool {
+        if let Some(pos) = argv.iter().position(|a| a == key) {
+            argv.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn parse<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+        value.parse().map_err(|_| format!("invalid {what}: {value:?}"))
+    }
+
+    pub fn reject_leftovers(argv: &[String]) -> Result<(), String> {
+        if let Some(first) = argv.first() {
+            Err(format!("unrecognized argument {first:?}"))
+        } else {
+            Ok(())
+        }
+    }
+}

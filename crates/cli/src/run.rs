@@ -1,0 +1,92 @@
+//! `mwn run` — one scenario, full measures.
+
+use mwn::{experiment, ExperimentScale, Scenario, SimDuration, Transport};
+use mwn_phy::DataRate;
+
+use crate::args;
+
+pub fn command(rest: &[String]) -> Result<(), String> {
+    let mut argv: Vec<String> = rest.to_vec();
+    let topology = args::take_value(&mut argv, "--topology")?.unwrap_or_else(|| "chain".into());
+    let hops: usize = match args::take_value(&mut argv, "--hops")? {
+        Some(v) => args::parse(&v, "hop count")?,
+        None => 7,
+    };
+    let mbits = args::take_value(&mut argv, "--mbits")?.unwrap_or_else(|| "2".into());
+    let variant = args::take_value(&mut argv, "--variant")?.unwrap_or_else(|| "vegas".into());
+    let seed: u64 = match args::take_value(&mut argv, "--seed")? {
+        Some(v) => args::parse(&v, "seed")?,
+        None => 42,
+    };
+    let mult: u64 = match args::take_value(&mut argv, "--scale")? {
+        Some(v) => args::parse(&v, "scale")?,
+        None => 1,
+    };
+    args::reject_leftovers(&argv)?;
+
+    let bandwidth = match mbits.as_str() {
+        "2" => DataRate::MBPS_2,
+        "5.5" => DataRate::MBPS_5_5,
+        "11" => DataRate::MBPS_11,
+        other => return Err(format!("unsupported bandwidth {other:?} (use 2, 5.5 or 11)")),
+    };
+    let transport = match variant.as_str() {
+        "vegas" => Transport::vegas(2),
+        "vegas-thin" => Transport::vegas_thinning(2),
+        "newreno" => Transport::newreno(),
+        "newreno-thin" => Transport::newreno_thinning(),
+        "reno" => Transport::reno(),
+        "tahoe" => Transport::tahoe(),
+        "optwin" => Transport::newreno_optimal_window(3),
+        "udp" => Transport::paced_udp(SimDuration::from_millis(2)),
+        other => return Err(format!("unknown variant {other:?}")),
+    };
+    if hops == 0 {
+        return Err("--hops must be positive".into());
+    }
+
+    let scenario = match topology.as_str() {
+        "chain" => Scenario::chain(hops, bandwidth, transport, seed),
+        "grid" => Scenario::grid6(bandwidth, transport, seed),
+        "random" => Scenario::random10(bandwidth, transport, seed),
+        other => return Err(format!("unknown topology {other:?} (chain|grid|random)")),
+    };
+
+    let quick = ExperimentScale::quick();
+    let scale = ExperimentScale {
+        batch_packets: quick.batch_packets * mult.max(1),
+        batches: quick.batches,
+        deadline: SimDuration::from_secs(4_000 * mult.max(1)),
+    };
+
+    eprintln!(
+        "{} | {} nodes, {} flow(s), {bandwidth}, seed {seed}, {} batches x {} packets",
+        scenario.flows[0].transport.label(),
+        scenario.topology.len(),
+        scenario.flows.len(),
+        scale.batches,
+        scale.batch_packets,
+    );
+
+    let r = experiment::run(&scenario, scale);
+    println!("aggregate goodput      {:>10.1} kbit/s (±{:.1})",
+        r.aggregate_goodput_kbps.mean, r.aggregate_goodput_kbps.half_width);
+    println!("fairness (Jain)        {:>10.3}", r.fairness.mean);
+    println!("link-layer drop prob   {:>10.4}", r.drop_probability.mean);
+    println!("false route failures   {:>10}", r.false_route_failures);
+    println!("energy per packet      {:>10.3} J", r.energy_per_packet);
+    println!("simulated time         {:>10.1} s", r.measured_time.as_secs_f64());
+    println!("outcome                {:>10?}", r.outcome);
+    println!();
+    println!("{:<6} {:>12} {:>12} {:>10}", "flow", "goodput", "retx/pkt", "window");
+    for f in &r.per_flow {
+        println!(
+            "{:<6} {:>8.1} kb/s {:>12.4} {:>10.2}",
+            format!("{}", f.flow),
+            f.goodput_kbps.mean,
+            f.retx_per_packet.mean,
+            f.avg_window.mean
+        );
+    }
+    Ok(())
+}

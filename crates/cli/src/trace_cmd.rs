@@ -1,0 +1,35 @@
+//! `mwn trace` — annotated event trace of a chain's first packets.
+
+use mwn::{Scenario, SimDuration, SimTime, Transport};
+use mwn_phy::DataRate;
+
+use crate::args;
+
+pub fn command(rest: &[String]) -> Result<(), String> {
+    let mut argv: Vec<String> = rest.to_vec();
+    let hops: usize = match args::take_value(&mut argv, "--hops")? {
+        Some(v) => args::parse(&v, "hop count")?,
+        None => 2,
+    };
+    let events: usize = match args::take_value(&mut argv, "--events")? {
+        Some(v) => args::parse(&v, "event count")?,
+        None => 60,
+    };
+    args::reject_leftovers(&argv)?;
+    if hops == 0 {
+        return Err("--hops must be positive".into());
+    }
+
+    let scenario = Scenario::chain(hops, DataRate::MBPS_2, Transport::newreno(), 1);
+    let mut net = scenario.build();
+    net.enable_trace(events.max(16));
+    net.run_until_delivered(2, SimTime::ZERO + SimDuration::from_secs(30));
+    net.run_until(net.now() + SimDuration::from_millis(50));
+
+    println!("{hops}-hop chain, TCP NewReno, first two data packets:");
+    println!("{:>12}  {:>4} {:>4}  event", "time", "node", "lyr");
+    for record in net.trace().into_iter().take(events) {
+        println!("{record}");
+    }
+    Ok(())
+}

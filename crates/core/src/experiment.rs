@@ -1,0 +1,318 @@
+//! Steady-state experiment runner (paper §4.1).
+//!
+//! The paper simulates persistent FTP flows until 110 000 packets are
+//! delivered, splits the output into 11 batches of 10 000 packets, discards
+//! the first batch as the initial transient, and reports batch means with
+//! 95 % confidence intervals. [`run`] reproduces that procedure at a
+//! configurable scale.
+
+use mwn_pkt::FlowId;
+use mwn_sim::stats::{jain_fairness, BatchMeans, Estimate};
+use mwn_sim::{SimDuration, SimTime};
+
+use crate::network::StepOutcome;
+use crate::scenario::Scenario;
+
+/// Bits of application payload per delivered packet (1460 bytes).
+const BITS_PER_PACKET: f64 = 1460.0 * 8.0;
+
+/// How much work one experiment does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Packets per batch (the paper: 10 000).
+    pub batch_packets: u64,
+    /// Number of batches including the discarded transient (the paper: 11).
+    pub batches: usize,
+    /// Simulated-time budget; a run that cannot deliver its packets by
+    /// this deadline is truncated (prevents hangs on starved scenarios).
+    pub deadline: SimDuration,
+}
+
+impl ExperimentScale {
+    /// The paper's full scale: 11 × 10 000 packets.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            batch_packets: 10_000,
+            batches: 11,
+            deadline: SimDuration::from_secs(40_000),
+        }
+    }
+
+    /// A reduced scale for `cargo bench` runs: 11 × 400 packets.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            batch_packets: 400,
+            batches: 11,
+            deadline: SimDuration::from_secs(4_000),
+        }
+    }
+
+    /// A tiny scale for unit/integration tests: 4 × 120 packets.
+    pub fn smoke() -> Self {
+        ExperimentScale {
+            batch_packets: 120,
+            batches: 4,
+            deadline: SimDuration::from_secs(1_200),
+        }
+    }
+
+    /// Reads `MWN_SCALE` from the environment: a multiplier on the quick
+    /// scale's batch size (`MWN_SCALE=25` reproduces the paper's 10 000).
+    pub fn from_env() -> Self {
+        let mult: u64 = std::env::var("MWN_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+            .max(1);
+        let quick = Self::quick();
+        ExperimentScale {
+            batch_packets: quick.batch_packets * mult,
+            batches: quick.batches,
+            deadline: SimDuration::from_secs(4_000 * mult),
+        }
+    }
+}
+
+/// Steady-state measures for one flow.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The flow.
+    pub flow: FlowId,
+    /// Goodput in kbit/s (batch means ± 95 % CI).
+    pub goodput_kbps: Estimate,
+    /// Transport-layer retransmissions per delivered packet.
+    pub retx_per_packet: Estimate,
+    /// Time-weighted average congestion window (packets).
+    pub avg_window: Estimate,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All batches completed.
+    Completed,
+    /// The deadline expired; results cover the completed batches only.
+    Truncated {
+        /// Batches that did complete (excluding the transient).
+        completed_batches: usize,
+    },
+}
+
+/// Results of one steady-state experiment.
+#[derive(Debug, Clone)]
+pub struct RunResults {
+    /// Per-flow measures.
+    pub per_flow: Vec<FlowResult>,
+    /// Sum of all flows' goodput, kbit/s.
+    pub aggregate_goodput_kbps: Estimate,
+    /// Jain's fairness index over per-flow goodputs.
+    pub fairness: Estimate,
+    /// Link-layer dropping probability (contention drops per packet that
+    /// entered MAC service), network-wide.
+    pub drop_probability: Estimate,
+    /// False route failures observed during the measured batches.
+    pub false_route_failures: u64,
+    /// False route failures normalized to the paper's 110 000-packet run
+    /// length, to make scaled-down runs comparable with Figure 9.
+    pub false_route_failures_paper_scale: f64,
+    /// Total packets delivered during the measured batches.
+    pub packets_measured: u64,
+    /// Simulated duration of the measured batches.
+    pub measured_time: SimDuration,
+    /// Total radio energy over all nodes for the whole run, joules.
+    pub total_energy_joules: f64,
+    /// Energy per delivered packet, joules.
+    pub energy_per_packet: f64,
+    /// Whether the run completed or was truncated at the deadline.
+    pub outcome: RunOutcome,
+}
+
+/// Per-flow counters snapshot at a batch boundary.
+#[derive(Debug, Clone, Default)]
+struct FlowSnapshot {
+    delivered: u64,
+    retransmissions: u64,
+}
+
+/// Runs `scenario` at `scale` and reports batch-means estimates.
+///
+/// # Example
+///
+/// ```
+/// use mwn::{experiment, ExperimentScale, Scenario, Transport};
+/// use mwn_phy::DataRate;
+///
+/// let s = Scenario::chain(2, DataRate::MBPS_2, Transport::newreno(), 7);
+/// let r = experiment::run(&s, ExperimentScale::smoke());
+/// assert!(r.aggregate_goodput_kbps.mean > 0.0);
+/// ```
+pub fn run(scenario: &Scenario, scale: ExperimentScale) -> RunResults {
+    let mut net = scenario.build();
+    let flows = net.flow_count();
+    let deadline = SimTime::ZERO + scale.deadline;
+
+    let mut goodput = vec![BatchMeans::new(); flows];
+    let mut retx = vec![BatchMeans::new(); flows];
+    let mut window = vec![BatchMeans::new(); flows];
+    let mut aggregate = BatchMeans::new();
+    let mut fairness = BatchMeans::new();
+    let mut drop_prob = BatchMeans::new();
+
+    let mut snapshots: Vec<FlowSnapshot> = vec![FlowSnapshot::default(); flows];
+    let mut batch_start = net.now();
+    let mut mac_accepted_prev = 0u64;
+    let mut mac_drops_prev = 0u64;
+    let mut frf_at_transient_end = 0u64;
+    let mut packets_measured = 0u64;
+    let mut measured_time = SimDuration::ZERO;
+    let mut completed_batches = 0usize;
+    let mut outcome = RunOutcome::Completed;
+
+    for batch in 0..scale.batches {
+        let target = scale.batch_packets * (batch as u64 + 1);
+        let res = net.run_until_delivered(target, deadline);
+        let now = net.now();
+        let elapsed = now.duration_since(batch_start);
+
+        if res != StepOutcome::TargetReached {
+            outcome = RunOutcome::Truncated {
+                completed_batches: completed_batches.saturating_sub(0),
+            };
+            break;
+        }
+
+        // Per-flow batch measures.
+        let mut flow_goodputs = Vec::with_capacity(flows);
+        for i in 0..flows {
+            let flow = FlowId(i as u32);
+            let delivered = net.flow_delivered(flow);
+            let d_delta = delivered - snapshots[i].delivered;
+            let retx_total = net.flow_sender_stats(flow).map_or(0, |s| s.retransmissions);
+            let r_delta = retx_total - snapshots[i].retransmissions;
+            let gp = if elapsed.is_zero() {
+                0.0
+            } else {
+                d_delta as f64 * BITS_PER_PACKET / elapsed.as_secs_f64() / 1000.0
+            };
+            let rpp = if d_delta == 0 { 0.0 } else { r_delta as f64 / d_delta as f64 };
+            let win = net.flow_avg_window(flow);
+            snapshots[i] = FlowSnapshot { delivered, retransmissions: retx_total };
+            flow_goodputs.push(gp);
+            if batch > 0 {
+                goodput[i].push(gp);
+                retx[i].push(rpp);
+                window[i].push(win);
+            }
+        }
+        let totals = net.totals();
+        let accepted_delta = totals.mac.unicast_accepted - mac_accepted_prev;
+        let drops_delta = totals.mac.contention_drops() - mac_drops_prev;
+        mac_accepted_prev = totals.mac.unicast_accepted;
+        mac_drops_prev = totals.mac.contention_drops();
+
+        if batch > 0 {
+            aggregate.push(flow_goodputs.iter().sum());
+            fairness.push(jain_fairness(&flow_goodputs));
+            drop_prob.push(if accepted_delta == 0 {
+                0.0
+            } else {
+                drops_delta as f64 / accepted_delta as f64
+            });
+            packets_measured += scale.batch_packets;
+            measured_time += elapsed;
+            completed_batches += 1;
+        } else {
+            // End of the transient batch: snapshot route-failure count.
+            frf_at_transient_end = totals.aodv.false_route_failures;
+        }
+        net.reset_window_averages();
+        batch_start = now;
+    }
+
+    if let RunOutcome::Truncated { completed_batches: ref mut cb } = outcome {
+        *cb = completed_batches;
+    }
+
+    let frf = net.totals().aodv.false_route_failures.saturating_sub(frf_at_transient_end);
+    let frf_paper_scale = if packets_measured == 0 {
+        0.0
+    } else {
+        frf as f64 * 110_000.0 / packets_measured as f64
+    };
+    let energy = net.total_energy_joules();
+    let delivered_total = net.total_delivered().max(1);
+
+    RunResults {
+        per_flow: (0..flows)
+            .map(|i| FlowResult {
+                flow: FlowId(i as u32),
+                goodput_kbps: goodput[i].estimate(),
+                retx_per_packet: retx[i].estimate(),
+                avg_window: window[i].estimate(),
+            })
+            .collect(),
+        aggregate_goodput_kbps: aggregate.estimate(),
+        fairness: fairness.estimate(),
+        drop_probability: drop_prob.estimate(),
+        false_route_failures: frf,
+        false_route_failures_paper_scale: frf_paper_scale,
+        packets_measured,
+        measured_time,
+        total_energy_joules: energy,
+        energy_per_packet: energy / delivered_total as f64,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Transport;
+    use mwn_phy::DataRate;
+
+    #[test]
+    fn smoke_run_produces_estimates() {
+        let s = Scenario::chain(2, DataRate::MBPS_2, Transport::newreno(), 1);
+        let r = run(&s, ExperimentScale::smoke());
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.per_flow.len(), 1);
+        assert!(r.aggregate_goodput_kbps.mean > 0.0);
+        assert!(r.per_flow[0].avg_window.mean >= 1.0);
+        assert_eq!(r.packets_measured, 120 * 3);
+        // Single flow: fairness is 1 by definition.
+        assert!((r.fairness.mean - 1.0).abs() < 1e-9);
+        assert!(r.total_energy_joules > 0.0);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_quick() {
+        // (Does not set the variable; checks the default path.)
+        let s = ExperimentScale::from_env();
+        assert_eq!(s.batch_packets % ExperimentScale::quick().batch_packets, 0);
+        assert_eq!(s.batches, 11);
+    }
+
+    #[test]
+    fn truncated_run_reports_partial_batches() {
+        // A 2 Mbit/s 4-hop chain cannot deliver 10k packets in 5 s.
+        let s = Scenario::chain(4, DataRate::MBPS_2, Transport::newreno(), 1);
+        let scale = ExperimentScale {
+            batch_packets: 10_000,
+            batches: 11,
+            deadline: SimDuration::from_secs(5),
+        };
+        let r = run(&s, scale);
+        assert!(matches!(r.outcome, RunOutcome::Truncated { .. }));
+    }
+
+    #[test]
+    fn goodput_is_plausible_for_one_hop() {
+        // 1 hop at 2 Mbit/s: TCP goodput should land in the hundreds of
+        // kbit/s, below the 2 Mbit/s line rate (MAC + ACK overhead).
+        let s = Scenario::chain(1, DataRate::MBPS_2, Transport::newreno(), 3);
+        let r = run(&s, ExperimentScale::smoke());
+        let gp = r.aggregate_goodput_kbps.mean;
+        assert!(gp > 200.0, "goodput {gp} kbit/s too low");
+        assert!(gp < 2000.0, "goodput {gp} kbit/s above line rate");
+    }
+}

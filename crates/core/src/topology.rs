@@ -1,0 +1,241 @@
+//! Node placements: the paper's chain, grid and random topologies.
+
+use mwn_phy::Position;
+use mwn_pkt::NodeId;
+use mwn_sim::Pcg32;
+
+/// The paper's node spacing for chain and grid topologies (meters).
+pub const PAPER_SPACING: f64 = 200.0;
+
+/// A set of node positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    positions: Vec<Position>,
+}
+
+impl Topology {
+    /// Wraps explicit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty.
+    pub fn from_positions(positions: Vec<Position>) -> Self {
+        assert!(!positions.is_empty(), "topology needs at least one node");
+        Topology { positions }
+    }
+
+    /// The node positions, indexed by [`NodeId`].
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the topology has no nodes (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// `true` if the graph induced by `range`-limited links is connected.
+    pub fn is_connected(&self, range: f64) -> bool {
+        let n = self.positions.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            #[allow(clippy::needless_range_loop)] // parallel index into seen and positions
+            for j in 0..n {
+                if !seen[j] && self.positions[i].distance_to(self.positions[j]) <= range {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Minimum hop count between two nodes over `range`-limited links, or
+    /// `None` if unreachable.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId, range: f64) -> Option<usize> {
+        let n = self.positions.len();
+        let (a, b) = (a.index(), b.index());
+        let mut dist = vec![usize::MAX; n];
+        dist[a] = 0;
+        let mut frontier = std::collections::VecDeque::from([a]);
+        while let Some(i) = frontier.pop_front() {
+            if i == b {
+                return Some(dist[i]);
+            }
+            for j in 0..n {
+                if dist[j] == usize::MAX
+                    && self.positions[i].distance_to(self.positions[j]) <= range
+                {
+                    dist[j] = dist[i] + 1;
+                    frontier.push_back(j);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// An equally spaced h-hop chain (`hops + 1` nodes, 200 m apart): the
+/// paper's Figure 1. Node 0 is the left end (the TCP sender), node `hops`
+/// the right end (the receiver).
+///
+/// # Panics
+///
+/// Panics if `hops` is zero.
+///
+/// # Example
+///
+/// ```
+/// use mwn::topology;
+///
+/// let chain = topology::chain(7);
+/// assert_eq!(chain.len(), 8);
+/// assert!(chain.is_connected(250.0));
+/// ```
+pub fn chain(hops: usize) -> Topology {
+    chain_spaced(hops, PAPER_SPACING)
+}
+
+/// An h-hop chain with custom spacing.
+///
+/// # Panics
+///
+/// Panics if `hops` is zero or spacing is not positive and finite.
+pub fn chain_spaced(hops: usize, spacing: f64) -> Topology {
+    assert!(hops > 0, "chain needs at least one hop");
+    assert!(spacing.is_finite() && spacing > 0.0, "invalid spacing");
+    Topology::from_positions(
+        (0..=hops).map(|i| Position::new(i as f64 * spacing, 0.0)).collect(),
+    )
+}
+
+/// A `cols × rows` grid, 200 m spacing, row-major node numbering (node
+/// `r*cols + c` sits at column `c`, row `r`).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(cols: usize, rows: usize) -> Topology {
+    assert!(cols > 0 && rows > 0, "grid needs positive dimensions");
+    let mut positions = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            positions.push(Position::new(c as f64 * PAPER_SPACING, r as f64 * PAPER_SPACING));
+        }
+    }
+    Topology::from_positions(positions)
+}
+
+/// The paper's 21-node grid (Figure 15): 7 columns × 3 rows.
+pub fn grid21() -> Topology {
+    grid(7, 3)
+}
+
+/// The node id at `(col, row)` of a [`grid`] with `cols` columns.
+pub fn grid_node(cols: usize, col: usize, row: usize) -> NodeId {
+    NodeId((row * cols + col) as u32)
+}
+
+/// `n` nodes placed uniformly at random on a `width × height` m² area,
+/// resampled until the 250 m-link graph is connected (the paper's random
+/// topology is connected with P = 99.9 % per Bettstetter; we resample the
+/// rare disconnected draws, which preserves the conditional distribution).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or the area is degenerate.
+pub fn random(n: usize, width: f64, height: f64, tx_range: f64, seed: u64) -> Topology {
+    assert!(n > 0, "need at least one node");
+    assert!(width > 0.0 && height > 0.0, "area must be positive");
+    let mut rng = Pcg32::with_stream(seed, 0x7090_17E0);
+    for _attempt in 0..10_000 {
+        let positions: Vec<Position> = (0..n)
+            .map(|_| Position::new(rng.gen_range_f64(0.0, width), rng.gen_range_f64(0.0, height)))
+            .collect();
+        let t = Topology::from_positions(positions);
+        if t.is_connected(tx_range) {
+            return t;
+        }
+    }
+    panic!("could not draw a connected {n}-node topology on {width}x{height} m²");
+}
+
+/// The paper's random scenario: 120 nodes on 2500 × 1000 m².
+pub fn random_paper(seed: u64) -> Topology {
+    random(120, 2500.0, 1000.0, 250.0, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_geometry() {
+        let t = chain(7);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.positions()[7], Position::new(1400.0, 0.0));
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(7), 250.0), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn zero_hop_chain_rejected() {
+        chain(0);
+    }
+
+    #[test]
+    fn grid21_matches_paper() {
+        let t = grid21();
+        assert_eq!(t.len(), 21);
+        // Horizontal extent 6 hops, vertical 2 hops.
+        assert_eq!(t.hop_distance(grid_node(7, 0, 0), grid_node(7, 6, 0), 250.0), Some(6));
+        assert_eq!(t.hop_distance(grid_node(7, 1, 0), grid_node(7, 1, 2), 250.0), Some(2));
+        assert!(t.is_connected(250.0));
+    }
+
+    #[test]
+    fn grid_node_numbering_is_row_major() {
+        assert_eq!(grid_node(7, 0, 0), NodeId(0));
+        assert_eq!(grid_node(7, 6, 0), NodeId(6));
+        assert_eq!(grid_node(7, 0, 1), NodeId(7));
+        assert_eq!(grid_node(7, 3, 2), NodeId(17));
+    }
+
+    #[test]
+    fn random_topology_is_connected_and_deterministic() {
+        let a = random(40, 1200.0, 800.0, 250.0, 7);
+        let b = random(40, 1200.0, 800.0, 250.0, 7);
+        assert_eq!(a, b, "same seed, same layout");
+        assert!(a.is_connected(250.0));
+        let c = random(40, 1200.0, 800.0, 250.0, 8);
+        assert_ne!(a, c, "different seed, different layout");
+    }
+
+    #[test]
+    fn random_nodes_stay_in_bounds() {
+        let t = random(60, 2500.0, 1000.0, 250.0, 3);
+        for p in t.positions() {
+            assert!((0.0..=2500.0).contains(&p.x));
+            assert!((0.0..=1000.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn disconnected_detection() {
+        let t = Topology::from_positions(vec![
+            Position::new(0.0, 0.0),
+            Position::new(10_000.0, 0.0),
+        ]);
+        assert!(!t.is_connected(250.0));
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(1), 250.0), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! Binary-exponential backoff slot counter with freeze/resume.
+
+use mwn_sim::{SimDuration, SimTime};
+
+/// The DCF backoff counter.
+///
+/// Counts down in slot units while the medium is idle and freezes while it
+/// is busy; a partially elapsed slot does not count. The contention-window
+/// doubling itself lives in the DCF (it depends on retry state); this type
+/// only tracks remaining slots and the counting interval.
+///
+/// # Example
+///
+/// ```
+/// use mwn_mac80211::Backoff;
+/// use mwn_sim::{SimDuration, SimTime};
+///
+/// let slot = SimDuration::from_micros(20);
+/// let mut b = Backoff::new();
+/// b.set_slots(5);
+/// let t0 = SimTime::ZERO;
+/// assert_eq!(b.start(t0, slot), slot * 5);
+/// // Medium goes busy after 2.5 slots: 2 whole slots consumed.
+/// b.freeze(t0 + SimDuration::from_micros(50), slot);
+/// assert_eq!(b.slots_left(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Backoff {
+    slots_left: u32,
+    counting_since: Option<SimTime>,
+    pending: bool,
+}
+
+impl Backoff {
+    /// Creates an inactive backoff.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` if a backoff must complete before the next transmission.
+    pub fn pending(&self) -> bool {
+        self.pending
+    }
+
+    /// `true` while the counter is actively counting down.
+    pub fn counting(&self) -> bool {
+        self.counting_since.is_some()
+    }
+
+    /// Remaining whole slots.
+    pub fn slots_left(&self) -> u32 {
+        self.slots_left
+    }
+
+    /// Arms the backoff with a fresh slot count (drawn by the caller from
+    /// the current contention window).
+    pub fn set_slots(&mut self, slots: u32) {
+        self.slots_left = slots;
+        self.counting_since = None;
+        self.pending = true;
+    }
+
+    /// Starts (or resumes) counting at `now`; returns how long until the
+    /// counter reaches zero so the caller can arm a timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no backoff is pending or it is already counting.
+    pub fn start(&mut self, now: SimTime, slot: SimDuration) -> SimDuration {
+        assert!(self.pending, "starting a backoff that is not pending");
+        assert!(self.counting_since.is_none(), "backoff already counting");
+        self.counting_since = Some(now);
+        slot * u64::from(self.slots_left)
+    }
+
+    /// Freezes the countdown because the medium went busy; whole slots that
+    /// elapsed since `start` are consumed. No-op if not counting.
+    pub fn freeze(&mut self, now: SimTime, slot: SimDuration) {
+        if let Some(since) = self.counting_since.take() {
+            let elapsed = now.saturating_duration_since(since);
+            let consumed = (elapsed.as_nanos() / slot.as_nanos()) as u32;
+            self.slots_left = self.slots_left.saturating_sub(consumed);
+        }
+    }
+
+    /// The countdown timer fired: the backoff completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backoff was not counting.
+    pub fn complete(&mut self) {
+        assert!(self.counting_since.is_some(), "completing a backoff that is not counting");
+        self.slots_left = 0;
+        self.counting_since = None;
+        self.pending = false;
+    }
+
+    /// Clears any pending backoff (e.g. when the queue drains entirely).
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SLOT: SimDuration = SimDuration::from_micros(20);
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn full_countdown() {
+        let mut b = Backoff::new();
+        b.set_slots(3);
+        assert!(b.pending());
+        let d = b.start(t(0), SLOT);
+        assert_eq!(d, SimDuration::from_micros(60));
+        b.complete();
+        assert!(!b.pending());
+        assert_eq!(b.slots_left(), 0);
+    }
+
+    #[test]
+    fn freeze_consumes_whole_slots_only() {
+        let mut b = Backoff::new();
+        b.set_slots(5);
+        b.start(t(0), SLOT);
+        b.freeze(t(59), SLOT); // 2.95 slots elapsed -> 2 consumed
+        assert_eq!(b.slots_left(), 3);
+        assert!(b.pending());
+        assert!(!b.counting());
+    }
+
+    #[test]
+    fn resume_after_freeze() {
+        let mut b = Backoff::new();
+        b.set_slots(4);
+        b.start(t(0), SLOT);
+        b.freeze(t(40), SLOT);
+        assert_eq!(b.slots_left(), 2);
+        let d = b.start(t(100), SLOT);
+        assert_eq!(d, SimDuration::from_micros(40));
+        b.complete();
+        assert!(!b.pending());
+    }
+
+    #[test]
+    fn freeze_when_not_counting_is_noop() {
+        let mut b = Backoff::new();
+        b.set_slots(2);
+        b.freeze(t(10), SLOT);
+        assert_eq!(b.slots_left(), 2);
+    }
+
+    #[test]
+    fn zero_slot_backoff_completes_immediately() {
+        let mut b = Backoff::new();
+        b.set_slots(0);
+        let d = b.start(t(0), SLOT);
+        assert_eq!(d, SimDuration::ZERO);
+        b.complete();
+        assert!(!b.pending());
+    }
+
+    #[test]
+    fn overshoot_freeze_clamps_to_zero() {
+        let mut b = Backoff::new();
+        b.set_slots(1);
+        b.start(t(0), SLOT);
+        // Busy arrives late (timer race): slots clamp at 0, still pending.
+        b.freeze(t(100), SLOT);
+        assert_eq!(b.slots_left(), 0);
+        assert!(b.pending());
+    }
+
+    #[test]
+    #[should_panic(expected = "not pending")]
+    fn start_without_pending_panics() {
+        Backoff::new().start(t(0), SLOT);
+    }
+}

@@ -1,0 +1,74 @@
+//! Link-layer statistics counters.
+
+/// Per-node MAC statistics, exposed for the paper's link-layer measures
+/// (Figure 14's dropping probability, retry behaviour, queue pressure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacCounters {
+    /// Unicast packets accepted for transmission (entered service).
+    pub unicast_accepted: u64,
+    /// Broadcast packets accepted for transmission.
+    pub broadcast_accepted: u64,
+    /// Packets dropped because the interface queue was full.
+    pub queue_drops: u64,
+    /// Unicast packets dropped after exhausting the RTS (short) retry
+    /// limit.
+    pub rts_retry_drops: u64,
+    /// Unicast packets dropped after exhausting the DATA (long) retry
+    /// limit.
+    pub data_retry_drops: u64,
+    /// Unicast packets delivered successfully (MAC ACK received).
+    pub unicast_delivered: u64,
+    /// RTS frames put on the air (including retries).
+    pub rts_sent: u64,
+    /// DATA frames put on the air (including retries).
+    pub data_sent: u64,
+    /// CTS timeouts observed.
+    pub cts_timeouts: u64,
+    /// ACK timeouts observed.
+    pub ack_timeouts: u64,
+    /// Duplicate data frames suppressed by the receive cache.
+    pub duplicates_suppressed: u64,
+    /// Packets dropped early by the link-RED extension (not counted as
+    /// contention losses: they carry no link-failure signal).
+    pub early_drops: u64,
+}
+
+impl MacCounters {
+    /// Packets dropped at the link layer for any reason other than queue
+    /// overflow (i.e. contention losses).
+    pub fn contention_drops(&self) -> u64 {
+        self.rts_retry_drops + self.data_retry_drops
+    }
+
+    /// The paper's link-layer dropping probability: contention drops per
+    /// unicast packet that entered service.
+    pub fn drop_probability(&self) -> f64 {
+        if self.unicast_accepted == 0 {
+            0.0
+        } else {
+            self.contention_drops() as f64 / self.unicast_accepted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_probability_zero_without_traffic() {
+        assert_eq!(MacCounters::default().drop_probability(), 0.0);
+    }
+
+    #[test]
+    fn drop_probability_counts_both_retry_kinds() {
+        let c = MacCounters {
+            unicast_accepted: 100,
+            rts_retry_drops: 3,
+            data_retry_drops: 1,
+            ..Default::default()
+        };
+        assert_eq!(c.contention_drops(), 4);
+        assert!((c.drop_probability() - 0.04).abs() < 1e-12);
+    }
+}

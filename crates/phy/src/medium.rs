@@ -1,0 +1,351 @@
+//! The shared wireless medium: who hears whom, and how.
+
+use mwn_pkt::NodeId;
+use mwn_sim::SimDuration;
+
+use crate::position::Position;
+
+/// Speed of light, m/s, for propagation delays.
+const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// The three-radius propagation model of the paper.
+///
+/// ns-2's two-ray-ground configuration with the paper's parameters yields
+/// exactly three fixed radii: frames decode within `tx_range`, raise carrier
+/// sense within `cs_range`, and corrupt concurrent receptions within
+/// `interference_range`.
+///
+/// # Example
+///
+/// ```
+/// use mwn_phy::RangeModel;
+///
+/// let m = RangeModel::paper();
+/// assert_eq!(m.tx_range, 250.0);
+/// assert_eq!(m.cs_range, 550.0);
+/// assert_eq!(m.interference_range, 550.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeModel {
+    /// Distance within which frames are decodable (m).
+    pub tx_range: f64,
+    /// Distance within which energy is sensed (physical carrier sense) (m).
+    pub cs_range: f64,
+    /// Distance within which a transmission corrupts a concurrent
+    /// reception (m).
+    pub interference_range: f64,
+    /// Friis → two-ray-ground crossover distance (m); received power falls
+    /// as d⁻² below it and d⁻⁴ beyond, matching ns-2's default antennas.
+    pub crossover: f64,
+    /// Capture threshold (ns-2's `CPThresh_`, a linear power ratio): a
+    /// locked reception survives interference at least this much weaker.
+    /// `None` disables capture — any overlap corrupts.
+    pub capture_threshold: Option<f64>,
+}
+
+impl RangeModel {
+    /// The paper's configuration: 250 m transmission range, 550 m carrier
+    /// sensing and interference range, two-ray-ground propagation with a
+    /// 226 m crossover and 10× capture (ns-2 defaults).
+    pub fn paper() -> Self {
+        RangeModel {
+            tx_range: 250.0,
+            cs_range: 550.0,
+            interference_range: 550.0,
+            crossover: 226.0,
+            capture_threshold: Some(10.0),
+        }
+    }
+
+    /// The same ranges with capture disabled (every overlapping
+    /// transmission within interference range corrupts) — the
+    /// conservative model, used by the capture ablation bench.
+    pub fn without_capture() -> Self {
+        RangeModel { capture_threshold: None, ..Self::paper() }
+    }
+
+    /// Relative received power at distance `d` (arbitrary linear units):
+    /// Friis `d⁻²` up to the crossover, two-ray-ground `d⁻⁴` beyond,
+    /// continuous at the crossover.
+    pub fn rel_power(&self, d: f64) -> f64 {
+        let d = d.max(1.0); // clamp: co-located nodes saturate
+        if d <= self.crossover {
+            d.powi(-2)
+        } else {
+            self.crossover.powi(2) * d.powi(-4)
+        }
+    }
+
+    /// Classifies a signal crossing distance `d`, or `None` if the signal
+    /// is too weak to matter at all.
+    pub fn classify(&self, d: f64) -> Option<SignalClass> {
+        let decodable = d <= self.tx_range;
+        let senses = d <= self.cs_range || decodable;
+        let interferes = d <= self.interference_range || decodable;
+        if decodable || senses || interferes {
+            Some(SignalClass { decodable, senses, interferes, power: self.rel_power(d) })
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for RangeModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// How a signal from a particular transmitter appears at a particular
+/// receiver. Fixed per node pair in a static network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalClass {
+    /// The receiver can decode the frame (absent collisions).
+    pub decodable: bool,
+    /// The receiver's physical carrier sense reports the medium busy.
+    pub senses: bool,
+    /// The signal may corrupt a concurrent reception at this receiver
+    /// (subject to the capture threshold).
+    pub interferes: bool,
+    /// Relative received power (see [`RangeModel::rel_power`]).
+    pub power: f64,
+}
+
+/// The static wireless medium: node positions plus the range model, with
+/// precomputed per-transmitter effect lists.
+///
+/// # Example
+///
+/// ```
+/// use mwn_phy::{Medium, Position, RangeModel};
+/// use mwn_pkt::NodeId;
+///
+/// // 3-node chain, 200 m spacing: node 0 decodes at node 1, senses at 2.
+/// let positions = vec![
+///     Position::new(0.0, 0.0),
+///     Position::new(200.0, 0.0),
+///     Position::new(400.0, 0.0),
+/// ];
+/// let medium = Medium::new(positions, RangeModel::paper());
+/// let fx = medium.effects_of(NodeId(0));
+/// assert_eq!(fx.len(), 2);
+/// assert!(fx[0].class.decodable);   // node 1
+/// assert!(!fx[1].class.decodable);  // node 2: senses only
+/// assert!(fx[1].class.senses);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Medium {
+    positions: Vec<Position>,
+    ranges: RangeModel,
+    /// `effects[tx]` lists every node affected by a transmission from `tx`,
+    /// ordered by node id.
+    effects: Vec<Vec<Effect>>,
+}
+
+/// One receiver affected by a given transmitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Effect {
+    /// The affected node.
+    pub node: NodeId,
+    /// How the signal appears there.
+    pub class: SignalClass,
+    /// Propagation delay from transmitter to this node.
+    pub delay: SimDuration,
+}
+
+impl Medium {
+    /// Builds the medium and precomputes all pairwise effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty.
+    pub fn new(positions: Vec<Position>, ranges: RangeModel) -> Self {
+        assert!(!positions.is_empty(), "medium needs at least one node");
+        let mut medium = Medium { positions, ranges, effects: Vec::new() };
+        medium.recompute();
+        medium
+    }
+
+    /// Moves the nodes to new positions and recomputes all pairwise
+    /// effects (used by mobility models). Signals already in flight keep
+    /// the classification they were launched with — an accepted
+    /// approximation for node speeds far below frame airtimes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of positions changes.
+    pub fn set_positions(&mut self, positions: Vec<Position>) {
+        assert_eq!(
+            positions.len(),
+            self.positions.len(),
+            "node count is fixed for the lifetime of the medium"
+        );
+        self.positions = positions;
+        self.recompute();
+    }
+
+    fn recompute(&mut self) {
+        let positions = &self.positions;
+        let ranges = self.ranges;
+        self.effects = (0..positions.len())
+            .map(|tx| {
+                (0..positions.len())
+                    .filter(|&rx| rx != tx)
+                    .filter_map(|rx| {
+                        let d = positions[tx].distance_to(positions[rx]);
+                        ranges.classify(d).map(|class| Effect {
+                            node: NodeId(rx as u32),
+                            class,
+                            delay: SimDuration::from_secs_f64(d / SPEED_OF_LIGHT),
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the medium has no nodes (never: `new` requires one).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Node positions.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// The configured range model.
+    pub fn ranges(&self) -> RangeModel {
+        self.ranges
+    }
+
+    /// Every node affected by a transmission from `tx`, with classification
+    /// and propagation delay.
+    pub fn effects_of(&self, tx: NodeId) -> &[Effect] {
+        &self.effects[tx.index()]
+    }
+
+    /// `true` if `a` can decode frames transmitted by `b` (symmetric in
+    /// this model).
+    pub fn in_tx_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.positions[a.index()].distance_to(self.positions[b.index()]) <= self.ranges.tx_range
+    }
+
+    /// Ids of nodes within transmission range of `node`.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.effects[node.index()]
+            .iter()
+            .filter(|e| e.class.decodable)
+            .map(|e| e.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize, spacing: f64) -> Medium {
+        let positions = (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect();
+        Medium::new(positions, RangeModel::paper())
+    }
+
+    #[test]
+    fn classify_ranges() {
+        let m = RangeModel::paper();
+        let c = m.classify(100.0).unwrap();
+        assert!(c.decodable && c.senses && c.interferes);
+        let c = m.classify(400.0).unwrap();
+        assert!(!c.decodable && c.senses && c.interferes);
+        assert!(m.classify(600.0).is_none());
+        // Boundary cases are inclusive.
+        assert!(m.classify(250.0).unwrap().decodable);
+        assert!(!m.classify(250.1).unwrap().decodable);
+        assert!(m.classify(550.0).unwrap().senses);
+    }
+
+    #[test]
+    fn paper_chain_hidden_terminal_geometry() {
+        // 8 nodes, 200 m apart: the canonical chain of Fig 1.
+        let m = chain(8, 200.0);
+        // Node 3 (600 m from node 0) cannot sense node 0's transmission...
+        assert!(!m
+            .effects_of(NodeId(0))
+            .iter()
+            .any(|e| e.node == NodeId(3)));
+        // ...but interferes at node 1 (400 m away): the hidden terminal.
+        let e = m
+            .effects_of(NodeId(3))
+            .iter()
+            .find(|e| e.node == NodeId(1))
+            .expect("node 3 reaches node 1");
+        assert!(e.class.interferes && !e.class.decodable);
+        // Adjacent nodes decode each other.
+        assert!(m.in_tx_range(NodeId(0), NodeId(1)));
+        // Two-hop nodes (400 m) sense but cannot decode.
+        assert!(!m.in_tx_range(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn neighbors_in_chain() {
+        let m = chain(5, 200.0);
+        let n: Vec<NodeId> = m.neighbors(NodeId(2)).collect();
+        assert_eq!(n, vec![NodeId(1), NodeId(3)]);
+        let n: Vec<NodeId> = m.neighbors(NodeId(0)).collect();
+        assert_eq!(n, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn propagation_delay_is_positive_and_small() {
+        let m = chain(2, 200.0);
+        let e = &m.effects_of(NodeId(0))[0];
+        // 200 m at light speed ≈ 667 ns.
+        assert!(e.delay.as_nanos() > 600 && e.delay.as_nanos() < 700);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_medium_rejected() {
+        Medium::new(vec![], RangeModel::paper());
+    }
+
+    #[test]
+    fn effects_exclude_self() {
+        let m = chain(3, 200.0);
+        for i in 0..3u32 {
+            assert!(m.effects_of(NodeId(i)).iter().all(|e| e.node != NodeId(i)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod mobility_tests {
+    use super::*;
+
+    #[test]
+    fn set_positions_recomputes_effects() {
+        let mut m = Medium::new(
+            vec![Position::new(0.0, 0.0), Position::new(200.0, 0.0)],
+            RangeModel::paper(),
+        );
+        assert!(m.in_tx_range(NodeId(0), NodeId(1)));
+        // Node 1 walks out of decode range but stays sensed.
+        m.set_positions(vec![Position::new(0.0, 0.0), Position::new(400.0, 0.0)]);
+        assert!(!m.in_tx_range(NodeId(0), NodeId(1)));
+        assert!(m.effects_of(NodeId(0)).iter().any(|e| e.class.senses));
+        // And fully out of range.
+        m.set_positions(vec![Position::new(0.0, 0.0), Position::new(900.0, 0.0)]);
+        assert!(m.effects_of(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "node count is fixed")]
+    fn node_count_change_rejected() {
+        let mut m = Medium::new(vec![Position::new(0.0, 0.0)], RangeModel::paper());
+        m.set_positions(vec![Position::new(0.0, 0.0), Position::new(1.0, 0.0)]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Node placement geometry.
+
+use std::fmt;
+
+/// A node position on the plane, in meters.
+///
+/// # Example
+///
+/// ```
+/// use mwn_phy::Position;
+///
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(300.0, 400.0);
+/// assert_eq!(a.distance_to(b), 500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from coordinates in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is not finite.
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(x.is_finite() && y.is_finite(), "position must be finite");
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance_to(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Position {
+    fn from((x, y): (f64, f64)) -> Self {
+        Position::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_zero_to_self() {
+        let p = Position::new(12.0, -7.0);
+        assert_eq!(p.distance_to(p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_position_rejected() {
+        Position::new(f64::NAN, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(ax in -1e4f64..1e4, ay in -1e4f64..1e4,
+                                 bx in -1e4f64..1e4, by in -1e4f64..1e4) {
+            let a = Position::new(ax, ay);
+            let b = Position::new(bx, by);
+            prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -1e4f64..1e4, ay in -1e4f64..1e4,
+                               bx in -1e4f64..1e4, by in -1e4f64..1e4,
+                               cx in -1e4f64..1e4, cy in -1e4f64..1e4) {
+            let a = Position::new(ax, ay);
+            let b = Position::new(bx, by);
+            let c = Position::new(cx, cy);
+            prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6);
+        }
+    }
+}

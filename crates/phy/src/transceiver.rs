@@ -1,0 +1,429 @@
+//! Per-node radio state machine: reception locking, collision marking and
+//! carrier-sense transitions.
+//!
+//! The transceiver is fed signal-start/-end notifications (already
+//! classified by [`crate::Medium`]) in timestamp order and reports
+//! [`RadioEvent`]s. It implements the standard simulator reception model,
+//! matching ns-2:
+//!
+//! * a receiver locks onto the first decodable signal that starts while it
+//!   is neither transmitting nor already locked;
+//! * any other signal that `interferes` and overlaps a locked reception
+//!   corrupts it, unless the locked frame is at least `CPThresh` (10×)
+//!   stronger — ns-2's physical capture, which is what lets same-direction
+//!   chain traffic survive its own hidden terminals;
+//! * a half-duplex radio cannot receive while transmitting, and starting a
+//!   transmission abandons any reception in progress;
+//! * physical carrier sense reports busy whenever the node transmits or any
+//!   `senses`-class signal is on the air.
+
+use mwn_sim::FxHashMap;
+
+use crate::medium::SignalClass;
+
+/// Identifies one transmission on the medium (assigned by the caller;
+/// unique per simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub u64);
+
+/// Radio-level events produced by the transceiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioEvent {
+    /// Physical carrier sense went busy.
+    CarrierBusy,
+    /// Physical carrier sense went idle.
+    CarrierIdle,
+    /// The radio locked onto an incoming frame.
+    RxStart(TxId),
+    /// A locked frame finished arriving; `ok` is `false` if it was
+    /// corrupted by interference.
+    RxEnd {
+        /// The transmission that ended.
+        tx: TxId,
+        /// Whether the frame arrived intact.
+        ok: bool,
+    },
+    /// A signal the radio could sense but never decode (carrier-sense-only
+    /// energy, or a frame it failed to lock onto) stopped. The MAC treats
+    /// this like a corrupted reception and defers EIFS instead of DIFS —
+    /// exactly ns-2's behaviour for frames below the receive threshold.
+    /// Without this, stations two hops from a transmitter would wait only
+    /// DIFS (50 µs) and stomp on the SIFS-spaced CTS/ACK responses
+    /// (≈314 µs) of the exchange they partially overheard.
+    UndecodedEnd,
+}
+
+/// Per-node radio reception/carrier-sense state machine.
+///
+/// # Example
+///
+/// ```
+/// use mwn_phy::{RadioEvent, RangeModel, Transceiver, TxId};
+///
+/// let decodable = RangeModel::paper().classify(200.0).unwrap();
+/// let mut radio = Transceiver::new();
+/// let ev = radio.signal_start(TxId(1), decodable);
+/// assert_eq!(ev, vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(1))]);
+/// let ev = radio.signal_end(TxId(1));
+/// assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: true }, RadioEvent::CarrierIdle]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transceiver {
+    /// All signals currently on the air at this node.
+    active: FxHashMap<TxId, SignalClass>,
+    /// Count of active signals with `senses == true`.
+    sensing: usize,
+    /// The reception we are locked onto, if any.
+    rx: Option<RxState>,
+    transmitting: bool,
+    /// Physical-capture threshold (linear power ratio; ns-2 `CPThresh_`).
+    /// A locked frame survives interference weaker than
+    /// `locked_power / threshold`; `None` means any overlap corrupts.
+    capture_threshold: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RxState {
+    tx: TxId,
+    power: f64,
+    /// `true` if the locked signal is a frame we could decode (in
+    /// transmission range); `false` for carrier-sense-only noise.
+    decodable: bool,
+    corrupted: bool,
+}
+
+impl Default for Transceiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transceiver {
+    /// Creates an idle transceiver with ns-2's default 10× capture
+    /// threshold.
+    pub fn new() -> Self {
+        Self::with_capture(Some(10.0))
+    }
+
+    /// Creates a transceiver with an explicit capture threshold (`None`
+    /// disables capture: any overlapping interference corrupts).
+    pub fn with_capture(capture_threshold: Option<f64>) -> Self {
+        Transceiver {
+            active: FxHashMap::default(),
+            sensing: 0,
+            rx: None,
+            transmitting: false,
+            capture_threshold,
+        }
+    }
+
+    /// `true` if interference at `interferer_power` corrupts a locked
+    /// frame received at `locked_power`.
+    fn corrupts(&self, locked_power: f64, interferer_power: f64) -> bool {
+        match self.capture_threshold {
+            None => true,
+            Some(thr) => locked_power < interferer_power * thr,
+        }
+    }
+
+    /// Physical carrier sense: busy while transmitting or while any
+    /// sensed signal is on the air.
+    pub fn carrier_busy(&self) -> bool {
+        self.transmitting || self.sensing > 0
+    }
+
+    /// `true` while the radio is locked onto a decodable incoming frame
+    /// (not mere noise).
+    pub fn receiving(&self) -> bool {
+        self.rx.is_some_and(|r| r.decodable)
+    }
+
+    /// `true` while the radio transmits.
+    pub fn transmitting(&self) -> bool {
+        self.transmitting
+    }
+
+    /// A classified signal starts arriving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is already active (caller must assign unique ids).
+    pub fn signal_start(&mut self, tx: TxId, class: SignalClass) -> Vec<RadioEvent> {
+        let was_busy = self.carrier_busy();
+        let prev = self.active.insert(tx, class);
+        assert!(prev.is_none(), "duplicate signal id {tx:?}");
+        if class.senses {
+            self.sensing += 1;
+        }
+
+        let mut events = Vec::new();
+        if !was_busy && self.carrier_busy() {
+            events.push(RadioEvent::CarrierBusy);
+        }
+
+        if self.rx.is_none() && !self.transmitting {
+            // The radio locks onto the FIRST signal it hears, even
+            // undecodable noise — as in ns-2, where a later (even much
+            // stronger) frame is then discarded. This is the dominant
+            // hidden-terminal loss mechanism: the interferer fires first,
+            // occupies the receiver, and the real frame is lost.
+            let interfered = self
+                .active
+                .iter()
+                .any(|(&id, c)| id != tx && c.interferes && self.corrupts(class.power, c.power));
+            self.rx = Some(RxState {
+                tx,
+                power: class.power,
+                decodable: class.decodable,
+                corrupted: !class.decodable || interfered,
+            });
+            if class.decodable {
+                events.push(RadioEvent::RxStart(tx));
+            }
+        } else if class.interferes {
+            // Interference corrupts the reception in progress, unless the
+            // locked frame is strong enough to be captured over it.
+            let corrupts = self
+                .rx
+                .is_some_and(|rx| self.corrupts(rx.power, class.power));
+            if corrupts {
+                if let Some(rx) = &mut self.rx {
+                    rx.corrupted = true;
+                }
+            }
+        }
+
+        events
+    }
+
+    /// A previously started signal ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` was never started.
+    pub fn signal_end(&mut self, tx: TxId) -> Vec<RadioEvent> {
+        let was_busy = self.carrier_busy();
+        let class = self.active.remove(&tx).expect("signal_end without start");
+        if class.senses {
+            self.sensing -= 1;
+        }
+
+        let mut events = Vec::new();
+        if let Some(rx) = self.rx {
+            if rx.tx == tx {
+                self.rx = None;
+                if rx.decodable {
+                    events.push(RadioEvent::RxEnd { tx, ok: !rx.corrupted });
+                } else {
+                    // Locked noise ended: PHY-RXEND with error → EIFS.
+                    events.push(RadioEvent::UndecodedEnd);
+                }
+            }
+            // Signals that never locked the radio were discarded at
+            // arrival (ns-2 frees them silently): no event at their end.
+        }
+        if was_busy && !self.carrier_busy() {
+            events.push(RadioEvent::CarrierIdle);
+        }
+        events
+    }
+
+    /// The node starts transmitting. Any reception in progress is
+    /// abandoned (no `RxEnd` will be reported for it).
+    pub fn tx_start(&mut self) -> Vec<RadioEvent> {
+        let was_busy = self.carrier_busy();
+        self.transmitting = true;
+        self.rx = None;
+        let mut events = Vec::new();
+        if !was_busy {
+            events.push(RadioEvent::CarrierBusy);
+        }
+        events
+    }
+
+    /// The node's transmission ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not transmitting.
+    pub fn tx_end(&mut self) -> Vec<RadioEvent> {
+        assert!(self.transmitting, "tx_end without tx_start");
+        self.transmitting = false;
+        let mut events = Vec::new();
+        if !self.carrier_busy() {
+            events.push(RadioEvent::CarrierIdle);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::RangeModel;
+
+    /// Signal from an adjacent chain node (200 m): decodable, strong.
+    fn decodable() -> SignalClass {
+        RangeModel::paper().classify(200.0).unwrap()
+    }
+
+    /// Signal from a hidden terminal two hops away (400 m): sense-only,
+    /// 12.5× weaker than [`decodable`] — capturable.
+    fn interference() -> SignalClass {
+        RangeModel::paper().classify(400.0).unwrap()
+    }
+
+    /// Sense-only interference at 300 m: too strong to capture over.
+    fn strong_interference() -> SignalClass {
+        RangeModel::paper().classify(300.0).unwrap()
+    }
+
+    #[test]
+    fn clean_reception() {
+        let mut r = Transceiver::new();
+        assert!(!r.carrier_busy());
+        let ev = r.signal_start(TxId(1), decodable());
+        assert_eq!(ev, vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(1))]);
+        assert!(r.receiving());
+        let ev = r.signal_end(TxId(1));
+        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: true }, RadioEvent::CarrierIdle]);
+        assert!(!r.carrier_busy());
+    }
+
+    #[test]
+    fn weak_hidden_terminal_is_captured_over() {
+        // Paper chain geometry: sender 200 m away, interferer 400 m away.
+        // Power ratio (two-ray ground) = 12.5 ≥ CPThresh 10: survive.
+        let mut r = Transceiver::new();
+        r.signal_start(TxId(1), decodable());
+        let ev = r.signal_start(TxId(2), interference());
+        assert!(ev.is_empty());
+        let ev = r.signal_end(TxId(1));
+        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: true }]);
+        r.signal_end(TxId(2));
+    }
+
+    #[test]
+    fn strong_hidden_terminal_corrupts_reception() {
+        let mut r = Transceiver::new();
+        r.signal_start(TxId(1), decodable());
+        // 300 m interferer: ratio ≈ 4 < 10, reception is doomed.
+        let ev = r.signal_start(TxId(2), strong_interference());
+        assert!(ev.is_empty()); // carrier already busy, no new lock
+        let ev = r.signal_end(TxId(1));
+        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: false }]);
+        // Medium still busy until the interferer ends; the never-locked
+        // interferer ends silently.
+        assert!(r.carrier_busy());
+        let ev = r.signal_end(TxId(2));
+        assert_eq!(ev, vec![RadioEvent::CarrierIdle]);
+    }
+
+    #[test]
+    fn without_capture_any_interference_corrupts() {
+        let mut r = Transceiver::with_capture(None);
+        r.signal_start(TxId(1), decodable());
+        r.signal_start(TxId(2), interference()); // weak, but no capture
+        let ev = r.signal_end(TxId(1));
+        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: false }]);
+        r.signal_end(TxId(2));
+    }
+
+    #[test]
+    fn two_equal_decodable_frames_collide() {
+        // Equal power: no capture in either direction.
+        let mut r = Transceiver::new();
+        r.signal_start(TxId(1), decodable());
+        let ev = r.signal_start(TxId(2), decodable());
+        assert!(ev.is_empty()); // no second lock
+        let ev = r.signal_end(TxId(1));
+        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: false }]);
+        // Frame 2 was never locked: discarded at arrival, silent end.
+        let ev = r.signal_end(TxId(2));
+        assert_eq!(ev, vec![RadioEvent::CarrierIdle]);
+    }
+
+    #[test]
+    fn half_duplex_no_rx_while_transmitting() {
+        let mut r = Transceiver::new();
+        let ev = r.tx_start();
+        assert_eq!(ev, vec![RadioEvent::CarrierBusy]);
+        let ev = r.signal_start(TxId(1), decodable());
+        assert!(ev.is_empty()); // no lock, carrier already busy
+        assert!(!r.receiving());
+        r.signal_end(TxId(1));
+        let ev = r.tx_end();
+        assert_eq!(ev, vec![RadioEvent::CarrierIdle]);
+    }
+
+    #[test]
+    fn tx_start_abandons_reception() {
+        let mut r = Transceiver::new();
+        r.signal_start(TxId(1), decodable());
+        assert!(r.receiving());
+        r.tx_start();
+        assert!(!r.receiving());
+        // Signal 1 ends with no RxEnd: the radio moved on.
+        let ev = r.signal_end(TxId(1));
+        assert!(ev.is_empty());
+        assert!(r.carrier_busy()); // still transmitting
+    }
+
+    #[test]
+    fn sense_only_signal_locks_as_noise_and_eifs_at_end() {
+        let mut r = Transceiver::new();
+        let ev = r.signal_start(TxId(1), interference());
+        assert_eq!(ev, vec![RadioEvent::CarrierBusy]);
+        assert!(!r.receiving(), "noise is not a frame reception");
+        assert!(r.carrier_busy());
+        let ev = r.signal_end(TxId(1));
+        assert_eq!(ev, vec![RadioEvent::UndecodedEnd, RadioEvent::CarrierIdle]);
+    }
+
+    #[test]
+    fn carrier_transitions_count_overlaps() {
+        let mut r = Transceiver::new();
+        assert_eq!(r.signal_start(TxId(1), interference()), vec![RadioEvent::CarrierBusy]);
+        assert_eq!(r.signal_start(TxId(2), interference()), vec![]);
+        // First noise was locked; second was discarded at arrival.
+        assert_eq!(r.signal_end(TxId(1)), vec![RadioEvent::UndecodedEnd]);
+        assert_eq!(r.signal_end(TxId(2)), vec![RadioEvent::CarrierIdle]);
+    }
+
+    #[test]
+    fn undecoded_end_suppressed_while_transmitting() {
+        let mut r = Transceiver::new();
+        r.tx_start();
+        r.signal_start(TxId(1), interference());
+        assert!(r.signal_end(TxId(1)).is_empty());
+        r.tx_end();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal id")]
+    fn duplicate_signal_panics() {
+        let mut r = Transceiver::new();
+        r.signal_start(TxId(1), decodable());
+        r.signal_start(TxId(1), decodable());
+    }
+
+    #[test]
+    #[should_panic(expected = "signal_end without start")]
+    fn unmatched_end_panics() {
+        Transceiver::new().signal_end(TxId(9));
+    }
+
+    #[test]
+    fn back_to_back_receptions_after_collision_recover() {
+        let mut r = Transceiver::new();
+        r.signal_start(TxId(1), decodable());
+        r.signal_start(TxId(2), interference());
+        r.signal_end(TxId(1));
+        r.signal_end(TxId(2));
+        // Radio recovered: next frame is received cleanly.
+        let ev = r.signal_start(TxId(3), decodable());
+        assert_eq!(ev, vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(3))]);
+        let ev = r.signal_end(TxId(3));
+        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(3), ok: true }, RadioEvent::CarrierIdle]);
+    }
+}

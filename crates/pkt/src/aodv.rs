@@ -1,0 +1,79 @@
+//! AODV routing protocol messages (RFC 3561 subset used by ns-2).
+
+use crate::ids::NodeId;
+use crate::sizes;
+
+/// An AODV control message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AodvMessage {
+    /// Route request, flooded network-wide.
+    Rreq {
+        /// Per-originator RREQ identifier (with `orig`, uniquely identifies
+        /// this discovery for duplicate suppression).
+        rreq_id: u32,
+        /// Node searching for a route.
+        orig: NodeId,
+        /// Originator's own sequence number.
+        orig_seq: u32,
+        /// Destination being sought.
+        dst: NodeId,
+        /// Last known destination sequence number, if any.
+        dst_seq: Option<u32>,
+        /// Hops traversed so far (incremented at each rebroadcast).
+        hop_count: u8,
+    },
+    /// Route reply, unicast back along the reverse path.
+    Rrep {
+        /// Node the reply is travelling to (the RREQ originator).
+        orig: NodeId,
+        /// Destination the route leads to.
+        dst: NodeId,
+        /// Destination sequence number associated with the route.
+        dst_seq: u32,
+        /// Hops from the replying node to `dst` (incremented per hop).
+        hop_count: u8,
+    },
+    /// Route error listing newly unreachable destinations.
+    Rerr {
+        /// `(destination, last known sequence number)` pairs.
+        unreachable: Vec<(NodeId, u32)>,
+    },
+}
+
+impl AodvMessage {
+    /// Size on the wire including the UDP header AODV rides on.
+    pub fn size_bytes(&self) -> u32 {
+        let body = match self {
+            AodvMessage::Rreq { .. } => sizes::AODV_RREQ,
+            AodvMessage::Rrep { .. } => sizes::AODV_RREP,
+            AodvMessage::Rerr { unreachable } => {
+                sizes::AODV_RERR_BASE + sizes::AODV_RERR_PER_DEST * unreachable.len() as u32
+            }
+        };
+        sizes::UDP_HEADER + body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes() {
+        let rreq = AodvMessage::Rreq {
+            rreq_id: 1,
+            orig: NodeId(0),
+            orig_seq: 1,
+            dst: NodeId(5),
+            dst_seq: None,
+            hop_count: 0,
+        };
+        assert_eq!(rreq.size_bytes(), 32);
+
+        let rrep = AodvMessage::Rrep { orig: NodeId(0), dst: NodeId(5), dst_seq: 2, hop_count: 0 };
+        assert_eq!(rrep.size_bytes(), 28);
+
+        let rerr = AodvMessage::Rerr { unreachable: vec![(NodeId(5), 2), (NodeId(6), 1)] };
+        assert_eq!(rerr.size_bytes(), 8 + 4 + 16);
+    }
+}

@@ -1,0 +1,102 @@
+//! Node and flow identifiers.
+
+use std::fmt;
+
+/// Identifies a node in the network.
+///
+/// `NodeId::BROADCAST` is the link-layer broadcast address.
+///
+/// # Example
+///
+/// ```
+/// use mwn_pkt::NodeId;
+///
+/// assert!(NodeId::BROADCAST.is_broadcast());
+/// assert!(!NodeId(3).is_broadcast());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The link-layer broadcast address.
+    pub const BROADCAST: NodeId = NodeId(u32::MAX);
+
+    /// `true` if this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// The id as an array index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the broadcast address.
+    pub fn index(self) -> usize {
+        assert!(!self.is_broadcast(), "broadcast address has no index");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_broadcast() {
+            write!(f, "n*")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifies an end-to-end transport flow (one FTP or CBR connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// The id as an array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<u32> for FlowId {
+    fn from(v: u32) -> Self {
+        FlowId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_is_distinct() {
+        assert_ne!(NodeId::BROADCAST, NodeId(0));
+        assert_eq!(format!("{}", NodeId::BROADCAST), "n*");
+        assert_eq!(format!("{}", NodeId(12)), "n12");
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast address has no index")]
+    fn broadcast_index_panics() {
+        NodeId::BROADCAST.index();
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(NodeId::from(4).index(), 4);
+        assert_eq!(FlowId::from(2).index(), 2);
+        assert_eq!(format!("{}", FlowId(2)), "f2");
+    }
+}

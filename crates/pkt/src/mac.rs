@@ -1,0 +1,173 @@
+//! IEEE 802.11 link-layer frames.
+
+use mwn_sim::SimDuration;
+
+use crate::ids::NodeId;
+use crate::packet::Packet;
+use crate::sizes;
+
+/// Discriminates MAC frame types without the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacFrameKind {
+    /// Request-to-send.
+    Rts,
+    /// Clear-to-send.
+    Cts,
+    /// Link-layer acknowledgement.
+    Ack,
+    /// Data frame (unicast or broadcast).
+    Data,
+}
+
+/// An IEEE 802.11 frame on the air.
+///
+/// The `nav` field mirrors the standard's Duration field: the time the
+/// medium will remain reserved *after* this frame ends. Overhearing nodes
+/// use it for virtual carrier sensing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacFrame {
+    /// RTS from `src` to `dst`, reserving the medium for the whole
+    /// CTS + DATA + ACK exchange.
+    Rts {
+        /// Transmitter address.
+        src: NodeId,
+        /// Receiver address.
+        dst: NodeId,
+        /// Medium reservation after this frame ends.
+        nav: SimDuration,
+    },
+    /// CTS answering an RTS.
+    Cts {
+        /// Transmitter address (the data receiver).
+        src: NodeId,
+        /// Receiver address (the data sender).
+        dst: NodeId,
+        /// Medium reservation after this frame ends.
+        nav: SimDuration,
+    },
+    /// Link-layer acknowledgement of a data frame.
+    Ack {
+        /// Transmitter address.
+        src: NodeId,
+        /// Receiver address (the data sender).
+        dst: NodeId,
+    },
+    /// Data frame carrying a network-layer packet. `dst` may be
+    /// [`NodeId::BROADCAST`], in which case no ACK is expected.
+    Data {
+        /// Transmitter address.
+        src: NodeId,
+        /// Receiver address or broadcast.
+        dst: NodeId,
+        /// Per-transmitter MAC sequence number for duplicate detection.
+        seq: u16,
+        /// `true` on MAC-level retransmissions.
+        retry: bool,
+        /// Medium reservation after this frame ends (time for the ACK).
+        nav: SimDuration,
+        /// Carried network-layer packet.
+        packet: Packet,
+    },
+}
+
+impl MacFrame {
+    /// The frame's type discriminant.
+    pub fn kind(&self) -> MacFrameKind {
+        match self {
+            MacFrame::Rts { .. } => MacFrameKind::Rts,
+            MacFrame::Cts { .. } => MacFrameKind::Cts,
+            MacFrame::Ack { .. } => MacFrameKind::Ack,
+            MacFrame::Data { .. } => MacFrameKind::Data,
+        }
+    }
+
+    /// Transmitter address.
+    pub fn src(&self) -> NodeId {
+        match self {
+            MacFrame::Rts { src, .. }
+            | MacFrame::Cts { src, .. }
+            | MacFrame::Ack { src, .. }
+            | MacFrame::Data { src, .. } => *src,
+        }
+    }
+
+    /// Receiver address (possibly broadcast for data frames).
+    pub fn dst(&self) -> NodeId {
+        match self {
+            MacFrame::Rts { dst, .. }
+            | MacFrame::Cts { dst, .. }
+            | MacFrame::Ack { dst, .. }
+            | MacFrame::Data { dst, .. } => *dst,
+        }
+    }
+
+    /// The Duration/NAV value carried by the frame (zero for ACKs).
+    pub fn nav(&self) -> SimDuration {
+        match self {
+            MacFrame::Rts { nav, .. } | MacFrame::Cts { nav, .. } | MacFrame::Data { nav, .. } => {
+                *nav
+            }
+            MacFrame::Ack { .. } => SimDuration::ZERO,
+        }
+    }
+
+    /// Size on the air in bytes (MAC header/FCS included).
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            MacFrame::Rts { .. } => sizes::RTS,
+            MacFrame::Cts { .. } => sizes::CTS,
+            MacFrame::Ack { .. } => sizes::MAC_ACK,
+            MacFrame::Data { packet, .. } => sizes::MAC_DATA_OVERHEAD + packet.size_bytes(),
+        }
+    }
+
+    /// `true` for broadcast data frames (no ACK expected).
+    pub fn is_broadcast(&self) -> bool {
+        self.dst().is_broadcast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+    use crate::packet::Body;
+    use crate::tcp::TcpSegment;
+
+    fn data_frame(dst: NodeId) -> MacFrame {
+        MacFrame::Data {
+            src: NodeId(0),
+            dst,
+            seq: 1,
+            retry: false,
+            nav: SimDuration::from_micros(314),
+            packet: Packet::new(1, NodeId(0), NodeId(7), Body::Tcp(TcpSegment::data(FlowId(0), 0))),
+        }
+    }
+
+    #[test]
+    fn control_frame_sizes() {
+        let rts = MacFrame::Rts { src: NodeId(0), dst: NodeId(1), nav: SimDuration::ZERO };
+        let cts = MacFrame::Cts { src: NodeId(1), dst: NodeId(0), nav: SimDuration::ZERO };
+        let ack = MacFrame::Ack { src: NodeId(1), dst: NodeId(0) };
+        assert_eq!(rts.size_bytes(), 20);
+        assert_eq!(cts.size_bytes(), 14);
+        assert_eq!(ack.size_bytes(), 14);
+        assert_eq!(ack.nav(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn data_frame_size_includes_mac_overhead() {
+        let f = data_frame(NodeId(1));
+        assert_eq!(f.size_bytes(), 1528);
+        assert_eq!(f.kind(), MacFrameKind::Data);
+        assert!(!f.is_broadcast());
+        assert_eq!(f.src(), NodeId(0));
+        assert_eq!(f.dst(), NodeId(1));
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        assert!(data_frame(NodeId::BROADCAST).is_broadcast());
+    }
+}

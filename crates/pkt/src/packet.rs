@@ -1,0 +1,111 @@
+//! Network-layer packets.
+
+use crate::aodv::AodvMessage;
+use crate::ids::NodeId;
+use crate::sizes;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+
+/// The payload of a network-layer packet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Body {
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// A UDP datagram (paced-UDP reference transport).
+    Udp(UdpDatagram),
+    /// An AODV control message.
+    Aodv(AodvMessage),
+}
+
+impl Body {
+    /// Wire size of the body (transport header + payload, no IP header).
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            Body::Tcp(seg) => seg.size_bytes(),
+            Body::Udp(d) => d.size_bytes(),
+            Body::Aodv(m) => m.size_bytes(),
+        }
+    }
+}
+
+/// A network-layer (IP) packet travelling end-to-end.
+///
+/// # Example
+///
+/// ```
+/// use mwn_pkt::{Body, FlowId, NodeId, Packet, UdpDatagram};
+///
+/// let p = Packet::new(0, NodeId(0), NodeId(4), Body::Udp(UdpDatagram::cbr(FlowId(0), 0)));
+/// assert_eq!(p.size_bytes(), 20 + 8 + 1460);
+/// assert_eq!(p.src, NodeId(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Simulation-unique packet id, preserved across hops and MAC retries
+    /// (a transport-layer retransmission is a *new* packet with a new uid).
+    pub uid: u64,
+    /// Originating node.
+    pub src: NodeId,
+    /// Final destination (may be [`NodeId::BROADCAST`] for flooded AODV
+    /// messages).
+    pub dst: NodeId,
+    /// Remaining hop budget; decremented at each forward.
+    pub ttl: u8,
+    /// Transport payload.
+    pub body: Body,
+}
+
+impl Packet {
+    /// Creates a packet with the default TTL.
+    pub fn new(uid: u64, src: NodeId, dst: NodeId, body: Body) -> Self {
+        Packet { uid, src, dst, ttl: sizes::DEFAULT_TTL, body }
+    }
+
+    /// Total wire size: IP header plus body.
+    pub fn size_bytes(&self) -> u32 {
+        sizes::IP_HEADER + self.body.size_bytes()
+    }
+
+    /// `true` if this packet carries a transport data payload relevant to
+    /// goodput (TCP data or UDP CBR data), as opposed to ACKs and routing
+    /// control traffic.
+    pub fn is_transport_data(&self) -> bool {
+        match &self.body {
+            Body::Tcp(seg) => seg.is_data(),
+            Body::Udp(_) => true,
+            Body::Aodv(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+
+    #[test]
+    fn tcp_data_packet_is_1500_bytes() {
+        let p = Packet::new(1, NodeId(0), NodeId(7), Body::Tcp(TcpSegment::data(FlowId(0), 0)));
+        assert_eq!(p.size_bytes(), 1500);
+        assert!(p.is_transport_data());
+    }
+
+    #[test]
+    fn tcp_ack_packet_is_40_bytes() {
+        let p = Packet::new(2, NodeId(7), NodeId(0), Body::Tcp(TcpSegment::ack(FlowId(0), 0)));
+        assert_eq!(p.size_bytes(), 40);
+        assert!(!p.is_transport_data());
+    }
+
+    #[test]
+    fn aodv_packet_is_control() {
+        let p = Packet::new(
+            3,
+            NodeId(0),
+            NodeId::BROADCAST,
+            Body::Aodv(AodvMessage::Rerr { unreachable: vec![(NodeId(1), 0)] }),
+        );
+        assert!(!p.is_transport_data());
+        assert_eq!(p.ttl, sizes::DEFAULT_TTL);
+    }
+}

@@ -1,0 +1,55 @@
+//! Wire sizes (bytes) used to compute frame airtimes.
+//!
+//! Values follow the IEEE 802.11 standard and the paper's configuration:
+//! 1460-byte TCP packets, so a data frame on air is
+//! `1460 + 20 (TCP) + 20 (IP) + 28 (MAC header + FCS) = 1528` bytes.
+
+/// TCP payload carried by every data packet (paper §4.1: 1460 bytes).
+pub const TCP_PAYLOAD: u32 = 1460;
+
+/// TCP header.
+pub const TCP_HEADER: u32 = 20;
+
+/// IP header.
+pub const IP_HEADER: u32 = 20;
+
+/// UDP header.
+pub const UDP_HEADER: u32 = 8;
+
+/// IEEE 802.11 data frame MAC overhead: 24-byte header + 4-byte FCS.
+pub const MAC_DATA_OVERHEAD: u32 = 28;
+
+/// IEEE 802.11 RTS frame (16 bytes + 4-byte FCS).
+pub const RTS: u32 = 20;
+
+/// IEEE 802.11 CTS frame (10 bytes + 4-byte FCS).
+pub const CTS: u32 = 14;
+
+/// IEEE 802.11 ACK frame (10 bytes + 4-byte FCS).
+pub const MAC_ACK: u32 = 14;
+
+/// AODV RREQ message body (RFC 3561 §5.1).
+pub const AODV_RREQ: u32 = 24;
+
+/// AODV RREP message body (RFC 3561 §5.2).
+pub const AODV_RREP: u32 = 20;
+
+/// AODV RERR fixed part (RFC 3561 §5.3); add [`AODV_RERR_PER_DEST`] per
+/// unreachable destination.
+pub const AODV_RERR_BASE: u32 = 4;
+
+/// Per-destination part of an AODV RERR.
+pub const AODV_RERR_PER_DEST: u32 = 8;
+
+/// Default IP TTL for originated packets.
+pub const DEFAULT_TTL: u8 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_frame_is_1528_bytes_on_air() {
+        assert_eq!(TCP_PAYLOAD + TCP_HEADER + IP_HEADER + MAC_DATA_OVERHEAD, 1528);
+    }
+}

@@ -1,0 +1,78 @@
+//! Packet-granularity TCP segments (ns-2 style).
+
+use crate::ids::FlowId;
+use crate::sizes;
+
+/// A TCP segment at packet granularity.
+///
+/// As in ns-2, a sequence number identifies one MSS-sized packet; a data
+/// segment with `seq = n` is "packet n" of the flow, and an ACK with
+/// `ack = n` cumulatively acknowledges packets `0..=n`.
+///
+/// # Example
+///
+/// ```
+/// use mwn_pkt::{FlowId, TcpSegment};
+///
+/// let d = TcpSegment::data(FlowId(1), 7);
+/// assert!(d.is_data());
+/// let a = TcpSegment::ack(FlowId(1), 7);
+/// assert!(!a.is_data());
+/// assert_eq!(a.ack, 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpSegment {
+    /// Flow this segment belongs to.
+    pub flow: FlowId,
+    /// Sequence number of the carried data packet (data segments only).
+    pub seq: u64,
+    /// Cumulative acknowledgement: highest in-order packet received
+    /// (meaningful on ACK segments; `NO_ACK` before anything arrived).
+    pub ack: u64,
+    /// Bytes of application payload (0 for a pure ACK).
+    pub payload_bytes: u32,
+}
+
+impl TcpSegment {
+    /// Sentinel `ack` value meaning "nothing received yet".
+    pub const NO_ACK: u64 = u64::MAX;
+
+    /// Creates a full-size data segment carrying packet `seq`.
+    pub fn data(flow: FlowId, seq: u64) -> Self {
+        TcpSegment { flow, seq, ack: Self::NO_ACK, payload_bytes: sizes::TCP_PAYLOAD }
+    }
+
+    /// Creates a pure cumulative ACK for packets `0..=ack`.
+    pub fn ack(flow: FlowId, ack: u64) -> Self {
+        TcpSegment { flow, seq: 0, ack, payload_bytes: 0 }
+    }
+
+    /// `true` if this segment carries data.
+    pub fn is_data(&self) -> bool {
+        self.payload_bytes > 0
+    }
+
+    /// Size on the wire including the TCP header (but not IP).
+    pub fn size_bytes(&self) -> u32 {
+        sizes::TCP_HEADER + self.payload_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_segment_sizes() {
+        let d = TcpSegment::data(FlowId(0), 0);
+        assert_eq!(d.size_bytes(), 1480);
+        assert!(d.is_data());
+    }
+
+    #[test]
+    fn ack_segment_sizes() {
+        let a = TcpSegment::ack(FlowId(0), 10);
+        assert_eq!(a.size_bytes(), 20);
+        assert!(!a.is_data());
+    }
+}

@@ -1,0 +1,40 @@
+//! UDP datagrams for the paced-UDP (CBR) reference transport.
+
+use crate::ids::FlowId;
+use crate::sizes;
+
+/// A UDP datagram carrying one CBR packet.
+///
+/// The paper's paced UDP uses 1460-byte packets, equal to the TCP payload,
+/// so TCP and UDP goodputs are directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpDatagram {
+    /// Flow this datagram belongs to.
+    pub flow: FlowId,
+    /// Monotonically increasing per-flow packet number.
+    pub seq: u64,
+    /// Bytes of application payload.
+    pub payload_bytes: u32,
+}
+
+impl UdpDatagram {
+    /// Creates a full-size (1460-byte payload) CBR datagram.
+    pub fn cbr(flow: FlowId, seq: u64) -> Self {
+        UdpDatagram { flow, seq, payload_bytes: sizes::TCP_PAYLOAD }
+    }
+
+    /// Size on the wire including the UDP header (but not IP).
+    pub fn size_bytes(&self) -> u32 {
+        sizes::UDP_HEADER + self.payload_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_datagram_size() {
+        assert_eq!(UdpDatagram::cbr(FlowId(0), 3).size_bytes(), 1468);
+    }
+}

@@ -1,0 +1,233 @@
+//! Cancellable future-event list.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::fxhash::FxHashSet;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// The future-event list of a discrete-event simulation.
+///
+/// Events scheduled for the same instant are popped in the order they were
+/// scheduled (FIFO), which keeps runs deterministic. Cancellation is lazy: a
+/// cancelled event stays in the heap and is skipped when it surfaces.
+///
+/// # Example
+///
+/// ```
+/// use mwn_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let a = q.schedule(SimTime::from_nanos(10), 'a');
+/// q.schedule(SimTime::from_nanos(10), 'b');
+/// q.cancel(a);
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), 'b')));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ids of scheduled-but-not-yet-fired, not-cancelled events. An entry in
+    /// the heap whose id is absent here was cancelled and is skipped on pop.
+    pending: FxHashSet<EventId>,
+    next_id: u64,
+    last_popped: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties broken by schedule order (id), making pops deterministic.
+        self.time.cmp(&other.time).then(self.id.cmp(&other.id))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: FxHashSet::default(),
+            next_id: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at `time` and returns a cancellation handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped event: the simulation
+    /// clock cannot run backwards.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        assert!(
+            time >= self.last_popped,
+            "scheduling into the past: {time} < {}",
+            self.last_popped
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(id);
+        self.heap.push(Reverse(Entry { time, id, event }));
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an event that already fired (or was already cancelled) is a
+    /// no-op; `EventId`s are never reused so this is always safe.
+    pub fn cancel(&mut self, id: EventId) {
+        self.pending.remove(&id);
+    }
+
+    /// Removes and returns the next live event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if !self.pending.remove(&entry.id) {
+                continue; // cancelled
+            }
+            self.last_popped = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if !self.pending.contains(&entry.id) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 'a');
+        let b = q.schedule(t(2), 'b');
+        q.schedule(t(3), 'c');
+        q.cancel(a);
+        q.cancel(b);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(3), 'c')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 'a');
+        assert_eq!(q.pop(), Some((t(1), 'a')));
+        q.cancel(a);
+        let b = q.schedule(t(2), 'b');
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), 'b')));
+        let _ = b;
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 'a');
+        q.schedule(t(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), 'b')));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn rescheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        q.schedule(t(10), 2);
+        assert_eq!(q.pop(), Some((t(10), 2)));
+    }
+}

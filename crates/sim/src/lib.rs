@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate provides the substrate every other crate in the workspace is
+//! built on:
+//!
+//! * [`SimTime`] and [`SimDuration`] — nanosecond-resolution simulated time,
+//! * [`EventQueue`] — a cancellable future-event list with a deterministic
+//!   tie-break for events scheduled at the same instant,
+//! * [`Pcg32`] — a small, fully deterministic pseudo-random number generator,
+//! * [`stats`] — batch-means steady-state statistics, confidence intervals,
+//!   time-weighted averages and Jain's fairness index.
+//!
+//! # Example
+//!
+//! ```
+//! use mwn_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "later");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(1), "sooner");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "sooner");
+//! assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(1));
+//! ```
+
+mod event;
+pub mod fxhash;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use event::{EventId, EventQueue};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use rng::Pcg32;
+pub use time::{SimDuration, SimTime};

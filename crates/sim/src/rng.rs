@@ -1,0 +1,215 @@
+//! Deterministic pseudo-random number generation.
+
+/// A PCG-XSH-RR 64/32 pseudo-random number generator.
+///
+/// Implemented locally (rather than depending on an external crate) so that
+/// simulation runs are bit-for-bit reproducible regardless of dependency
+/// versions. The generator passes PractRand/TestU01 per the PCG paper and is
+/// far better than the needs of a network simulation.
+///
+/// # Example
+///
+/// ```
+/// use mwn_sim::Pcg32;
+///
+/// let mut a = Pcg32::new(42);
+/// let mut b = Pcg32::new(42);
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// let x = a.gen_range_u32(10); // 0..10
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+const PCG_DEFAULT_STREAM: u64 = 1442695040888963407;
+
+impl Pcg32 {
+    /// Creates a generator from a seed, using the default stream.
+    pub fn new(seed: u64) -> Self {
+        Self::with_stream(seed, PCG_DEFAULT_STREAM >> 1)
+    }
+
+    /// Creates a generator from a seed on a specific stream; different
+    /// streams produce statistically independent sequences.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        let _ = rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        let _ = rng.next_u32();
+        rng
+    }
+
+    /// Derives an independent child generator; useful for giving each model
+    /// component its own stream while keeping a single root seed.
+    pub fn fork(&mut self) -> Pcg32 {
+        let seed = self.next_u64();
+        let stream = self.next_u64();
+        Pcg32::with_stream(seed, stream)
+    }
+
+    /// Next uniformly distributed 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next uniformly distributed 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform integer in `0..bound` (Lemire's method, bias-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range_u32(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "gen_range_u32: bound must be positive");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u32();
+            let m = u64::from(r) * u64::from(bound);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform integer in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64: bound must be positive");
+        if bound <= u64::from(u32::MAX) {
+            return u64::from(self.gen_range_u32(bound as u32));
+        }
+        // Rejection sampling over the smallest covering power of two.
+        let mask = u64::MAX >> (bound - 1).leading_zeros();
+        loop {
+            let r = self.next_u64() & mask;
+            if r < bound {
+                return r;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range");
+        lo + self.gen_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_values_are_stable() {
+        // Golden values: determinism guard. If these change, every recorded
+        // experiment in EXPERIMENTS.md changes too.
+        let mut rng = Pcg32::new(0);
+        let first: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        assert_eq!(first, vec![0xE823A24E, 0x7A7ECBD9, 0x89FD6C06, 0xAE646AA8]);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Pcg32::new(123);
+        let mut b = Pcg32::new(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::new(1);
+        let mut b = Pcg32::new(2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 3, "sequences nearly identical: {same} collisions");
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = Pcg32::new(7);
+        let mut c1 = root.fork();
+        let mut c2 = root.fork();
+        let same = (0..100).filter(|_| c1.next_u32() == c2.next_u32()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn range_mean_is_plausible() {
+        let mut rng = Pcg32::new(99);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| u64::from(rng.gen_range_u32(100))).collect::<Vec<_>>().iter().sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 49.5).abs() < 1.0, "mean {mean} too far from 49.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        Pcg32::new(0).gen_range_u32(0);
+    }
+
+    proptest! {
+        #[test]
+        fn gen_range_u32_in_bounds(seed: u64, bound in 1u32..=u32::MAX) {
+            let mut rng = Pcg32::new(seed);
+            for _ in 0..32 {
+                prop_assert!(rng.gen_range_u32(bound) < bound);
+            }
+        }
+
+        #[test]
+        fn gen_range_u64_in_bounds(seed: u64, bound in 1u64..=u64::MAX) {
+            let mut rng = Pcg32::new(seed);
+            for _ in 0..32 {
+                prop_assert!(rng.gen_range_u64(bound) < bound);
+            }
+        }
+
+        #[test]
+        fn gen_f64_in_unit_interval(seed: u64) {
+            let mut rng = Pcg32::new(seed);
+            for _ in 0..64 {
+                let x = rng.gen_f64();
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn gen_range_f64_in_bounds(seed: u64, lo in -1e6f64..1e6, width in 0.0f64..1e6) {
+            let mut rng = Pcg32::new(seed);
+            let hi = lo + width;
+            for _ in 0..16 {
+                let x = rng.gen_range_f64(lo, hi);
+                prop_assert!(x >= lo && (x < hi || lo == hi));
+            }
+        }
+    }
+}

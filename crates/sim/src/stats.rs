@@ -1,0 +1,395 @@
+//! Steady-state output analysis: batch means, confidence intervals,
+//! time-weighted averages, and Jain's fairness index.
+//!
+//! The paper derives every reported measure from 10 batches (the first of 11
+//! is discarded as the initial transient) with 95 % confidence intervals by
+//! the batch-means method; [`BatchMeans`] implements exactly that.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Sample mean of a slice, or 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n − 1 denominator), or 0.0 for fewer than two
+/// samples.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Jain's fairness index over per-flow goodputs:
+/// `(Σxᵢ)² / (n · Σxᵢ²)`.
+///
+/// Ranges from `1/n` (one flow takes everything) to `1` (perfect fairness).
+/// Returns 1.0 for an empty slice and 0.0 if all goodputs are zero.
+///
+/// # Example
+///
+/// ```
+/// use mwn_sim::stats::jain_fairness;
+///
+/// assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+/// assert!((jain_fairness(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+/// ```
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (xs.len() as f64 * sum_sq)
+}
+
+/// Two-sided 95 % Student-t critical values (t₀.₀₂₅,df) for df = 1..=30.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+];
+
+/// Critical value of the two-sided 95 % Student-t distribution.
+///
+/// Exact (tabulated) for 1–30 degrees of freedom, 1.96 asymptotically.
+pub fn t_critical_95(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_95[df - 1],
+        _ => 1.96,
+    }
+}
+
+/// A point estimate with a symmetric 95 % confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Estimate {
+    /// Point estimate (mean of the batch means).
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval.
+    pub half_width: f64,
+}
+
+impl Estimate {
+    /// Lower bound of the confidence interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the confidence interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Relative half-width (half-width / mean), or 0 for a zero mean.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.half_width / self.mean).abs()
+        }
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} [{:.4} : {:.4}]", self.mean, self.lo(), self.hi())
+    }
+}
+
+/// Batch-means estimator for steady-state simulation output.
+///
+/// Feed one observation per batch; [`BatchMeans::estimate`] returns the grand
+/// mean with a 95 % confidence half-width computed from the Student-t
+/// distribution with `n − 1` degrees of freedom.
+///
+/// # Example
+///
+/// ```
+/// use mwn_sim::stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new();
+/// for x in [10.0, 11.0, 9.0, 10.5, 9.5] {
+///     bm.push(x);
+/// }
+/// let est = bm.estimate();
+/// assert!((est.mean - 10.0).abs() < 1e-9);
+/// assert!(est.half_width > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchMeans {
+    batches: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the mean of one batch.
+    pub fn push(&mut self, batch_mean: f64) {
+        self.batches.push(batch_mean);
+    }
+
+    /// Number of batches recorded so far.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// `true` if no batches have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The recorded batch means.
+    pub fn batches(&self) -> &[f64] {
+        &self.batches
+    }
+
+    /// Grand mean and 95 % confidence half-width.
+    pub fn estimate(&self) -> Estimate {
+        let n = self.batches.len();
+        let m = mean(&self.batches);
+        if n < 2 {
+            return Estimate { mean: m, half_width: 0.0 };
+        }
+        let s2 = sample_variance(&self.batches);
+        let hw = t_critical_95(n - 1) * (s2 / n as f64).sqrt();
+        Estimate { mean: m, half_width: hw }
+    }
+}
+
+impl FromIterator<f64> for BatchMeans {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        BatchMeans { batches: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<f64> for BatchMeans {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.batches.extend(iter);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. the TCP
+/// congestion window).
+///
+/// # Example
+///
+/// ```
+/// use mwn_sim::stats::TimeWeightedAverage;
+/// use mwn_sim::{SimDuration, SimTime};
+///
+/// let mut w = TimeWeightedAverage::new(SimTime::ZERO, 1.0);
+/// w.record(SimTime::ZERO + SimDuration::from_secs(1), 3.0);
+/// // value was 1.0 for 1s, then 3.0 for 1s:
+/// let avg = w.average(SimTime::ZERO + SimDuration::from_secs(2));
+/// assert!((avg - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeWeightedAverage {
+    start: SimTime,
+    last_change: SimTime,
+    current: f64,
+    weighted_sum: f64,
+}
+
+impl TimeWeightedAverage {
+    /// Starts tracking a signal whose value is `initial` at `start`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeightedAverage {
+            start,
+            last_change: start,
+            current: initial,
+            weighted_sum: 0.0,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        let dt = now.saturating_duration_since(self.last_change);
+        self.weighted_sum += self.current * dt.as_secs_f64();
+        self.current = value;
+        self.last_change = self.last_change.max(now);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Time-weighted average over `[start, now]`.
+    ///
+    /// Returns the current value if no time has elapsed.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let total = now.saturating_duration_since(self.start);
+        if total.is_zero() {
+            return self.current;
+        }
+        let tail = now.saturating_duration_since(self.last_change);
+        (self.weighted_sum + self.current * tail.as_secs_f64()) / total.as_secs_f64()
+    }
+
+    /// Forgets accumulated history and restarts the average at `now`,
+    /// keeping the current value. Used at batch boundaries.
+    pub fn reset(&mut self, now: SimTime) {
+        self.start = now;
+        self.last_change = now;
+        self.weighted_sum = 0.0;
+    }
+}
+
+/// Convenience: the elapsed-seconds ratio of two durations.
+pub fn rate_per_sec(count: f64, elapsed: SimDuration) -> f64 {
+    let s = elapsed.as_secs_f64();
+    if s == 0.0 {
+        0.0
+    } else {
+        count / s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(sample_variance(&[5.0]), 0.0);
+        assert!((sample_variance(&[2.0, 4.0, 6.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 0.0);
+        let n = 6;
+        let mut one_hog = vec![0.0; n];
+        one_hog[0] = 100.0;
+        assert!((jain_fairness(&one_hog) - 1.0 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+        assert!((t_critical_95(9) - 2.262).abs() < 1e-9); // paper's 10 batches
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_means_ci_matches_hand_computation() {
+        // 10 batches as in the paper.
+        let bm: BatchMeans = (1..=10).map(|i| i as f64).collect();
+        let est = bm.estimate();
+        assert!((est.mean - 5.5).abs() < 1e-12);
+        // s² = 55/6; hw = 2.262 * sqrt(55/6/10)
+        let expect = 2.262 * (55.0 / 6.0 / 10.0_f64).sqrt();
+        assert!((est.half_width - expect).abs() < 1e-9);
+        assert!(est.lo() < 5.5 && est.hi() > 5.5);
+    }
+
+    #[test]
+    fn batch_means_single_batch_has_zero_width() {
+        let mut bm = BatchMeans::new();
+        bm.push(42.0);
+        let est = bm.estimate();
+        assert_eq!(est.mean, 42.0);
+        assert_eq!(est.half_width, 0.0);
+        assert_eq!(est.relative_half_width(), 0.0);
+    }
+
+    #[test]
+    fn estimate_display_format() {
+        let est = Estimate { mean: 0.54, half_width: 0.01 };
+        assert_eq!(format!("{est}"), "0.5400 [0.5300 : 0.5500]");
+    }
+
+    #[test]
+    fn time_weighted_average_piecewise() {
+        let t0 = SimTime::ZERO;
+        let s = SimDuration::from_secs;
+        let mut w = TimeWeightedAverage::new(t0, 0.0);
+        w.record(t0 + s(2), 10.0); // 0.0 for 2s
+        w.record(t0 + s(3), 4.0); // 10.0 for 1s
+        let avg = w.average(t0 + s(4)); // 4.0 for 1s
+        assert!((avg - (0.0 * 2.0 + 10.0 + 4.0) / 4.0).abs() < 1e-12);
+        assert_eq!(w.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_average_reset() {
+        let t0 = SimTime::ZERO;
+        let s = SimDuration::from_secs;
+        let mut w = TimeWeightedAverage::new(t0, 5.0);
+        w.record(t0 + s(10), 1.0);
+        w.reset(t0 + s(10));
+        assert!((w.average(t0 + s(20)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_per_sec_handles_zero_elapsed() {
+        assert_eq!(rate_per_sec(100.0, SimDuration::ZERO), 0.0);
+        assert_eq!(rate_per_sec(100.0, SimDuration::from_secs(4)), 25.0);
+    }
+
+    proptest! {
+        #[test]
+        fn jain_always_in_unit_range(xs in proptest::collection::vec(0.0f64..1e9, 1..64)) {
+            let j = jain_fairness(&xs);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&j));
+        }
+
+        #[test]
+        fn jain_equal_flows_is_one(x in 0.1f64..1e9, n in 1usize..64) {
+            let xs = vec![x; n];
+            prop_assert!((jain_fairness(&xs) - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn jain_scale_invariant(xs in proptest::collection::vec(0.1f64..1e6, 2..32), k in 0.1f64..1e3) {
+            let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+            prop_assert!((jain_fairness(&xs) - jain_fairness(&scaled)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn ci_contains_mean_of_constant_series(x in -1e6f64..1e6, n in 2usize..30) {
+            let bm: BatchMeans = std::iter::repeat_n(x, n).collect();
+            let est = bm.estimate();
+            prop_assert!((est.mean - x).abs() < 1e-6);
+            prop_assert!(est.half_width < 1e-6);
+        }
+
+        #[test]
+        fn twa_between_min_and_max(values in proptest::collection::vec((1u64..1000, -100.0f64..100.0), 1..32)) {
+            let t0 = SimTime::ZERO;
+            let mut w = TimeWeightedAverage::new(t0, values[0].1);
+            let mut now = t0;
+            let mut lo = values[0].1;
+            let mut hi = values[0].1;
+            for &(dt, v) in &values {
+                now += SimDuration::from_millis(dt);
+                w.record(now, v);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            now += SimDuration::from_millis(1);
+            let avg = w.average(now);
+            prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Transport configuration.
+
+use mwn_sim::SimDuration;
+
+/// TCP parameters (paper Table 1 plus timer granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Maximum window advertised by the receiver (Table 1: 64 packets).
+    pub wmax: u32,
+    /// Initial window used in slow start and after a timeout (Table 1: 1).
+    pub winit: u32,
+    /// Vegas lower throughput threshold α in packets (Table 1: 2).
+    pub alpha: u32,
+    /// Vegas upper threshold β; the paper sets β = α for fairness.
+    pub beta: u32,
+    /// Vegas slow-start exit threshold γ (Table 1: γ = α).
+    pub gamma: u32,
+    /// Coarse timer granularity (ns-2 `tcpTick_`).
+    pub tick: SimDuration,
+    /// Lower bound on the retransmission timeout.
+    pub min_rto: SimDuration,
+    /// RTO used before the first RTT sample.
+    pub initial_rto: SimDuration,
+    /// Upper bound on the (backed-off) retransmission timeout.
+    pub max_rto: SimDuration,
+    /// Interval between ELFN probes while a route-failure notice has the
+    /// sender frozen (extension; Holland & Vaidya use seconds-scale
+    /// probing).
+    pub probe_interval: SimDuration,
+}
+
+impl TcpConfig {
+    /// The paper's base parameter setting with Vegas `α = β = γ`.
+    pub fn paper(alpha: u32) -> Self {
+        TcpConfig {
+            wmax: 64,
+            winit: 1,
+            alpha,
+            beta: alpha,
+            gamma: alpha,
+            tick: SimDuration::from_millis(100),
+            min_rto: SimDuration::from_millis(200),
+            initial_rto: SimDuration::from_secs(1),
+            max_rto: SimDuration::from_secs(64),
+            probe_interval: SimDuration::from_secs(2),
+        }
+    }
+
+    /// The paper's setting with an artificially bounded window
+    /// ("NewReno with optimal window", Fu et al.'s `MaxWin`).
+    pub fn with_max_window(mut self, wmax: u32) -> Self {
+        self.wmax = wmax;
+        self
+    }
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self::paper(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = TcpConfig::default();
+        assert_eq!(c.wmax, 64);
+        assert_eq!(c.winit, 1);
+        assert_eq!((c.alpha, c.beta, c.gamma), (2, 2, 2));
+    }
+
+    #[test]
+    fn optimal_window_variant() {
+        let c = TcpConfig::paper(2).with_max_window(3);
+        assert_eq!(c.wmax, 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Retransmission-timeout estimation (RFC 6298 / ns-2 style).
+
+use mwn_sim::SimDuration;
+
+/// Smoothed RTT estimator with exponential backoff.
+///
+/// Follows the classic Jacobson/Karels algorithm: `srtt ← 7/8·srtt +
+/// 1/8·sample`, `rttvar ← 3/4·rttvar + 1/4·|srtt − sample|`,
+/// `RTO = srtt + max(G, 4·rttvar)` quantized up to the timer granularity
+/// `G`, clamped to `[min_rto, max_rto]`, and doubled on each backoff.
+///
+/// # Example
+///
+/// ```
+/// use mwn_sim::SimDuration;
+/// use mwn_tcp::RtoEstimator;
+///
+/// let mut rto = RtoEstimator::new(
+///     SimDuration::from_millis(100), // tick
+///     SimDuration::from_millis(200), // min
+///     SimDuration::from_secs(1),     // initial
+///     SimDuration::from_secs(64),    // max
+/// );
+/// assert_eq!(rto.current(), SimDuration::from_secs(1));
+/// rto.sample(SimDuration::from_millis(80));
+/// assert!(rto.current() >= SimDuration::from_millis(200));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RtoEstimator {
+    tick: SimDuration,
+    min_rto: SimDuration,
+    initial_rto: SimDuration,
+    max_rto: SimDuration,
+    /// Smoothed RTT in seconds; `None` before the first sample.
+    srtt: Option<f64>,
+    rttvar: f64,
+    backoff: u32,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero or the bounds are inverted.
+    pub fn new(
+        tick: SimDuration,
+        min_rto: SimDuration,
+        initial_rto: SimDuration,
+        max_rto: SimDuration,
+    ) -> Self {
+        assert!(!tick.is_zero(), "tick must be positive");
+        assert!(min_rto <= max_rto, "min_rto must not exceed max_rto");
+        RtoEstimator { tick, min_rto, initial_rto, max_rto, srtt: None, rttvar: 0.0, backoff: 0 }
+    }
+
+    /// Feeds an RTT measurement (callers must apply Karn's rule: never
+    /// sample a retransmitted packet). Resets any backoff.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let r = rtt.as_secs_f64();
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(s) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (s - r).abs();
+                self.srtt = Some(0.875 * s + 0.125 * r);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// The smoothed RTT, if at least one sample arrived.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+
+    /// Current retransmission timeout including backoff.
+    pub fn current(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => self.initial_rto,
+            Some(s) => {
+                let var = (4.0 * self.rttvar).max(self.tick.as_secs_f64());
+                let raw = SimDuration::from_secs_f64(s + var);
+                // Quantize up to the tick, like ns-2's coarse-grained timers.
+                let ticks = raw.as_nanos().div_ceil(self.tick.as_nanos());
+                self.tick * ticks
+            }
+        };
+        let backed = base * (1u64 << self.backoff.min(16));
+        backed.clamp(self.min_rto, self.max_rto)
+    }
+
+    /// Doubles the timeout after a retransmission timeout (Karn).
+    pub fn backoff(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RtoEstimator {
+        RtoEstimator::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(64),
+        )
+    }
+
+    #[test]
+    fn initial_rto_used_before_samples() {
+        assert_eq!(est().current(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        // srtt = 100ms, rttvar = 50ms -> rto = 100 + 200 = 300ms.
+        assert_eq!(e.current(), SimDuration::from_millis(300));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+    }
+
+    #[test]
+    fn rto_quantized_to_tick() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(73));
+        let rto = e.current();
+        assert_eq!(rto.as_nanos() % SimDuration::from_millis(100).as_nanos(), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        let base = e.current();
+        e.backoff();
+        assert_eq!(e.current(), base * 2);
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.current(), SimDuration::from_secs(64));
+        // A fresh sample clears the backoff.
+        e.sample(SimDuration::from_millis(100));
+        assert_eq!(e.current(), base);
+    }
+
+    #[test]
+    fn min_rto_enforced() {
+        let mut e = est();
+        for _ in 0..20 {
+            e.sample(SimDuration::from_millis(10));
+        }
+        assert!(e.current() >= SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn variance_tracks_jitter() {
+        let mut stable = est();
+        let mut jittery = est();
+        for i in 0..50 {
+            stable.sample(SimDuration::from_millis(100));
+            jittery.sample(SimDuration::from_millis(if i % 2 == 0 { 50 } else { 200 }));
+        }
+        assert!(jittery.current() > stable.current());
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn zero_tick_rejected() {
+        RtoEstimator::new(
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(64),
+        );
+    }
+}

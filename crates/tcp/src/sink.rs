@@ -1,0 +1,370 @@
+//! The TCP receiver (sink) with per-packet and ACK-thinning policies.
+
+use std::collections::BTreeSet;
+
+use mwn_pkt::{Body, FlowId, NodeId, Packet, TcpSegment};
+use mwn_sim::{SimDuration, SimTime};
+
+use crate::{TransportAction, TransportTimer};
+
+/// When the sink generates acknowledgements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckPolicy {
+    /// One ACK per received data packet (ns-2's default sink).
+    EveryPacket,
+    /// Dynamic ACK thinning (Altman & Jiménez): acknowledge every `d`-th
+    /// packet, where `d` grows 1 → 4 with the received sequence number at
+    /// thresholds S1 = 2, S2 = 5, S3 = 9; a 100 ms timer flushes pending
+    /// ACKs so the sender never stalls for long.
+    Thinning,
+}
+
+/// Receiver statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpSinkStats {
+    /// Distinct in-order data packets delivered to the application — the
+    /// goodput numerator.
+    pub delivered: u64,
+    /// ACK packets generated.
+    pub acks_sent: u64,
+    /// Duplicate data packets received (transport retransmissions that
+    /// were unnecessary, or MAC duplicates that slipped through).
+    pub duplicates: u64,
+    /// Packets that arrived out of order.
+    pub out_of_order: u64,
+}
+
+/// A packet-granularity TCP sink.
+///
+/// Drive with [`TcpSink::on_data`] for each arriving data segment and
+/// [`TcpSink::on_delayed_ack_timer`] when the flush timer fires.
+///
+/// # Example
+///
+/// ```
+/// use mwn_pkt::{FlowId, NodeId};
+/// use mwn_sim::SimTime;
+/// use mwn_tcp::{AckPolicy, TcpSink, TransportAction};
+///
+/// let mut rx = TcpSink::new(AckPolicy::EveryPacket, FlowId(0), NodeId(5), NodeId(0), 1 << 32);
+/// let actions = rx.on_data(SimTime::ZERO, 0);
+/// assert!(matches!(actions[0], TransportAction::SendPacket(_)));
+/// assert_eq!(rx.stats().delivered, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TcpSink {
+    policy: AckPolicy,
+    flow: FlowId,
+    me: NodeId,
+    peer: NodeId,
+    next_uid: u64,
+    /// Next in-order sequence expected.
+    next_expected: u64,
+    /// Out-of-order packets received beyond `next_expected`.
+    ooo: BTreeSet<u64>,
+    /// In-order packets received since the last ACK (thinning).
+    pending: u32,
+    timer_armed: bool,
+    stats: TcpSinkStats,
+}
+
+/// ACK-thinning flush timeout (paper §3.2: 100 ms default).
+const DELAYED_ACK_TIMEOUT: SimDuration = SimDuration::from_millis(100);
+
+impl TcpSink {
+    /// Creates a sink at node `me` acknowledging to `peer`.
+    pub fn new(policy: AckPolicy, flow: FlowId, me: NodeId, peer: NodeId, uid_base: u64) -> Self {
+        TcpSink {
+            policy,
+            flow,
+            me,
+            peer,
+            next_uid: uid_base,
+            next_expected: 0,
+            ooo: BTreeSet::new(),
+            pending: 0,
+            timer_armed: false,
+            stats: TcpSinkStats::default(),
+        }
+    }
+
+    /// Receiver statistics.
+    pub fn stats(&self) -> &TcpSinkStats {
+        &self.stats
+    }
+
+    /// Highest in-order packet received, as carried in ACKs
+    /// ([`TcpSegment::NO_ACK`] before anything arrived in order).
+    pub fn ack_number(&self) -> u64 {
+        if self.next_expected == 0 {
+            TcpSegment::NO_ACK
+        } else {
+            self.next_expected - 1
+        }
+    }
+
+    /// The current ACK-thinning factor `d` for a packet with sequence
+    /// number `seq` (1 when not thinning).
+    ///
+    /// Per the paper: with the 1-based packet number `n = seq + 1`,
+    /// `d = 1` for `n ≤ 2`, `2` for `n < 5`, `3` for `n < 9`, else `4`.
+    pub fn thinning_factor(&self, seq: u64) -> u32 {
+        match self.policy {
+            AckPolicy::EveryPacket => 1,
+            AckPolicy::Thinning => {
+                let n = seq + 1;
+                if n <= 2 {
+                    1
+                } else if n < 5 {
+                    2
+                } else if n < 9 {
+                    3
+                } else {
+                    4
+                }
+            }
+        }
+    }
+
+    /// A data segment with sequence `seq` arrived.
+    pub fn on_data(&mut self, _now: SimTime, seq: u64) -> Vec<TransportAction> {
+        let mut actions = Vec::new();
+        if seq < self.next_expected || self.ooo.contains(&seq) {
+            // Duplicate: re-ACK immediately (the previous ACK was lost).
+            self.stats.duplicates += 1;
+            self.emit_ack(&mut actions);
+            return actions;
+        }
+        if seq > self.next_expected {
+            // Hole: buffer and send an immediate duplicate ACK so the
+            // sender's fast-retransmit machinery engages.
+            self.stats.out_of_order += 1;
+            self.ooo.insert(seq);
+            self.emit_ack(&mut actions);
+            return actions;
+        }
+        // In order: deliver it and any buffered continuation.
+        self.next_expected += 1;
+        self.stats.delivered += 1;
+        self.pending += 1;
+        while self.ooo.remove(&self.next_expected) {
+            self.next_expected += 1;
+            self.stats.delivered += 1;
+            self.pending += 1;
+        }
+        let d = self.thinning_factor(seq);
+        if self.pending >= d {
+            self.emit_ack(&mut actions);
+        } else if !self.timer_armed {
+            self.timer_armed = true;
+            actions.push(TransportAction::SetTimer {
+                timer: TransportTimer::DelayedAck,
+                delay: DELAYED_ACK_TIMEOUT,
+            });
+        }
+        actions
+    }
+
+    /// The delayed-ACK flush timer fired.
+    ///
+    /// The timer is *periodic* while data keeps arriving (ns-2's delayed
+    /// ACK sinks behave the same): if the fire flushes pending packets, it
+    /// re-arms immediately, so the flush latency a sender observes varies
+    /// with its packets' arrival phase instead of always being the full
+    /// timeout. For Vegas — whose congestion signal is the RTT — this
+    /// matters: a constant full-timeout inflation would read as permanent
+    /// congestion and pin the window below the thinning factor `d`.
+    pub fn on_delayed_ack_timer(&mut self, _now: SimTime) -> Vec<TransportAction> {
+        let mut actions = Vec::new();
+        self.timer_armed = false;
+        if self.pending > 0 {
+            self.flush(&mut actions);
+            self.timer_armed = true;
+            actions.push(TransportAction::SetTimer {
+                timer: TransportTimer::DelayedAck,
+                delay: DELAYED_ACK_TIMEOUT,
+            });
+        }
+        actions
+    }
+
+    /// Sends the ACK without touching the timer (used by the periodic
+    /// flush path).
+    fn flush(&mut self, actions: &mut Vec<TransportAction>) {
+        self.pending = 0;
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        self.stats.acks_sent += 1;
+        let seg = TcpSegment::ack(self.flow, self.ack_number());
+        actions.push(TransportAction::SendPacket(Packet::new(uid, self.me, self.peer, Body::Tcp(seg))));
+    }
+
+    fn emit_ack(&mut self, actions: &mut Vec<TransportAction>) {
+        self.pending = 0;
+        if self.timer_armed {
+            self.timer_armed = false;
+            actions.push(TransportAction::CancelTimer(TransportTimer::DelayedAck));
+        }
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        self.stats.acks_sent += 1;
+        let seg = TcpSegment::ack(self.flow, self.ack_number());
+        actions.push(TransportAction::SendPacket(Packet::new(uid, self.me, self.peer, Body::Tcp(seg))));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sink(policy: AckPolicy) -> TcpSink {
+        TcpSink::new(policy, FlowId(0), NodeId(5), NodeId(0), 0)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn acks(actions: &[TransportAction]) -> Vec<u64> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                TransportAction::SendPacket(p) => match &p.body {
+                    Body::Tcp(seg) if !seg.is_data() => Some(seg.ack),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_packet_policy_acks_each() {
+        let mut s = sink(AckPolicy::EveryPacket);
+        for seq in 0..5 {
+            let a = s.on_data(t(seq), seq);
+            assert_eq!(acks(&a), vec![seq]);
+        }
+        assert_eq!(s.stats().delivered, 5);
+        assert_eq!(s.stats().acks_sent, 5);
+    }
+
+    #[test]
+    fn out_of_order_triggers_immediate_dupack() {
+        let mut s = sink(AckPolicy::EveryPacket);
+        s.on_data(t(0), 0);
+        let a = s.on_data(t(1), 2); // hole at 1
+        assert_eq!(acks(&a), vec![0], "duplicate ACK for the last in-order");
+        assert_eq!(s.stats().out_of_order, 1);
+        // Filling the hole delivers both and acks cumulatively.
+        let a = s.on_data(t(2), 1);
+        assert_eq!(acks(&a), vec![2]);
+        assert_eq!(s.stats().delivered, 3);
+    }
+
+    #[test]
+    fn duplicate_data_is_reacked_not_redelivered() {
+        let mut s = sink(AckPolicy::EveryPacket);
+        s.on_data(t(0), 0);
+        let a = s.on_data(t(1), 0);
+        assert_eq!(acks(&a), vec![0]);
+        assert_eq!(s.stats().delivered, 1);
+        assert_eq!(s.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn ooo_before_first_packet_acks_no_ack_sentinel() {
+        let mut s = sink(AckPolicy::EveryPacket);
+        let a = s.on_data(t(0), 3);
+        assert_eq!(acks(&a), vec![TcpSegment::NO_ACK]);
+    }
+
+    #[test]
+    fn thinning_factor_schedule_matches_paper() {
+        let s = sink(AckPolicy::Thinning);
+        // n = seq+1: d=1 for n<=2, 2 for n<5, 3 for n<9, 4 beyond.
+        assert_eq!(s.thinning_factor(0), 1);
+        assert_eq!(s.thinning_factor(1), 1);
+        assert_eq!(s.thinning_factor(2), 2);
+        assert_eq!(s.thinning_factor(3), 2);
+        assert_eq!(s.thinning_factor(4), 3);
+        assert_eq!(s.thinning_factor(7), 3);
+        assert_eq!(s.thinning_factor(8), 4);
+        assert_eq!(s.thinning_factor(1000), 4);
+    }
+
+    #[test]
+    fn thinning_acks_every_fourth_packet_late_in_flow() {
+        let mut s = sink(AckPolicy::Thinning);
+        // Prime the flow past the last threshold.
+        for seq in 0..9 {
+            s.on_data(t(seq), seq);
+        }
+        let base_acks = s.stats().acks_sent;
+        // Next four packets yield exactly one ACK (d = 4).
+        let mut ack_count = 0;
+        for seq in 9..13 {
+            let a = s.on_data(t(seq), seq);
+            ack_count += acks(&a).len();
+        }
+        assert_eq!(ack_count, 1);
+        assert_eq!(s.stats().acks_sent, base_acks + 1);
+    }
+
+    #[test]
+    fn thinning_timer_flushes_pending_ack() {
+        let mut s = sink(AckPolicy::Thinning);
+        for seq in 0..9 {
+            s.on_data(t(seq), seq);
+        }
+        // Priming leaves pending=2 with the flush timer armed (set when
+        // the first pending packet arrived). Packet 9 stays below d=4: no
+        // ACK yet, and the already-armed timer is not re-armed.
+        let a = s.on_data(t(100), 9);
+        assert!(acks(&a).is_empty());
+        assert!(a.is_empty());
+        // Timer fires: ACK 9 goes out.
+        let a = s.on_delayed_ack_timer(t(200));
+        assert_eq!(acks(&a), vec![9]);
+        // Firing again with nothing pending is silent.
+        let a = s.on_delayed_ack_timer(t(300));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn thinning_early_packets_acked_immediately() {
+        let mut s = sink(AckPolicy::Thinning);
+        let a = s.on_data(t(0), 0);
+        assert_eq!(acks(&a), vec![0], "d=1 at flow start");
+        let a = s.on_data(t(1), 1);
+        assert_eq!(acks(&a), vec![1]);
+        // seq 2 (n=3): d=2, so first packet leaves an armed timer...
+        let a = s.on_data(t(2), 2);
+        assert!(acks(&a).is_empty());
+        // ...and the second triggers the ACK (timer cancelled).
+        let a = s.on_data(t(3), 3);
+        assert_eq!(acks(&a), vec![3]);
+        assert!(a.contains(&TransportAction::CancelTimer(TransportTimer::DelayedAck)));
+    }
+
+    proptest! {
+        /// Delivery is exactly-once and in order under any arrival pattern.
+        #[test]
+        fn sink_invariants(seqs in proptest::collection::vec(0u64..30, 1..200), thinning: bool) {
+            let policy = if thinning { AckPolicy::Thinning } else { AckPolicy::EveryPacket };
+            let mut s = sink(policy);
+            let mut distinct = std::collections::HashSet::new();
+            let mut now = SimTime::ZERO;
+            for seq in seqs {
+                now += SimDuration::from_millis(1);
+                s.on_data(now, seq);
+                distinct.insert(seq);
+                // Delivered = contiguous prefix length reached so far.
+                let prefix = (0..).take_while(|i| distinct.contains(i)).count() as u64;
+                prop_assert_eq!(s.next_expected, prefix);
+                prop_assert_eq!(s.stats().delivered, prefix);
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Analytical TCP Vegas equilibrium model.
+//!
+//! The paper closes by noting that extending an analytical Vegas model
+//! (Samios & Vernon, SIGMETRICS 2003) to 802.11 multihop paths "will be
+//! helpful to get more intuition". This module provides the fluid
+//! equilibrium at that model's core: Vegas in congestion avoidance holds
+//!
+//! ```text
+//! diff = W · (1 − baseRTT/RTT)
+//! ```
+//!
+//! between `α` and `β`. Over a path abstracted as a bottleneck of rate
+//! `μ` packets/s with round-trip propagation `baseRTT`, `diff` equals the
+//! number of packets the flow keeps queued at the bottleneck, so the
+//! stable operating point keeps `(α+β)/2` packets in queue:
+//!
+//! * **path-limited**: `W* = μ·baseRTT + (α+β)/2`, throughput `= μ`;
+//! * **window-limited** (`W*` capped by the receiver window): throughput
+//!   `= Wmax/baseRTT`, no standing queue.
+//!
+//! For a multihop 802.11 chain, `μ` is the spatial-reuse-limited MAC
+//! service rate (measurable with the paced-UDP reference of §4.2) scaled
+//! by the share the TCP ACK stream leaves to data. The model explains the
+//! paper's central observation: `W*` barely grows with the chain length
+//! (only through `baseRTT`), which is why Vegas sits near the optimal
+//! `h/4` window while NewReno overshoots.
+
+use mwn_sim::SimDuration;
+
+/// Inputs of the equilibrium model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VegasModel {
+    /// Round-trip propagation + transmission time without queueing.
+    pub base_rtt: SimDuration,
+    /// Bottleneck service rate in packets per second.
+    pub bottleneck_rate: f64,
+    /// Vegas lower threshold (packets).
+    pub alpha: f64,
+    /// Vegas upper threshold (packets).
+    pub beta: f64,
+    /// Receiver window cap (packets).
+    pub wmax: f64,
+}
+
+/// The predicted operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VegasEquilibrium {
+    /// Congestion window in packets.
+    pub window: f64,
+    /// Throughput in packets per second.
+    pub throughput_pps: f64,
+    /// Equilibrium round-trip time.
+    pub rtt: SimDuration,
+    /// Packets kept queued at the bottleneck (`diff`).
+    pub queued: f64,
+    /// `true` if the receiver window, not the path, limits throughput.
+    pub window_limited: bool,
+}
+
+impl VegasModel {
+    /// Solves for the equilibrium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bottleneck rate is not positive, the thresholds are
+    /// inverted, or `base_rtt` is zero.
+    pub fn equilibrium(&self) -> VegasEquilibrium {
+        assert!(self.bottleneck_rate > 0.0, "bottleneck rate must be positive");
+        assert!(
+            self.alpha > 0.0 && self.beta >= self.alpha,
+            "need 0 < alpha <= beta"
+        );
+        assert!(!self.base_rtt.is_zero(), "base RTT must be positive");
+        let b = self.base_rtt.as_secs_f64();
+        let mu = self.bottleneck_rate;
+        let target_queue = (self.alpha + self.beta) / 2.0;
+        let bdp = mu * b;
+
+        let unconstrained = bdp + target_queue;
+        if unconstrained <= self.wmax {
+            // Path-limited: bottleneck saturated, `target_queue` packets
+            // standing in queue.
+            let window = unconstrained.max(2.0);
+            let rtt = window / mu;
+            VegasEquilibrium {
+                window,
+                throughput_pps: mu,
+                rtt: SimDuration::from_secs_f64(rtt),
+                queued: window - bdp,
+                window_limited: false,
+            }
+        } else {
+            // Window-limited: the flow cannot even fill the pipe.
+            let window = self.wmax;
+            let queued = (window - bdp).max(0.0);
+            let throughput = if window >= bdp { mu } else { window / b };
+            let rtt = window / throughput;
+            VegasEquilibrium {
+                window,
+                throughput_pps: throughput,
+                rtt: SimDuration::from_secs_f64(rtt),
+                queued,
+                window_limited: true,
+            }
+        }
+    }
+
+    /// Predicted steady-state goodput in kbit/s for `payload_bytes`-byte
+    /// packets.
+    pub fn goodput_kbps(&self, payload_bytes: u32) -> f64 {
+        self.equilibrium().throughput_pps * f64::from(payload_bytes) * 8.0 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(base_ms: u64, mu: f64) -> VegasModel {
+        VegasModel {
+            base_rtt: SimDuration::from_millis(base_ms),
+            bottleneck_rate: mu,
+            alpha: 2.0,
+            beta: 2.0,
+            wmax: 64.0,
+        }
+    }
+
+    #[test]
+    fn path_limited_equilibrium_keeps_alpha_queued() {
+        // 100 pkt/s bottleneck, 40 ms base RTT: BDP = 4 packets.
+        let eq = model(40, 100.0).equilibrium();
+        assert!(!eq.window_limited);
+        assert!((eq.window - 6.0).abs() < 1e-9, "W* = BDP + alpha = 6");
+        assert!((eq.throughput_pps - 100.0).abs() < 1e-9);
+        assert!((eq.queued - 2.0).abs() < 1e-9);
+        assert_eq!(eq.rtt, SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn window_limited_when_bdp_exceeds_wmax() {
+        // Huge pipe: BDP = 1000 packets >> Wmax 64.
+        let eq = model(100, 10_000.0).equilibrium();
+        assert!(eq.window_limited);
+        assert_eq!(eq.window, 64.0);
+        assert!((eq.throughput_pps - 640.0).abs() < 1e-9, "Wmax/baseRTT");
+        assert_eq!(eq.queued, 0.0);
+    }
+
+    #[test]
+    fn tiny_bdp_floors_window_at_two() {
+        let eq = model(1, 100.0).equilibrium();
+        assert!(eq.window >= 2.0);
+    }
+
+    #[test]
+    fn goodput_conversion() {
+        let m = model(40, 100.0);
+        // 100 pkt/s × 1460 B × 8 = 1168 kbit/s.
+        assert!((m.goodput_kbps(1460) - 1168.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_pipe_simulation_regime() {
+        // The closed-loop pipe test (tests/pipe.rs) runs Vegas over a
+        // 100 pkt/s bottleneck with 40 ms RTT and observes ~100 pkt/s and
+        // a small stable window; the model predicts exactly that point.
+        let eq = model(40, 100.0).equilibrium();
+        assert!(eq.window < 12.0);
+        assert!((95.0..=100.0).contains(&eq.throughput_pps));
+    }
+
+    #[test]
+    #[should_panic(expected = "bottleneck rate")]
+    fn zero_rate_rejected() {
+        model(40, 0.0).equilibrium();
+    }
+}

@@ -1,0 +1,62 @@
+//! Dynamic ACK thinning (Altman & Jiménez) demonstrated: the thinning
+//! schedule itself, the ACK traffic reduction it buys, and the goodput
+//! effect at each bandwidth — reproducing the paper's observation that
+//! thinning helps little at 2 Mbit/s but up to ~25 % at 11 Mbit/s.
+//!
+//! ```text
+//! cargo run --release --example ack_thinning_demo
+//! ```
+
+use mwn::{experiment, ExperimentScale, FlowId, NodeId, Scenario, Transport};
+use mwn_phy::DataRate;
+use mwn_tcp::{AckPolicy, TcpSink};
+
+fn main() {
+    // 1. The schedule: d as a function of the received sequence number.
+    let sink = TcpSink::new(AckPolicy::Thinning, FlowId(0), NodeId(1), NodeId(0), 0);
+    println!("dynamic ACK thinning schedule (S1=2, S2=5, S3=9):");
+    print!("  packet n: ");
+    for n in 1..=12u64 {
+        print!("{n:>3}");
+    }
+    print!("\n  d       : ");
+    for n in 1..=12u64 {
+        print!("{:>3}", sink.thinning_factor(n - 1));
+    }
+    println!("\n");
+
+    // 2. The effect on a 7-hop chain across bandwidths.
+    println!(
+        "{:<10} {:>16} {:>16} {:>8}   {:>12}",
+        "bandwidth", "Vegas", "Vegas +thin", "gain", "ACKs/packet"
+    );
+    for bw in [DataRate::MBPS_2, DataRate::MBPS_5_5, DataRate::MBPS_11] {
+        let plain = experiment::run(
+            &Scenario::chain(7, bw, Transport::vegas(2), 42),
+            ExperimentScale::quick(),
+        );
+        let scenario = Scenario::chain(7, bw, Transport::vegas_thinning(2), 42);
+        let mut net = scenario.build();
+        net.run_until_delivered(2000, mwn::SimTime::ZERO + mwn::SimDuration::from_secs(2000));
+        let acks = net.flow_sink_stats(FlowId(0)).expect("tcp flow").acks_sent as f64;
+        let delivered = net.flow_delivered(FlowId(0)).max(1) as f64;
+        let thin = experiment::run(&scenario, ExperimentScale::quick());
+
+        let gain =
+            (thin.aggregate_goodput_kbps.mean / plain.aggregate_goodput_kbps.mean - 1.0) * 100.0;
+        println!(
+            "{:<10} {:>9.1} kbit/s {:>9.1} kbit/s {:>+7.1}%   {:>12.2}",
+            format!("{bw}"),
+            plain.aggregate_goodput_kbps.mean,
+            thin.aggregate_goodput_kbps.mean,
+            gain,
+            acks / delivered,
+        );
+    }
+
+    println!(
+        "\nWith per-packet ACKs the sink answers every data packet; thinning cuts that\n\
+         to one ACK per ~4 packets in steady state, freeing airtime that matters more\n\
+         as the data rate grows (control frames stay at 1 Mbit/s)."
+    );
+}

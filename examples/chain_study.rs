@@ -1,0 +1,69 @@
+//! Parameterized chain study: pick hops, bandwidth and transport variant
+//! from the command line and get the full set of steady-state measures.
+//!
+//! ```text
+//! cargo run --release --example chain_study -- [hops] [mbits] [variant]
+//!   hops    chain length in hops (default 7)
+//!   mbits   2 | 5.5 | 11 (default 2)
+//!   variant vegas | vegas-thin | newreno | newreno-thin | optwin | udp
+//! ```
+
+use mwn::{experiment, ExperimentScale, Scenario, SimDuration, Transport};
+use mwn_phy::DataRate;
+
+fn parse_args() -> Result<(usize, DataRate, &'static str, Transport), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let hops: usize = args
+        .get(1)
+        .map(|s| s.parse().map_err(|_| format!("bad hop count {s:?}")))
+        .transpose()?
+        .unwrap_or(7);
+    if hops == 0 {
+        return Err("hops must be positive".into());
+    }
+    let bw = match args.get(2).map(String::as_str) {
+        None | Some("2") => DataRate::MBPS_2,
+        Some("5.5") => DataRate::MBPS_5_5,
+        Some("11") => DataRate::MBPS_11,
+        Some(other) => return Err(format!("unknown bandwidth {other:?} (use 2, 5.5 or 11)")),
+    };
+    let (name, transport) = match args.get(3).map(String::as_str) {
+        None | Some("vegas") => ("TCP Vegas a=2", Transport::vegas(2)),
+        Some("vegas-thin") => ("TCP Vegas a=2 + ACK thinning", Transport::vegas_thinning(2)),
+        Some("newreno") => ("TCP NewReno", Transport::newreno()),
+        Some("newreno-thin") => ("TCP NewReno + ACK thinning", Transport::newreno_thinning()),
+        Some("optwin") => ("TCP NewReno MaxWin=3", Transport::newreno_optimal_window(3)),
+        Some("udp") => ("Paced UDP (saturating)", Transport::paced_udp(SimDuration::from_millis(2))),
+        Some(other) => return Err(format!("unknown variant {other:?}")),
+    };
+    Ok((hops, bw, name, transport))
+}
+
+fn main() {
+    let (hops, bw, name, transport) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: chain_study [hops] [2|5.5|11] [vegas|vegas-thin|newreno|newreno-thin|optwin|udp]");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{hops}-hop chain at {bw}, {name}, scale MWN_SCALE={}",
+        std::env::var("MWN_SCALE").unwrap_or_else(|_| "1".into()));
+    let scenario = Scenario::chain(hops, bw, transport, 42);
+    let r = experiment::run(&scenario, ExperimentScale::from_env());
+
+    println!("\n  goodput               {:>10.1} kbit/s  (95% CI ±{:.1})",
+        r.aggregate_goodput_kbps.mean, r.aggregate_goodput_kbps.half_width);
+    let flow = &r.per_flow[0];
+    println!("  retransmissions/pkt   {:>10.4}", flow.retx_per_packet.mean);
+    println!("  average window        {:>10.2} packets", flow.avg_window.mean);
+    println!("  link-layer drop prob  {:>10.4}", r.drop_probability.mean);
+    println!("  false route failures  {:>10}  ({:.0} per 110k packets)",
+        r.false_route_failures, r.false_route_failures_paper_scale);
+    println!("  energy/packet         {:>10.3} J", r.energy_per_packet);
+    println!("  measured packets      {:>10}", r.packets_measured);
+    println!("  simulated time        {:>10.1} s", r.measured_time.as_secs_f64());
+    println!("  outcome               {:>10?}", r.outcome);
+}

@@ -1,0 +1,54 @@
+//! The paper's random scenario (§4.4.2): 120 nodes uniformly placed on a
+//! 2500 × 1000 m² area, ten concurrent FTP flows between random endpoints.
+//!
+//! ```text
+//! cargo run --release --example random_topology -- [seed]
+//! ```
+
+use mwn::{experiment, ExperimentScale, Scenario, Transport, NodeId};
+use mwn_phy::DataRate;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2005);
+
+    // Describe the drawn topology first.
+    let probe = Scenario::random10(DataRate::MBPS_11, Transport::vegas(2), seed);
+    println!(
+        "random topology: {} nodes on 2500x1000 m², seed {seed}, {} flows",
+        probe.topology.len(),
+        probe.flows.len()
+    );
+    for (i, f) in probe.flows.iter().enumerate() {
+        let hops = probe
+            .topology
+            .hop_distance(f.src, f.dst, probe.ranges.tx_range)
+            .expect("topology is connected by construction");
+        println!("  FTP{:<2} {} -> {}  ({hops} hops)", i + 1, f.src, f.dst);
+    }
+
+    println!(
+        "\n{:<24} {:>12} {:>9}  per-flow goodput [kbit/s]",
+        "variant", "aggregate", "fairness"
+    );
+    for (name, transport) in [
+        ("TCP Vegas", Transport::vegas(2)),
+        ("TCP NewReno", Transport::newreno()),
+        ("TCP Vegas + thinning", Transport::vegas_thinning(2)),
+        ("TCP NewReno + thinning", Transport::newreno_thinning()),
+    ] {
+        let scenario = Scenario::random10(DataRate::MBPS_11, transport, seed);
+        let r = experiment::run(&scenario, ExperimentScale::quick());
+        print!(
+            "{name:<24} {:>12.1} {:>9.2}  ",
+            r.aggregate_goodput_kbps.mean, r.fairness.mean
+        );
+        for f in &r.per_flow {
+            print!("{:.0} ", f.goodput_kbps.mean);
+        }
+        println!();
+    }
+    let _ = NodeId(0);
+}

@@ -1,0 +1,87 @@
+//! Analytical-model validation: compare the fluid Vegas equilibrium model
+//! ([`mwn_tcp::vegas_model`]) against the full simulation on the paper's
+//! chains — the extension the paper's conclusion calls for.
+//!
+//! ```text
+//! cargo run --release --example vegas_model
+//! ```
+
+use mwn::{experiment, ExperimentScale, MacParams, Scenario, SimDuration, Transport};
+use mwn_phy::DataRate;
+use mwn_tcp::vegas_model::VegasModel;
+
+/// Rough per-hop medium occupancy of one unicast exchange carrying a
+/// packet of `bytes` (DIFS + mean initial backoff + RTS/CTS/DATA/ACK and
+/// their SIFS gaps).
+fn per_hop(params: &MacParams, bytes: u32) -> SimDuration {
+    params.difs()
+        + params.slot * u64::from(params.cw_min / 2)
+        + params.rts_airtime()
+        + params.cts_airtime()
+        + params.ack_airtime()
+        + params.data_airtime(bytes)
+        + params.sifs * 3
+}
+
+fn main() {
+    println!("Vegas fluid model vs full simulation (2 Mbit/s chain)\n");
+    println!(
+        "{:>5} {:>12} {:>12} | {:>10} {:>10} | {:>12} {:>12}",
+        "hops", "mu [pkt/s]", "baseRTT", "W* model", "W sim", "X model", "X sim"
+    );
+
+    let scale = ExperimentScale::quick();
+    let params = MacParams::ieee80211b(DataRate::MBPS_2);
+
+    for hops in [3usize, 5, 7, 10] {
+        // 1. Bottleneck rate from the paced-UDP plateau (the paper's
+        //    "optimal paced UDP" measurement, §4.2)...
+        let udp = experiment::run(
+            &Scenario::chain(hops, DataRate::MBPS_2, Transport::paced_udp(SimDuration::from_millis(2)), 7),
+            scale,
+        );
+        let mu_udp = udp.aggregate_goodput_kbps.mean * 1000.0 / (1460.0 * 8.0);
+        // ...scaled by the share of medium time the TCP ACK stream leaves
+        // to data (UDP has no transport ACKs).
+        let t_data = per_hop(&params, 1500).as_secs_f64();
+        let t_ack = per_hop(&params, 40).as_secs_f64();
+        let mu = mu_udp * t_data / (t_data + t_ack);
+
+        // 2. Base RTT: unloaded data path forward plus ACK path back.
+        let base_rtt = SimDuration::from_secs_f64(
+            hops as f64 * (t_data + t_ack),
+        );
+
+        let model = VegasModel {
+            base_rtt,
+            bottleneck_rate: mu,
+            alpha: 2.0,
+            beta: 2.0,
+            wmax: 64.0,
+        };
+        let eq = model.equilibrium();
+
+        // 3. The full simulation.
+        let sim = experiment::run(
+            &Scenario::chain(hops, DataRate::MBPS_2, Transport::vegas(2), 7),
+            scale,
+        );
+
+        println!(
+            "{:>5} {:>12.1} {:>10.1}ms | {:>10.2} {:>10.2} | {:>7.1} kb/s {:>7.1} kb/s",
+            hops,
+            mu,
+            base_rtt.as_nanos() as f64 / 1e6,
+            eq.window,
+            sim.per_flow[0].avg_window.mean,
+            model.goodput_kbps(1460),
+            sim.aggregate_goodput_kbps.mean,
+        );
+    }
+
+    println!(
+        "\nThe model captures the paper's key intuition: the Vegas window grows only\n\
+         through baseRTT (W* = mu*baseRTT + alpha), staying within a few packets of\n\
+         the optimal h/4 — while its throughput tracks the MAC's spatial-reuse limit."
+    );
+}

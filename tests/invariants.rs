@@ -1,0 +1,194 @@
+//! Cross-layer conservation and sanity invariants, checked over a grab-bag
+//! of scenarios.
+
+use mwn::{FlowId, Network, NodeId, Scenario, SimDuration, SimTime, Transport};
+use mwn_phy::DataRate;
+
+fn run(scenario: &Scenario, packets: u64, secs: u64) -> Network {
+    let mut net = scenario.build();
+    net.run_until_delivered(packets, SimTime::ZERO + SimDuration::from_secs(secs));
+    net
+}
+
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("chain3-vegas", Scenario::chain(3, DataRate::MBPS_2, Transport::vegas(2), 1)),
+        ("chain8-newreno", Scenario::chain(8, DataRate::MBPS_2, Transport::newreno(), 2)),
+        ("chain5-thin", Scenario::chain(5, DataRate::MBPS_11, Transport::newreno_thinning(), 3)),
+        ("chain4-udp", Scenario::chain(4, DataRate::MBPS_5_5, Transport::paced_udp(SimDuration::from_millis(30)), 4)),
+        ("grid-vegas", Scenario::grid6(DataRate::MBPS_11, Transport::vegas(2), 5)),
+    ]
+}
+
+/// The MAC cannot deliver more unicast packets than it accepted, and
+/// every accepted packet is eventually delivered, dropped, or in flight.
+#[test]
+fn mac_accounting_balances() {
+    for (name, s) in scenarios() {
+        let net = run(&s, 150, 600);
+        let m = net.totals().mac;
+        assert!(
+            m.unicast_delivered <= m.unicast_accepted,
+            "{name}: delivered {} > accepted {}",
+            m.unicast_delivered,
+            m.unicast_accepted
+        );
+        let accounted = m.unicast_delivered + m.contention_drops();
+        assert!(
+            accounted <= m.unicast_accepted,
+            "{name}: delivered+dropped {} > accepted {}",
+            accounted,
+            m.unicast_accepted
+        );
+        // In-flight leftovers are bounded by one per node.
+        assert!(
+            m.unicast_accepted - accounted <= net.node_count() as u64,
+            "{name}: too many packets vanished: accepted {} accounted {}",
+            m.unicast_accepted,
+            accounted
+        );
+        // Every RTS needs an attempt budget: rts_sent ≥ data_sent for
+        // unicast exchanges (each DATA was preceded by a successful RTS).
+        assert!(
+            m.rts_sent + m.broadcast_accepted >= m.data_sent,
+            "{name}: {} data frames but only {} RTS + {} broadcasts",
+            m.data_sent,
+            m.rts_sent,
+            m.broadcast_accepted
+        );
+    }
+}
+
+/// The transport layer cannot deliver more than the sender emitted, and
+/// retransmissions are bounded by emissions.
+#[test]
+fn transport_accounting_balances() {
+    for (name, s) in scenarios() {
+        let net = run(&s, 150, 600);
+        for i in 0..net.flow_count() {
+            let flow = FlowId(i as u32);
+            let delivered = net.flow_delivered(flow);
+            if let Some(st) = net.flow_sender_stats(flow) {
+                assert!(
+                    delivered <= st.data_packets_sent,
+                    "{name} flow {i}: delivered {} > sent {}",
+                    delivered,
+                    st.data_packets_sent
+                );
+                assert!(st.retransmissions <= st.data_packets_sent);
+                assert!(st.timeouts + st.fast_retransmits <= st.retransmissions + st.timeouts);
+            }
+            if let Some(sk) = net.flow_sink_stats(flow) {
+                assert_eq!(sk.delivered, delivered, "{name} flow {i} sink mismatch");
+            }
+        }
+    }
+}
+
+/// Simulated time advances and energy is consistent with it.
+#[test]
+fn time_and_energy_are_sane() {
+    for (name, s) in scenarios() {
+        let net = run(&s, 150, 600);
+        assert!(net.now() > SimTime::ZERO, "{name}: time did not advance");
+        let idle_floor = 0.70 * net.now().as_secs_f64();
+        for n in 0..net.node_count() {
+            let j = net.node_energy_joules(NodeId(n as u32));
+            assert!(
+                j >= idle_floor * 0.99,
+                "{name}: node {n} energy {j:.2} J below idle floor {idle_floor:.2} J"
+            );
+            // No node can burn more than full-time TX power.
+            assert!(
+                j <= 1.45 * net.now().as_secs_f64() + 1.0,
+                "{name}: node {n} energy {j:.2} J above physical ceiling"
+            );
+        }
+    }
+}
+
+/// AODV counters stay consistent: every false route failure implies a
+/// link-failure drop (data or control), and RERRs need failures.
+#[test]
+fn aodv_accounting_is_consistent() {
+    for (name, s) in scenarios() {
+        let net = run(&s, 150, 600);
+        let a = net.totals().aodv;
+        assert!(
+            a.link_failure_drops <= a.false_route_failures,
+            "{name}: link-failure drops {} exceed failures {}",
+            a.link_failure_drops,
+            a.false_route_failures
+        );
+        if a.rerrs_sent > 0 {
+            assert!(
+                a.false_route_failures > 0 || a.no_route_drops > 0,
+                "{name}: RERRs without any failure"
+            );
+        }
+        // Discoveries happen at least once per flow endpoint pair.
+        assert!(a.rreqs_originated >= 1, "{name}: no route discovery ever ran");
+    }
+}
+
+/// Stepping an exhausted or idle network is safe.
+#[test]
+fn stepping_never_panics() {
+    let s = Scenario::chain(2, DataRate::MBPS_2, Transport::paced_udp(SimDuration::from_secs(10)), 1);
+    let mut net = s.build();
+    for _ in 0..10_000 {
+        net.step();
+    }
+    // Run way past the last scheduled event.
+    net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    net.step();
+}
+
+/// Whole-network fuzz: random connected topologies, random flow sets,
+/// random transports — the stack must never panic and accounting must
+/// hold after a bounded run.
+#[test]
+fn random_small_networks_hold_invariants() {
+    for seed in 0..12u64 {
+        let n = 3 + (seed as usize % 6);
+        let topology = mwn::topology::random(n, 900.0, 500.0, 250.0, seed);
+        let mut flows = Vec::new();
+        let flow_count = 1 + (seed as usize % 3);
+        for f in 0..flow_count {
+            let src = NodeId(((seed as usize + f) % n) as u32);
+            let dst = NodeId(((seed as usize + f + 1 + n / 2) % n) as u32);
+            if src == dst {
+                continue;
+            }
+            let transport = match (seed as usize + f) % 4 {
+                0 => Transport::vegas(2),
+                1 => Transport::newreno(),
+                2 => Transport::vegas_thinning(2),
+                _ => Transport::paced_udp(SimDuration::from_millis(25)),
+            };
+            flows.push(mwn::FlowSpec { src, dst, transport });
+        }
+        if flows.is_empty() {
+            continue;
+        }
+        let bw = match seed % 3 {
+            0 => DataRate::MBPS_2,
+            1 => DataRate::MBPS_5_5,
+            _ => DataRate::MBPS_11,
+        };
+        let scenario = Scenario::new(topology, flows, bw, seed);
+        let net = run(&scenario, 120, 120);
+        let m = net.totals().mac;
+        assert!(
+            m.unicast_delivered + m.contention_drops() <= m.unicast_accepted,
+            "seed {seed}: MAC accounting broken"
+        );
+        assert!(net.now() > SimTime::ZERO, "seed {seed}: no progress at all");
+        for i in 0..net.flow_count() {
+            let flow = FlowId(i as u32);
+            if let (Some(st), Some(sk)) = (net.flow_sender_stats(flow), net.flow_sink_stats(flow)) {
+                assert!(sk.delivered <= st.data_packets_sent, "seed {seed} flow {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Scaled-down checks of the paper's headline claims. Absolute numbers
+//! differ from the paper (different substrate, reduced run length); what
+//! these tests pin down is the *shape*: who wins, in which direction, and
+//! roughly by how much.
+
+use mwn::{experiment, ExperimentScale, RunResults, Scenario, SimDuration, Transport};
+use mwn_phy::DataRate;
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        batch_packets: 250,
+        batches: 5,
+        deadline: SimDuration::from_secs(4_000),
+    }
+}
+
+fn chain(hops: usize, bw: DataRate, t: Transport) -> RunResults {
+    experiment::run(&Scenario::chain(hops, bw, t, 42), scale())
+}
+
+/// §1/§4.3: "TCP Vegas achieves between 15% and 83% more goodput than
+/// TCP NewReno" — check Vegas wins clearly on the 8-hop chain.
+#[test]
+fn vegas_beats_newreno_goodput_on_long_chain() {
+    let vegas = chain(8, DataRate::MBPS_2, Transport::vegas(2));
+    let newreno = chain(8, DataRate::MBPS_2, Transport::newreno());
+    let ratio = vegas.aggregate_goodput_kbps.mean / newreno.aggregate_goodput_kbps.mean;
+    assert!(
+        ratio > 1.15,
+        "Vegas/NewReno goodput ratio {ratio:.2} below the paper's minimum +15%"
+    );
+}
+
+/// §1/§4.3: "between 57% and 99% fewer packet retransmissions".
+#[test]
+fn vegas_retransmits_far_less_than_newreno() {
+    let vegas = chain(8, DataRate::MBPS_2, Transport::vegas(2));
+    let newreno = chain(8, DataRate::MBPS_2, Transport::newreno());
+    let v = vegas.per_flow[0].retx_per_packet.mean;
+    let n = newreno.per_flow[0].retx_per_packet.mean;
+    assert!(n > 0.0, "NewReno must provoke losses on an 8-hop chain");
+    assert!(
+        v < n * 0.43,
+        "Vegas retx/packet {v:.4} not at least 57% below NewReno's {n:.4}"
+    );
+}
+
+/// Fig 8 / §4.3: Vegas' average window stays in the 3.5–5.5 range for
+/// 4–40 hops while NewReno's grows much larger.
+#[test]
+fn vegas_window_stays_small() {
+    for hops in [4usize, 8, 16] {
+        let vegas = chain(hops, DataRate::MBPS_2, Transport::vegas(2));
+        let w = vegas.per_flow[0].avg_window.mean;
+        assert!(
+            (2.0..7.0).contains(&w),
+            "Vegas window {w:.2} at {hops} hops outside the paper's band"
+        );
+    }
+    let newreno = chain(8, DataRate::MBPS_2, Transport::newreno());
+    let vegas = chain(8, DataRate::MBPS_2, Transport::vegas(2));
+    assert!(
+        newreno.per_flow[0].avg_window.mean > 1.5 * vegas.per_flow[0].avg_window.mean,
+        "NewReno's window must be much larger than Vegas'"
+    );
+}
+
+/// Fig 9 / §4.3: "TCP NewReno causes significantly more false route
+/// failures than TCP Vegas, specifically 93% to 100%".
+#[test]
+fn newreno_causes_more_false_route_failures() {
+    let vegas = chain(8, DataRate::MBPS_2, Transport::vegas(2));
+    let newreno = chain(8, DataRate::MBPS_2, Transport::newreno());
+    assert!(
+        newreno.false_route_failures > 2 * vegas.false_route_failures,
+        "NewReno FRF {} vs Vegas {} — expected a large gap",
+        newreno.false_route_failures,
+        vegas.false_route_failures
+    );
+}
+
+/// §2 (Fu et al.) / §4.3: the optimum NewReno window for an h-hop chain
+/// is about h/4 — bounding the window to 3 on a 7-hop chain must beat
+/// unbounded NewReno.
+#[test]
+fn optimal_window_beats_unbounded_newreno() {
+    let bounded = chain(7, DataRate::MBPS_2, Transport::newreno_optimal_window(3));
+    let unbounded = chain(7, DataRate::MBPS_2, Transport::newreno());
+    assert!(
+        bounded.aggregate_goodput_kbps.mean > unbounded.aggregate_goodput_kbps.mean,
+        "MaxWin=3 ({:.1}) must beat unbounded NewReno ({:.1}) at 7 hops",
+        bounded.aggregate_goodput_kbps.mean,
+        unbounded.aggregate_goodput_kbps.mean
+    );
+}
+
+/// §2 (Altman & Jiménez) / Fig 6: ACK thinning substantially improves
+/// NewReno on the 2 Mbit/s chain.
+#[test]
+fn ack_thinning_improves_newreno() {
+    let plain = chain(8, DataRate::MBPS_2, Transport::newreno());
+    let thin = chain(8, DataRate::MBPS_2, Transport::newreno_thinning());
+    assert!(
+        thin.aggregate_goodput_kbps.mean > 1.2 * plain.aggregate_goodput_kbps.mean,
+        "thinning gain too small: {:.1} vs {:.1}",
+        thin.aggregate_goodput_kbps.mean,
+        plain.aggregate_goodput_kbps.mean
+    );
+}
+
+/// Conclusions: "ACK thinning yields almost no goodput improvement for
+/// TCP Vegas over 2 Mbit/s" — Vegas keeps its window near-optimal anyway.
+#[test]
+fn ack_thinning_roughly_neutral_for_vegas_at_2mbps() {
+    let plain = chain(7, DataRate::MBPS_2, Transport::vegas(2));
+    let thin = chain(7, DataRate::MBPS_2, Transport::vegas_thinning(2));
+    let ratio = thin.aggregate_goodput_kbps.mean / plain.aggregate_goodput_kbps.mean;
+    assert!(
+        (0.75..1.35).contains(&ratio),
+        "Vegas thinning effect at 2 Mbit/s should be modest, ratio {ratio:.2}"
+    );
+}
+
+/// Figs 4/11: goodput grows sub-linearly in bandwidth because PLCP and
+/// control frames stay at 1 Mbit/s.
+#[test]
+fn goodput_growth_with_bandwidth_is_sublinear() {
+    let g2 = chain(7, DataRate::MBPS_2, Transport::vegas(2)).aggregate_goodput_kbps.mean;
+    let g11 = chain(7, DataRate::MBPS_11, Transport::vegas(2)).aggregate_goodput_kbps.mean;
+    assert!(g11 > 1.4 * g2, "goodput must still grow with bandwidth");
+    assert!(
+        g11 < 5.0 * g2,
+        "5.5x more bandwidth must yield much less than 5.5x goodput ({g2:.0} -> {g11:.0})"
+    );
+}
+
+/// Fig 6: paced UDP at the optimal rate upper-bounds every TCP variant.
+#[test]
+fn paced_udp_upper_bounds_tcp() {
+    let udp = chain(8, DataRate::MBPS_2, Transport::paced_udp(SimDuration::from_millis(2)));
+    for t in [Transport::vegas(2), Transport::newreno(), Transport::newreno_thinning()] {
+        let tcp = chain(8, DataRate::MBPS_2, t);
+        assert!(
+            udp.aggregate_goodput_kbps.mean >= tcp.aggregate_goodput_kbps.mean * 0.98,
+            "paced UDP ({:.1}) must not lose to TCP ({:.1})",
+            udp.aggregate_goodput_kbps.mean,
+            tcp.aggregate_goodput_kbps.mean
+        );
+    }
+}
+
+/// Table 3 / Fig 17: on the grid, Vegas with ACK thinning achieves by far
+/// the best fairness; the plain variants let edge flows starve the rest.
+///
+/// Deviation note (see EXPERIMENTS.md): our MAC is ~25 % more efficient
+/// than ns-2's, so the winning 2-hop flows saturate the medium harder and
+/// the plain-variant fairness gap between Vegas and NewReno (0.73 vs 0.52
+/// in the paper) is compressed; the thinning effect, which the paper calls
+/// the headline fairness result, reproduces strongly.
+#[test]
+fn grid_fairness_ordering() {
+    let fairness = |t| {
+        experiment::run(&Scenario::grid6(DataRate::MBPS_11, t, 7), scale()).fairness.mean
+    };
+    let vegas = fairness(Transport::vegas(2));
+    let newreno = fairness(Transport::newreno());
+    let vegas_thin = fairness(Transport::vegas_thinning(2));
+    let newreno_thin = fairness(Transport::newreno_thinning());
+    assert!(
+        vegas_thin > vegas && vegas_thin > newreno && vegas_thin > newreno_thin,
+        "Vegas+thinning ({vegas_thin:.2}) must be the fairest variant \
+         (Vegas {vegas:.2}, NewReno {newreno:.2}, NewReno+thin {newreno_thin:.2})"
+    );
+    assert!(
+        vegas_thin > 0.55,
+        "Vegas+thinning fairness {vegas_thin:.2} too low (paper: 0.94 at 11 Mbit/s)"
+    );
+    // In the starved regime both plain variants yield degenerate
+    // winner-take-all allocations whose index is noisy (2 vs 3 surviving
+    // flows flips it); only guard against a gross inversion.
+    assert!(
+        vegas >= newreno * 0.55,
+        "plain Vegas ({vegas:.2}) must not be grossly less fair than NewReno ({newreno:.2})"
+    );
+}
+
+/// §4.3 energy argument: Vegas' fewer retransmissions translate into
+/// less radio energy per delivered packet.
+#[test]
+fn vegas_spends_less_energy_per_packet() {
+    let vegas = chain(8, DataRate::MBPS_2, Transport::vegas(2));
+    let newreno = chain(8, DataRate::MBPS_2, Transport::newreno());
+    assert!(
+        vegas.energy_per_packet < newreno.energy_per_packet,
+        "Vegas energy/packet {:.3} J must beat NewReno's {:.3} J",
+        vegas.energy_per_packet,
+        newreno.energy_per_packet
+    );
+}
+
+/// Fig 2: Vegas α=2 beats larger α at 2 Mbit/s on mid-length chains.
+#[test]
+fn alpha_two_is_best_at_2mbps() {
+    let g = |alpha| chain(8, DataRate::MBPS_2, Transport::vegas(alpha)).aggregate_goodput_kbps.mean;
+    let a2 = g(2);
+    let a4 = g(4);
+    assert!(
+        a2 >= a4 * 0.92,
+        "alpha=2 ({a2:.1}) should be at least competitive with alpha=4 ({a4:.1})"
+    );
+}
