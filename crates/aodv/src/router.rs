@@ -160,8 +160,13 @@ impl Router {
         }
         if let Some(route) = self.table.active(dst, now) {
             let next_hop = route.next_hop;
-            self.table.refresh(dst, now, self.config.active_route_lifetime);
-            actions.push(AodvAction::Send { packet, next_hop, delay: SimDuration::ZERO });
+            self.table
+                .refresh(dst, now, self.config.active_route_lifetime);
+            actions.push(AodvAction::Send {
+                packet,
+                next_hop,
+                delay: SimDuration::ZERO,
+            });
         } else {
             self.buffer_and_discover(now, packet, &mut actions);
         }
@@ -229,7 +234,10 @@ impl Router {
         if packet.is_transport_data() || matches!(packet.body, Body::Tcp(_) | Body::Udp(_)) {
             self.counters.link_failure_drops += 1;
         }
-        actions.push(AodvAction::Drop { packet, reason: AodvDropReason::LinkFailure });
+        actions.push(AodvAction::Drop {
+            packet,
+            reason: AodvDropReason::LinkFailure,
+        });
         actions
     }
 
@@ -249,7 +257,10 @@ impl Router {
             let d = self.pending.remove(&dst).expect("checked above");
             for packet in d.buffered {
                 self.counters.no_route_drops += 1;
-                actions.push(AodvAction::Drop { packet, reason: AodvDropReason::NoRoute });
+                actions.push(AodvAction::Drop {
+                    packet,
+                    reason: AodvDropReason::NoRoute,
+                });
             }
             return actions;
         }
@@ -280,12 +291,15 @@ impl Router {
         let dst = packet.dst;
         let capacity = self.config.buffer_capacity;
         let discovery_needed = !self.pending.contains_key(&dst);
-        let d = self
-            .pending
-            .entry(dst)
-            .or_insert_with(|| Discovery { attempts: 1, buffered: VecDeque::new() });
+        let d = self.pending.entry(dst).or_insert_with(|| Discovery {
+            attempts: 1,
+            buffered: VecDeque::new(),
+        });
         if d.buffered.len() >= capacity {
-            actions.push(AodvAction::Drop { packet, reason: AodvDropReason::BufferFull });
+            actions.push(AodvAction::Drop {
+                packet,
+                reason: AodvDropReason::BufferFull,
+            });
             return;
         }
         d.buffered.push_back(packet);
@@ -294,7 +308,13 @@ impl Router {
         }
     }
 
-    fn originate_rreq(&mut self, _now: SimTime, dst: NodeId, attempt: u32, actions: &mut Vec<AodvAction>) {
+    fn originate_rreq(
+        &mut self,
+        _now: SimTime,
+        dst: NodeId,
+        attempt: u32,
+        actions: &mut Vec<AodvAction>,
+    ) {
         self.seq = self.seq.wrapping_add(1);
         let rreq_id = self.next_rreq_id;
         self.next_rreq_id += 1;
@@ -308,9 +328,18 @@ impl Router {
             dst_seq,
             hop_count: 0,
         };
-        let packet = Packet::new(self.alloc_uid(), self.me, NodeId::BROADCAST, Body::Aodv(msg));
+        let packet = Packet::new(
+            self.alloc_uid(),
+            self.me,
+            NodeId::BROADCAST,
+            Body::Aodv(msg),
+        );
         let delay = self.jitter();
-        actions.push(AodvAction::Send { packet, next_hop: NodeId::BROADCAST, delay });
+        actions.push(AodvAction::Send {
+            packet,
+            next_hop: NodeId::BROADCAST,
+            delay,
+        });
         // Binary exponential wait: 1x, 2x, 4x, ...
         let wait = self.config.rreq_wait * (1u64 << (attempt - 1).min(16));
         actions.push(AodvAction::SetDiscoveryTimer { dst, delay: wait });
@@ -324,7 +353,15 @@ impl Router {
         msg: AodvMessage,
         actions: &mut Vec<AodvAction>,
     ) {
-        let AodvMessage::Rreq { rreq_id, orig, orig_seq, dst, dst_seq, hop_count } = msg else {
+        let AodvMessage::Rreq {
+            rreq_id,
+            orig,
+            orig_seq,
+            dst,
+            dst_seq,
+            hop_count,
+        } = msg
+        else {
             unreachable!("handle_rreq called with non-RREQ");
         };
         if orig == self.me {
@@ -361,16 +398,46 @@ impl Router {
             self.send_rrep(now, from, orig, self.me, self.seq, 0, actions);
         } else if self.config.intermediate_rrep {
             // Intermediate reply if we know a fresh-enough route.
-            let fresh = self.table.active(dst, now).copied().filter(|r| {
-                r.next_hop != from && dst_seq.is_none_or(|req| r.dst_seq >= req)
-            });
+            let fresh = self
+                .table
+                .active(dst, now)
+                .copied()
+                .filter(|r| r.next_hop != from && dst_seq.is_none_or(|req| r.dst_seq >= req));
             if let Some(route) = fresh {
-                self.send_rrep(now, from, orig, dst, route.dst_seq, route.hop_count, actions);
+                self.send_rrep(
+                    now,
+                    from,
+                    orig,
+                    dst,
+                    route.dst_seq,
+                    route.hop_count,
+                    actions,
+                );
             } else {
-                self.rebroadcast_rreq(now, &mut packet, rreq_id, orig, orig_seq, dst, dst_seq, hop_count, actions);
+                self.rebroadcast_rreq(
+                    now,
+                    &mut packet,
+                    rreq_id,
+                    orig,
+                    orig_seq,
+                    dst,
+                    dst_seq,
+                    hop_count,
+                    actions,
+                );
             }
         } else {
-            self.rebroadcast_rreq(now, &mut packet, rreq_id, orig, orig_seq, dst, dst_seq, hop_count, actions);
+            self.rebroadcast_rreq(
+                now,
+                &mut packet,
+                rreq_id,
+                orig,
+                orig_seq,
+                dst,
+                dst_seq,
+                hop_count,
+                actions,
+            );
         }
     }
 
@@ -407,7 +474,11 @@ impl Router {
             body: Body::Aodv(msg),
         };
         let delay = self.jitter();
-        actions.push(AodvAction::Send { packet: fwd, next_hop: NodeId::BROADCAST, delay });
+        actions.push(AodvAction::Send {
+            packet: fwd,
+            next_hop: NodeId::BROADCAST,
+            delay,
+        });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -422,13 +493,34 @@ impl Router {
         actions: &mut Vec<AodvAction>,
     ) {
         self.counters.rreps_generated += 1;
-        let msg = AodvMessage::Rrep { orig, dst, dst_seq, hop_count };
+        let msg = AodvMessage::Rrep {
+            orig,
+            dst,
+            dst_seq,
+            hop_count,
+        };
         let packet = Packet::new(self.alloc_uid(), self.me, orig, Body::Aodv(msg));
-        actions.push(AodvAction::Send { packet, next_hop: to, delay: SimDuration::ZERO });
+        actions.push(AodvAction::Send {
+            packet,
+            next_hop: to,
+            delay: SimDuration::ZERO,
+        });
     }
 
-    fn handle_rrep(&mut self, now: SimTime, from: NodeId, msg: AodvMessage, actions: &mut Vec<AodvAction>) {
-        let AodvMessage::Rrep { orig, dst, dst_seq, hop_count } = msg else {
+    fn handle_rrep(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: AodvMessage,
+        actions: &mut Vec<AodvAction>,
+    ) {
+        let AodvMessage::Rrep {
+            orig,
+            dst,
+            dst_seq,
+            hop_count,
+        } = msg
+        else {
             unreachable!("handle_rrep called with non-RREP");
         };
         // Forward route to the destination.
@@ -448,7 +540,8 @@ impl Router {
         } else if let Some(route) = self.table.active(orig, now) {
             // Forward the RREP along the reverse path.
             let next_hop = route.next_hop;
-            self.table.refresh(orig, now, self.config.active_route_lifetime);
+            self.table
+                .refresh(orig, now, self.config.active_route_lifetime);
             let fwd = AodvMessage::Rrep {
                 orig,
                 dst,
@@ -456,7 +549,11 @@ impl Router {
                 hop_count: hop_count.saturating_add(1),
             };
             let packet = Packet::new(self.alloc_uid(), self.me, orig, Body::Aodv(fwd));
-            actions.push(AodvAction::Send { packet, next_hop, delay: SimDuration::ZERO });
+            actions.push(AodvAction::Send {
+                packet,
+                next_hop,
+                delay: SimDuration::ZERO,
+            });
         }
         // No reverse route: the RREP dies here.
     }
@@ -484,39 +581,72 @@ impl Router {
         }
     }
 
-    fn broadcast_rerr(&mut self, _now: SimTime, unreachable: Vec<(NodeId, u32)>, actions: &mut Vec<AodvAction>) {
+    fn broadcast_rerr(
+        &mut self,
+        _now: SimTime,
+        unreachable: Vec<(NodeId, u32)>,
+        actions: &mut Vec<AodvAction>,
+    ) {
         self.counters.rerrs_sent += 1;
         let msg = AodvMessage::Rerr { unreachable };
-        let packet = Packet::new(self.alloc_uid(), self.me, NodeId::BROADCAST, Body::Aodv(msg));
+        let packet = Packet::new(
+            self.alloc_uid(),
+            self.me,
+            NodeId::BROADCAST,
+            Body::Aodv(msg),
+        );
         let delay = self.jitter();
-        actions.push(AodvAction::Send { packet, next_hop: NodeId::BROADCAST, delay });
+        actions.push(AodvAction::Send {
+            packet,
+            next_hop: NodeId::BROADCAST,
+            delay,
+        });
     }
 
-    fn forward_data(&mut self, now: SimTime, from: NodeId, mut packet: Packet, actions: &mut Vec<AodvAction>) {
+    fn forward_data(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        mut packet: Packet,
+        actions: &mut Vec<AodvAction>,
+    ) {
         // Forwarding refreshes the route back to the source (RFC 3561
         // §6.2) — this keeps the TCP-ACK return path alive.
-        self.table.refresh(packet.src, now, self.config.active_route_lifetime);
-        self.table.refresh(from, now, self.config.active_route_lifetime);
+        self.table
+            .refresh(packet.src, now, self.config.active_route_lifetime);
+        self.table
+            .refresh(from, now, self.config.active_route_lifetime);
 
         if packet.dst == self.me {
             actions.push(AodvAction::Deliver(packet));
             return;
         }
         if packet.ttl <= 1 {
-            actions.push(AodvAction::Drop { packet, reason: AodvDropReason::TtlExpired });
+            actions.push(AodvAction::Drop {
+                packet,
+                reason: AodvDropReason::TtlExpired,
+            });
             return;
         }
         packet.ttl -= 1;
         if let Some(route) = self.table.active(packet.dst, now) {
             let next_hop = route.next_hop;
-            self.table.refresh(packet.dst, now, self.config.active_route_lifetime);
-            actions.push(AodvAction::Send { packet, next_hop, delay: SimDuration::ZERO });
+            self.table
+                .refresh(packet.dst, now, self.config.active_route_lifetime);
+            actions.push(AodvAction::Send {
+                packet,
+                next_hop,
+                delay: SimDuration::ZERO,
+            });
         } else {
             // Mid-path hole: report back and drop; the source rediscovers.
             let seq = self.table.get(packet.dst).map_or(0, |r| r.dst_seq);
             self.broadcast_rerr(now, vec![(packet.dst, seq)], actions);
             self.counters.no_route_drops += 1;
-            actions.push(AodvAction::Drop { packet, reason: AodvDropReason::NoRoute });
+            actions.push(AodvAction::Drop {
+                packet,
+                reason: AodvDropReason::NoRoute,
+            });
         }
     }
 
@@ -527,11 +657,19 @@ impl Router {
         for packet in d.buffered {
             if let Some(route) = self.table.active(dst, now) {
                 let next_hop = route.next_hop;
-                self.table.refresh(dst, now, self.config.active_route_lifetime);
-                actions.push(AodvAction::Send { packet, next_hop, delay: SimDuration::ZERO });
+                self.table
+                    .refresh(dst, now, self.config.active_route_lifetime);
+                actions.push(AodvAction::Send {
+                    packet,
+                    next_hop,
+                    delay: SimDuration::ZERO,
+                });
             } else {
                 self.counters.no_route_drops += 1;
-                actions.push(AodvAction::Drop { packet, reason: AodvDropReason::NoRoute });
+                actions.push(AodvAction::Drop {
+                    packet,
+                    reason: AodvDropReason::NoRoute,
+                });
             }
         }
     }
@@ -543,11 +681,21 @@ mod tests {
     use mwn_pkt::{FlowId, TcpSegment};
 
     fn router(id: u32) -> Router {
-        Router::new(NodeId(id), AodvConfig::default(), Pcg32::new(u64::from(id)), u64::from(id) << 32)
+        Router::new(
+            NodeId(id),
+            AodvConfig::default(),
+            Pcg32::new(u64::from(id)),
+            u64::from(id) << 32,
+        )
     }
 
     fn data(uid: u64, src: u32, dst: u32) -> Packet {
-        Packet::new(uid, NodeId(src), NodeId(dst), Body::Tcp(TcpSegment::data(FlowId(0), 0)))
+        Packet::new(
+            uid,
+            NodeId(src),
+            NodeId(dst),
+            Body::Tcp(TcpSegment::data(FlowId(0), 0)),
+        )
     }
 
     fn t(ms: u64) -> SimTime {
@@ -558,7 +706,9 @@ mod tests {
         actions
             .iter()
             .filter_map(|a| match a {
-                AodvAction::Send { packet, next_hop, .. } => Some((packet, *next_hop)),
+                AodvAction::Send {
+                    packet, next_hop, ..
+                } => Some((packet, *next_hop)),
                 _ => None,
             })
             .collect()
@@ -571,8 +721,13 @@ mod tests {
         let s = sends(&a);
         assert_eq!(s.len(), 1);
         assert!(s[0].1.is_broadcast());
-        assert!(matches!(s[0].0.body, Body::Aodv(AodvMessage::Rreq { dst: NodeId(5), .. })));
-        assert!(a.iter().any(|x| matches!(x, AodvAction::SetDiscoveryTimer { dst: NodeId(5), .. })));
+        assert!(matches!(
+            s[0].0.body,
+            Body::Aodv(AodvMessage::Rreq { dst: NodeId(5), .. })
+        ));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, AodvAction::SetDiscoveryTimer { dst: NodeId(5), .. })));
         assert_eq!(r.counters().rreqs_originated, 1);
     }
 
@@ -594,7 +749,12 @@ mod tests {
             100,
             NodeId(1),
             NodeId(0),
-            Body::Aodv(AodvMessage::Rrep { orig: NodeId(0), dst: NodeId(5), dst_seq: 3, hop_count: 4 }),
+            Body::Aodv(AodvMessage::Rrep {
+                orig: NodeId(0),
+                dst: NodeId(5),
+                dst_seq: 3,
+                hop_count: 4,
+            }),
         );
         let a = r.on_received(t(50), NodeId(1), rrep);
         assert!(a.contains(&AodvAction::CancelDiscoveryTimer { dst: NodeId(5) }));
@@ -626,9 +786,19 @@ mod tests {
         let s = sends(&a);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].1, NodeId(4), "RREP unicast to the previous hop");
-        assert!(matches!(s[0].0.body, Body::Aodv(AodvMessage::Rrep { orig: NodeId(0), dst: NodeId(5), .. })));
+        assert!(matches!(
+            s[0].0.body,
+            Body::Aodv(AodvMessage::Rrep {
+                orig: NodeId(0),
+                dst: NodeId(5),
+                ..
+            })
+        ));
         // Reverse route to the originator installed.
-        assert_eq!(r.table().active(NodeId(0), t(10)).unwrap().next_hop, NodeId(4));
+        assert_eq!(
+            r.table().active(NodeId(0), t(10)).unwrap().next_hop,
+            NodeId(4)
+        );
         assert_eq!(r.table().active(NodeId(0), t(10)).unwrap().hop_count, 4);
     }
 
@@ -686,7 +856,8 @@ mod tests {
     fn data_forwarding_and_delivery() {
         let mut r = router(2);
         // Install route to 5 via 3.
-        r.table.update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
         let a = r.on_received(t(1), NodeId(1), data(7, 0, 5));
         let s = sends(&a);
         assert_eq!(s.len(), 1);
@@ -704,7 +875,10 @@ mod tests {
         let a = r.on_received(t(1), NodeId(1), data(7, 0, 5));
         assert!(a.iter().any(|x| matches!(
             x,
-            AodvAction::Drop { reason: AodvDropReason::NoRoute, .. }
+            AodvAction::Drop {
+                reason: AodvDropReason::NoRoute,
+                ..
+            }
         )));
         let s = sends(&a);
         assert_eq!(s.len(), 1);
@@ -715,8 +889,10 @@ mod tests {
     #[test]
     fn link_failure_counts_false_route_failure_and_invalidates() {
         let mut r = router(0);
-        r.table.update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
-        r.table.update(NodeId(6), NodeId(1), 4, 2, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(6), NodeId(1), 4, 2, t(0), SimDuration::from_secs(10));
         let a = r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), false);
         assert_eq!(r.counters().false_route_failures, 1);
         assert!(r.table().active(NodeId(5), t(2)).is_none());
@@ -727,14 +903,18 @@ mod tests {
         }));
         assert!(a.iter().any(|x| matches!(
             x,
-            AodvAction::Drop { reason: AodvDropReason::LinkFailure, .. }
+            AodvAction::Drop {
+                reason: AodvDropReason::LinkFailure,
+                ..
+            }
         )));
     }
 
     #[test]
     fn successful_confirm_changes_nothing() {
         let mut r = router(0);
-        r.table.update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
         let a = r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), true);
         assert!(a.is_empty());
         assert_eq!(r.counters().false_route_failures, 0);
@@ -744,14 +924,17 @@ mod tests {
     #[test]
     fn rerr_propagates_only_when_route_matches() {
         let mut r = router(2);
-        r.table.update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
         // RERR from a node we do not route through: ignored.
         let rerr = |from: u32| {
             Packet::new(
                 200 + u64::from(from),
                 NodeId(from),
                 NodeId::BROADCAST,
-                Body::Aodv(AodvMessage::Rerr { unreachable: vec![(NodeId(5), 9)] }),
+                Body::Aodv(AodvMessage::Rerr {
+                    unreachable: vec![(NodeId(5), 9)],
+                }),
             )
         };
         let a = r.on_received(t(1), NodeId(1), rerr(1));
@@ -777,7 +960,10 @@ mod tests {
         let a = r.on_discovery_timeout(t(7000), NodeId(5));
         assert!(a.iter().any(|x| matches!(
             x,
-            AodvAction::Drop { reason: AodvDropReason::NoRoute, .. }
+            AodvAction::Drop {
+                reason: AodvDropReason::NoRoute,
+                ..
+            }
         )));
         assert_eq!(r.counters().no_route_drops, 1);
         // A later send restarts discovery from scratch.
@@ -788,13 +974,17 @@ mod tests {
     #[test]
     fn ttl_expiry_drops_packet() {
         let mut r = router(2);
-        r.table.update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
         let mut p = data(7, 0, 5);
         p.ttl = 1;
         let a = r.on_received(t(1), NodeId(1), p);
         assert!(a.iter().any(|x| matches!(
             x,
-            AodvAction::Drop { reason: AodvDropReason::TtlExpired, .. }
+            AodvAction::Drop {
+                reason: AodvDropReason::TtlExpired,
+                ..
+            }
         )));
     }
 
@@ -807,14 +997,18 @@ mod tests {
         let a = r.send(t(1), data(99, 0, 5));
         assert!(a.iter().any(|x| matches!(
             x,
-            AodvAction::Drop { reason: AodvDropReason::BufferFull, .. }
+            AodvAction::Drop {
+                reason: AodvDropReason::BufferFull,
+                ..
+            }
         )));
     }
 
     #[test]
     fn intermediate_with_fresh_route_replies() {
         let mut r = router(2);
-        r.table.update(NodeId(5), NodeId(3), 2, 7, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(5), NodeId(3), 2, 7, t(0), SimDuration::from_secs(10));
         let rreq = Packet::new(
             100,
             NodeId(0),
@@ -834,7 +1028,11 @@ mod tests {
         assert_eq!(s[0].1, NodeId(1));
         assert!(matches!(
             s[0].0.body,
-            Body::Aodv(AodvMessage::Rrep { dst: NodeId(5), dst_seq: 7, .. })
+            Body::Aodv(AodvMessage::Rrep {
+                dst: NodeId(5),
+                dst_seq: 7,
+                ..
+            })
         ));
         assert_eq!(r.counters().rreqs_forwarded, 0);
     }
@@ -843,12 +1041,18 @@ mod tests {
     fn rrep_forwarded_along_reverse_route() {
         let mut r = router(2);
         // Reverse route to originator 0 via 1.
-        r.table.update(NodeId(0), NodeId(1), 2, 1, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(0), NodeId(1), 2, 1, t(0), SimDuration::from_secs(10));
         let rrep = Packet::new(
             100,
             NodeId(3),
             NodeId(0),
-            Body::Aodv(AodvMessage::Rrep { orig: NodeId(0), dst: NodeId(5), dst_seq: 3, hop_count: 1 }),
+            Body::Aodv(AodvMessage::Rrep {
+                orig: NodeId(0),
+                dst: NodeId(5),
+                dst_seq: 3,
+                hop_count: 1,
+            }),
         );
         let a = r.on_received(t(1), NodeId(3), rrep);
         let s = sends(&a);
@@ -859,31 +1063,36 @@ mod tests {
             Body::Aodv(AodvMessage::Rrep { hop_count: 2, .. })
         ));
         // Forward route to 5 installed via 3.
-        assert_eq!(r.table().active(NodeId(5), t(2)).unwrap().next_hop, NodeId(3));
+        assert_eq!(
+            r.table().active(NodeId(5), t(2)).unwrap().next_hop,
+            NodeId(3)
+        );
     }
 }
 
 #[cfg(test)]
 mod dup_tests {
     use super::*;
-    use mwn_pkt::{Body, AodvMessage};
+    use mwn_pkt::{AodvMessage, Body};
 
     #[test]
     fn first_flood_id_is_suppressed_on_duplicate() {
         let mut r = Router::new(NodeId(2), AodvConfig::default(), Pcg32::new(2), 2 << 16);
-        let mk = |uid| Packet::new(
-            uid,
-            NodeId(0),
-            NodeId::BROADCAST,
-            Body::Aodv(AodvMessage::Rreq {
-                rreq_id: 1, // the very first id a router allocates
-                orig: NodeId(0),
-                orig_seq: 1,
-                dst: NodeId(5),
-                dst_seq: None,
-                hop_count: 1,
-            }),
-        );
+        let mk = |uid| {
+            Packet::new(
+                uid,
+                NodeId(0),
+                NodeId::BROADCAST,
+                Body::Aodv(AodvMessage::Rreq {
+                    rreq_id: 1, // the very first id a router allocates
+                    orig: NodeId(0),
+                    orig_seq: 1,
+                    dst: NodeId(5),
+                    dst_seq: None,
+                    hop_count: 1,
+                }),
+            )
+        };
         let a = r.on_received(SimTime::ZERO, NodeId(1), mk(1));
         assert!(a.iter().any(|x| matches!(x, AodvAction::Send { .. })));
         let a = r.on_received(SimTime::ZERO, NodeId(3), mk(2));
@@ -898,12 +1107,25 @@ mod elfn_tests {
     use mwn_pkt::{Body, FlowId, TcpSegment};
 
     fn elfn_router(id: u32) -> Router {
-        let config = AodvConfig { elfn: true, ..AodvConfig::default() };
-        Router::new(NodeId(id), config, Pcg32::new(u64::from(id)), u64::from(id) << 32)
+        let config = AodvConfig {
+            elfn: true,
+            ..AodvConfig::default()
+        };
+        Router::new(
+            NodeId(id),
+            config,
+            Pcg32::new(u64::from(id)),
+            u64::from(id) << 32,
+        )
     }
 
     fn data(uid: u64, src: u32, dst: u32) -> Packet {
-        Packet::new(uid, NodeId(src), NodeId(dst), Body::Tcp(TcpSegment::data(FlowId(0), 0)))
+        Packet::new(
+            uid,
+            NodeId(src),
+            NodeId(dst),
+            Body::Tcp(TcpSegment::data(FlowId(0), 0)),
+        )
     }
 
     fn t(ms: u64) -> SimTime {
@@ -913,8 +1135,10 @@ mod elfn_tests {
     #[test]
     fn link_failure_notifies_broken_destinations() {
         let mut r = elfn_router(0);
-        r.table.update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
-        r.table.update(NodeId(6), NodeId(1), 4, 2, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(6), NodeId(1), 4, 2, t(0), SimDuration::from_secs(10));
         let a = r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), false);
         let notified: Vec<NodeId> = a
             .iter()
@@ -930,12 +1154,15 @@ mod elfn_tests {
     #[test]
     fn rerr_also_notifies() {
         let mut r = elfn_router(2);
-        r.table.update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
         let rerr = Packet::new(
             200,
             NodeId(3),
             NodeId::BROADCAST,
-            Body::Aodv(AodvMessage::Rerr { unreachable: vec![(NodeId(5), 9)] }),
+            Body::Aodv(AodvMessage::Rerr {
+                unreachable: vec![(NodeId(5), 9)],
+            }),
         );
         let a = r.on_received(t(2), NodeId(3), rerr);
         assert!(a
@@ -946,8 +1173,11 @@ mod elfn_tests {
     #[test]
     fn disabled_by_default() {
         let mut r = Router::new(NodeId(0), AodvConfig::default(), Pcg32::new(0), 0);
-        r.table.update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
+        r.table
+            .update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
         let a = r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), false);
-        assert!(!a.iter().any(|x| matches!(x, AodvAction::NotifyRouteFailure { .. })));
+        assert!(!a
+            .iter()
+            .any(|x| matches!(x, AodvAction::NotifyRouteFailure { .. })));
     }
 }

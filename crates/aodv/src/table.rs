@@ -70,7 +70,13 @@ impl RoutingTable {
         now: SimTime,
         lifetime: SimDuration,
     ) -> bool {
-        let fresh = Route { next_hop, hop_count, dst_seq, valid: true, expires: now + lifetime };
+        let fresh = Route {
+            next_hop,
+            hop_count,
+            dst_seq,
+            valid: true,
+            expires: now + lifetime,
+        };
         match self.routes.get_mut(&dst) {
             Some(old) => {
                 let stale = !old.valid || old.expires <= now;

@@ -58,7 +58,9 @@ impl Line {
     fn apply(&mut self, node: usize, actions: Vec<AodvAction>) {
         for a in actions {
             match a {
-                AodvAction::Send { packet, next_hop, .. } => {
+                AodvAction::Send {
+                    packet, next_hop, ..
+                } => {
                     if next_hop.is_broadcast() {
                         for n in self.neighbors(node) {
                             self.in_flight.push_back((n, node, packet.clone()));
@@ -127,15 +129,25 @@ impl Line {
 fn five_hop_discovery_and_delivery() {
     let mut line = Line::new(6);
     line.send_data(0, 5, 1);
-    assert_eq!(line.delivered[5].len(), 1, "packet must reach node 5 after discovery");
+    assert_eq!(
+        line.delivered[5].len(),
+        1,
+        "packet must reach node 5 after discovery"
+    );
     // Forward route installed everywhere along the path.
     for i in 0..5 {
-        let r = line.routers[i].table().active(NodeId(5), line.now).expect("route to 5");
+        let r = line.routers[i]
+            .table()
+            .active(NodeId(5), line.now)
+            .expect("route to 5");
         assert_eq!(r.next_hop, NodeId(i as u32 + 1));
     }
     // Reverse routes to the originator exist too (from the RREQ flood).
     for i in 1..6 {
-        let r = line.routers[i].table().active(NodeId(0), line.now).expect("route to 0");
+        let r = line.routers[i]
+            .table()
+            .active(NodeId(0), line.now)
+            .expect("route to 0");
         assert_eq!(r.next_hop, NodeId(i as u32 - 1));
     }
 }
@@ -182,14 +194,21 @@ fn link_failure_invalidates_and_rediscovers() {
     line.settle();
     assert_eq!(line.routers[0].counters().false_route_failures, 1);
     assert!(
-        line.routers[0].table().active(NodeId(4), line.now).is_none(),
+        line.routers[0]
+            .table()
+            .active(NodeId(4), line.now)
+            .is_none(),
         "route through the failed hop must be invalidated"
     );
     // The next send triggers a fresh discovery and succeeds (the static
     // line is intact; the failure was false).
     line.send_data(0, 4, 2);
     while line.delivered[4].len() < 2 && line.fire_next_timer() {}
-    assert_eq!(line.delivered[4].len(), 2, "rediscovery must repair the path");
+    assert_eq!(
+        line.delivered[4].len(),
+        2,
+        "rediscovery must repair the path"
+    );
 }
 
 #[test]
@@ -208,7 +227,10 @@ fn rerr_from_midpath_reaches_the_source() {
     line.settle();
     // The RERR cascade must invalidate the stale route at the source.
     assert!(
-        line.routers[0].table().active(NodeId(5), line.now).is_none(),
+        line.routers[0]
+            .table()
+            .active(NodeId(5), line.now)
+            .is_none(),
         "source must learn about the broken path"
     );
 }
@@ -217,7 +239,12 @@ fn rerr_from_midpath_reaches_the_source() {
 fn unreachable_destination_gives_up_after_retries() {
     // Node 9 does not exist: discovery must exhaust its retries and stop.
     let mut line = Line::new(3);
-    let p = Packet::new(1, NodeId(0), NodeId(9), Body::Tcp(TcpSegment::data(FlowId(0), 0)));
+    let p = Packet::new(
+        1,
+        NodeId(0),
+        NodeId(9),
+        Body::Tcp(TcpSegment::data(FlowId(0), 0)),
+    );
     let actions = line.routers[0].send(line.now, p);
     line.apply(0, actions);
     line.settle();
@@ -252,8 +279,11 @@ fn ttl_limits_flood_depth() {
     // node rebroadcasts a given RREQ at most once).
     let mut line = Line::new(6);
     line.send_data(0, 5, 1);
-    let total_forwards: u64 =
-        line.routers.iter().map(|r| r.counters().rreqs_forwarded).sum();
+    let total_forwards: u64 = line
+        .routers
+        .iter()
+        .map(|r| r.counters().rreqs_forwarded)
+        .sum();
     assert!(
         total_forwards <= 5,
         "each intermediate node forwards the flood at most once, got {total_forwards}"
@@ -264,11 +294,17 @@ fn ttl_limits_flood_depth() {
 fn routes_expire_without_traffic() {
     let mut line = Line::new(4);
     line.send_data(0, 3, 1);
-    assert!(line.routers[0].table().active(NodeId(3), line.now).is_some());
+    assert!(line.routers[0]
+        .table()
+        .active(NodeId(3), line.now)
+        .is_some());
     // Idle past the active-route lifetime.
     line.now += SimDuration::from_secs(11);
     assert!(
-        line.routers[0].table().active(NodeId(3), line.now).is_none(),
+        line.routers[0]
+            .table()
+            .active(NodeId(3), line.now)
+            .is_none(),
         "route must expire after 10 s idle"
     );
     // A new send rediscovers.

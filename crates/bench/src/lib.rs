@@ -39,7 +39,10 @@ pub fn reproduce(
         println!();
         print!("{}", t.render());
     }
-    println!("\n[{name} completed in {:.1}s]", started.elapsed().as_secs_f64());
+    println!(
+        "\n[{name} completed in {:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 /// Convenience for single-figure benches.
@@ -48,5 +51,7 @@ pub fn reproduce_figure(
     paper_expectation: &str,
     produce: impl FnOnce(ExperimentScale) -> FigureData,
 ) {
-    reproduce(name, paper_expectation, |scale| (vec![produce(scale)], vec![]));
+    reproduce(name, paper_expectation, |scale| {
+        (vec![produce(scale)], vec![])
+    });
 }

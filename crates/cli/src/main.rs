@@ -1,22 +1,25 @@
 //! `mwn` — command-line front end for the multihop-wireless TCP study.
 //!
 //! ```text
-//! mwn repro <experiment|all> [--scale N] [--csv]   regenerate paper figures/tables
-//! mwn run [options]                                run one scenario, print measures
-//! mwn list                                         list reproducible experiments
-//! mwn trace [--hops H] [--events N]                print an annotated event trace
+//! mwn repro <experiment|all> [--scale N] [--jobs N] [--csv]   regenerate paper figures/tables
+//! mwn sweep [--suite chain|full] [--jobs N] [--out F]         parallel sweep into a JSONL store
+//! mwn run [options]                                           run one scenario, print measures
+//! mwn list                                                    list reproducible experiments
+//! mwn trace [--hops H] [--events N]                           print an annotated event trace
 //! ```
 
 use std::process::ExitCode;
 
 mod repro;
 mod run;
+mod sweep;
 mod trace_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("repro") => repro::command(&args[1..]),
+        Some("sweep") => sweep::command(&args[1..]),
         Some("run") => run::command(&args[1..]),
         Some("list") => {
             repro::list();
@@ -45,10 +48,15 @@ fn print_usage() {
         "mwn — TCP over multihop wireless 802.11, reproduction of \
          ElRakabawy/Lindemann/Vernon (DSN 2005)\n\n\
          USAGE:\n\
-         \x20 mwn repro <experiment|all> [--scale N] [--csv]\n\
+         \x20 mwn repro <experiment|all> [--scale N] [--jobs N] [--csv]\n\
          \x20     Regenerate a paper figure/table (see `mwn list`).\n\
          \x20     --scale N   batch size multiplier (1 = quick, 25 = paper scale)\n\
+         \x20     --jobs N    run experiments on N worker threads (0 = one per CPU)\n\
          \x20     --csv       emit CSV instead of aligned text\n\n\
+         \x20 mwn sweep [--suite chain|full] [--jobs N] [--out results.jsonl] [--scale N]\n\
+         \x20     Run a suite of experiment jobs on a worker pool, appending\n\
+         \x20     results to a JSONL store. Re-running with the same --out\n\
+         \x20     resumes: completed jobs are skipped, failed ones retried.\n\n\
          \x20 mwn run [--topology chain|grid|random] [--hops H] [--mbits 2|5.5|11]\n\
          \x20         [--variant vegas|vegas-thin|newreno|newreno-thin|reno|tahoe|optwin|udp]\n\
          \x20         [--seed S] [--scale N]\n\
@@ -87,7 +95,9 @@ pub(crate) mod args {
     }
 
     pub fn parse<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
-        value.parse().map_err(|_| format!("invalid {what}: {value:?}"))
+        value
+            .parse()
+            .map_err(|_| format!("invalid {what}: {value:?}"))
     }
 
     pub fn reject_leftovers(argv: &[String]) -> Result<(), String> {

@@ -1,28 +1,44 @@
 //! `mwn repro` — regenerate the paper's figures and tables.
 
 use mwn::experiments::{self, FigureData, TableData};
-use mwn::{ExperimentScale, SimDuration};
+use mwn::ExperimentScale;
+use mwn_runner::pool;
 
 use crate::args;
 
+/// What one experiment produces: its figures and tables.
+type Output = (Vec<FigureData>, Vec<TableData>);
+
 /// One reproducible experiment: id, description, producer.
-type Producer = fn(ExperimentScale) -> (Vec<FigureData>, Vec<TableData>);
+type Producer = fn(ExperimentScale) -> Output;
 
 fn catalog() -> Vec<(&'static str, &'static str, Producer)> {
     vec![
         ("table2", "4-hop propagation delay per bandwidth", |_s| {
             (vec![], vec![experiments::table2()])
         }),
-        ("fig2-3", "Vegas alpha sweep: goodput and window vs hops", |s| {
-            let (a, b) = experiments::figs_2_3(s);
-            (vec![a, b], vec![])
+        (
+            "fig2-3",
+            "Vegas alpha sweep: goodput and window vs hops",
+            |s| {
+                let (a, b) = experiments::figs_2_3(s);
+                (vec![a, b], vec![])
+            },
+        ),
+        ("fig4", "Vegas goodput vs bandwidth (7 hops)", |s| {
+            (vec![experiments::fig4(s)], vec![])
         }),
-        ("fig4", "Vegas goodput vs bandwidth (7 hops)", |s| (vec![experiments::fig4(s)], vec![])),
-        ("fig5", "Vegas with ACK thinning vs hops", |s| (vec![experiments::fig5(s)], vec![])),
-        ("fig6-9", "chain study: goodput/retx/window/route failures", |s| {
-            (experiments::figs_6_to_9(s).to_vec(), vec![])
+        ("fig5", "Vegas with ACK thinning vs hops", |s| {
+            (vec![experiments::fig5(s)], vec![])
         }),
-        ("fig10", "paced-UDP rate sweep (7 hops)", |s| (vec![experiments::fig10(s)], vec![])),
+        (
+            "fig6-9",
+            "chain study: goodput/retx/window/route failures",
+            |s| (experiments::figs_6_to_9(s).to_vec(), vec![]),
+        ),
+        ("fig10", "paced-UDP rate sweep (7 hops)", |s| {
+            (vec![experiments::fig10(s)], vec![])
+        }),
         ("fig11-14", "7-hop chain across bandwidths", |s| {
             (experiments::figs_11_to_14(s).to_vec(), vec![])
         }),
@@ -37,12 +53,16 @@ fn catalog() -> Vec<(&'static str, &'static str, Producer)> {
         ("ablation-capture", "physical capture on/off", |s| {
             (vec![experiments::ablation_capture(s)], vec![])
         }),
-        ("ablation-basic-rate", "control frames at basic vs data rate", |s| {
-            (vec![experiments::ablation_basic_rate(s)], vec![])
-        }),
-        ("ablation-cs-range", "carrier-sense range vs hidden terminals", |s| {
-            (vec![experiments::ablation_cs_range(s)], vec![])
-        }),
+        (
+            "ablation-basic-rate",
+            "control frames at basic vs data rate",
+            |s| (vec![experiments::ablation_basic_rate(s)], vec![]),
+        ),
+        (
+            "ablation-cs-range",
+            "carrier-sense range vs hidden terminals",
+            |s| (vec![experiments::ablation_cs_range(s)], vec![]),
+        ),
         ("ext-fu", "Fu et al. link-layer pacing + RED", |s| {
             (vec![experiments::extension_fu_enhancements(s)], vec![])
         }),
@@ -76,6 +96,17 @@ pub fn command(rest: &[String]) -> Result<(), String> {
     if mult == 0 {
         return Err("--scale must be at least 1".into());
     }
+    let jobs: usize = match args::take_value(&mut argv, "--jobs")? {
+        Some(v) => {
+            let n: usize = args::parse(&v, "job count")?;
+            if n == 0 {
+                mwn_runner::default_workers()
+            } else {
+                n
+            }
+        }
+        None => 1,
+    };
     let csv = args::take_flag(&mut argv, "--csv");
     let Some(which) = argv.first().cloned() else {
         return Err("repro needs an experiment id (see `mwn list`)".into());
@@ -83,27 +114,52 @@ pub fn command(rest: &[String]) -> Result<(), String> {
     argv.remove(0);
     args::reject_leftovers(&argv)?;
 
-    let quick = ExperimentScale::quick();
-    let scale = ExperimentScale {
-        batch_packets: quick.batch_packets * mult,
-        batches: quick.batches,
-        deadline: SimDuration::from_secs(4_000 * mult),
-    };
+    let scale = ExperimentScale::scaled(mult);
 
     let catalog = catalog();
     let selected: Vec<_> = if which == "all" {
         catalog
     } else {
-        let found: Vec<_> = catalog.into_iter().filter(|(id, _, _)| *id == which).collect();
+        let found: Vec<_> = catalog
+            .into_iter()
+            .filter(|(id, _, _)| *id == which)
+            .collect();
         if found.is_empty() {
             return Err(format!("unknown experiment {which:?} (see `mwn list`)"));
         }
         found
     };
 
-    for (id, desc, produce) in selected {
-        eprintln!("[{id}] {desc} (scale x{mult})...");
-        let (figures, tables) = produce(scale);
+    // Experiments are independent, so with --jobs > 1 they run on a worker
+    // pool; output is collected and printed in catalog order either way.
+    let produced: Vec<(&str, Result<Output, String>)> = if jobs > 1 {
+        let ids: Vec<&str> = selected.iter().map(|(id, _, _)| *id).collect();
+        eprintln!(
+            "[repro] {} experiment(s) on {jobs} worker(s) (scale x{mult})...",
+            ids.len()
+        );
+        let results = pool::parallel_map(selected, jobs, |(_, _, produce)| produce(scale));
+        ids.into_iter().zip(results).collect()
+    } else {
+        selected
+            .into_iter()
+            .map(|(id, desc, produce)| {
+                eprintln!("[{id}] {desc} (scale x{mult})...");
+                (id, Ok(produce(scale)))
+            })
+            .collect()
+    };
+
+    let mut failures = Vec::new();
+    for (id, outcome) in produced {
+        let (figures, tables) = match outcome {
+            Ok(data) => data,
+            Err(panic) => {
+                eprintln!("[{id}] FAILED: {panic}");
+                failures.push(id);
+                continue;
+            }
+        };
         for f in figures {
             if csv {
                 println!("# {} — {}", f.id, f.title);
@@ -118,5 +174,9 @@ pub fn command(rest: &[String]) -> Result<(), String> {
             println!();
         }
     }
-    Ok(())
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("experiment(s) failed: {}", failures.join(", ")))
+    }
 }

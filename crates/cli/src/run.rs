@@ -28,7 +28,11 @@ pub fn command(rest: &[String]) -> Result<(), String> {
         "2" => DataRate::MBPS_2,
         "5.5" => DataRate::MBPS_5_5,
         "11" => DataRate::MBPS_11,
-        other => return Err(format!("unsupported bandwidth {other:?} (use 2, 5.5 or 11)")),
+        other => {
+            return Err(format!(
+                "unsupported bandwidth {other:?} (use 2, 5.5 or 11)"
+            ))
+        }
     };
     let transport = match variant.as_str() {
         "vegas" => Transport::vegas(2),
@@ -52,12 +56,7 @@ pub fn command(rest: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown topology {other:?} (chain|grid|random)")),
     };
 
-    let quick = ExperimentScale::quick();
-    let scale = ExperimentScale {
-        batch_packets: quick.batch_packets * mult.max(1),
-        batches: quick.batches,
-        deadline: SimDuration::from_secs(4_000 * mult.max(1)),
-    };
+    let scale = ExperimentScale::scaled(mult);
 
     eprintln!(
         "{} | {} nodes, {} flow(s), {bandwidth}, seed {seed}, {} batches x {} packets",
@@ -69,16 +68,24 @@ pub fn command(rest: &[String]) -> Result<(), String> {
     );
 
     let r = experiment::run(&scenario, scale);
-    println!("aggregate goodput      {:>10.1} kbit/s (±{:.1})",
-        r.aggregate_goodput_kbps.mean, r.aggregate_goodput_kbps.half_width);
+    println!(
+        "aggregate goodput      {:>10.1} kbit/s (±{:.1})",
+        r.aggregate_goodput_kbps.mean, r.aggregate_goodput_kbps.half_width
+    );
     println!("fairness (Jain)        {:>10.3}", r.fairness.mean);
     println!("link-layer drop prob   {:>10.4}", r.drop_probability.mean);
     println!("false route failures   {:>10}", r.false_route_failures);
     println!("energy per packet      {:>10.3} J", r.energy_per_packet);
-    println!("simulated time         {:>10.1} s", r.measured_time.as_secs_f64());
+    println!(
+        "simulated time         {:>10.1} s",
+        r.measured_time.as_secs_f64()
+    );
     println!("outcome                {:>10?}", r.outcome);
     println!();
-    println!("{:<6} {:>12} {:>12} {:>10}", "flow", "goodput", "retx/pkt", "window");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "flow", "goodput", "retx/pkt", "window"
+    );
     for f in &r.per_flow {
         println!(
             "{:<6} {:>8.1} kb/s {:>12.4} {:>10.2}",

@@ -1,0 +1,53 @@
+//! `mwn sweep` — run an experiment suite on a worker pool, streaming
+//! results into a resumable JSONL store.
+
+use mwn::jobs;
+use mwn::ExperimentScale;
+use mwn_runner::{default_workers, run_sweep, simulate, SweepOptions};
+
+use crate::args;
+
+pub fn command(rest: &[String]) -> Result<(), String> {
+    let mut argv: Vec<String> = rest.to_vec();
+    let workers: usize = match args::take_value(&mut argv, "--jobs")? {
+        Some(v) => args::parse(&v, "job count")?,
+        None => 0, // auto: one worker per CPU
+    };
+    let out = args::take_value(&mut argv, "--out")?.unwrap_or_else(|| "results.jsonl".into());
+    let mult: u64 = match args::take_value(&mut argv, "--scale")? {
+        Some(v) => args::parse(&v, "scale")?,
+        None => 1,
+    };
+    if mult == 0 {
+        return Err("--scale must be at least 1".into());
+    }
+    let suite = args::take_value(&mut argv, "--suite")?.unwrap_or_else(|| "chain".into());
+    args::reject_leftovers(&argv)?;
+
+    let scale = ExperimentScale::scaled(mult);
+    let jobs = match suite.as_str() {
+        "chain" => jobs::chain_study(scale),
+        "full" => jobs::full_suite(scale),
+        other => return Err(format!("unknown suite {other:?} (use chain or full)")),
+    };
+
+    let shown = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    };
+    eprintln!(
+        "suite {suite:?}: {} job(s) at scale x{mult}, {shown} worker(s)",
+        jobs.len()
+    );
+    let opts = SweepOptions::new(&out).workers(workers);
+    let summary =
+        run_sweep(&jobs, &opts, &simulate).map_err(|e| format!("results store {out:?}: {e}"))?;
+    if summary.failed > 0 {
+        return Err(format!(
+            "{} of {} job(s) failed; see \"status\":\"failed\" lines in {out}",
+            summary.failed, summary.total
+        ));
+    }
+    Ok(())
+}

@@ -56,20 +56,32 @@ impl ExperimentScale {
         }
     }
 
+    /// The quick scale multiplied by `mult` (25 = the paper's 10 000
+    /// packets per batch), with a proportionally extended deadline.
+    ///
+    /// Saturates instead of overflowing, so absurd multipliers degrade to
+    /// "as large as representable" rather than wrapping to tiny runs.
+    pub fn scaled(mult: u64) -> Self {
+        let mult = mult.max(1);
+        let quick = Self::quick();
+        // `SimDuration::from_secs` multiplies by 1e9 internally; clamp so
+        // that step cannot overflow either.
+        let secs = 4_000u64.saturating_mul(mult).min(u64::MAX / 1_000_000_000);
+        ExperimentScale {
+            batch_packets: quick.batch_packets.saturating_mul(mult),
+            batches: quick.batches,
+            deadline: SimDuration::from_secs(secs),
+        }
+    }
+
     /// Reads `MWN_SCALE` from the environment: a multiplier on the quick
     /// scale's batch size (`MWN_SCALE=25` reproduces the paper's 10 000).
     pub fn from_env() -> Self {
         let mult: u64 = std::env::var("MWN_SCALE")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(1)
-            .max(1);
-        let quick = Self::quick();
-        ExperimentScale {
-            batch_packets: quick.batch_packets * mult,
-            batches: quick.batches,
-            deadline: SimDuration::from_secs(4_000 * mult),
-        }
+            .unwrap_or(1);
+        Self::scaled(mult)
     }
 }
 
@@ -194,9 +206,16 @@ pub fn run(scenario: &Scenario, scale: ExperimentScale) -> RunResults {
             } else {
                 d_delta as f64 * BITS_PER_PACKET / elapsed.as_secs_f64() / 1000.0
             };
-            let rpp = if d_delta == 0 { 0.0 } else { r_delta as f64 / d_delta as f64 };
+            let rpp = if d_delta == 0 {
+                0.0
+            } else {
+                r_delta as f64 / d_delta as f64
+            };
             let win = net.flow_avg_window(flow);
-            snapshots[i] = FlowSnapshot { delivered, retransmissions: retx_total };
+            snapshots[i] = FlowSnapshot {
+                delivered,
+                retransmissions: retx_total,
+            };
             flow_goodputs.push(gp);
             if batch > 0 {
                 goodput[i].push(gp);
@@ -229,11 +248,18 @@ pub fn run(scenario: &Scenario, scale: ExperimentScale) -> RunResults {
         batch_start = now;
     }
 
-    if let RunOutcome::Truncated { completed_batches: ref mut cb } = outcome {
+    if let RunOutcome::Truncated {
+        completed_batches: ref mut cb,
+    } = outcome
+    {
         *cb = completed_batches;
     }
 
-    let frf = net.totals().aodv.false_route_failures.saturating_sub(frf_at_transient_end);
+    let frf = net
+        .totals()
+        .aodv
+        .false_route_failures
+        .saturating_sub(frf_at_transient_end);
     let frf_paper_scale = if packets_measured == 0 {
         0.0
     } else {
@@ -290,6 +316,17 @@ mod tests {
         let s = ExperimentScale::from_env();
         assert_eq!(s.batch_packets % ExperimentScale::quick().batch_packets, 0);
         assert_eq!(s.batches, 11);
+    }
+
+    #[test]
+    fn scaled_saturates_instead_of_overflowing() {
+        assert_eq!(ExperimentScale::scaled(0), ExperimentScale::scaled(1));
+        assert_eq!(ExperimentScale::scaled(25).batch_packets, 10_000);
+        let huge = ExperimentScale::scaled(u64::MAX);
+        assert_eq!(huge.batch_packets, u64::MAX);
+        // Deadline clamps below the nanosecond-representable maximum
+        // rather than wrapping to a tiny value.
+        assert!(huge.deadline > ExperimentScale::scaled(1_000_000).deadline);
     }
 
     #[test]

@@ -189,8 +189,11 @@ impl TableData {
     /// Renders the table as GitHub-flavored markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = format!("### {} — {}\n\n", self.id, self.title);
-        let headers: Vec<&str> =
-            self.headers.iter().map(|h| if h.is_empty() { " " } else { h.as_str() }).collect();
+        let headers: Vec<&str> = self
+            .headers
+            .iter()
+            .map(|h| if h.is_empty() { " " } else { h.as_str() })
+            .collect();
         out.push_str(&format!("| {} |\n", headers.join(" | ")));
         out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
@@ -214,7 +217,11 @@ fn format_estimate(e: &Estimate) -> String {
 }
 
 /// Deterministic seed for a (figure, series, point) triple.
-fn seed_for(parts: &[u64]) -> u64 {
+///
+/// Public so that [`crate::jobs`] enumerates the sweep grid with the
+/// *identical* seeds these figure drivers use — a sweep result and the
+/// corresponding figure point come from the same simulation run.
+pub fn seed_for(parts: &[u64]) -> u64 {
     let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
     for &p in parts {
         h ^= p.wrapping_add(0x517C_C1B7_2722_0A95);
@@ -248,8 +255,12 @@ pub fn table2() -> TableData {
     let mut cells = Vec::new();
     for bw in PAPER_BANDWIDTHS {
         let gap = SimDuration::from_secs(1);
-        let s =
-            Scenario::chain(4, bw, Transport::paced_udp(gap), seed_for(&[2, bw.bits_per_sec()]));
+        let s = Scenario::chain(
+            4,
+            bw,
+            Transport::paced_udp(gap),
+            seed_for(&[2, bw.bits_per_sec()]),
+        );
         let mut net = s.build();
         // Warm the route with packet 0, then time packet 2.
         net.run_until_delivered(3, SimTime::ZERO + SimDuration::from_secs(30));
@@ -263,7 +274,12 @@ pub fn table2() -> TableData {
     TableData {
         id: "Table 2".into(),
         title: "4-hop propagation delay for different bandwidths".into(),
-        headers: vec!["".into(), "2 Mbit/s".into(), "5.5 Mbit/s".into(), "11 Mbit/s".into()],
+        headers: vec![
+            "".into(),
+            "2 Mbit/s".into(),
+            "5.5 Mbit/s".into(),
+            "11 Mbit/s".into(),
+        ],
         rows: vec![{
             let mut row = vec!["measured".to_string()];
             row.extend(cells);
@@ -282,8 +298,14 @@ pub fn figs_2_3(scale: ExperimentScale) -> (FigureData, FigureData) {
     let mut goodput = Vec::new();
     let mut window = Vec::new();
     for alpha in [2u32, 3, 4] {
-        let mut gp = Series { label: format!("Vegas a={alpha}"), points: Vec::new() };
-        let mut win = Series { label: format!("Vegas a={alpha}"), points: Vec::new() };
+        let mut gp = Series {
+            label: format!("Vegas a={alpha}"),
+            points: Vec::new(),
+        };
+        let mut win = Series {
+            label: format!("Vegas a={alpha}"),
+            points: Vec::new(),
+        };
         for hops in PAPER_HOPS {
             let r = chain_run(
                 hops,
@@ -322,7 +344,10 @@ pub fn figs_2_3(scale: ExperimentScale) -> (FigureData, FigureData) {
 pub fn fig4(scale: ExperimentScale) -> FigureData {
     let mut series = Vec::new();
     for alpha in [2u32, 3, 4] {
-        let mut s = Series { label: format!("Vegas a={alpha}"), points: Vec::new() };
+        let mut s = Series {
+            label: format!("Vegas a={alpha}"),
+            points: Vec::new(),
+        };
         for bw in PAPER_BANDWIDTHS {
             let r = chain_run(
                 7,
@@ -355,10 +380,18 @@ pub fn fig5(scale: ExperimentScale) -> FigureData {
     ];
     let mut series = Vec::new();
     for (vi, (label, t)) in variants.into_iter().enumerate() {
-        let mut s = Series { label, points: Vec::new() };
+        let mut s = Series {
+            label,
+            points: Vec::new(),
+        };
         for hops in PAPER_HOPS {
-            let r =
-                chain_run(hops, DataRate::MBPS_2, t, seed_for(&[5, vi as u64, hops as u64]), scale);
+            let r = chain_run(
+                hops,
+                DataRate::MBPS_2,
+                t,
+                seed_for(&[5, vi as u64, hops as u64]),
+                scale,
+            );
             s.points.push((hops as f64, r.aggregate_goodput_kbps));
         }
         series.push(s);
@@ -384,20 +417,41 @@ pub fn figs_6_to_9(scale: ExperimentScale) -> [FigureData; 4] {
         ("Vegas".into(), Transport::vegas(2), true),
         ("NewReno".into(), Transport::newreno(), true),
         ("NewReno +thin".into(), Transport::newreno_thinning(), true),
-        ("Paced UDP".into(), Transport::paced_udp(SATURATING_UDP_GAP), false),
+        (
+            "Paced UDP".into(),
+            Transport::paced_udp(SATURATING_UDP_GAP),
+            false,
+        ),
     ];
     let mut goodput = Vec::new();
     let mut retx = Vec::new();
     let mut window = Vec::new();
     let mut frf = Vec::new();
     for (vi, (label, t, is_tcp)) in variants.into_iter().enumerate() {
-        let mut gp = Series { label: label.clone(), points: Vec::new() };
-        let mut rx = Series { label: label.clone(), points: Vec::new() };
-        let mut win = Series { label: label.clone(), points: Vec::new() };
-        let mut ff = Series { label: label.clone(), points: Vec::new() };
+        let mut gp = Series {
+            label: label.clone(),
+            points: Vec::new(),
+        };
+        let mut rx = Series {
+            label: label.clone(),
+            points: Vec::new(),
+        };
+        let mut win = Series {
+            label: label.clone(),
+            points: Vec::new(),
+        };
+        let mut ff = Series {
+            label: label.clone(),
+            points: Vec::new(),
+        };
         for hops in PAPER_HOPS {
-            let r =
-                chain_run(hops, DataRate::MBPS_2, t, seed_for(&[6, vi as u64, hops as u64]), scale);
+            let r = chain_run(
+                hops,
+                DataRate::MBPS_2,
+                t,
+                seed_for(&[6, vi as u64, hops as u64]),
+                scale,
+            );
             gp.points.push((hops as f64, r.aggregate_goodput_kbps));
             if is_tcp {
                 rx.points.push((hops as f64, r.per_flow[0].retx_per_packet));
@@ -405,7 +459,10 @@ pub fn figs_6_to_9(scale: ExperimentScale) -> [FigureData; 4] {
             }
             ff.points.push((
                 hops as f64,
-                Estimate { mean: r.false_route_failures_paper_scale, half_width: 0.0 },
+                Estimate {
+                    mean: r.false_route_failures_paper_scale,
+                    half_width: 0.0,
+                },
             ));
         }
         goodput.push(gp);
@@ -452,11 +509,19 @@ pub fn figs_6_to_9(scale: ExperimentScale) -> [FigureData; 4] {
 /// Figure 10: paced-UDP goodput on the 7-hop 2 Mbit/s chain vs the time
 /// between successive packet transmissions (paper optimum ≈ 35.7 ms).
 pub fn fig10(scale: ExperimentScale) -> FigureData {
-    let mut s = Series { label: "Paced UDP".into(), points: Vec::new() };
+    let mut s = Series {
+        label: "Paced UDP".into(),
+        points: Vec::new(),
+    };
     for gap_ms in (20..=44u64).step_by(2) {
         let gap = SimDuration::from_millis(gap_ms);
         let r = experiment::run(
-            &Scenario::chain(7, DataRate::MBPS_2, Transport::paced_udp(gap), seed_for(&[10, gap_ms])),
+            &Scenario::chain(
+                7,
+                DataRate::MBPS_2,
+                Transport::paced_udp(gap),
+                seed_for(&[10, gap_ms]),
+            ),
             scale,
         );
         s.points.push((gap_ms as f64, r.aggregate_goodput_kbps));
@@ -481,8 +546,16 @@ fn bandwidth_variants() -> Vec<(String, Transport, bool)> {
         ("NewReno".into(), Transport::newreno(), true),
         ("Vegas +thin".into(), Transport::vegas_thinning(2), true),
         ("NewReno +thin".into(), Transport::newreno_thinning(), true),
-        ("NewReno OptWin".into(), Transport::newreno_optimal_window(3), true),
-        ("Paced UDP".into(), Transport::paced_udp(SATURATING_UDP_GAP), false),
+        (
+            "NewReno OptWin".into(),
+            Transport::newreno_optimal_window(3),
+            true,
+        ),
+        (
+            "Paced UDP".into(),
+            Transport::paced_udp(SATURATING_UDP_GAP),
+            false,
+        ),
     ]
 }
 
@@ -494,12 +567,30 @@ pub fn figs_11_to_14(scale: ExperimentScale) -> [FigureData; 4] {
     let mut window = Vec::new();
     let mut drops = Vec::new();
     for (vi, (label, t, is_tcp)) in bandwidth_variants().into_iter().enumerate() {
-        let mut gp = Series { label: label.clone(), points: Vec::new() };
-        let mut rx = Series { label: label.clone(), points: Vec::new() };
-        let mut win = Series { label: label.clone(), points: Vec::new() };
-        let mut dr = Series { label: label.clone(), points: Vec::new() };
+        let mut gp = Series {
+            label: label.clone(),
+            points: Vec::new(),
+        };
+        let mut rx = Series {
+            label: label.clone(),
+            points: Vec::new(),
+        };
+        let mut win = Series {
+            label: label.clone(),
+            points: Vec::new(),
+        };
+        let mut dr = Series {
+            label: label.clone(),
+            points: Vec::new(),
+        };
         for bw in PAPER_BANDWIDTHS {
-            let r = chain_run(7, bw, t, seed_for(&[11, vi as u64, bw.bits_per_sec()]), scale);
+            let r = chain_run(
+                7,
+                bw,
+                t,
+                seed_for(&[11, vi as u64, bw.bits_per_sec()]),
+                scale,
+            );
             gp.points.push((bw_mbit(bw), r.aggregate_goodput_kbps));
             if is_tcp {
                 rx.points.push((bw_mbit(bw), r.per_flow[0].retx_per_packet));
@@ -572,7 +663,10 @@ pub fn grid_study(scale: ExperimentScale) -> (FigureData, FigureData, TableData)
         scale,
         16,
         Scenario::grid6,
-        ("Fig 16", "Grid topology: aggregate goodput for different bandwidths"),
+        (
+            "Fig 16",
+            "Grid topology: aggregate goodput for different bandwidths",
+        ),
         ("Fig 17", "Grid topology: per-flow goodput at 11 Mbit/s"),
         ("Table 3", "Grid topology: Jain's fairness index"),
     )
@@ -585,7 +679,10 @@ pub fn random_study(scale: ExperimentScale) -> (FigureData, FigureData, TableDat
         scale,
         18,
         Scenario::random10,
-        ("Fig 18", "Random topology: aggregate goodput for different bandwidths"),
+        (
+            "Fig 18",
+            "Random topology: aggregate goodput for different bandwidths",
+        ),
         ("Fig 19", "Random topology: per-flow goodput at 11 Mbit/s"),
         ("Table 4", "Random topology: Jain's fairness index"),
     )
@@ -601,11 +698,16 @@ fn multiflow_study(
 ) -> (FigureData, FigureData, TableData) {
     let mut agg_series = Vec::new();
     let mut flow_series = Vec::new();
-    let mut table_rows: Vec<Vec<String>> =
-        PAPER_BANDWIDTHS.iter().map(|bw| vec![format!("{bw}")]).collect();
+    let mut table_rows: Vec<Vec<String>> = PAPER_BANDWIDTHS
+        .iter()
+        .map(|bw| vec![format!("{bw}")])
+        .collect();
 
     for (label, t) in multiflow_variants() {
-        let mut agg = Series { label: label.clone(), points: Vec::new() };
+        let mut agg = Series {
+            label: label.clone(),
+            points: Vec::new(),
+        };
         for (bi, bw) in PAPER_BANDWIDTHS.into_iter().enumerate() {
             // The topology and flow endpoints must be identical across
             // variants, so the seed excludes the variant.
@@ -620,7 +722,10 @@ fn multiflow_study(
                     .enumerate()
                     .map(|(i, f)| (i as f64 + 1.0, f.goodput_kbps))
                     .collect();
-                flow_series.push(Series { label: label.clone(), points });
+                flow_series.push(Series {
+                    label: label.clone(),
+                    points,
+                });
             }
         }
         agg_series.push(agg);
@@ -643,7 +748,12 @@ fn multiflow_study(
             y_label: "goodput [kbit/s]".into(),
             series: flow_series,
         },
-        TableData { id: table_meta.0.into(), title: table_meta.1.into(), headers, rows: table_rows },
+        TableData {
+            id: table_meta.0.into(),
+            title: table_meta.1.into(),
+            headers,
+            rows: table_rows,
+        },
     )
 }
 
@@ -657,9 +767,10 @@ fn multiflow_study(
 /// itself and every variant collapses).
 pub fn ablation_capture(scale: ExperimentScale) -> FigureData {
     let mut series = Vec::new();
-    for (label, t) in
-        [("Vegas".to_string(), Transport::vegas(2)), ("NewReno".into(), Transport::newreno())]
-    {
+    for (label, t) in [
+        ("Vegas".to_string(), Transport::vegas(2)),
+        ("NewReno".into(), Transport::newreno()),
+    ] {
         for capture in [true, false] {
             let mut s = Series {
                 label: format!("{label}{}", if capture { "" } else { " (no capture)" }),
@@ -736,7 +847,10 @@ pub fn ablation_basic_rate(scale: ExperimentScale) -> FigureData {
 pub fn ablation_cs_range(scale: ExperimentScale) -> FigureData {
     let mut series = Vec::new();
     for cs in [350.0f64, 550.0, 650.0] {
-        let mut s = Series { label: format!("CS range {cs} m"), points: Vec::new() };
+        let mut s = Series {
+            label: format!("CS range {cs} m"),
+            points: Vec::new(),
+        };
         for hops in [4usize, 8] {
             let mut sc = Scenario::chain(
                 hops,
@@ -753,8 +867,7 @@ pub fn ablation_cs_range(scale: ExperimentScale) -> FigureData {
     }
     FigureData {
         id: "Ablation C".into(),
-        title: "Carrier-sense range vs NewReno retransmission rate (hidden-terminal regime)"
-            .into(),
+        title: "Carrier-sense range vs NewReno retransmission rate (hidden-terminal regime)".into(),
         x_label: "hops".into(),
         y_label: "retransmissions per delivered packet".into(),
         series,
@@ -776,7 +889,10 @@ pub fn extension_fu_enhancements(scale: ExperimentScale) -> FigureData {
     ];
     let mut series = Vec::new();
     for (vi, (label, pacing, lred)) in configs.into_iter().enumerate() {
-        let mut s = Series { label: label.to_string(), points: Vec::new() };
+        let mut s = Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        };
         for hops in [4usize, 8, 16] {
             let mut sc = Scenario::chain(
                 hops,
@@ -815,7 +931,10 @@ pub fn extension_tcp_variants(scale: ExperimentScale) -> FigureData {
     ];
     let mut series = Vec::new();
     for (vi, (label, t)) in variants.into_iter().enumerate() {
-        let mut s = Series { label: label.to_string(), points: Vec::new() };
+        let mut s = Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        };
         for hops in [2usize, 4, 8, 16] {
             let r = chain_run(
                 hops,
@@ -842,7 +961,10 @@ pub fn extension_tcp_variants(scale: ExperimentScale) -> FigureData {
 pub fn extension_optimal_window(scale: ExperimentScale) -> FigureData {
     let mut series = Vec::new();
     for hops in [4usize, 8, 16] {
-        let mut s = Series { label: format!("{hops} hops"), points: Vec::new() };
+        let mut s = Series {
+            label: format!("{hops} hops"),
+            points: Vec::new(),
+        };
         for max_win in 1..=8u32 {
             let r = chain_run(
                 hops,
@@ -851,7 +973,8 @@ pub fn extension_optimal_window(scale: ExperimentScale) -> FigureData {
                 seed_for(&[105, hops as u64, u64::from(max_win)]),
                 scale,
             );
-            s.points.push((f64::from(max_win), r.aggregate_goodput_kbps));
+            s.points
+                .push((f64::from(max_win), r.aggregate_goodput_kbps));
         }
         series.push(s);
     }
@@ -878,10 +1001,12 @@ pub fn extension_80211g(scale: ExperimentScale) -> FigureData {
     let rates = [DataRate::MBPS_11, DataRate::MBPS_24, DataRate::MBPS_54];
     let mut series = Vec::new();
     for (vi, (label, t)) in variants.into_iter().enumerate() {
-        let mut s = Series { label: label.to_string(), points: Vec::new() };
+        let mut s = Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        };
         for bw in rates {
-            let mut sc =
-                Scenario::chain(7, bw, t, seed_for(&[106, vi as u64, bw.bits_per_sec()]));
+            let mut sc = Scenario::chain(7, bw, t, seed_for(&[106, vi as u64, bw.bits_per_sec()]));
             sc.mac_override = Some(MacParams::ieee80211g(bw));
             let r = experiment::run(&sc, scale);
             s.points.push((bw_mbit(bw), r.aggregate_goodput_kbps));
@@ -915,7 +1040,10 @@ pub fn extension_mobility_elfn(scale: ExperimentScale) -> FigureData {
     ];
     let mut series = Vec::new();
     for (vi, (label, t, elfn)) in variants.into_iter().enumerate() {
-        let mut s = Series { label: label.to_string(), points: Vec::new() };
+        let mut s = Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        };
         for speed in [0u64, 5, 10, 20] {
             // Mobility outcomes depend heavily on the drawn trajectories:
             // average each point over several independent layouts (the
@@ -926,19 +1054,34 @@ pub fn extension_mobility_elfn(scale: ExperimentScale) -> FigureData {
                 let seed = seed_for(&[107, speed, rep]);
                 let topo = topology::random(30, 1500.0, 300.0, 250.0, seed);
                 let flows = vec![
-                    crate::FlowSpec { src: NodeId(0), dst: NodeId(15), transport: t },
-                    crate::FlowSpec { src: NodeId(7), dst: NodeId(22), transport: t },
-                    crate::FlowSpec { src: NodeId(29), dst: NodeId(3), transport: t },
+                    crate::FlowSpec {
+                        src: NodeId(0),
+                        dst: NodeId(15),
+                        transport: t,
+                    },
+                    crate::FlowSpec {
+                        src: NodeId(7),
+                        dst: NodeId(22),
+                        transport: t,
+                    },
+                    crate::FlowSpec {
+                        src: NodeId(29),
+                        dst: NodeId(3),
+                        transport: t,
+                    },
                 ];
                 // Same scenario seed across variants: node trajectories
                 // derive from it, so every variant faces identical
                 // movement (paired comparison).
-                let mut sc = Scenario::new(topo, flows, DataRate::MBPS_2, seed_for(&[107, speed, rep]));
+                let mut sc =
+                    Scenario::new(topo, flows, DataRate::MBPS_2, seed_for(&[107, speed, rep]));
                 let _ = vi;
                 sc.aodv.elfn = elfn;
                 if speed > 0 {
-                    sc.mobility =
-                        Some(RandomWaypoint::strip(speed as f64, SimDuration::from_secs(0)));
+                    sc.mobility = Some(RandomWaypoint::strip(
+                        speed as f64,
+                        SimDuration::from_secs(0),
+                    ));
                 }
                 let r = experiment::run(&sc, scale);
                 over_seeds.push(r.aggregate_goodput_kbps.mean);
@@ -961,7 +1104,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentScale {
-        ExperimentScale { batch_packets: 60, batches: 3, deadline: SimDuration::from_secs(600) }
+        ExperimentScale {
+            batch_packets: 60,
+            batches: 3,
+            deadline: SimDuration::from_secs(600),
+        }
     }
 
     #[test]
@@ -988,7 +1135,13 @@ mod tests {
             y_label: "y".into(),
             series: vec![Series {
                 label: "s".into(),
-                points: vec![(1.0, Estimate { mean: 10.0, half_width: 1.0 })],
+                points: vec![(
+                    1.0,
+                    Estimate {
+                        mean: 10.0,
+                        half_width: 1.0,
+                    },
+                )],
             }],
         };
         let text = fig.render();

@@ -1,0 +1,426 @@
+//! Serializable experiment jobs: the unit of work of the parallel sweep
+//! engine (`mwn-runner`).
+//!
+//! The paper's evaluation is a grid of independent simulation runs —
+//! (topology × bandwidth × transport × seed). A [`JobSpec`] captures one
+//! cell of that grid as plain data with a stable *content key*, so runs
+//! can be farmed out to worker threads, persisted to a results store, and
+//! skipped on re-invocation when a result with the same key already
+//! exists.
+//!
+//! [`full_suite`] and [`chain_study`] enumerate the grids behind the
+//! paper's figures using the *same* [`seed_for`] seeds as the
+//! [`crate::experiments`] drivers, so a sweep cell and the corresponding
+//! figure point are the same simulation run.
+
+use mwn_phy::DataRate;
+use mwn_sim::{fxhash, SimDuration};
+use mwn_tcp::{AckPolicy, Flavor};
+
+use crate::experiment::ExperimentScale;
+use crate::experiments::{seed_for, PAPER_BANDWIDTHS, PAPER_HOPS};
+use crate::scenario::{Scenario, Transport};
+
+/// Which topology/flow layout a job simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// The h-hop chain with one end-to-end flow.
+    Chain {
+        /// Number of hops.
+        hops: usize,
+    },
+    /// The 21-node grid with six competing flows (Figure 15).
+    Grid6,
+    /// The 120-node random topology with ten flows (Section 4.4.2).
+    Random10,
+}
+
+impl ScenarioKind {
+    /// Canonical token, e.g. `"chain:7"`.
+    pub fn token(self) -> String {
+        match self {
+            ScenarioKind::Chain { hops } => format!("chain:{hops}"),
+            ScenarioKind::Grid6 => "grid6".into(),
+            ScenarioKind::Random10 => "random10".into(),
+        }
+    }
+}
+
+/// One independent simulation run of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The figure family this job belongs to (e.g. `"fig6-9"`).
+    pub group: String,
+    /// Human-readable grid coordinates (e.g. `"variant=Vegas hops=8"`).
+    pub point: String,
+    /// Topology and flow layout.
+    pub kind: ScenarioKind,
+    /// PHY data rate.
+    pub bandwidth: DataRate,
+    /// Transport protocol of every flow.
+    pub transport: Transport,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Work per run.
+    pub scale: ExperimentScale,
+}
+
+/// Canonical token for a transport, e.g. `"vegas:2+thin"` or
+/// `"udp:2000000"` (paced UDP with the gap in nanoseconds).
+pub fn transport_token(t: &Transport) -> String {
+    match t {
+        Transport::Tcp {
+            flavor,
+            config,
+            ack_policy,
+        } => {
+            let mut s = match flavor {
+                Flavor::Vegas => format!("vegas:{}", config.alpha),
+                Flavor::NewReno => "newreno".to_string(),
+                Flavor::Reno => "reno".to_string(),
+                Flavor::Tahoe => "tahoe".to_string(),
+            };
+            if config.wmax != 64 {
+                s.push_str(&format!(":w{}", config.wmax));
+            }
+            if *ack_policy == AckPolicy::Thinning {
+                s.push_str("+thin");
+            }
+            s
+        }
+        Transport::PacedUdp { gap } => format!("udp:{}", gap.as_nanos()),
+    }
+}
+
+impl JobSpec {
+    /// The canonical content string: every field that influences the
+    /// simulation result, and nothing else (labels are excluded, so
+    /// renaming a figure does not invalidate stored results).
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}|bw={}|{}|seed={}|scale={}x{}x{}",
+            self.kind.token(),
+            self.bandwidth.bits_per_sec(),
+            transport_token(&self.transport),
+            self.seed,
+            self.scale.batch_packets,
+            self.scale.batches,
+            self.scale.deadline.as_nanos(),
+        )
+    }
+
+    /// The stable content key: 16 hex digits of the Fx hash of
+    /// [`canonical`](Self::canonical). Results stores are keyed by this.
+    pub fn key(&self) -> String {
+        format!("{:016x}", fxhash::hash_str(&self.canonical()))
+    }
+
+    /// Builds the runnable scenario this job describes.
+    pub fn scenario(&self) -> Scenario {
+        match self.kind {
+            ScenarioKind::Chain { hops } => {
+                Scenario::chain(hops, self.bandwidth, self.transport, self.seed)
+            }
+            ScenarioKind::Grid6 => Scenario::grid6(self.bandwidth, self.transport, self.seed),
+            ScenarioKind::Random10 => Scenario::random10(self.bandwidth, self.transport, self.seed),
+        }
+    }
+}
+
+/// The pacing gap that saturates the chain at every bandwidth (matches
+/// the figure drivers' `SATURATING_UDP_GAP`).
+const SATURATING_UDP_GAP: SimDuration = SimDuration::from_millis(2);
+
+fn chain_job(
+    group: &str,
+    point: String,
+    hops: usize,
+    bw: DataRate,
+    transport: Transport,
+    seed: u64,
+    scale: ExperimentScale,
+) -> JobSpec {
+    JobSpec {
+        group: group.to_string(),
+        point,
+        kind: ScenarioKind::Chain { hops },
+        bandwidth: bw,
+        transport,
+        seed,
+        scale,
+    }
+}
+
+/// The quick chain study: the Figure 6–9 grid (four transport variants ×
+/// chain length) at 2 Mbit/s, restricted to the short chains so a sweep
+/// completes in minutes at quick scale.
+pub fn chain_study(scale: ExperimentScale) -> Vec<JobSpec> {
+    let variants: [(&str, Transport); 4] = [
+        ("Vegas", Transport::vegas(2)),
+        ("NewReno", Transport::newreno()),
+        ("NewReno +thin", Transport::newreno_thinning()),
+        ("Paced UDP", Transport::paced_udp(SATURATING_UDP_GAP)),
+    ];
+    let mut jobs = Vec::new();
+    for (vi, (label, t)) in variants.into_iter().enumerate() {
+        for hops in [2usize, 4, 8] {
+            jobs.push(chain_job(
+                "fig6-9",
+                format!("variant={label} hops={hops}"),
+                hops,
+                DataRate::MBPS_2,
+                t,
+                seed_for(&[6, vi as u64, hops as u64]),
+                scale,
+            ));
+        }
+    }
+    jobs
+}
+
+/// The full figure suite: every simulation run behind Figures 2–14, the
+/// grid study (Figures 16–17 / Table 3) and the random study (Figures
+/// 18–19 / Table 4), with the exact seeds of the figure drivers.
+pub fn full_suite(scale: ExperimentScale) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+
+    // Figures 2–3: Vegas α sweep over chain length at 2 Mbit/s.
+    for alpha in [2u32, 3, 4] {
+        for hops in PAPER_HOPS {
+            jobs.push(chain_job(
+                "fig2-3",
+                format!("alpha={alpha} hops={hops}"),
+                hops,
+                DataRate::MBPS_2,
+                Transport::vegas(alpha),
+                seed_for(&[23, u64::from(alpha), hops as u64]),
+                scale,
+            ));
+        }
+    }
+
+    // Figure 4: Vegas α per bandwidth on the 7-hop chain.
+    for alpha in [2u32, 3, 4] {
+        for bw in PAPER_BANDWIDTHS {
+            jobs.push(chain_job(
+                "fig4",
+                format!("alpha={alpha} bw={bw}"),
+                7,
+                bw,
+                Transport::vegas(alpha),
+                seed_for(&[4, u64::from(alpha), bw.bits_per_sec()]),
+                scale,
+            ));
+        }
+    }
+
+    // Figure 5: Vegas with ACK thinning vs plain Vegas.
+    let fig5: [(&str, Transport); 4] = [
+        ("Vegas a=2", Transport::vegas(2)),
+        ("Vegas a=2 +thin", Transport::vegas_thinning(2)),
+        ("Vegas a=3 +thin", Transport::vegas_thinning(3)),
+        ("Vegas a=4 +thin", Transport::vegas_thinning(4)),
+    ];
+    for (vi, (label, t)) in fig5.into_iter().enumerate() {
+        for hops in PAPER_HOPS {
+            jobs.push(chain_job(
+                "fig5",
+                format!("variant={label} hops={hops}"),
+                hops,
+                DataRate::MBPS_2,
+                t,
+                seed_for(&[5, vi as u64, hops as u64]),
+                scale,
+            ));
+        }
+    }
+
+    // Figures 6–9: the main chain comparison.
+    let fig6: [(&str, Transport); 4] = [
+        ("Vegas", Transport::vegas(2)),
+        ("NewReno", Transport::newreno()),
+        ("NewReno +thin", Transport::newreno_thinning()),
+        ("Paced UDP", Transport::paced_udp(SATURATING_UDP_GAP)),
+    ];
+    for (vi, (label, t)) in fig6.into_iter().enumerate() {
+        for hops in PAPER_HOPS {
+            jobs.push(chain_job(
+                "fig6-9",
+                format!("variant={label} hops={hops}"),
+                hops,
+                DataRate::MBPS_2,
+                t,
+                seed_for(&[6, vi as u64, hops as u64]),
+                scale,
+            ));
+        }
+    }
+
+    // Figure 10: paced-UDP inter-sending-time sweep on the 7-hop chain.
+    for gap_ms in (20..=44u64).step_by(2) {
+        jobs.push(chain_job(
+            "fig10",
+            format!("gap={gap_ms}ms"),
+            7,
+            DataRate::MBPS_2,
+            Transport::paced_udp(SimDuration::from_millis(gap_ms)),
+            seed_for(&[10, gap_ms]),
+            scale,
+        ));
+    }
+
+    // Figures 11–14: the 7-hop chain across bandwidths.
+    let fig11: [(&str, Transport); 6] = [
+        ("Vegas", Transport::vegas(2)),
+        ("NewReno", Transport::newreno()),
+        ("Vegas +thin", Transport::vegas_thinning(2)),
+        ("NewReno +thin", Transport::newreno_thinning()),
+        ("NewReno OptWin", Transport::newreno_optimal_window(3)),
+        ("Paced UDP", Transport::paced_udp(SATURATING_UDP_GAP)),
+    ];
+    for (vi, (label, t)) in fig11.into_iter().enumerate() {
+        for bw in PAPER_BANDWIDTHS {
+            jobs.push(chain_job(
+                "fig11-14",
+                format!("variant={label} bw={bw}"),
+                7,
+                bw,
+                t,
+                seed_for(&[11, vi as u64, bw.bits_per_sec()]),
+                scale,
+            ));
+        }
+    }
+
+    // Grid and random multi-flow studies. The topology/flow seed is
+    // shared across variants (paired comparison), so distinct variants at
+    // one bandwidth are distinct jobs with the *same* seed.
+    let multiflow: [(&str, Transport); 4] = [
+        ("Vegas", Transport::vegas(2)),
+        ("NewReno", Transport::newreno()),
+        ("Vegas +thin", Transport::vegas_thinning(2)),
+        ("NewReno +thin", Transport::newreno_thinning()),
+    ];
+    for (group, kind, fig_seed) in [
+        ("fig16-17", ScenarioKind::Grid6, 16u64),
+        ("fig18-19", ScenarioKind::Random10, 18),
+    ] {
+        for (label, t) in multiflow {
+            for bw in PAPER_BANDWIDTHS {
+                jobs.push(JobSpec {
+                    group: group.to_string(),
+                    point: format!("variant={label} bw={bw}"),
+                    kind,
+                    bandwidth: bw,
+                    transport: t,
+                    seed: seed_for(&[fig_seed, bw.bits_per_sec()]),
+                    scale,
+                });
+            }
+        }
+    }
+
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            batch_packets: 60,
+            batches: 3,
+            deadline: SimDuration::from_secs(600),
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_label_independent() {
+        let mut a = chain_study(tiny()).remove(0);
+        let b = a.clone();
+        assert_eq!(a.key(), b.key());
+        // Labels do not participate in the key.
+        a.group = "renamed".into();
+        a.point = "other".into();
+        assert_eq!(a.key(), b.key());
+        // Every result-affecting field does.
+        let mut c = b.clone();
+        c.seed ^= 1;
+        assert_ne!(c.key(), b.key());
+        let mut d = b.clone();
+        d.scale.batch_packets += 1;
+        assert_ne!(d.key(), b.key());
+    }
+
+    #[test]
+    fn suite_keys_are_distinct() {
+        let jobs = full_suite(ExperimentScale::quick());
+        let mut keys: Vec<String> = jobs.iter().map(JobSpec::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), jobs.len(), "content-key collision in the suite");
+    }
+
+    #[test]
+    fn full_suite_matches_figure_grid_size() {
+        let jobs = full_suite(ExperimentScale::quick());
+        // fig2-3: 3×6, fig4: 3×3, fig5: 4×6, fig6-9: 4×6, fig10: 13,
+        // fig11-14: 6×3, grid: 4×3, random: 4×3.
+        assert_eq!(jobs.len(), 18 + 9 + 24 + 24 + 13 + 18 + 12 + 12);
+    }
+
+    #[test]
+    fn chain_study_is_a_subset_of_the_full_suite() {
+        let suite: Vec<String> = full_suite(ExperimentScale::quick())
+            .iter()
+            .map(JobSpec::key)
+            .collect();
+        for job in chain_study(ExperimentScale::quick()) {
+            assert!(
+                suite.contains(&job.key()),
+                "{} missing from suite",
+                job.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn transport_tokens_discriminate_variants() {
+        let tokens: Vec<String> = [
+            Transport::vegas(2),
+            Transport::vegas_thinning(2),
+            Transport::newreno(),
+            Transport::newreno_thinning(),
+            Transport::reno(),
+            Transport::tahoe(),
+            Transport::newreno_optimal_window(3),
+            Transport::paced_udp(SimDuration::from_millis(2)),
+        ]
+        .iter()
+        .map(transport_token)
+        .collect();
+        let mut dedup = tokens.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            tokens.len(),
+            "ambiguous transport tokens: {tokens:?}"
+        );
+        assert_eq!(tokens[0], "vegas:2");
+        assert_eq!(tokens[1], "vegas:2+thin");
+        assert_eq!(tokens[6], "newreno:w3");
+        assert_eq!(tokens[7], "udp:2000000");
+    }
+
+    #[test]
+    fn scenario_roundtrip_builds() {
+        for job in chain_study(tiny()) {
+            let s = job.scenario();
+            assert_eq!(s.seed, job.seed);
+            assert_eq!(s.bandwidth, job.bandwidth);
+            let _ = s.build();
+        }
+    }
+}

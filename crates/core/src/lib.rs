@@ -30,10 +30,11 @@
 //! * [`experiment`] — steady-state batch-means runner (Section 4.1);
 //! * [`experiments`] — one entry point per paper figure/table.
 
-mod network;
 pub mod experiment;
 pub mod experiments;
+pub mod jobs;
 pub mod mobility;
+mod network;
 mod scenario;
 pub mod topology;
 pub mod trace;

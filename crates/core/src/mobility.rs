@@ -45,14 +45,9 @@ impl RandomWaypoint {
 #[derive(Debug, Clone, Copy)]
 enum Phase {
     /// Moving toward the waypoint.
-    Moving {
-        target: Position,
-        speed: f64,
-    },
+    Moving { target: Position, speed: f64 },
     /// Paused at a waypoint; remaining pause in seconds.
-    Paused {
-        remaining: f64,
-    },
+    Paused { remaining: f64 },
 }
 
 /// The evolving positions of all nodes under random waypoint.
@@ -72,7 +67,10 @@ impl MobilityModel {
     /// Panics if the parameters are degenerate (non-positive field,
     /// speeds, or tick).
     pub fn new(params: RandomWaypoint, initial: Vec<Position>, mut rng: Pcg32) -> Self {
-        assert!(params.width > 0.0 && params.height > 0.0, "field must be positive");
+        assert!(
+            params.width > 0.0 && params.height > 0.0,
+            "field must be positive"
+        );
         assert!(
             params.min_speed > 0.0 && params.max_speed >= params.min_speed,
             "need 0 < min_speed <= max_speed"
@@ -89,7 +87,12 @@ impl MobilityModel {
                 Phase::Moving { target, speed }
             })
             .collect();
-        MobilityModel { params, rng, positions: initial, phases }
+        MobilityModel {
+            params,
+            rng,
+            positions: initial,
+            phases,
+        }
     }
 
     /// Current positions.
@@ -116,7 +119,9 @@ impl MobilityModel {
             match self.phases[i] {
                 Phase::Paused { remaining } => {
                     if remaining > dt {
-                        self.phases[i] = Phase::Paused { remaining: remaining - dt };
+                        self.phases[i] = Phase::Paused {
+                            remaining: remaining - dt,
+                        };
                         return;
                     }
                     dt -= remaining;
@@ -124,8 +129,9 @@ impl MobilityModel {
                         self.rng.gen_range_f64(0.0, self.params.width),
                         self.rng.gen_range_f64(0.0, self.params.height),
                     );
-                    let speed =
-                        self.rng.gen_range_f64(self.params.min_speed, self.params.max_speed);
+                    let speed = self
+                        .rng
+                        .gen_range_f64(self.params.min_speed, self.params.max_speed);
                     self.phases[i] = Phase::Moving { target, speed };
                 }
                 Phase::Moving { target, speed } => {
@@ -143,8 +149,9 @@ impl MobilityModel {
                     // Arrive and pause.
                     self.positions[i] = target;
                     dt -= if speed > 0.0 { dist / speed } else { dt };
-                    self.phases[i] =
-                        Phase::Paused { remaining: self.params.pause.as_secs_f64() };
+                    self.phases[i] = Phase::Paused {
+                        remaining: self.params.pause.as_secs_f64(),
+                    };
                 }
             }
         }
@@ -183,7 +190,10 @@ mod tests {
             .zip(after)
             .filter(|(b, a)| b.distance_to(**a) > 1.0)
             .count();
-        assert!(moved >= 9, "almost every node must have moved, only {moved} did");
+        assert!(
+            moved >= 9,
+            "almost every node must have moved, only {moved} did"
+        );
         for p in after {
             assert!((0.0..=1000.0).contains(&p.x) && (0.0..=500.0).contains(&p.y));
         }

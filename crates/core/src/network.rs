@@ -1,6 +1,5 @@
 //! The network: every protocol layer wired to one event loop.
 
-
 use mwn_aodv::{AodvAction, AodvCounters, Router};
 use mwn_mac80211::{Dcf, MacAction, MacCounters, MacTimer};
 use mwn_phy::{EnergyMeter, EnergyParams, Medium, RadioEvent, Transceiver, TxId};
@@ -26,7 +25,11 @@ enum Role {
 #[derive(Debug)]
 enum Event {
     /// A signal begins arriving at `node`.
-    SignalStart { node: NodeId, tx: TxId, class: mwn_phy::SignalClass },
+    SignalStart {
+        node: NodeId,
+        tx: TxId,
+        class: mwn_phy::SignalClass,
+    },
     /// A signal stops arriving at `node`.
     SignalEnd { node: NodeId, tx: TxId },
     /// `node`'s own transmission ends.
@@ -34,11 +37,19 @@ enum Event {
     /// A MAC timer fires at `node`.
     Mac { node: NodeId, timer: MacTimer },
     /// A jittered AODV transmission is due.
-    AodvSend { node: NodeId, next_hop: NodeId, packet: Packet },
+    AodvSend {
+        node: NodeId,
+        next_hop: NodeId,
+        packet: Packet,
+    },
     /// An AODV route-discovery timer fires.
     AodvDiscovery { node: NodeId, dst: NodeId },
     /// A transport timer fires.
-    Transport { flow: FlowId, role: Role, timer: TransportTimer },
+    Transport {
+        flow: FlowId,
+        role: Role,
+        timer: TransportTimer,
+    },
     /// A flow opens.
     FlowStart { flow: FlowId },
     /// Mobility model tick: reposition nodes and recompute the medium.
@@ -185,7 +196,11 @@ impl Network {
             let flow_id = FlowId(i as u32);
             let uid_base = (2 << 61) | ((i as u64) << 40);
             let (source, sink) = match spec.transport {
-                Transport::Tcp { flavor, config, ack_policy } => (
+                Transport::Tcp {
+                    flavor,
+                    config,
+                    ack_policy,
+                } => (
                     SourceAgent::Tcp(TcpSender::new(
                         config, flavor, flow_id, spec.src, spec.dst, uid_base,
                     )),
@@ -198,7 +213,9 @@ impl Network {
                     )),
                 ),
                 Transport::PacedUdp { gap } => (
-                    SourceAgent::Udp(PacedUdpSource::new(flow_id, spec.src, spec.dst, gap, uid_base)),
+                    SourceAgent::Udp(PacedUdpSource::new(
+                        flow_id, spec.src, spec.dst, gap, uid_base,
+                    )),
                     SinkAgent::Udp(UdpSink::new()),
                 ),
             };
@@ -252,13 +269,21 @@ impl Network {
 
     /// The retained trace records (empty unless tracing was enabled).
     pub fn trace(&self) -> Vec<&TraceRecord> {
-        self.trace.as_ref().map(|t| t.records().collect()).unwrap_or_default()
+        self.trace
+            .as_ref()
+            .map(|t| t.records().collect())
+            .unwrap_or_default()
     }
 
     /// Records a trace event; zero-cost when tracing is disabled.
     fn trace_event(&mut self, node: NodeId, layer: TraceLayer, event: impl FnOnce() -> String) {
         if let Some(buf) = &mut self.trace {
-            buf.push(TraceRecord { time: self.now, node, layer, event: event() });
+            buf.push(TraceRecord {
+                time: self.now,
+                node,
+                layer,
+                event: event(),
+            });
         }
     }
 
@@ -340,7 +365,9 @@ impl Network {
 
     /// Total radio energy over all nodes, in joules.
     pub fn total_energy_joules(&self) -> f64 {
-        (0..self.energy.len()).map(|i| self.energy[i].consumed(self.now)).sum()
+        (0..self.energy.len())
+            .map(|i| self.energy[i].consumed(self.now))
+            .sum()
     }
 
     /// Runs until `target` total packets are delivered, the simulated-time
@@ -400,7 +427,11 @@ impl Network {
                 let actions = self.macs[node.index()].on_timer(self.now, timer);
                 self.apply_mac_actions(node, actions);
             }
-            Event::AodvSend { node, next_hop, packet } => {
+            Event::AodvSend {
+                node,
+                next_hop,
+                packet,
+            } => {
                 let actions = self.macs[node.index()].enqueue(self.now, next_hop, packet);
                 self.apply_mac_actions(node, actions);
             }
@@ -512,7 +543,12 @@ impl Network {
     fn start_transmission(&mut self, node: NodeId, frame: MacFrame) {
         let duration = self.params.airtime(&frame);
         self.trace_event(node, TraceLayer::Mac, || {
-            format!("TX {:?} -> {} ({} B, {duration})", frame.kind(), frame.dst(), frame.size_bytes())
+            format!(
+                "TX {:?} -> {} ({} B, {duration})",
+                frame.kind(),
+                frame.dst(),
+                frame.size_bytes()
+            )
         });
         let effects = self.medium.effects_of(node).to_vec();
         self.energy[node.index()].add_tx(duration);
@@ -521,16 +557,25 @@ impl Network {
             self.next_tx_id += 1;
             self.in_flight.insert(tx, (frame, effects.len()));
             for e in &effects {
-                self.queue
-                    .schedule(self.now + e.delay, Event::SignalStart { node: e.node, tx, class: e.class });
-                self.queue
-                    .schedule(self.now + e.delay + duration, Event::SignalEnd { node: e.node, tx });
+                self.queue.schedule(
+                    self.now + e.delay,
+                    Event::SignalStart {
+                        node: e.node,
+                        tx,
+                        class: e.class,
+                    },
+                );
+                self.queue.schedule(
+                    self.now + e.delay + duration,
+                    Event::SignalEnd { node: e.node, tx },
+                );
                 if e.class.decodable {
                     self.energy[e.node.index()].add_rx(duration);
                 }
             }
         }
-        self.queue.schedule(self.now + duration, Event::TxEnd { node });
+        self.queue
+            .schedule(self.now + duration, Event::TxEnd { node });
         let evs = self.transceivers[node.index()].tx_start();
         self.process_radio_events(node, evs);
     }
@@ -545,7 +590,9 @@ impl Network {
                     if let Some(old) = self.mac_timers.remove(&(node, timer)) {
                         self.queue.cancel(old);
                     }
-                    let id = self.queue.schedule(self.now + delay, Event::Mac { node, timer });
+                    let id = self
+                        .queue
+                        .schedule(self.now + delay, Event::Mac { node, timer });
                     self.mac_timers.insert((node, timer), id);
                 }
                 MacAction::CancelTimer(timer) => {
@@ -560,14 +607,18 @@ impl Network {
                     let actions = self.routers[node.index()].on_received(self.now, from, packet);
                     self.apply_aodv_actions(node, actions);
                 }
-                MacAction::TxConfirm { next_hop, packet, success } => {
+                MacAction::TxConfirm {
+                    next_hop,
+                    packet,
+                    success,
+                } => {
                     if !success {
                         self.trace_event(node, TraceLayer::Mac, || {
                             format!("retry limit: giving up uid={} -> {next_hop}", packet.uid)
                         });
                     }
-                    let actions =
-                        self.routers[node.index()].on_tx_confirm(self.now, next_hop, packet, success);
+                    let actions = self.routers[node.index()]
+                        .on_tx_confirm(self.now, next_hop, packet, success);
                     self.apply_aodv_actions(node, actions);
                 }
                 MacAction::Dropped { ref packet, .. } => {
@@ -585,13 +636,23 @@ impl Network {
     fn apply_aodv_actions(&mut self, node: NodeId, actions: Vec<AodvAction>) {
         for action in actions {
             match action {
-                AodvAction::Send { packet, next_hop, delay } => {
+                AodvAction::Send {
+                    packet,
+                    next_hop,
+                    delay,
+                } => {
                     if delay.is_zero() {
                         let actions = self.macs[node.index()].enqueue(self.now, next_hop, packet);
                         self.apply_mac_actions(node, actions);
                     } else {
-                        self.queue
-                            .schedule(self.now + delay, Event::AodvSend { node, next_hop, packet });
+                        self.queue.schedule(
+                            self.now + delay,
+                            Event::AodvSend {
+                                node,
+                                next_hop,
+                                packet,
+                            },
+                        );
                     }
                 }
                 AodvAction::Deliver(packet) => {
@@ -707,7 +768,13 @@ impl Network {
         }
     }
 
-    fn apply_transport_actions(&mut self, flow: FlowId, role: Role, node: NodeId, actions: Vec<TransportAction>) {
+    fn apply_transport_actions(
+        &mut self,
+        flow: FlowId,
+        role: Role,
+        node: NodeId,
+        actions: Vec<TransportAction>,
+    ) {
         for action in actions {
             match action {
                 TransportAction::SendPacket(packet) => {
@@ -828,8 +895,16 @@ mod tests {
     fn two_flow_cross_traffic_makes_progress() {
         let t = topology::chain(4);
         let flows = vec![
-            FlowSpec { src: NodeId(0), dst: NodeId(4), transport: Transport::vegas(2) },
-            FlowSpec { src: NodeId(4), dst: NodeId(0), transport: Transport::vegas(2) },
+            FlowSpec {
+                src: NodeId(0),
+                dst: NodeId(4),
+                transport: Transport::vegas(2),
+            },
+            FlowSpec {
+                src: NodeId(4),
+                dst: NodeId(0),
+                transport: Transport::vegas(2),
+            },
         ];
         let s = Scenario::new(t, flows, DataRate::MBPS_2, 11);
         let mut net = s.build();

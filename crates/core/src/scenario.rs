@@ -103,7 +103,11 @@ impl Transport {
     /// A short human-readable label ("Vegas", "NewReno ACK Thinning", …).
     pub fn label(&self) -> String {
         match self {
-            Transport::Tcp { flavor, config, ack_policy } => {
+            Transport::Tcp {
+                flavor,
+                config,
+                ack_policy,
+            } => {
                 let mut s = match flavor {
                     Flavor::Vegas => format!("Vegas a={}", config.alpha),
                     Flavor::NewReno => "NewReno".to_string(),
@@ -176,8 +180,11 @@ impl Scenario {
     /// (Figure 1 / Section 4.3).
     pub fn chain(hops: usize, bandwidth: DataRate, transport: Transport, seed: u64) -> Self {
         let topology = topology::chain(hops);
-        let flows =
-            vec![FlowSpec { src: NodeId(0), dst: NodeId(hops as u32), transport }];
+        let flows = vec![FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(hops as u32),
+            transport,
+        }];
         Scenario::new(topology, flows, bandwidth, seed)
     }
 
@@ -221,7 +228,11 @@ impl Scenario {
             if src == dst || !used.insert((src, dst)) {
                 continue;
             }
-            flows.push(FlowSpec { src, dst, transport });
+            flows.push(FlowSpec {
+                src,
+                dst,
+                transport,
+            });
         }
         Scenario::new(topology, flows, bandwidth, seed)
     }
@@ -293,14 +304,21 @@ mod tests {
         assert_eq!(Transport::vegas_thinning(3).label(), "Vegas a=3 +thin");
         assert_eq!(Transport::newreno().label(), "NewReno");
         assert_eq!(Transport::newreno_thinning().label(), "NewReno +thin");
-        assert_eq!(Transport::newreno_optimal_window(3).label(), "NewReno MaxWin=3");
+        assert_eq!(
+            Transport::newreno_optimal_window(3).label(),
+            "NewReno MaxWin=3"
+        );
     }
 
     #[test]
     #[should_panic(expected = "endpoints must differ")]
     fn self_flow_rejected() {
         let t = topology::chain(2);
-        let flows = vec![FlowSpec { src: NodeId(1), dst: NodeId(1), transport: Transport::newreno() }];
+        let flows = vec![FlowSpec {
+            src: NodeId(1),
+            dst: NodeId(1),
+            transport: Transport::newreno(),
+        }];
         Scenario::new(t, flows, DataRate::MBPS_2, 1).build();
     }
 }

@@ -114,7 +114,9 @@ pub fn chain_spaced(hops: usize, spacing: f64) -> Topology {
     assert!(hops > 0, "chain needs at least one hop");
     assert!(spacing.is_finite() && spacing > 0.0, "invalid spacing");
     Topology::from_positions(
-        (0..=hops).map(|i| Position::new(i as f64 * spacing, 0.0)).collect(),
+        (0..=hops)
+            .map(|i| Position::new(i as f64 * spacing, 0.0))
+            .collect(),
     )
 }
 
@@ -129,7 +131,10 @@ pub fn grid(cols: usize, rows: usize) -> Topology {
     let mut positions = Vec::with_capacity(cols * rows);
     for r in 0..rows {
         for c in 0..cols {
-            positions.push(Position::new(c as f64 * PAPER_SPACING, r as f64 * PAPER_SPACING));
+            positions.push(Position::new(
+                c as f64 * PAPER_SPACING,
+                r as f64 * PAPER_SPACING,
+            ));
         }
     }
     Topology::from_positions(positions)
@@ -159,7 +164,12 @@ pub fn random(n: usize, width: f64, height: f64, tx_range: f64, seed: u64) -> To
     let mut rng = Pcg32::with_stream(seed, 0x7090_17E0);
     for _attempt in 0..10_000 {
         let positions: Vec<Position> = (0..n)
-            .map(|_| Position::new(rng.gen_range_f64(0.0, width), rng.gen_range_f64(0.0, height)))
+            .map(|_| {
+                Position::new(
+                    rng.gen_range_f64(0.0, width),
+                    rng.gen_range_f64(0.0, height),
+                )
+            })
             .collect();
         let t = Topology::from_positions(positions);
         if t.is_connected(tx_range) {
@@ -197,8 +207,14 @@ mod tests {
         let t = grid21();
         assert_eq!(t.len(), 21);
         // Horizontal extent 6 hops, vertical 2 hops.
-        assert_eq!(t.hop_distance(grid_node(7, 0, 0), grid_node(7, 6, 0), 250.0), Some(6));
-        assert_eq!(t.hop_distance(grid_node(7, 1, 0), grid_node(7, 1, 2), 250.0), Some(2));
+        assert_eq!(
+            t.hop_distance(grid_node(7, 0, 0), grid_node(7, 6, 0), 250.0),
+            Some(6)
+        );
+        assert_eq!(
+            t.hop_distance(grid_node(7, 1, 0), grid_node(7, 1, 2), 250.0),
+            Some(2)
+        );
         assert!(t.is_connected(250.0));
     }
 
@@ -231,10 +247,8 @@ mod tests {
 
     #[test]
     fn disconnected_detection() {
-        let t = Topology::from_positions(vec![
-            Position::new(0.0, 0.0),
-            Position::new(10_000.0, 0.0),
-        ]);
+        let t =
+            Topology::from_positions(vec![Position::new(0.0, 0.0), Position::new(10_000.0, 0.0)]);
         assert!(!t.is_connected(250.0));
         assert_eq!(t.hop_distance(NodeId(0), NodeId(1), 250.0), None);
     }

@@ -93,7 +93,11 @@ impl TraceBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace buffer needs capacity");
-        TraceBuffer { records: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Appends a record, evicting the oldest if full.

@@ -89,7 +89,10 @@ impl Backoff {
     ///
     /// Panics if the backoff was not counting.
     pub fn complete(&mut self) {
-        assert!(self.counting_since.is_some(), "completing a backoff that is not counting");
+        assert!(
+            self.counting_since.is_some(),
+            "completing a backoff that is not counting"
+        );
         self.slots_left = 0;
         self.counting_since = None;
         self.pending = false;

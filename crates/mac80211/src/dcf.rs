@@ -104,8 +104,13 @@ enum Awaiting {
 /// A SIFS-scheduled response.
 #[derive(Debug, Clone, PartialEq)]
 enum PendingResponse {
-    Cts { dst: NodeId, nav: SimDuration },
-    Ack { dst: NodeId },
+    Cts {
+        dst: NodeId,
+        nav: SimDuration,
+    },
+    Ack {
+        dst: NodeId,
+    },
     /// Our DATA frame, to follow the CTS we just received.
     Data,
 }
@@ -204,7 +209,10 @@ impl Dcf {
         let mut actions = Vec::new();
         if self.queue.len() >= self.params.queue_capacity {
             self.counters.queue_drops += 1;
-            actions.push(MacAction::Dropped { packet, reason: MacDropReason::QueueFull });
+            actions.push(MacAction::Dropped {
+                packet,
+                reason: MacDropReason::QueueFull,
+            });
             return actions;
         }
         self.queue.push_back((next_hop, packet));
@@ -238,9 +246,9 @@ impl Dcf {
                 MacFrame::Rts { src, nav, .. } => self.handle_rts(now, src, nav, &mut actions),
                 MacFrame::Cts { src, .. } => self.handle_cts(now, src, &mut actions),
                 MacFrame::Ack { src, .. } => self.handle_ack(now, src, &mut actions),
-                MacFrame::Data { src, seq, packet, .. } => {
-                    self.handle_data(now, src, seq, packet, &mut actions)
-                }
+                MacFrame::Data {
+                    src, seq, packet, ..
+                } => self.handle_data(now, src, seq, packet, &mut actions),
             }
         } else if frame.is_broadcast() {
             if let MacFrame::Data { src, packet, .. } = frame {
@@ -253,7 +261,10 @@ impl Dcf {
                 let until = now + nav;
                 if until > self.nav_until {
                     self.nav_until = until;
-                    actions.push(MacAction::SetTimer { timer: MacTimer::Nav, delay: nav });
+                    actions.push(MacAction::SetTimer {
+                        timer: MacTimer::Nav,
+                        delay: nav,
+                    });
                     self.suspend_contention(now, &mut actions);
                 }
             }
@@ -342,8 +353,15 @@ impl Dcf {
             return;
         }
         self.defer_armed = true;
-        let delay = if self.eifs_next { self.params.eifs() } else { self.params.difs() };
-        actions.push(MacAction::SetTimer { timer: MacTimer::Defer, delay });
+        let delay = if self.eifs_next {
+            self.params.eifs()
+        } else {
+            self.params.difs()
+        };
+        actions.push(MacAction::SetTimer {
+            timer: MacTimer::Defer,
+            delay,
+        });
     }
 
     /// Medium became busy (physically or via NAV): stop defer/backoff.
@@ -369,7 +387,10 @@ impl Dcf {
         }
         if self.backoff.pending() {
             let delay = self.backoff.start(now, self.params.slot);
-            actions.push(MacAction::SetTimer { timer: MacTimer::Backoff, delay });
+            actions.push(MacAction::SetTimer {
+                timer: MacTimer::Backoff,
+                delay,
+            });
         } else {
             self.transmit_current(now, actions);
         }
@@ -403,7 +424,10 @@ impl Dcf {
             // under sustained contention (Fu et al.).
             if !next_hop.is_broadcast() && self.lred_drops_now() {
                 self.counters.early_drops += 1;
-                actions.push(MacAction::Dropped { packet, reason: MacDropReason::EarlyDrop });
+                actions.push(MacAction::Dropped {
+                    packet,
+                    reason: MacDropReason::EarlyDrop,
+                });
                 continue;
             }
             if next_hop.is_broadcast() {
@@ -413,7 +437,14 @@ impl Dcf {
             }
             let mac_seq = self.next_seq;
             self.next_seq = self.next_seq.wrapping_add(1);
-            self.current = Some(CurrentTx { next_hop, packet, mac_seq, ssrc: 0, slrc: 0, attempts: 0 });
+            self.current = Some(CurrentTx {
+                next_hop,
+                packet,
+                mac_seq,
+                ssrc: 0,
+                slrc: 0,
+                attempts: 0,
+            });
         }
         let cur = self.current.as_mut().expect("current set above");
         if cur.next_hop.is_broadcast() {
@@ -442,7 +473,13 @@ impl Dcf {
         }
     }
 
-    fn handle_rts(&mut self, now: SimTime, src: NodeId, nav: SimDuration, actions: &mut Vec<MacAction>) {
+    fn handle_rts(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        nav: SimDuration,
+        actions: &mut Vec<MacAction>,
+    ) {
         let busy_with_exchange =
             self.on_air.is_some() || self.awaiting.is_some() || self.pending_resp.is_some();
         if busy_with_exchange || self.nav_until > now {
@@ -451,10 +488,16 @@ impl Dcf {
         let cts_nav = nav
             .saturating_sub(self.params.sifs)
             .saturating_sub(self.params.cts_airtime());
-        self.pending_resp = Some(PendingResponse::Cts { dst: src, nav: cts_nav });
+        self.pending_resp = Some(PendingResponse::Cts {
+            dst: src,
+            nav: cts_nav,
+        });
         // The response claims the radio: park our own contention.
         self.suspend_contention(now, actions);
-        actions.push(MacAction::SetTimer { timer: MacTimer::Sifs, delay: self.params.sifs });
+        actions.push(MacAction::SetTimer {
+            timer: MacTimer::Sifs,
+            delay: self.params.sifs,
+        });
     }
 
     fn handle_cts(&mut self, _now: SimTime, src: NodeId, actions: &mut Vec<MacAction>) {
@@ -469,7 +512,10 @@ impl Dcf {
             cur.ssrc = 0; // CTS received: short retry count resets
         }
         self.pending_resp = Some(PendingResponse::Data);
-        actions.push(MacAction::SetTimer { timer: MacTimer::Sifs, delay: self.params.sifs });
+        actions.push(MacAction::SetTimer {
+            timer: MacTimer::Sifs,
+            delay: self.params.sifs,
+        });
     }
 
     fn handle_ack(&mut self, now: SimTime, src: NodeId, actions: &mut Vec<MacAction>) {
@@ -506,7 +552,10 @@ impl Dcf {
             self.pending_resp = Some(PendingResponse::Ack { dst: src });
             // The response claims the radio: park our own contention.
             self.suspend_contention(now, actions);
-            actions.push(MacAction::SetTimer { timer: MacTimer::Sifs, delay: self.params.sifs });
+            actions.push(MacAction::SetTimer {
+                timer: MacTimer::Sifs,
+                delay: self.params.sifs,
+            });
         }
         if self.rx_cache.get(&src) == Some(&seq) {
             self.counters.duplicates_suppressed += 1;
@@ -523,14 +572,21 @@ impl Dcf {
         match resp {
             PendingResponse::Cts { dst, nav } => {
                 self.on_air = Some(OnAir::Cts);
-                actions.push(MacAction::StartTx(MacFrame::Cts { src: self.me, dst, nav }));
+                actions.push(MacAction::StartTx(MacFrame::Cts {
+                    src: self.me,
+                    dst,
+                    nav,
+                }));
             }
             PendingResponse::Ack { dst } => {
                 self.on_air = Some(OnAir::Ack);
                 actions.push(MacAction::StartTx(MacFrame::Ack { src: self.me, dst }));
             }
             PendingResponse::Data => {
-                let cur = self.current.as_mut().expect("data response without current");
+                let cur = self
+                    .current
+                    .as_mut()
+                    .expect("data response without current");
                 cur.slrc += 1;
                 cur.attempts += 1;
                 let frame = MacFrame::Data {
@@ -612,8 +668,7 @@ impl Dcf {
                 // Fu et al.'s adaptive pacing: yield roughly one extra
                 // data-frame transmission time after each exchange so
                 // downstream hops of the chain can drain.
-                let extra = self.params.data_airtime(1500).as_nanos()
-                    / self.params.slot.as_nanos();
+                let extra = self.params.data_airtime(1500).as_nanos() / self.params.slot.as_nanos();
                 slots = slots.saturating_add(extra as u32);
             }
             self.backoff.set_slots(slots);
@@ -664,7 +719,12 @@ mod tests {
     }
 
     fn data_packet(uid: u64) -> Packet {
-        Packet::new(uid, NodeId(0), NodeId(5), Body::Tcp(TcpSegment::data(FlowId(0), 0)))
+        Packet::new(
+            uid,
+            NodeId(0),
+            NodeId(5),
+            Body::Tcp(TcpSegment::data(FlowId(0), 0)),
+        )
     }
 
     fn t(us: u64) -> SimTime {
@@ -680,7 +740,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(frames.len(), 1, "expected exactly one StartTx in {actions:?}");
+        assert_eq!(
+            frames.len(),
+            1,
+            "expected exactly one StartTx in {actions:?}"
+        );
         frames[0]
     }
 
@@ -736,7 +800,13 @@ mod tests {
 
         // DATA arrives at receiver: delivered upward, ACK scheduled.
         let a = r.on_rx_frame(t(7030), data);
-        assert!(a.iter().any(|x| matches!(x, MacAction::Deliver { from: NodeId(0), .. })));
+        assert!(a.iter().any(|x| matches!(
+            x,
+            MacAction::Deliver {
+                from: NodeId(0),
+                ..
+            }
+        )));
         assert!(has_timer(&a, MacTimer::Sifs));
         let a = s.on_tx_done(t(7030));
         assert!(has_timer(&a, MacTimer::AckTimeout));
@@ -750,7 +820,11 @@ mod tests {
         let a = s.on_rx_frame(t(7344), ack);
         assert!(a.iter().any(|x| matches!(
             x,
-            MacAction::TxConfirm { success: true, next_hop: NodeId(1), .. }
+            MacAction::TxConfirm {
+                success: true,
+                next_hop: NodeId(1),
+                ..
+            }
         )));
         r.on_tx_done(t(7344));
         assert_eq!(s.counters().unicast_delivered, 1);
@@ -774,7 +848,9 @@ mod tests {
             assert!(has_timer(&a, MacTimer::CtsTimeout));
             now += params().cts_timeout();
             let a = m.on_timer(now, MacTimer::CtsTimeout);
-            if a.iter().any(|x| matches!(x, MacAction::TxConfirm { success: false, .. })) {
+            if a.iter()
+                .any(|x| matches!(x, MacAction::TxConfirm { success: false, .. }))
+            {
                 assert_eq!(attempt, 7, "must fail exactly at the short retry limit");
                 failed = true;
                 break;
@@ -802,9 +878,13 @@ mod tests {
             assert!(!a.iter().any(|x| matches!(x, MacAction::Dropped { .. })));
         }
         let a = m.enqueue(t(2), NodeId(1), data_packet(99));
-        assert!(a
-            .iter()
-            .any(|x| matches!(x, MacAction::Dropped { reason: MacDropReason::QueueFull, .. })));
+        assert!(a.iter().any(|x| matches!(
+            x,
+            MacAction::Dropped {
+                reason: MacDropReason::QueueFull,
+                ..
+            }
+        )));
         assert_eq!(m.counters().queue_drops, 1);
         assert_eq!(m.queue_len(), 50);
     }
@@ -873,7 +953,10 @@ mod tests {
         m.on_rx_corrupt(t(100));
         let a = m.enqueue(t(100), NodeId(1), data_packet(1));
         let delay = a.iter().find_map(|x| match x {
-            MacAction::SetTimer { timer: MacTimer::Defer, delay } => Some(*delay),
+            MacAction::SetTimer {
+                timer: MacTimer::Defer,
+                delay,
+            } => Some(*delay),
             _ => None,
         });
         assert_eq!(delay, Some(params().eifs()));
@@ -912,9 +995,16 @@ mod tests {
         m.enqueue(t(0), NodeId(1), data_packet(1));
         m.on_timer(t(50), MacTimer::Defer);
         m.on_tx_done(t(402)); // awaiting CTS
-        let rts = MacFrame::Rts { src: NodeId(2), dst: NodeId(0), nav: SimDuration::from_micros(7000) };
+        let rts = MacFrame::Rts {
+            src: NodeId(2),
+            dst: NodeId(0),
+            nav: SimDuration::from_micros(7000),
+        };
         let a = m.on_rx_frame(t(500), rts);
-        assert!(!has_timer(&a, MacTimer::Sifs), "must not CTS while awaiting CTS");
+        assert!(
+            !has_timer(&a, MacTimer::Sifs),
+            "must not CTS while awaiting CTS"
+        );
     }
 
     #[test]
@@ -929,7 +1019,11 @@ mod tests {
             now += SimDuration::from_micros(352);
             m.on_tx_done(now);
             // CTS arrives.
-            let cts = MacFrame::Cts { src: NodeId(1), dst: NodeId(0), nav: SimDuration::ZERO };
+            let cts = MacFrame::Cts {
+                src: NodeId(1),
+                dst: NodeId(0),
+                nav: SimDuration::ZERO,
+            };
             m.on_rx_frame(now + SimDuration::from_micros(314), cts);
             now += SimDuration::from_micros(324);
             let a = m.on_timer(now, MacTimer::Sifs);
@@ -939,7 +1033,9 @@ mod tests {
             // No ACK: timeout.
             now += params().ack_timeout();
             let a = m.on_timer(now, MacTimer::AckTimeout);
-            if a.iter().any(|x| matches!(x, MacAction::TxConfirm { success: false, .. })) {
+            if a.iter()
+                .any(|x| matches!(x, MacAction::TxConfirm { success: false, .. }))
+            {
                 failures += 1;
                 break;
             }
@@ -961,11 +1057,26 @@ mod tests {
         // Run exchange 1 quickly.
         m.on_timer(t(50), MacTimer::Defer);
         m.on_tx_done(t(402));
-        m.on_rx_frame(t(716), MacFrame::Cts { src: NodeId(1), dst: NodeId(0), nav: SimDuration::ZERO });
+        m.on_rx_frame(
+            t(716),
+            MacFrame::Cts {
+                src: NodeId(1),
+                dst: NodeId(0),
+                nav: SimDuration::ZERO,
+            },
+        );
         m.on_timer(t(726), MacTimer::Sifs);
         m.on_tx_done(t(7030));
-        let a = m.on_rx_frame(t(7344), MacFrame::Ack { src: NodeId(1), dst: NodeId(0) });
-        assert!(a.iter().any(|x| matches!(x, MacAction::TxConfirm { success: true, .. })));
+        let a = m.on_rx_frame(
+            t(7344),
+            MacFrame::Ack {
+                src: NodeId(1),
+                dst: NodeId(0),
+            },
+        );
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, MacAction::TxConfirm { success: true, .. })));
         // Post-backoff armed; defer scheduled for packet 2.
         assert!(has_timer(&a, MacTimer::Defer));
         let a = m.on_timer(t(7394), MacTimer::Defer);
@@ -1000,7 +1111,12 @@ mod extension_tests {
     use mwn_pkt::{Body, FlowId, TcpSegment};
 
     fn data_packet(uid: u64) -> Packet {
-        Packet::new(uid, NodeId(0), NodeId(5), Body::Tcp(TcpSegment::data(FlowId(0), 0)))
+        Packet::new(
+            uid,
+            NodeId(0),
+            NodeId(5),
+            Body::Tcp(TcpSegment::data(FlowId(0), 0)),
+        )
     }
 
     fn t(us: u64) -> SimTime {
@@ -1021,7 +1137,12 @@ mod extension_tests {
     #[test]
     fn lred_drops_under_sustained_contention() {
         let mut params = MacParams::ieee80211b(DataRate::MBPS_2);
-        params.link_red = Some(LinkRedParams { min_th: 0.5, max_th: 2.0, max_p: 1.0, weight: 1.0 });
+        params.link_red = Some(LinkRedParams {
+            min_th: 0.5,
+            max_th: 2.0,
+            max_p: 1.0,
+            weight: 1.0,
+        });
         let mut m = Dcf::new(NodeId(0), params, Pcg32::new(1));
         // Pump the retry EWMA: an exchange that needed 7 attempts.
         m.note_exchange_retries(7);
@@ -1029,9 +1150,13 @@ mod extension_tests {
         // With max_p = 1.0 above max_th, the head-of-line packet drops.
         m.enqueue(t(0), NodeId(1), data_packet(1));
         let a = m.on_timer(t(50), MacTimer::Defer);
-        assert!(a
-            .iter()
-            .any(|x| matches!(x, MacAction::Dropped { reason: MacDropReason::EarlyDrop, .. })));
+        assert!(a.iter().any(|x| matches!(
+            x,
+            MacAction::Dropped {
+                reason: MacDropReason::EarlyDrop,
+                ..
+            }
+        )));
         assert_eq!(m.counters().early_drops, 1);
         assert_eq!(m.counters().unicast_accepted, 0);
     }
@@ -1059,16 +1184,34 @@ mod extension_tests {
         // Run the first exchange to completion.
         m.on_timer(t(50), MacTimer::Defer);
         m.on_tx_done(t(402));
-        m.on_rx_frame(t(716), MacFrame::Cts { src: NodeId(1), dst: NodeId(0), nav: SimDuration::ZERO });
+        m.on_rx_frame(
+            t(716),
+            MacFrame::Cts {
+                src: NodeId(1),
+                dst: NodeId(0),
+                nav: SimDuration::ZERO,
+            },
+        );
         m.on_timer(t(726), MacTimer::Sifs);
         m.on_tx_done(t(7030));
-        let a = m.on_rx_frame(t(7344), MacFrame::Ack { src: NodeId(1), dst: NodeId(0) });
-        assert!(a.iter().any(|x| matches!(x, MacAction::TxConfirm { success: true, .. })));
+        let a = m.on_rx_frame(
+            t(7344),
+            MacFrame::Ack {
+                src: NodeId(1),
+                dst: NodeId(0),
+            },
+        );
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, MacAction::TxConfirm { success: true, .. })));
         // Next packet's backoff includes ~one data airtime (6304 us ≈ 315
         // slots) on top of the contention window draw.
         let d = m.on_timer(t(7394), MacTimer::Defer);
         let delay = d.iter().find_map(|x| match x {
-            MacAction::SetTimer { timer: MacTimer::Backoff, delay } => Some(*delay),
+            MacAction::SetTimer {
+                timer: MacTimer::Backoff,
+                delay,
+            } => Some(*delay),
             _ => None,
         });
         let delay = delay.expect("backoff armed for the next packet");

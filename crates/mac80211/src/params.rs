@@ -68,7 +68,12 @@ pub struct LinkRedParams {
 
 impl Default for LinkRedParams {
     fn default() -> Self {
-        LinkRedParams { min_th: 1.0, max_th: 3.0, max_p: 0.05, weight: 0.05 }
+        LinkRedParams {
+            min_th: 1.0,
+            max_th: 3.0,
+            max_p: 0.05,
+            weight: 0.05,
+        }
     }
 }
 
@@ -129,7 +134,9 @@ impl MacParams {
             MacFrame::Rts { .. } | MacFrame::Cts { .. } | MacFrame::Ack { .. } => {
                 self.timing.control_airtime(frame.size_bytes())
             }
-            MacFrame::Data { .. } => self.timing.frame_airtime(frame.size_bytes(), self.data_rate),
+            MacFrame::Data { .. } => self
+                .timing
+                .frame_airtime(frame.size_bytes(), self.data_rate),
         }
     }
 
@@ -206,10 +213,7 @@ mod tests {
     fn rts_nav_covers_whole_exchange() {
         let p = MacParams::ieee80211b(DataRate::MBPS_2);
         let nav = p.rts_nav(1500);
-        assert_eq!(
-            nav,
-            SimDuration::from_micros(10 * 3 + 304 + 6304 + 304)
-        );
+        assert_eq!(nav, SimDuration::from_micros(10 * 3 + 304 + 6304 + 304));
     }
 
     #[test]

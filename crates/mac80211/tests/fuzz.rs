@@ -12,7 +12,12 @@ use mwn_sim::{Pcg32, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn data_packet(uid: u64) -> Packet {
-    Packet::new(uid, NodeId(0), NodeId(9), Body::Tcp(TcpSegment::data(FlowId(0), uid)))
+    Packet::new(
+        uid,
+        NodeId(0),
+        NodeId(9),
+        Body::Tcp(TcpSegment::data(FlowId(0), uid)),
+    )
 }
 
 /// The causally valid inputs the fuzzer may inject at any step.
@@ -53,8 +58,16 @@ fn arb_input() -> impl Strategy<Value = Input> {
 fn frame_for(code: u8, me: NodeId) -> MacFrame {
     let peer = NodeId(1);
     match code {
-        0 => MacFrame::Rts { src: peer, dst: me, nav: SimDuration::from_micros(7000) },
-        1 => MacFrame::Cts { src: peer, dst: me, nav: SimDuration::from_micros(6600) },
+        0 => MacFrame::Rts {
+            src: peer,
+            dst: me,
+            nav: SimDuration::from_micros(7000),
+        },
+        1 => MacFrame::Cts {
+            src: peer,
+            dst: me,
+            nav: SimDuration::from_micros(6600),
+        },
         2 => MacFrame::Ack { src: peer, dst: me },
         3 => MacFrame::Data {
             src: peer,

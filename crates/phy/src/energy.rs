@@ -23,7 +23,11 @@ pub struct EnergyParams {
 impl EnergyParams {
     /// Typical 802.11b card: 1.4 W transmit, 0.9 W receive, 0.74 W idle.
     pub fn wavelan() -> Self {
-        EnergyParams { tx_watts: 1.4, rx_watts: 0.9, idle_watts: 0.74 }
+        EnergyParams {
+            tx_watts: 1.4,
+            rx_watts: 0.9,
+            idle_watts: 0.74,
+        }
     }
 }
 
@@ -58,7 +62,11 @@ pub struct EnergyMeter {
 impl EnergyMeter {
     /// Creates a meter with the given power parameters.
     pub fn new(params: EnergyParams) -> Self {
-        EnergyMeter { params, tx_time: SimDuration::ZERO, rx_time: SimDuration::ZERO }
+        EnergyMeter {
+            params,
+            tx_time: SimDuration::ZERO,
+            rx_time: SimDuration::ZERO,
+        }
     }
 
     /// Records transmit airtime.

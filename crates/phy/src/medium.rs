@@ -61,7 +61,10 @@ impl RangeModel {
     /// transmission within interference range corrupts) — the
     /// conservative model, used by the capture ablation bench.
     pub fn without_capture() -> Self {
-        RangeModel { capture_threshold: None, ..Self::paper() }
+        RangeModel {
+            capture_threshold: None,
+            ..Self::paper()
+        }
     }
 
     /// Relative received power at distance `d` (arbitrary linear units):
@@ -83,7 +86,12 @@ impl RangeModel {
         let senses = d <= self.cs_range || decodable;
         let interferes = d <= self.interference_range || decodable;
         if decodable || senses || interferes {
-            Some(SignalClass { decodable, senses, interferes, power: self.rel_power(d) })
+            Some(SignalClass {
+                decodable,
+                senses,
+                interferes,
+                power: self.rel_power(d),
+            })
         } else {
             None
         }
@@ -161,7 +169,11 @@ impl Medium {
     /// Panics if `positions` is empty.
     pub fn new(positions: Vec<Position>, ranges: RangeModel) -> Self {
         assert!(!positions.is_empty(), "medium needs at least one node");
-        let mut medium = Medium { positions, ranges, effects: Vec::new() };
+        let mut medium = Medium {
+            positions,
+            ranges,
+            effects: Vec::new(),
+        };
         medium.recompute();
         medium
     }
@@ -250,7 +262,9 @@ mod tests {
     use super::*;
 
     fn chain(n: usize, spacing: f64) -> Medium {
-        let positions = (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect();
+        let positions = (0..n)
+            .map(|i| Position::new(i as f64 * spacing, 0.0))
+            .collect();
         Medium::new(positions, RangeModel::paper())
     }
 
@@ -273,10 +287,7 @@ mod tests {
         // 8 nodes, 200 m apart: the canonical chain of Fig 1.
         let m = chain(8, 200.0);
         // Node 3 (600 m from node 0) cannot sense node 0's transmission...
-        assert!(!m
-            .effects_of(NodeId(0))
-            .iter()
-            .any(|e| e.node == NodeId(3)));
+        assert!(!m.effects_of(NodeId(0)).iter().any(|e| e.node == NodeId(3)));
         // ...but interferes at node 1 (400 m away): the hidden terminal.
         let e = m
             .effects_of(NodeId(3))

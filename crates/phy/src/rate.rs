@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn serialize_times() {
         // 1528 bytes at 2 Mbit/s = 6112 us
-        assert_eq!(DataRate::MBPS_2.serialize(1528), SimDuration::from_micros(6112));
+        assert_eq!(
+            DataRate::MBPS_2.serialize(1528),
+            SimDuration::from_micros(6112)
+        );
         // at 11 Mbit/s = 12224/11 us, rounded up
         assert_eq!(DataRate::MBPS_11.serialize(1528).as_nanos(), 1_111_273);
     }
@@ -141,7 +144,10 @@ mod tests {
     fn data_frame_airtime_at_2mbps() {
         let t = PhyTiming::ieee80211b();
         // 192us PLCP + 6112us body = 6304us.
-        assert_eq!(t.frame_airtime(1528, DataRate::MBPS_2), SimDuration::from_micros(6304));
+        assert_eq!(
+            t.frame_airtime(1528, DataRate::MBPS_2),
+            SimDuration::from_micros(6304)
+        );
     }
 
     #[test]

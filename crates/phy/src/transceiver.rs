@@ -213,7 +213,10 @@ impl Transceiver {
             if rx.tx == tx {
                 self.rx = None;
                 if rx.decodable {
-                    events.push(RadioEvent::RxEnd { tx, ok: !rx.corrupted });
+                    events.push(RadioEvent::RxEnd {
+                        tx,
+                        ok: !rx.corrupted,
+                    });
                 } else {
                     // Locked noise ended: PHY-RXEND with error → EIFS.
                     events.push(RadioEvent::UndecodedEnd);
@@ -283,10 +286,22 @@ mod tests {
         let mut r = Transceiver::new();
         assert!(!r.carrier_busy());
         let ev = r.signal_start(TxId(1), decodable());
-        assert_eq!(ev, vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(1))]);
+        assert_eq!(
+            ev,
+            vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(1))]
+        );
         assert!(r.receiving());
         let ev = r.signal_end(TxId(1));
-        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: true }, RadioEvent::CarrierIdle]);
+        assert_eq!(
+            ev,
+            vec![
+                RadioEvent::RxEnd {
+                    tx: TxId(1),
+                    ok: true
+                },
+                RadioEvent::CarrierIdle
+            ]
+        );
         assert!(!r.carrier_busy());
     }
 
@@ -299,7 +314,13 @@ mod tests {
         let ev = r.signal_start(TxId(2), interference());
         assert!(ev.is_empty());
         let ev = r.signal_end(TxId(1));
-        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: true }]);
+        assert_eq!(
+            ev,
+            vec![RadioEvent::RxEnd {
+                tx: TxId(1),
+                ok: true
+            }]
+        );
         r.signal_end(TxId(2));
     }
 
@@ -311,7 +332,13 @@ mod tests {
         let ev = r.signal_start(TxId(2), strong_interference());
         assert!(ev.is_empty()); // carrier already busy, no new lock
         let ev = r.signal_end(TxId(1));
-        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: false }]);
+        assert_eq!(
+            ev,
+            vec![RadioEvent::RxEnd {
+                tx: TxId(1),
+                ok: false
+            }]
+        );
         // Medium still busy until the interferer ends; the never-locked
         // interferer ends silently.
         assert!(r.carrier_busy());
@@ -325,7 +352,13 @@ mod tests {
         r.signal_start(TxId(1), decodable());
         r.signal_start(TxId(2), interference()); // weak, but no capture
         let ev = r.signal_end(TxId(1));
-        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: false }]);
+        assert_eq!(
+            ev,
+            vec![RadioEvent::RxEnd {
+                tx: TxId(1),
+                ok: false
+            }]
+        );
         r.signal_end(TxId(2));
     }
 
@@ -337,7 +370,13 @@ mod tests {
         let ev = r.signal_start(TxId(2), decodable());
         assert!(ev.is_empty()); // no second lock
         let ev = r.signal_end(TxId(1));
-        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: false }]);
+        assert_eq!(
+            ev,
+            vec![RadioEvent::RxEnd {
+                tx: TxId(1),
+                ok: false
+            }]
+        );
         // Frame 2 was never locked: discarded at arrival, silent end.
         let ev = r.signal_end(TxId(2));
         assert_eq!(ev, vec![RadioEvent::CarrierIdle]);
@@ -383,7 +422,10 @@ mod tests {
     #[test]
     fn carrier_transitions_count_overlaps() {
         let mut r = Transceiver::new();
-        assert_eq!(r.signal_start(TxId(1), interference()), vec![RadioEvent::CarrierBusy]);
+        assert_eq!(
+            r.signal_start(TxId(1), interference()),
+            vec![RadioEvent::CarrierBusy]
+        );
         assert_eq!(r.signal_start(TxId(2), interference()), vec![]);
         // First noise was locked; second was discarded at arrival.
         assert_eq!(r.signal_end(TxId(1)), vec![RadioEvent::UndecodedEnd]);
@@ -422,8 +464,20 @@ mod tests {
         r.signal_end(TxId(2));
         // Radio recovered: next frame is received cleanly.
         let ev = r.signal_start(TxId(3), decodable());
-        assert_eq!(ev, vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(3))]);
+        assert_eq!(
+            ev,
+            vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(3))]
+        );
         let ev = r.signal_end(TxId(3));
-        assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(3), ok: true }, RadioEvent::CarrierIdle]);
+        assert_eq!(
+            ev,
+            vec![
+                RadioEvent::RxEnd {
+                    tx: TxId(3),
+                    ok: true
+                },
+                RadioEvent::CarrierIdle
+            ]
+        );
     }
 }

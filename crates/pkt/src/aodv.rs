@@ -70,10 +70,17 @@ mod tests {
         };
         assert_eq!(rreq.size_bytes(), 32);
 
-        let rrep = AodvMessage::Rrep { orig: NodeId(0), dst: NodeId(5), dst_seq: 2, hop_count: 0 };
+        let rrep = AodvMessage::Rrep {
+            orig: NodeId(0),
+            dst: NodeId(5),
+            dst_seq: 2,
+            hop_count: 0,
+        };
         assert_eq!(rrep.size_bytes(), 28);
 
-        let rerr = AodvMessage::Rerr { unreachable: vec![(NodeId(5), 2), (NodeId(6), 1)] };
+        let rerr = AodvMessage::Rerr {
+            unreachable: vec![(NodeId(5), 2), (NodeId(6), 1)],
+        };
         assert_eq!(rerr.size_bytes(), 8 + 4 + 16);
     }
 }

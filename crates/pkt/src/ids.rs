@@ -35,6 +35,14 @@ impl NodeId {
         assert!(!self.is_broadcast(), "broadcast address has no index");
         self.0 as usize
     }
+
+    /// The raw numeric id, for serialized results and job keys.
+    ///
+    /// Unlike [`index`](Self::index) this never panics; the broadcast
+    /// address serializes as `u32::MAX`.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
 }
 
 impl fmt::Display for NodeId {
@@ -61,6 +69,11 @@ impl FlowId {
     /// The id as an array index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The raw numeric id, for serialized results and job keys.
+    pub const fn raw(self) -> u32 {
+        self.0
     }
 }
 

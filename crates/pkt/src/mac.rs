@@ -141,15 +141,31 @@ mod tests {
             seq: 1,
             retry: false,
             nav: SimDuration::from_micros(314),
-            packet: Packet::new(1, NodeId(0), NodeId(7), Body::Tcp(TcpSegment::data(FlowId(0), 0))),
+            packet: Packet::new(
+                1,
+                NodeId(0),
+                NodeId(7),
+                Body::Tcp(TcpSegment::data(FlowId(0), 0)),
+            ),
         }
     }
 
     #[test]
     fn control_frame_sizes() {
-        let rts = MacFrame::Rts { src: NodeId(0), dst: NodeId(1), nav: SimDuration::ZERO };
-        let cts = MacFrame::Cts { src: NodeId(1), dst: NodeId(0), nav: SimDuration::ZERO };
-        let ack = MacFrame::Ack { src: NodeId(1), dst: NodeId(0) };
+        let rts = MacFrame::Rts {
+            src: NodeId(0),
+            dst: NodeId(1),
+            nav: SimDuration::ZERO,
+        };
+        let cts = MacFrame::Cts {
+            src: NodeId(1),
+            dst: NodeId(0),
+            nav: SimDuration::ZERO,
+        };
+        let ack = MacFrame::Ack {
+            src: NodeId(1),
+            dst: NodeId(0),
+        };
         assert_eq!(rts.size_bytes(), 20);
         assert_eq!(cts.size_bytes(), 14);
         assert_eq!(ack.size_bytes(), 14);

@@ -58,7 +58,13 @@ pub struct Packet {
 impl Packet {
     /// Creates a packet with the default TTL.
     pub fn new(uid: u64, src: NodeId, dst: NodeId, body: Body) -> Self {
-        Packet { uid, src, dst, ttl: sizes::DEFAULT_TTL, body }
+        Packet {
+            uid,
+            src,
+            dst,
+            ttl: sizes::DEFAULT_TTL,
+            body,
+        }
     }
 
     /// Total wire size: IP header plus body.
@@ -85,14 +91,24 @@ mod tests {
 
     #[test]
     fn tcp_data_packet_is_1500_bytes() {
-        let p = Packet::new(1, NodeId(0), NodeId(7), Body::Tcp(TcpSegment::data(FlowId(0), 0)));
+        let p = Packet::new(
+            1,
+            NodeId(0),
+            NodeId(7),
+            Body::Tcp(TcpSegment::data(FlowId(0), 0)),
+        );
         assert_eq!(p.size_bytes(), 1500);
         assert!(p.is_transport_data());
     }
 
     #[test]
     fn tcp_ack_packet_is_40_bytes() {
-        let p = Packet::new(2, NodeId(7), NodeId(0), Body::Tcp(TcpSegment::ack(FlowId(0), 0)));
+        let p = Packet::new(
+            2,
+            NodeId(7),
+            NodeId(0),
+            Body::Tcp(TcpSegment::ack(FlowId(0), 0)),
+        );
         assert_eq!(p.size_bytes(), 40);
         assert!(!p.is_transport_data());
     }
@@ -103,7 +119,9 @@ mod tests {
             3,
             NodeId(0),
             NodeId::BROADCAST,
-            Body::Aodv(AodvMessage::Rerr { unreachable: vec![(NodeId(1), 0)] }),
+            Body::Aodv(AodvMessage::Rerr {
+                unreachable: vec![(NodeId(1), 0)],
+            }),
         );
         assert!(!p.is_transport_data());
         assert_eq!(p.ttl, sizes::DEFAULT_TTL);

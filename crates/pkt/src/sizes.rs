@@ -50,6 +50,9 @@ mod tests {
 
     #[test]
     fn data_frame_is_1528_bytes_on_air() {
-        assert_eq!(TCP_PAYLOAD + TCP_HEADER + IP_HEADER + MAC_DATA_OVERHEAD, 1528);
+        assert_eq!(
+            TCP_PAYLOAD + TCP_HEADER + IP_HEADER + MAC_DATA_OVERHEAD,
+            1528
+        );
     }
 }

@@ -39,12 +39,22 @@ impl TcpSegment {
 
     /// Creates a full-size data segment carrying packet `seq`.
     pub fn data(flow: FlowId, seq: u64) -> Self {
-        TcpSegment { flow, seq, ack: Self::NO_ACK, payload_bytes: sizes::TCP_PAYLOAD }
+        TcpSegment {
+            flow,
+            seq,
+            ack: Self::NO_ACK,
+            payload_bytes: sizes::TCP_PAYLOAD,
+        }
     }
 
     /// Creates a pure cumulative ACK for packets `0..=ack`.
     pub fn ack(flow: FlowId, ack: u64) -> Self {
-        TcpSegment { flow, seq: 0, ack, payload_bytes: 0 }
+        TcpSegment {
+            flow,
+            seq: 0,
+            ack,
+            payload_bytes: 0,
+        }
     }
 
     /// `true` if this segment carries data.

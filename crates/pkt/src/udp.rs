@@ -20,7 +20,11 @@ pub struct UdpDatagram {
 impl UdpDatagram {
     /// Creates a full-size (1460-byte payload) CBR datagram.
     pub fn cbr(flow: FlowId, seq: u64) -> Self {
-        UdpDatagram { flow, seq, payload_bytes: sizes::TCP_PAYLOAD }
+        UdpDatagram {
+            flow,
+            seq,
+            payload_bytes: sizes::TCP_PAYLOAD,
+        }
     }
 
     /// Size on the wire including the UDP header (but not IP).

@@ -1,0 +1,207 @@
+//! A vendored, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The workspace's property tests were written against the real proptest,
+//! but this repository must build and test with **no registry access**, so
+//! the workspace dependency points here instead. This crate reimplements
+//! exactly the subset those tests use:
+//!
+//! * the [`proptest!`] macro with `name in strategy` and `name: Type`
+//!   parameters, doc comments, `#[test]` attributes and an optional
+//!   `#![proptest_config(...)]` header,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_oneof!`],
+//! * strategies for integer/float ranges, tuples, [`Just`], `prop_map`,
+//!   [`collection::vec`] and [`any`],
+//! * a deterministic case runner ([`TestRunner`] semantics collapse to a
+//!   seeded loop — no shrinking; on failure the case index is printed so
+//!   the run can be reproduced).
+//!
+//! Cases are generated from a seed derived only from the test name and the
+//! case index, so every run of the suite exercises the identical inputs —
+//! a deliberate trade of coverage-over-time for bit-for-bit reproducible
+//! CI, in keeping with the simulator's determinism policy.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod collection;
+pub mod prelude;
+mod rng;
+mod strategy;
+
+pub use rng::TestRng;
+pub use strategy::{any, Any, Arbitrary, Just, Map, Strategy, Union, VecStrategy};
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Expands a block of property tests into plain `#[test]` functions.
+///
+/// Each property runs [`ProptestConfig::cases`] times with values drawn
+/// from its parameter strategies; a failing case reports its index before
+/// propagating the panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        let mut __rng =
+                            $crate::TestRng::for_case(stringify!($name), __case);
+                        $crate::__proptest_bind!(__rng, $body, $($params)*);
+                    }),
+                );
+                if let Err(payload) = __outcome {
+                    eprintln!(
+                        "proptest (vendored): {} failed at case {}/{}",
+                        stringify!($name),
+                        __case,
+                        __config.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block $(,)?) => { $body };
+    ($rng:ident, $body:block, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {{
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $body $(, $($rest)*)?);
+    }};
+    ($rng:ident, $body:block, $name:ident: $ty:ty $(, $($rest:tt)*)?) => {{
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng, $body $(, $($rest)*)?);
+    }};
+}
+
+/// Asserts a property; identical to `assert!` in this implementation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality; identical to `assert_eq!` in this implementation.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality; identical to `assert_ne!` in this implementation.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Chooses uniformly among the given strategies (weights unsupported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $({
+                let __boxed: ::std::boxed::Box<dyn $crate::Strategy<Value = _>> =
+                    ::std::boxed::Box::new($strat);
+                __boxed
+            }),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn config_default_and_with_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        let mut c = TestRng::for_case("t", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range, inclusive-range, tuple, typed and vec parameters all bind.
+        #[test]
+        fn full_parameter_surface(
+            x in 0u64..10,
+            y in 1u32..=u32::MAX,
+            pair in (0u8..4, -1.0f64..1.0),
+            flag: bool,
+            seed: u64,
+            xs in crate::collection::vec(0usize..5, 1..9),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!(y >= 1);
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+            let bit = u8::from(flag);
+            prop_assert!(bit <= 1);
+            let _ = seed;
+            prop_assert!(!xs.is_empty() && xs.len() < 9);
+            prop_assert!(xs.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn oneof_and_map_cover_all_arms(picks in crate::collection::vec(
+            prop_oneof![Just(0u8), Just(1u8), (2u8..4).prop_map(|v| v)],
+            200..201,
+        )) {
+            prop_assert!(picks.iter().all(|&p| p < 4));
+            // 200 draws over 3 uniform arms: every arm must appear.
+            for arm in [0u8, 1] {
+                prop_assert!(picks.contains(&arm), "arm {arm} never drawn");
+            }
+            prop_assert!(picks.iter().any(|&p| p >= 2), "map arm never drawn");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary, Just,
+    ProptestConfig, Strategy, TestRng, Union,
+};

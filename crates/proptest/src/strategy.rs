@@ -1,0 +1,279 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::TestRng;
+
+/// Something that can draw values of one type from a [`TestRng`].
+///
+/// The real proptest separates strategies from value trees to support
+/// shrinking; this fallback generates final values directly.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    rng.next_u64() as $t
+                } else {
+                    lo + (rng.below(span + 1) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let x = self.start + rng.f64_unit() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+macro_rules! impl_tuples {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuples! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) source: S,
+    pub(crate) map: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// The strategy behind [`collection::vec`](crate::collection::vec).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (the `name: Type`
+/// parameter form of [`proptest!`](crate::proptest)).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.f64_unit()
+    }
+}
+
+/// The whole-domain strategy for an [`Arbitrary`] type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn int_range_bounds_hold() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u32..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (1u64..=u64::MAX).generate(&mut r);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn f64_range_excludes_end() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-2.0f64..3.0).generate(&mut r);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_obeys_size() {
+        let mut r = rng();
+        let s = VecStrategy {
+            element: 0u8..10,
+            size: 2..5,
+        };
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut r = rng();
+        let s = Just(21u64).prop_map(|v| v * 2);
+        assert_eq!(s.generate(&mut r), 42);
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut r = rng();
+        let u = Union::new(vec![
+            Box::new(Just(0u8)) as Box<dyn Strategy<Value = u8>>,
+            Box::new(Just(1u8)),
+        ]);
+        let draws: Vec<u8> = (0..100).map(|_| u.generate(&mut r)).collect();
+        assert!(draws.contains(&0) && draws.contains(&1));
+    }
+}

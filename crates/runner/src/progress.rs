@@ -1,0 +1,129 @@
+//! Live sweep progress on stderr: done/total counts, a wall-clock ETA
+//! from the mean completed-job duration, and what every worker is doing.
+
+use std::time::Instant;
+
+/// Tracks and prints sweep progress. All output goes to stderr so result
+/// pipelines on stdout stay clean; `quiet` disables printing entirely
+/// (used by tests and library callers).
+pub struct Progress {
+    total: usize,
+    skipped: usize,
+    done: usize,
+    failed: usize,
+    start: Instant,
+    /// What each worker is running right now (`None` = idle).
+    current: Vec<Option<String>>,
+    quiet: bool,
+}
+
+impl Progress {
+    pub fn new(total: usize, skipped: usize, workers: usize, quiet: bool) -> Self {
+        let p = Progress {
+            total,
+            skipped,
+            done: 0,
+            failed: 0,
+            start: Instant::now(),
+            current: vec![None; workers.max(1)],
+            quiet,
+        };
+        if !p.quiet {
+            eprintln!(
+                "sweep: {} job(s), {} already done (resumed), {} worker(s)",
+                p.total,
+                p.skipped,
+                p.current.len()
+            );
+        }
+        p
+    }
+
+    pub fn on_start(&mut self, worker: usize, label: &str) {
+        if let Some(slot) = self.current.get_mut(worker) {
+            *slot = Some(label.to_string());
+        }
+        if !self.quiet {
+            eprintln!("  w{worker} -> {label}");
+        }
+    }
+
+    pub fn on_finish(&mut self, worker: usize, label: &str, failed: bool) {
+        self.done += 1;
+        if failed {
+            self.failed += 1;
+        }
+        if let Some(slot) = self.current.get_mut(worker) {
+            *slot = None;
+        }
+        if self.quiet {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let status = if failed { "FAILED" } else { "done" };
+        eprintln!(
+            "[{}/{}] {label} {status} ({:.1}s elapsed{})",
+            self.done,
+            self.total,
+            elapsed,
+            self.eta_note(elapsed),
+        );
+    }
+
+    fn eta_note(&self, elapsed: f64) -> String {
+        if self.done == 0 || self.done >= self.total {
+            return String::new();
+        }
+        let remaining = (self.total - self.done) as f64 * elapsed / self.done as f64;
+        format!(", ETA {remaining:.0}s")
+    }
+
+    /// One line per busy worker — printed at the end of a run that still
+    /// has stragglers, or on demand.
+    pub fn worker_state(&self) -> Vec<String> {
+        self.current
+            .iter()
+            .enumerate()
+            .map(|(w, job)| match job {
+                Some(label) => format!("w{w}: {label}"),
+                None => format!("w{w}: idle"),
+            })
+            .collect()
+    }
+
+    pub fn done(&self) -> usize {
+        self.done
+    }
+
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_worker_state_track_events() {
+        let mut p = Progress::new(3, 1, 2, true);
+        p.on_start(0, "job-a");
+        p.on_start(1, "job-b");
+        assert_eq!(p.worker_state(), vec!["w0: job-a", "w1: job-b"]);
+        p.on_finish(0, "job-a", false);
+        p.on_finish(1, "job-b", true);
+        assert_eq!(p.done(), 2);
+        assert_eq!(p.failed(), 1);
+        assert_eq!(p.worker_state(), vec!["w0: idle", "w1: idle"]);
+    }
+
+    #[test]
+    fn eta_is_empty_at_the_edges() {
+        let mut p = Progress::new(2, 0, 1, true);
+        assert_eq!(p.eta_note(10.0), "");
+        p.on_finish(0, "a", false);
+        assert!(p.eta_note(10.0).starts_with(", ETA "));
+        p.on_finish(0, "b", false);
+        assert_eq!(p.eta_note(10.0), "");
+    }
+}

@@ -1,0 +1,179 @@
+//! Tier-1 integration tests for the sweep engine: deterministic output
+//! across worker counts, resume semantics, and panic isolation.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mwn::jobs::{chain_study, JobSpec};
+use mwn::{ExperimentScale, RunResults, SimDuration};
+use mwn_runner::{run_sweep, simulate, Manifest, SweepOptions};
+
+/// A scale small enough that a 12-job sweep finishes in seconds.
+fn tiny() -> ExperimentScale {
+    ExperimentScale {
+        batch_packets: 60,
+        batches: 3,
+        deadline: SimDuration::from_secs(600),
+    }
+}
+
+/// A fixed manifest: wall-clock time is the store's single
+/// nondeterministic field, so byte-comparison tests pin it.
+fn fixed_manifest(jobs: &[JobSpec], workers: usize) -> Manifest {
+    let mut m = Manifest::for_jobs(jobs, workers, "test".into());
+    m.wall_clock_secs = 0.0;
+    m
+}
+
+fn temp_out(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mwn-sweep-{}-{name}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join("results.jsonl")
+}
+
+fn opts(out: &Path, workers: usize, jobs: &[JobSpec]) -> SweepOptions {
+    let mut o = SweepOptions::new(out).workers(workers).quiet(true);
+    // Same manifest regardless of worker count: determinism tests compare
+    // whole files, and `workers` would otherwise differ.
+    o.manifest = Some(fixed_manifest(jobs, 1));
+    o
+}
+
+fn cleanup(out: &Path) {
+    if let Some(dir) = out.parent() {
+        fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn one_and_four_workers_write_byte_identical_stores() {
+    let jobs = chain_study(tiny());
+    let out1 = temp_out("det1");
+    let out4 = temp_out("det4");
+
+    let s1 = run_sweep(&jobs, &opts(&out1, 1, &jobs), &simulate).expect("1-worker sweep");
+    let s4 = run_sweep(&jobs, &opts(&out4, 4, &jobs), &simulate).expect("4-worker sweep");
+    assert_eq!(s1.ran, jobs.len());
+    assert_eq!(s4.ran, jobs.len());
+    assert_eq!(s1.failed, 0);
+    assert_eq!(s4.failed, 0);
+
+    let b1 = fs::read(&out1).expect("read 1-worker store");
+    let b4 = fs::read(&out4).expect("read 4-worker store");
+    assert!(!b1.is_empty());
+    assert_eq!(
+        b1, b4,
+        "results must not depend on worker count or scheduling"
+    );
+
+    cleanup(&out1);
+    cleanup(&out4);
+}
+
+#[test]
+fn resume_skips_completed_jobs_and_reuses_their_lines() {
+    let jobs = chain_study(tiny());
+    let (first_half, rest) = jobs.split_at(jobs.len() / 2);
+    let out = temp_out("resume");
+
+    let s = run_sweep(first_half, &opts(&out, 2, &jobs), &simulate).expect("first sweep");
+    assert_eq!(s.ran, first_half.len());
+    let after_first = fs::read_to_string(&out).expect("read store");
+
+    // Re-running the full suite must execute only the remaining jobs; the
+    // executor aborts the test if a completed job is ever re-run.
+    let done_keys: Vec<String> = first_half.iter().map(JobSpec::key).collect();
+    let must_not_rerun = |spec: &JobSpec| -> RunResults {
+        assert!(
+            !done_keys.contains(&spec.key()),
+            "completed job {} was re-executed on resume",
+            spec.canonical()
+        );
+        simulate(spec)
+    };
+    let s = run_sweep(&jobs, &opts(&out, 2, &jobs), &must_not_rerun).expect("resumed sweep");
+    assert_eq!(s.total, jobs.len());
+    assert_eq!(s.skipped, first_half.len());
+    assert_eq!(s.ran, rest.len());
+
+    // The carried-over lines are verbatim: every result line of the first
+    // store reappears in the final one.
+    let finished = fs::read_to_string(&out).expect("read final store");
+    for line in after_first
+        .lines()
+        .filter(|l| l.contains("\"type\":\"result\""))
+    {
+        assert!(
+            finished.contains(line),
+            "resume rewrote a completed line:\n{line}"
+        );
+    }
+
+    // A second full re-run does nothing at all.
+    let noop = |spec: &JobSpec| -> RunResults {
+        panic!("nothing should run, but {} did", spec.canonical())
+    };
+    let s = run_sweep(&jobs, &opts(&out, 2, &jobs), &noop).expect("no-op sweep");
+    assert_eq!(s.skipped, jobs.len());
+    assert_eq!(s.ran, 0);
+    assert_eq!(
+        fs::read_to_string(&out).expect("read unchanged store"),
+        finished
+    );
+
+    cleanup(&out);
+}
+
+#[test]
+fn panicking_job_is_recorded_failed_while_others_complete() {
+    let jobs = chain_study(tiny());
+    let poison = jobs[2].key();
+    let out = temp_out("panic");
+
+    let exec = |spec: &JobSpec| -> RunResults {
+        assert!(spec.key() != poison, "injected fault");
+        simulate(spec)
+    };
+    let s = run_sweep(&jobs, &opts(&out, 4, &jobs), &exec).expect("sweep with fault");
+    assert_eq!(s.failed, 1);
+    assert_eq!(s.ran, jobs.len());
+
+    let text = fs::read_to_string(&out).expect("read store");
+    let failed: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"status\":\"failed\""))
+        .collect();
+    assert_eq!(failed.len(), 1);
+    assert!(
+        failed[0].contains(&poison),
+        "failed line must carry the job key"
+    );
+    assert!(
+        failed[0].contains("injected fault"),
+        "failed line must carry the panic message"
+    );
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.contains("\"status\":\"done\""))
+            .count(),
+        jobs.len() - 1,
+        "the other jobs must complete"
+    );
+
+    // Resume retries only the failed job.
+    let retried = AtomicUsize::new(0);
+    let retry = |spec: &JobSpec| -> RunResults {
+        retried.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(spec.key(), poison, "only the failed job may re-run");
+        simulate(spec)
+    };
+    let s = run_sweep(&jobs, &opts(&out, 2, &jobs), &retry).expect("retry sweep");
+    assert_eq!(retried.load(Ordering::Relaxed), 1);
+    assert_eq!(s.skipped, jobs.len() - 1);
+    assert_eq!(s.failed, 0);
+    let text = fs::read_to_string(&out).expect("read retried store");
+    assert!(!text.contains("\"status\":\"failed\""));
+
+    cleanup(&out);
+}

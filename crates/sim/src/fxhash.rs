@@ -76,6 +76,32 @@ impl Hasher for FxHasher {
     }
 }
 
+/// The Fx hash of a byte string, as a standalone function.
+///
+/// This is the stable content-hash used for experiment job keys: it
+/// depends only on the bytes (not on `Hash` impl details such as length
+/// prefixing), so a serialized job descriptor hashes identically across
+/// runs, threads and processes.
+///
+/// # Example
+///
+/// ```
+/// use mwn_sim::fxhash::hash_bytes;
+///
+/// assert_eq!(hash_bytes(b"chain:4"), hash_bytes(b"chain:4"));
+/// assert_ne!(hash_bytes(b"chain:4"), hash_bytes(b"chain:5"));
+/// ```
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// [`hash_bytes`] over a string's UTF-8 bytes.
+pub fn hash_str(s: &str) -> u64 {
+    hash_bytes(s.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,10 +122,28 @@ mod tests {
 
     #[test]
     fn byte_slices_hash_consistently() {
-        assert_eq!(hash_of(b"hello world".as_slice()), hash_of(b"hello world".as_slice()));
-        assert_ne!(hash_of(b"hello world".as_slice()), hash_of(b"hello worle".as_slice()));
+        assert_eq!(
+            hash_of(b"hello world".as_slice()),
+            hash_of(b"hello world".as_slice())
+        );
+        assert_ne!(
+            hash_of(b"hello world".as_slice()),
+            hash_of(b"hello worle".as_slice())
+        );
         // Tail handling: lengths that are not multiples of 8.
         assert_ne!(hash_of(b"abc".as_slice()), hash_of(b"abd".as_slice()));
+    }
+
+    #[test]
+    fn content_hash_is_stable() {
+        // Golden value: job keys in persisted result stores depend on it.
+        assert_eq!(hash_bytes(b""), 0);
+        assert_eq!(hash_str("a"), hash_bytes(b"a"));
+        assert_eq!(hash_bytes(b"abc"), hash_bytes(b"abc"));
+        assert_ne!(hash_str("chain:4"), hash_str("chain:5"));
+        // Not length-prefixed: must differ from the Hash-impl result for
+        // &[u8], which mixes in the length.
+        assert_ne!(hash_of(b"abc".as_slice()), hash_bytes(b"abc"));
     }
 
     #[test]

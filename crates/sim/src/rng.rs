@@ -116,7 +116,10 @@ impl Pcg32 {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range"
+        );
         lo + self.gen_f64() * (hi - lo)
     }
 }
@@ -165,7 +168,11 @@ mod tests {
     fn range_mean_is_plausible() {
         let mut rng = Pcg32::new(99);
         let n = 20_000;
-        let sum: u64 = (0..n).map(|_| u64::from(rng.gen_range_u32(100))).collect::<Vec<_>>().iter().sum();
+        let sum: u64 = (0..n)
+            .map(|_| u64::from(rng.gen_range_u32(100)))
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
         let mean = sum as f64 / n as f64;
         assert!((mean - 49.5).abs() < 1.0, "mean {mean} too far from 49.5");
     }

@@ -55,9 +55,9 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
 
 /// Two-sided 95 % Student-t critical values (t₀.₀₂₅,df) for df = 1..=30.
 const T_95: [f64; 30] = [
-    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
 ];
 
 /// Critical value of the two-sided 95 % Student-t distribution.
@@ -162,17 +162,25 @@ impl BatchMeans {
         let n = self.batches.len();
         let m = mean(&self.batches);
         if n < 2 {
-            return Estimate { mean: m, half_width: 0.0 };
+            return Estimate {
+                mean: m,
+                half_width: 0.0,
+            };
         }
         let s2 = sample_variance(&self.batches);
         let hw = t_critical_95(n - 1) * (s2 / n as f64).sqrt();
-        Estimate { mean: m, half_width: hw }
+        Estimate {
+            mean: m,
+            half_width: hw,
+        }
     }
 }
 
 impl FromIterator<f64> for BatchMeans {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        BatchMeans { batches: iter.into_iter().collect() }
+        BatchMeans {
+            batches: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -315,7 +323,10 @@ mod tests {
 
     #[test]
     fn estimate_display_format() {
-        let est = Estimate { mean: 0.54, half_width: 0.01 };
+        let est = Estimate {
+            mean: 0.54,
+            half_width: 0.01,
+        };
         assert_eq!(format!("{est}"), "0.5400 [0.5300 : 0.5500]");
     }
 

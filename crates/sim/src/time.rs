@@ -270,7 +270,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -278,7 +281,10 @@ mod tests {
         // 1 bit at 3 bit/s = 333333333.33 ns, must round up.
         assert_eq!(SimDuration::for_bits(1, 3).as_nanos(), 333_333_334);
         // Exact case: 1000 bits at 1 Mbit/s = 1 ms.
-        assert_eq!(SimDuration::for_bits(1000, 1_000_000), SimDuration::from_millis(1));
+        assert_eq!(
+            SimDuration::for_bits(1000, 1_000_000),
+            SimDuration::from_millis(1)
+        );
         // 802.11b data frame: 1528 bytes at 2 Mbit/s = 6112 us.
         assert_eq!(
             SimDuration::for_bits(1528 * 8, 2_000_000),
@@ -308,12 +314,21 @@ mod tests {
         assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
         assert_eq!(format!("{}", SimDuration::from_micros(50)), "50.000us");
         assert_eq!(format!("{}", SimDuration::from_millis(29)), "29.000ms");
-        assert_eq!(format!("{}", SimTime::from_nanos(1_500_000_000)), "1.500000s");
+        assert_eq!(
+            format!("{}", SimTime::from_nanos(1_500_000_000)),
+            "1.500000s"
+        );
     }
 
     #[test]
     fn scalar_mul_div() {
-        assert_eq!(SimDuration::from_micros(20) * 31, SimDuration::from_micros(620));
-        assert_eq!(SimDuration::from_micros(620) / 31, SimDuration::from_micros(20));
+        assert_eq!(
+            SimDuration::from_micros(20) * 31,
+            SimDuration::from_micros(620)
+        );
+        assert_eq!(
+            SimDuration::from_micros(620) / 31,
+            SimDuration::from_micros(20)
+        );
     }
 }

@@ -43,7 +43,14 @@ impl PacedUdpSource {
     /// Panics if `gap` is zero.
     pub fn new(flow: FlowId, src: NodeId, dst: NodeId, gap: SimDuration, uid_base: u64) -> Self {
         assert!(!gap.is_zero(), "pacing gap must be positive");
-        PacedUdpSource { flow, src, dst, gap, next_seq: 0, next_uid: uid_base }
+        PacedUdpSource {
+            flow,
+            src,
+            dst,
+            gap,
+            next_seq: 0,
+            next_uid: uid_base,
+        }
     }
 
     /// The configured inter-packet gap.
@@ -71,11 +78,18 @@ impl PacedUdpSource {
         self.next_seq += 1;
         let uid = self.next_uid;
         self.next_uid += 1;
-        let packet =
-            Packet::new(uid, self.src, self.dst, Body::Udp(UdpDatagram::cbr(self.flow, seq)));
+        let packet = Packet::new(
+            uid,
+            self.src,
+            self.dst,
+            Body::Udp(UdpDatagram::cbr(self.flow, seq)),
+        );
         vec![
             TransportAction::SendPacket(packet),
-            TransportAction::SetTimer { timer: TransportTimer::Pace, delay: self.gap },
+            TransportAction::SetTimer {
+                timer: TransportTimer::Pace,
+                delay: self.gap,
+            },
         ]
     }
 }

@@ -51,7 +51,15 @@ impl RtoEstimator {
     ) -> Self {
         assert!(!tick.is_zero(), "tick must be positive");
         assert!(min_rto <= max_rto, "min_rto must not exceed max_rto");
-        RtoEstimator { tick, min_rto, initial_rto, max_rto, srtt: None, rttvar: 0.0, backoff: 0 }
+        RtoEstimator {
+            tick,
+            min_rto,
+            initial_rto,
+            max_rto,
+            srtt: None,
+            rttvar: 0.0,
+            backoff: 0,
+        }
     }
 
     /// Feeds an RTT measurement (callers must apply Karn's rule: never

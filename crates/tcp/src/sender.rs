@@ -193,7 +193,12 @@ impl TcpSender {
             in_recovery: false,
             recover: 0,
             sent: FxHashMap::default(),
-            rto: RtoEstimator::new(config.tick, config.min_rto, config.initial_rto, config.max_rto),
+            rto: RtoEstimator::new(
+                config.tick,
+                config.min_rto,
+                config.initial_rto,
+                config.max_rto,
+            ),
             rtx_armed: false,
             frozen: false,
             saved_cwnd: 0.0,
@@ -249,7 +254,11 @@ impl TcpSender {
             // A probe made it through and back: the route is restored.
             self.thaw(&mut actions);
         }
-        let ack_count = if ackno == TcpSegment::NO_ACK { 0 } else { ackno + 1 };
+        let ack_count = if ackno == TcpSegment::NO_ACK {
+            0
+        } else {
+            ackno + 1
+        };
         if ack_count > self.acked {
             self.handle_new_ack(now, ack_count, &mut actions);
         } else if self.t_seqno > self.acked {
@@ -574,15 +583,22 @@ impl TcpSender {
         self.next_uid += 1;
         let entry = self.sent.entry(seq);
         let is_retx = matches!(entry, std::collections::hash_map::Entry::Occupied(_));
-        let info = entry.or_insert(Sent { last_sent: now, retransmitted: false });
+        let info = entry.or_insert(Sent {
+            last_sent: now,
+            retransmitted: false,
+        });
         if is_retx {
             info.retransmitted = true;
             self.stats.retransmissions += 1;
         }
         info.last_sent = now;
         self.stats.data_packets_sent += 1;
-        let packet =
-            Packet::new(uid, self.src, self.dst, Body::Tcp(TcpSegment::data(self.flow, seq)));
+        let packet = Packet::new(
+            uid,
+            self.src,
+            self.dst,
+            Body::Tcp(TcpSegment::data(self.flow, seq)),
+        );
         actions.push(TransportAction::SendPacket(packet));
     }
 
@@ -607,7 +623,14 @@ mod tests {
     use proptest::prelude::*;
 
     fn sender(flavor: Flavor) -> TcpSender {
-        TcpSender::new(TcpConfig::default(), flavor, FlowId(0), NodeId(0), NodeId(5), 0)
+        TcpSender::new(
+            TcpConfig::default(),
+            flavor,
+            FlowId(0),
+            NodeId(0),
+            NodeId(5),
+            0,
+        )
     }
 
     fn t(ms: u64) -> SimTime {
@@ -634,7 +657,10 @@ mod tests {
         assert_eq!(sent_seqs(&a), vec![0]);
         assert!(a.iter().any(|x| matches!(
             x,
-            TransportAction::SetTimer { timer: TransportTimer::Rtx, .. }
+            TransportAction::SetTimer {
+                timer: TransportTimer::Rtx,
+                ..
+            }
         )));
     }
 
@@ -674,7 +700,7 @@ mod tests {
         s.ssthresh = 8.0; // congestion avoidance
         s.start(t(0)); // sends 0..8
         s.on_ack(t(100), 0); // acked=1
-        // Packet 1 lost; dupacks for 0.
+                             // Packet 1 lost; dupacks for 0.
         s.on_ack(t(110), 0);
         let a = s.on_ack(t(111), 0);
         assert!(sent_seqs(&a).is_empty());
@@ -739,7 +765,7 @@ mod tests {
         s.on_rtx_timeout(t(1000)); // packet 0 retransmitted
         let rto_before = s.rto.current();
         s.on_ack(t(1100), 0); // ack of a retransmitted packet: no sample
-        // Backoff not cleared by a (non-)sample: RTO still backed off.
+                              // Backoff not cleared by a (non-)sample: RTO still backed off.
         assert_eq!(s.rto.current(), rto_before);
     }
 
@@ -788,7 +814,7 @@ mod tests {
         }
         s.cwnd = 10.0;
         s.start(t(0)); // sends 0..10
-        // RTT = 100 ms vs base 50 ms: diff = 10·(1-0.5) = 5 > β=2 -> -1.
+                       // RTT = 100 ms vs base 50 ms: diff = 10·(1-0.5) = 5 > β=2 -> -1.
         s.on_ack(t(100), 0);
         s.on_ack(t(200), 1); // epoch boundary crossed with high RTT
         assert!(s.cwnd() < 10.0);
@@ -816,9 +842,13 @@ mod tests {
         s.cwnd = 6.0;
         s.start(t(0)); // 0..6 out at t=0
         s.on_ack(t(50), 0); // sample: fine_srtt = 50 ms
-        // Much later, a single dupack arrives: packet 1 is long expired.
+                            // Much later, a single dupack arrives: packet 1 is long expired.
         let a = s.on_ack(t(500), 0);
-        assert_eq!(sent_seqs(&a), vec![1], "fine-grained check fires on 1st dupack");
+        assert_eq!(
+            sent_seqs(&a),
+            vec![1],
+            "fine-grained check fires on 1st dupack"
+        );
         assert_eq!(s.stats().fast_retransmits, 1);
         // Window cut once.
         assert!(s.cwnd() <= 6.0 * 0.75 + 1e-9);
@@ -836,7 +866,7 @@ mod tests {
         s.cwnd = 6.0;
         s.start(t(0));
         s.on_ack(t(100), 0); // fine_srtt 100 ms
-        // Three quick dupacks well within the fine timeout.
+                             // Three quick dupacks well within the fine timeout.
         s.on_ack(t(110), 0);
         s.on_ack(t(112), 0);
         let a = s.on_ack(t(114), 0);
@@ -848,11 +878,15 @@ mod tests {
         let mut s = sender(Flavor::NewReno);
         s.cwnd = 5.0;
         s.start(t(0)); // 0..5 out
-        // Receiver got 1,2 out of order but never 0: acks NO_ACK.
+                       // Receiver got 1,2 out of order but never 0: acks NO_ACK.
         s.on_ack(t(100), TcpSegment::NO_ACK);
         s.on_ack(t(101), TcpSegment::NO_ACK);
         let a = s.on_ack(t(102), TcpSegment::NO_ACK);
-        assert_eq!(sent_seqs(&a), vec![0], "fast retransmit of the very first packet");
+        assert_eq!(
+            sent_seqs(&a),
+            vec![0],
+            "fast retransmit of the very first packet"
+        );
     }
 
     #[test]
@@ -866,7 +900,9 @@ mod tests {
         assert_eq!(sent_seqs(&a), vec![1]);
         let a = s.on_ack(t(200), 1);
         // Window limit 1: seq 2 sent, timer re-armed (still outstanding).
-        assert!(a.iter().any(|x| matches!(x, TransportAction::SetTimer { .. })));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, TransportAction::SetTimer { .. })));
     }
 
     #[test]
@@ -915,7 +951,14 @@ mod reactive_flavor_tests {
     use mwn_sim::SimDuration;
 
     fn sender(flavor: Flavor) -> TcpSender {
-        TcpSender::new(TcpConfig::default(), flavor, FlowId(0), NodeId(0), NodeId(5), 0)
+        TcpSender::new(
+            TcpConfig::default(),
+            flavor,
+            FlowId(0),
+            NodeId(0),
+            NodeId(5),
+            0,
+        )
     }
 
     fn t(ms: u64) -> SimTime {
@@ -965,7 +1008,10 @@ mod reactive_flavor_tests {
         // Partial ACK (packets 3.. still missing): Reno deflates and
         // leaves recovery WITHOUT retransmitting the next hole.
         let a = s.on_ack(t(200), 2);
-        assert!(sent_seqs(&a).iter().all(|&q| q > 8), "no hole retransmission: {a:?}");
+        assert!(
+            sent_seqs(&a).iter().all(|&q| q > 8),
+            "no hole retransmission: {a:?}"
+        );
         assert!(!s.in_recovery);
         // Deflated to ssthresh, plus at most one CA increment for this ACK.
         assert!(s.cwnd() >= s.ssthresh && s.cwnd() <= s.ssthresh + 1.0);
@@ -1014,7 +1060,14 @@ mod elfn_tests {
     use mwn_sim::SimDuration;
 
     fn sender() -> TcpSender {
-        TcpSender::new(TcpConfig::default(), Flavor::NewReno, FlowId(0), NodeId(0), NodeId(5), 0)
+        TcpSender::new(
+            TcpConfig::default(),
+            Flavor::NewReno,
+            FlowId(0),
+            NodeId(0),
+            NodeId(5),
+            0,
+        )
     }
 
     fn t(ms: u64) -> SimTime {
@@ -1047,7 +1100,10 @@ mod elfn_tests {
         assert!(a.contains(&TransportAction::CancelTimer(TransportTimer::Rtx)));
         assert!(a.iter().any(|x| matches!(
             x,
-            TransportAction::SetTimer { timer: TransportTimer::Probe, .. }
+            TransportAction::SetTimer {
+                timer: TransportTimer::Probe,
+                ..
+            }
         )));
 
         // Probe: retransmits the first unacked, re-arms.
@@ -1055,7 +1111,10 @@ mod elfn_tests {
         assert_eq!(sent_seqs(&a), vec![1]);
         assert!(a.iter().any(|x| matches!(
             x,
-            TransportAction::SetTimer { timer: TransportTimer::Probe, .. }
+            TransportAction::SetTimer {
+                timer: TransportTimer::Probe,
+                ..
+            }
         )));
 
         // RTO firing while frozen is ignored.
@@ -1077,7 +1136,10 @@ mod elfn_tests {
         let first = s.on_route_failure(t(10));
         assert!(!first.is_empty());
         let second = s.on_route_failure(t(20));
-        assert!(second.is_empty(), "already frozen: no duplicate probe timer");
+        assert!(
+            second.is_empty(),
+            "already frozen: no duplicate probe timer"
+        );
     }
 
     #[test]

@@ -196,7 +196,12 @@ impl TcpSink {
         self.next_uid += 1;
         self.stats.acks_sent += 1;
         let seg = TcpSegment::ack(self.flow, self.ack_number());
-        actions.push(TransportAction::SendPacket(Packet::new(uid, self.me, self.peer, Body::Tcp(seg))));
+        actions.push(TransportAction::SendPacket(Packet::new(
+            uid,
+            self.me,
+            self.peer,
+            Body::Tcp(seg),
+        )));
     }
 
     fn emit_ack(&mut self, actions: &mut Vec<TransportAction>) {
@@ -209,7 +214,12 @@ impl TcpSink {
         self.next_uid += 1;
         self.stats.acks_sent += 1;
         let seg = TcpSegment::ack(self.flow, self.ack_number());
-        actions.push(TransportAction::SendPacket(Packet::new(uid, self.me, self.peer, Body::Tcp(seg))));
+        actions.push(TransportAction::SendPacket(Packet::new(
+            uid,
+            self.me,
+            self.peer,
+            Body::Tcp(seg),
+        )));
     }
 }
 

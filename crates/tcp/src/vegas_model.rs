@@ -65,7 +65,10 @@ impl VegasModel {
     /// Panics if the bottleneck rate is not positive, the thresholds are
     /// inverted, or `base_rtt` is zero.
     pub fn equilibrium(&self) -> VegasEquilibrium {
-        assert!(self.bottleneck_rate > 0.0, "bottleneck rate must be positive");
+        assert!(
+            self.bottleneck_rate > 0.0,
+            "bottleneck rate must be positive"
+        );
         assert!(
             self.alpha > 0.0 && self.beta >= self.alpha,
             "need 0 < alpha <= beta"

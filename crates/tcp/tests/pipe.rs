@@ -85,7 +85,10 @@ impl Pipe {
         for a in actions {
             match a {
                 TransportAction::SendPacket(p) => self.send_data(p),
-                TransportAction::SetTimer { timer: TransportTimer::Rtx, delay } => {
+                TransportAction::SetTimer {
+                    timer: TransportTimer::Rtx,
+                    delay,
+                } => {
                     if let Some(key) = self.sender_rtx.take() {
                         self.events.remove(&key);
                     }
@@ -110,7 +113,10 @@ impl Pipe {
                     let at = self.now + self.delay;
                     self.schedule(at, Ev::AckArrives(p));
                 }
-                TransportAction::SetTimer { timer: TransportTimer::DelayedAck, delay } => {
+                TransportAction::SetTimer {
+                    timer: TransportTimer::DelayedAck,
+                    delay,
+                } => {
                     if let Some(key) = self.sink_delack.take() {
                         self.events.remove(&key);
                     }
@@ -129,7 +135,9 @@ impl Pipe {
 
     /// Data enters the bottleneck (scripted losses apply before queueing).
     fn send_data(&mut self, p: Packet) {
-        let Body::Tcp(seg) = &p.body else { panic!("non-TCP packet") };
+        let Body::Tcp(seg) = &p.body else {
+            panic!("non-TCP packet")
+        };
         if self.drop_once.remove(&seg.seq) {
             return;
         }
@@ -176,13 +184,17 @@ impl Pipe {
                     self.start_service();
                 }
                 Ev::DataArrives(p) => {
-                    let Body::Tcp(seg) = &p.body else { unreachable!() };
+                    let Body::Tcp(seg) = &p.body else {
+                        unreachable!()
+                    };
                     let seq = seg.seq;
                     let actions = self.sink.on_data(self.now, seq);
                     self.apply_sink(actions);
                 }
                 Ev::AckArrives(p) => {
-                    let Body::Tcp(seg) = &p.body else { unreachable!() };
+                    let Body::Tcp(seg) = &p.body else {
+                        unreachable!()
+                    };
                     let ack = seg.ack;
                     let actions = self.sender.on_ack(self.now, ack);
                     self.apply_sender(actions);
@@ -209,18 +221,29 @@ fn secs(s: u64) -> SimTime {
 
 #[test]
 fn lossless_pipe_delivers_in_order_without_retransmissions() {
-    let mut pipe = Pipe::new(Flavor::NewReno, AckPolicy::EveryPacket, TcpConfig::default());
+    let mut pipe = Pipe::new(
+        Flavor::NewReno,
+        AckPolicy::EveryPacket,
+        TcpConfig::default(),
+    );
     pipe.run_until(secs(10));
     let st = pipe.sender.stats();
     assert_eq!(st.retransmissions, 0, "no losses, no retransmissions");
     assert_eq!(st.timeouts, 0);
-    assert!(pipe.sink.stats().delivered > 1000, "10 s of 40 ms RTTs must move >1000 packets");
+    assert!(
+        pipe.sink.stats().delivered > 1000,
+        "10 s of 40 ms RTTs must move >1000 packets"
+    );
     assert_eq!(pipe.sink.stats().duplicates, 0);
 }
 
 #[test]
 fn newreno_slow_start_reaches_receiver_window() {
-    let mut pipe = Pipe::new(Flavor::NewReno, AckPolicy::EveryPacket, TcpConfig::default());
+    let mut pipe = Pipe::new(
+        Flavor::NewReno,
+        AckPolicy::EveryPacket,
+        TcpConfig::default(),
+    );
     pipe.run_until(secs(5));
     // Without losses cwnd must climb to and then sit at Wmax = 64.
     assert_eq!(pipe.sender.window(), 64);
@@ -230,11 +253,18 @@ fn newreno_slow_start_reaches_receiver_window() {
 
 #[test]
 fn single_loss_recovered_by_fast_retransmit() {
-    let mut pipe = Pipe::new(Flavor::NewReno, AckPolicy::EveryPacket, TcpConfig::default());
+    let mut pipe = Pipe::new(
+        Flavor::NewReno,
+        AckPolicy::EveryPacket,
+        TcpConfig::default(),
+    );
     pipe.drop_once.insert(50);
     pipe.run_until(secs(10));
     let st = pipe.sender.stats();
-    assert_eq!(st.timeouts, 0, "a single loss must not need a coarse timeout");
+    assert_eq!(
+        st.timeouts, 0,
+        "a single loss must not need a coarse timeout"
+    );
     assert!(st.fast_retransmits >= 1);
     assert!(
         st.retransmissions <= 3,
@@ -248,7 +278,11 @@ fn single_loss_recovered_by_fast_retransmit() {
 
 #[test]
 fn newreno_burst_loss_repaired_by_partial_acks() {
-    let mut pipe = Pipe::new(Flavor::NewReno, AckPolicy::EveryPacket, TcpConfig::default());
+    let mut pipe = Pipe::new(
+        Flavor::NewReno,
+        AckPolicy::EveryPacket,
+        TcpConfig::default(),
+    );
     for seq in [80u64, 81, 82] {
         pipe.drop_once.insert(seq);
     }
@@ -264,14 +298,24 @@ fn newreno_burst_loss_repaired_by_partial_acks() {
 
 #[test]
 fn whole_window_loss_needs_timeout_and_recovers() {
-    let mut pipe = Pipe::new(Flavor::NewReno, AckPolicy::EveryPacket, TcpConfig::default());
+    let mut pipe = Pipe::new(
+        Flavor::NewReno,
+        AckPolicy::EveryPacket,
+        TcpConfig::default(),
+    );
     for seq in 100..180u64 {
         pipe.drop_once.insert(seq);
     }
     pipe.run_until(secs(30));
     let st = pipe.sender.stats();
-    assert!(st.timeouts >= 1, "losing a whole window forces a coarse timeout");
-    assert!(pipe.sink.stats().delivered > 1000, "flow must recover after the timeout");
+    assert!(
+        st.timeouts >= 1,
+        "losing a whole window forces a coarse timeout"
+    );
+    assert!(
+        pipe.sink.stats().delivered > 1000,
+        "flow must recover after the timeout"
+    );
     assert_eq!(pipe.sink.stats().delivered, pipe.sender.acked());
 }
 
@@ -282,7 +326,10 @@ fn vegas_converges_to_small_window_on_bottleneck() {
     pipe.queue_capacity = 1000;
     pipe.run_until(secs(60));
     let st = pipe.sender.stats();
-    assert_eq!(st.timeouts, 0, "Vegas must not blow up the bottleneck queue");
+    assert_eq!(
+        st.timeouts, 0,
+        "Vegas must not blow up the bottleneck queue"
+    );
     assert_eq!(pipe.dropped_by_queue, 0);
     // Steady-state window: small, stable band (diff between alpha and
     // beta implies ~2-6 packets over this bottleneck).
@@ -290,7 +337,10 @@ fn vegas_converges_to_small_window_on_bottleneck() {
     let max = tail.iter().cloned().fold(0.0f64, f64::max);
     let min = tail.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(max < 12.0, "Vegas steady-state window {max} too large");
-    assert!(max - min <= 3.0, "Vegas window oscillates too much: [{min}, {max}]");
+    assert!(
+        max - min <= 3.0,
+        "Vegas window oscillates too much: [{min}, {max}]"
+    );
     // Goodput ≈ bottleneck rate: 100 packets/s for ~58 s of steady state.
     let delivered = pipe.sink.stats().delivered;
     assert!(
@@ -326,7 +376,10 @@ fn ack_thinning_sink_keeps_the_flow_moving() {
     pipe.run_until(secs(10));
     let delivered = pipe.sink.stats().delivered;
     let acks = pipe.sink.stats().acks_sent;
-    assert!(delivered > 800, "thinning must not stall the flow: {delivered}");
+    assert!(
+        delivered > 800,
+        "thinning must not stall the flow: {delivered}"
+    );
     assert!(
         (acks as f64) < delivered as f64 / 3.0,
         "thinning should send ~1 ACK per 4 packets: {acks} ACKs for {delivered} packets"

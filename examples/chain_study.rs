@@ -33,7 +33,10 @@ fn parse_args() -> Result<(usize, DataRate, &'static str, Transport), String> {
         Some("newreno") => ("TCP NewReno", Transport::newreno()),
         Some("newreno-thin") => ("TCP NewReno + ACK thinning", Transport::newreno_thinning()),
         Some("optwin") => ("TCP NewReno MaxWin=3", Transport::newreno_optimal_window(3)),
-        Some("udp") => ("Paced UDP (saturating)", Transport::paced_udp(SimDuration::from_millis(2))),
+        Some("udp") => (
+            "Paced UDP (saturating)",
+            Transport::paced_udp(SimDuration::from_millis(2)),
+        ),
         Some(other) => return Err(format!("unknown variant {other:?}")),
     };
     Ok((hops, bw, name, transport))
@@ -49,21 +52,36 @@ fn main() {
         }
     };
 
-    println!("{hops}-hop chain at {bw}, {name}, scale MWN_SCALE={}",
-        std::env::var("MWN_SCALE").unwrap_or_else(|_| "1".into()));
+    println!(
+        "{hops}-hop chain at {bw}, {name}, scale MWN_SCALE={}",
+        std::env::var("MWN_SCALE").unwrap_or_else(|_| "1".into())
+    );
     let scenario = Scenario::chain(hops, bw, transport, 42);
     let r = experiment::run(&scenario, ExperimentScale::from_env());
 
-    println!("\n  goodput               {:>10.1} kbit/s  (95% CI ±{:.1})",
-        r.aggregate_goodput_kbps.mean, r.aggregate_goodput_kbps.half_width);
+    println!(
+        "\n  goodput               {:>10.1} kbit/s  (95% CI ±{:.1})",
+        r.aggregate_goodput_kbps.mean, r.aggregate_goodput_kbps.half_width
+    );
     let flow = &r.per_flow[0];
-    println!("  retransmissions/pkt   {:>10.4}", flow.retx_per_packet.mean);
-    println!("  average window        {:>10.2} packets", flow.avg_window.mean);
+    println!(
+        "  retransmissions/pkt   {:>10.4}",
+        flow.retx_per_packet.mean
+    );
+    println!(
+        "  average window        {:>10.2} packets",
+        flow.avg_window.mean
+    );
     println!("  link-layer drop prob  {:>10.4}", r.drop_probability.mean);
-    println!("  false route failures  {:>10}  ({:.0} per 110k packets)",
-        r.false_route_failures, r.false_route_failures_paper_scale);
+    println!(
+        "  false route failures  {:>10}  ({:.0} per 110k packets)",
+        r.false_route_failures, r.false_route_failures_paper_scale
+    );
     println!("  energy/packet         {:>10.3} J", r.energy_per_packet);
     println!("  measured packets      {:>10}", r.packets_measured);
-    println!("  simulated time        {:>10.1} s", r.measured_time.as_secs_f64());
+    println!(
+        "  simulated time        {:>10.1} s",
+        r.measured_time.as_secs_f64()
+    );
     println!("  outcome               {:>10?}", r.outcome);
 }

@@ -5,7 +5,7 @@
 //! cargo run --release --example random_topology -- [seed]
 //! ```
 
-use mwn::{experiment, ExperimentScale, Scenario, Transport, NodeId};
+use mwn::{experiment, ExperimentScale, NodeId, Scenario, Transport};
 use mwn_phy::DataRate;
 
 fn main() {

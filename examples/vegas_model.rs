@@ -37,7 +37,12 @@ fn main() {
         // 1. Bottleneck rate from the paced-UDP plateau (the paper's
         //    "optimal paced UDP" measurement, §4.2)...
         let udp = experiment::run(
-            &Scenario::chain(hops, DataRate::MBPS_2, Transport::paced_udp(SimDuration::from_millis(2)), 7),
+            &Scenario::chain(
+                hops,
+                DataRate::MBPS_2,
+                Transport::paced_udp(SimDuration::from_millis(2)),
+                7,
+            ),
             scale,
         );
         let mu_udp = udp.aggregate_goodput_kbps.mean * 1000.0 / (1460.0 * 8.0);
@@ -48,9 +53,7 @@ fn main() {
         let mu = mu_udp * t_data / (t_data + t_ack);
 
         // 2. Base RTT: unloaded data path forward plus ACK path back.
-        let base_rtt = SimDuration::from_secs_f64(
-            hops as f64 * (t_data + t_ack),
-        );
+        let base_rtt = SimDuration::from_secs_f64(hops as f64 * (t_data + t_ack));
 
         let model = VegasModel {
             base_rtt,

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (best-effort), build and the tier-1
+# test suite. Everything runs offline — the workspace has no registry
+# dependencies (proptest/criterion are vendored path crates).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+# Clippy is best-effort: not every toolchain installation ships it, and
+# the gate must stay runnable offline. When present, warnings are errors.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lints"
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

@@ -1,9 +1,7 @@
 //! End-to-end integration tests: every transport variant over every
 //! topology family, driven through the full PHY / MAC / AODV / TCP stack.
 
-use mwn::{
-    experiment, ExperimentScale, FlowId, NodeId, Scenario, SimDuration, SimTime, Transport,
-};
+use mwn::{experiment, ExperimentScale, FlowId, NodeId, Scenario, SimDuration, SimTime, Transport};
 use mwn_phy::DataRate;
 
 fn deadline(secs: u64) -> SimTime {
@@ -50,7 +48,9 @@ fn every_bandwidth_works() {
 fn grid_all_flows_progress() {
     let mut net = Scenario::grid6(DataRate::MBPS_11, Transport::vegas_thinning(2), 5).build();
     net.run_until_delivered(1500, deadline(900));
-    let progressing = (0..6).filter(|&i| net.flow_delivered(FlowId(i)) > 0).count();
+    let progressing = (0..6)
+        .filter(|&i| net.flow_delivered(FlowId(i)) > 0)
+        .count();
     assert!(
         progressing >= 5,
         "with ACK thinning at least 5 of 6 grid flows must progress, got {progressing}"
@@ -63,7 +63,9 @@ fn random_topology_aggregate_progress() {
     let outcome = net.run_until_delivered(300, deadline(900));
     assert_eq!(outcome, mwn::StepOutcome::TargetReached);
     // At least half the flows should see traffic even in an unfair run.
-    let progressing = (0..10).filter(|&i| net.flow_delivered(FlowId(i)) > 0).count();
+    let progressing = (0..10)
+        .filter(|&i| net.flow_delivered(FlowId(i)) > 0)
+        .count();
     assert!(progressing >= 5, "only {progressing}/10 flows progressed");
 }
 
@@ -77,7 +79,10 @@ fn long_chain_works() {
 #[test]
 fn experiment_results_are_reproducible() {
     let run = || {
-        let r = experiment::run(&Scenario::chain(4, DataRate::MBPS_2, Transport::newreno(), 17), smoke());
+        let r = experiment::run(
+            &Scenario::chain(4, DataRate::MBPS_2, Transport::newreno(), 17),
+            smoke(),
+        );
         (
             r.aggregate_goodput_kbps.mean.to_bits(),
             r.per_flow[0].retx_per_packet.mean.to_bits(),
@@ -85,15 +90,22 @@ fn experiment_results_are_reproducible() {
             r.packets_measured,
         )
     };
-    assert_eq!(run(), run(), "same scenario + seed must give identical results");
+    assert_eq!(
+        run(),
+        run(),
+        "same scenario + seed must give identical results"
+    );
 }
 
 #[test]
 fn seeds_change_results() {
     let gp = |seed| {
-        experiment::run(&Scenario::chain(4, DataRate::MBPS_2, Transport::newreno(), seed), smoke())
-            .aggregate_goodput_kbps
-            .mean
+        experiment::run(
+            &Scenario::chain(4, DataRate::MBPS_2, Transport::newreno(), seed),
+            smoke(),
+        )
+        .aggregate_goodput_kbps
+        .mean
     };
     assert_ne!(gp(1).to_bits(), gp(2).to_bits());
 }
@@ -102,8 +114,16 @@ fn seeds_change_results() {
 fn two_way_tcp_traffic_on_shared_chain() {
     let topology = mwn::topology::chain(6);
     let flows = vec![
-        mwn::FlowSpec { src: NodeId(0), dst: NodeId(6), transport: Transport::vegas(2) },
-        mwn::FlowSpec { src: NodeId(6), dst: NodeId(0), transport: Transport::vegas(2) },
+        mwn::FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(6),
+            transport: Transport::vegas(2),
+        },
+        mwn::FlowSpec {
+            src: NodeId(6),
+            dst: NodeId(0),
+            transport: Transport::vegas(2),
+        },
     ];
     let mut net = Scenario::new(topology, flows, DataRate::MBPS_2, 23).build();
     net.run_until_delivered(200, deadline(600));
@@ -115,8 +135,7 @@ fn two_way_tcp_traffic_on_shared_chain() {
 fn udp_goodput_tracks_offered_load_when_underloaded() {
     // 100 ms gap on a short chain: everything should arrive.
     let gap = SimDuration::from_millis(100);
-    let mut net =
-        Scenario::chain(3, DataRate::MBPS_2, Transport::paced_udp(gap), 3).build();
+    let mut net = Scenario::chain(3, DataRate::MBPS_2, Transport::paced_udp(gap), 3).build();
     net.run_until(deadline(20));
     let delivered = net.flow_delivered(FlowId(0));
     assert!(
@@ -132,7 +151,10 @@ fn deadline_truncates_infeasible_runs() {
         batches: 2,
         deadline: SimDuration::from_secs(2),
     };
-    let r = experiment::run(&Scenario::chain(3, DataRate::MBPS_2, Transport::vegas(2), 5), scale);
+    let r = experiment::run(
+        &Scenario::chain(3, DataRate::MBPS_2, Transport::vegas(2), 5),
+        scale,
+    );
     assert!(matches!(r.outcome, mwn::RunOutcome::Truncated { .. }));
 }
 

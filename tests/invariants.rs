@@ -12,11 +12,31 @@ fn run(scenario: &Scenario, packets: u64, secs: u64) -> Network {
 
 fn scenarios() -> Vec<(&'static str, Scenario)> {
     vec![
-        ("chain3-vegas", Scenario::chain(3, DataRate::MBPS_2, Transport::vegas(2), 1)),
-        ("chain8-newreno", Scenario::chain(8, DataRate::MBPS_2, Transport::newreno(), 2)),
-        ("chain5-thin", Scenario::chain(5, DataRate::MBPS_11, Transport::newreno_thinning(), 3)),
-        ("chain4-udp", Scenario::chain(4, DataRate::MBPS_5_5, Transport::paced_udp(SimDuration::from_millis(30)), 4)),
-        ("grid-vegas", Scenario::grid6(DataRate::MBPS_11, Transport::vegas(2), 5)),
+        (
+            "chain3-vegas",
+            Scenario::chain(3, DataRate::MBPS_2, Transport::vegas(2), 1),
+        ),
+        (
+            "chain8-newreno",
+            Scenario::chain(8, DataRate::MBPS_2, Transport::newreno(), 2),
+        ),
+        (
+            "chain5-thin",
+            Scenario::chain(5, DataRate::MBPS_11, Transport::newreno_thinning(), 3),
+        ),
+        (
+            "chain4-udp",
+            Scenario::chain(
+                4,
+                DataRate::MBPS_5_5,
+                Transport::paced_udp(SimDuration::from_millis(30)),
+                4,
+            ),
+        ),
+        (
+            "grid-vegas",
+            Scenario::grid6(DataRate::MBPS_11, Transport::vegas(2), 5),
+        ),
     ]
 }
 
@@ -127,14 +147,22 @@ fn aodv_accounting_is_consistent() {
             );
         }
         // Discoveries happen at least once per flow endpoint pair.
-        assert!(a.rreqs_originated >= 1, "{name}: no route discovery ever ran");
+        assert!(
+            a.rreqs_originated >= 1,
+            "{name}: no route discovery ever ran"
+        );
     }
 }
 
 /// Stepping an exhausted or idle network is safe.
 #[test]
 fn stepping_never_panics() {
-    let s = Scenario::chain(2, DataRate::MBPS_2, Transport::paced_udp(SimDuration::from_secs(10)), 1);
+    let s = Scenario::chain(
+        2,
+        DataRate::MBPS_2,
+        Transport::paced_udp(SimDuration::from_secs(10)),
+        1,
+    );
     let mut net = s.build();
     for _ in 0..10_000 {
         net.step();
@@ -166,7 +194,11 @@ fn random_small_networks_hold_invariants() {
                 2 => Transport::vegas_thinning(2),
                 _ => Transport::paced_udp(SimDuration::from_millis(25)),
             };
-            flows.push(mwn::FlowSpec { src, dst, transport });
+            flows.push(mwn::FlowSpec {
+                src,
+                dst,
+                transport,
+            });
         }
         if flows.is_empty() {
             continue;

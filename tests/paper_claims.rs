@@ -125,8 +125,12 @@ fn ack_thinning_roughly_neutral_for_vegas_at_2mbps() {
 /// control frames stay at 1 Mbit/s.
 #[test]
 fn goodput_growth_with_bandwidth_is_sublinear() {
-    let g2 = chain(7, DataRate::MBPS_2, Transport::vegas(2)).aggregate_goodput_kbps.mean;
-    let g11 = chain(7, DataRate::MBPS_11, Transport::vegas(2)).aggregate_goodput_kbps.mean;
+    let g2 = chain(7, DataRate::MBPS_2, Transport::vegas(2))
+        .aggregate_goodput_kbps
+        .mean;
+    let g11 = chain(7, DataRate::MBPS_11, Transport::vegas(2))
+        .aggregate_goodput_kbps
+        .mean;
     assert!(g11 > 1.4 * g2, "goodput must still grow with bandwidth");
     assert!(
         g11 < 5.0 * g2,
@@ -137,8 +141,16 @@ fn goodput_growth_with_bandwidth_is_sublinear() {
 /// Fig 6: paced UDP at the optimal rate upper-bounds every TCP variant.
 #[test]
 fn paced_udp_upper_bounds_tcp() {
-    let udp = chain(8, DataRate::MBPS_2, Transport::paced_udp(SimDuration::from_millis(2)));
-    for t in [Transport::vegas(2), Transport::newreno(), Transport::newreno_thinning()] {
+    let udp = chain(
+        8,
+        DataRate::MBPS_2,
+        Transport::paced_udp(SimDuration::from_millis(2)),
+    );
+    for t in [
+        Transport::vegas(2),
+        Transport::newreno(),
+        Transport::newreno_thinning(),
+    ] {
         let tcp = chain(8, DataRate::MBPS_2, t);
         assert!(
             udp.aggregate_goodput_kbps.mean >= tcp.aggregate_goodput_kbps.mean * 0.98,
@@ -160,7 +172,9 @@ fn paced_udp_upper_bounds_tcp() {
 #[test]
 fn grid_fairness_ordering() {
     let fairness = |t| {
-        experiment::run(&Scenario::grid6(DataRate::MBPS_11, t, 7), scale()).fairness.mean
+        experiment::run(&Scenario::grid6(DataRate::MBPS_11, t, 7), scale())
+            .fairness
+            .mean
     };
     let vegas = fairness(Transport::vegas(2));
     let newreno = fairness(Transport::newreno());
@@ -201,7 +215,11 @@ fn vegas_spends_less_energy_per_packet() {
 /// Fig 2: Vegas α=2 beats larger α at 2 Mbit/s on mid-length chains.
 #[test]
 fn alpha_two_is_best_at_2mbps() {
-    let g = |alpha| chain(8, DataRate::MBPS_2, Transport::vegas(alpha)).aggregate_goodput_kbps.mean;
+    let g = |alpha| {
+        chain(8, DataRate::MBPS_2, Transport::vegas(alpha))
+            .aggregate_goodput_kbps
+            .mean
+    };
     let a2 = g(2);
     let a4 = g(4);
     assert!(
