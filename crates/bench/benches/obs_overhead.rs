@@ -1,0 +1,52 @@
+//! Criterion benchmark of the observability layer's event-loop overhead:
+//! the same 6-hop NewReno chain with instrumentation disabled, with the
+//! trace buffer enabled, and with every probe on. The disabled case is
+//! the one that must stay within a few percent of the seed — tracing is
+//! gated behind `Option`s and lazy closures, so a dark run should do no
+//! formatting or allocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwn::{Scenario, SimDuration, SimTime, Transport};
+use mwn_phy::DataRate;
+
+const PACKETS: u64 = 200;
+
+fn chain6() -> mwn::Network {
+    Scenario::chain(6, DataRate::MBPS_2, Transport::newreno(), 11).build()
+}
+
+fn run(net: &mut mwn::Network) -> u64 {
+    net.run_until_delivered(PACKETS, SimTime::ZERO + SimDuration::from_secs(300));
+    net.total_delivered()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+    g.bench_function("chain6_newreno_disabled", |b| {
+        b.iter(|| {
+            let mut net = chain6();
+            run(&mut net)
+        })
+    });
+    g.bench_function("chain6_newreno_trace", |b| {
+        b.iter(|| {
+            let mut net = chain6();
+            net.enable_trace(4096);
+            run(&mut net)
+        })
+    });
+    g.bench_function("chain6_newreno_full", |b| {
+        b.iter(|| {
+            let mut net = chain6();
+            net.enable_trace(4096);
+            net.enable_probes(1 << 16);
+            net.enable_profiling();
+            run(&mut net)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

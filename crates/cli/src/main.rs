@@ -4,14 +4,16 @@
 //! mwn repro <experiment|all> [--scale N] [--jobs N] [--csv]   regenerate paper figures/tables
 //! mwn sweep [--suite chain|full] [--jobs N] [--out F]         parallel sweep into a JSONL store
 //! mwn run [options]                                           run one scenario, print measures
+//! mwn stats [options]                                         run instrumented, print metrics
 //! mwn list                                                    list reproducible experiments
-//! mwn trace [--hops H] [--events N]                           print an annotated event trace
+//! mwn trace [--hops H] [--events N] [--format text|jsonl]     print an annotated event trace
 //! ```
 
 use std::process::ExitCode;
 
 mod repro;
 mod run;
+mod stats_cmd;
 mod sweep;
 mod trace_cmd;
 
@@ -21,6 +23,7 @@ fn main() -> ExitCode {
         Some("repro") => repro::command(&args[1..]),
         Some("sweep") => sweep::command(&args[1..]),
         Some("run") => run::command(&args[1..]),
+        Some("stats") => stats_cmd::command(&args[1..]),
         Some("list") => {
             repro::list();
             Ok(())
@@ -54,14 +57,23 @@ fn print_usage() {
          \x20     --jobs N    run experiments on N worker threads (0 = one per CPU)\n\
          \x20     --csv       emit CSV instead of aligned text\n\n\
          \x20 mwn sweep [--suite chain|full] [--jobs N] [--out results.jsonl] [--scale N]\n\
+         \x20           [--metrics]\n\
          \x20     Run a suite of experiment jobs on a worker pool, appending\n\
          \x20     results to a JSONL store. Re-running with the same --out\n\
-         \x20     resumes: completed jobs are skipped, failed ones retried.\n\n\
+         \x20     resumes: completed jobs are skipped, failed ones retried.\n\
+         \x20     --metrics   attach per-batch counter deltas and an engine\n\
+         \x20                 profile to every result row\n\n\
          \x20 mwn run [--topology chain|grid|random] [--hops H] [--mbits 2|5.5|11]\n\
          \x20         [--variant vegas|vegas-thin|newreno|newreno-thin|reno|tahoe|optwin|udp]\n\
          \x20         [--seed S] [--scale N]\n\
          \x20     Run one scenario and print the steady-state measures.\n\n\
-         \x20 mwn trace [--hops H] [--events N]\n\
+         \x20 mwn stats [--topology chain|grid|random] [--hops H] [--rate 2|5.5|11]\n\
+         \x20           [--transport <variant>] [--seed S] [--scale N] [--series N]\n\
+         \x20     Run one scenario with the observability layer on: unified\n\
+         \x20     per-layer counters, per-batch dropping probability (Fig. 14),\n\
+         \x20     a cwnd-vs-time series (Figs. 3-4) and the engine profile.\n\n\
+         \x20 mwn trace [--hops H] [--events N] [--transport <variant>]\n\
+         \x20           [--rate 2|5.5|11] [--format text|jsonl]\n\
          \x20     Show the annotated event trace of a chain's first packets.\n\n\
          \x20 mwn list\n\
          \x20     List the reproducible experiments."
@@ -70,6 +82,37 @@ fn print_usage() {
 
 /// Shared argument helpers.
 pub(crate) mod args {
+    use mwn::{SimDuration, Transport};
+    use mwn_phy::DataRate;
+
+    /// Parses a bandwidth argument (Mbit/s) into a PHY data rate.
+    pub fn parse_rate(mbits: &str) -> Result<DataRate, String> {
+        match mbits {
+            "2" => Ok(DataRate::MBPS_2),
+            "5.5" => Ok(DataRate::MBPS_5_5),
+            "11" => Ok(DataRate::MBPS_11),
+            other => Err(format!(
+                "unsupported bandwidth {other:?} (use 2, 5.5 or 11)"
+            )),
+        }
+    }
+
+    /// Parses a transport-variant name shared by `run`, `stats` and
+    /// `trace`.
+    pub fn parse_transport(variant: &str) -> Result<Transport, String> {
+        match variant {
+            "vegas" => Ok(Transport::vegas(2)),
+            "vegas-thin" => Ok(Transport::vegas_thinning(2)),
+            "newreno" => Ok(Transport::newreno()),
+            "newreno-thin" => Ok(Transport::newreno_thinning()),
+            "reno" => Ok(Transport::reno()),
+            "tahoe" => Ok(Transport::tahoe()),
+            "optwin" => Ok(Transport::newreno_optimal_window(3)),
+            "udp" => Ok(Transport::paced_udp(SimDuration::from_millis(2))),
+            other => Err(format!("unknown variant {other:?}")),
+        }
+    }
+
     /// Extracts `--key value` from `argv`, returning the remaining args.
     pub fn take_value(argv: &mut Vec<String>, key: &str) -> Result<Option<String>, String> {
         if let Some(pos) = argv.iter().position(|a| a == key) {

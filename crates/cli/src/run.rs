@@ -1,7 +1,6 @@
 //! `mwn run` — one scenario, full measures.
 
-use mwn::{experiment, ExperimentScale, Scenario, SimDuration, Transport};
-use mwn_phy::DataRate;
+use mwn::{experiment, ExperimentScale, Scenario};
 
 use crate::args;
 
@@ -24,27 +23,8 @@ pub fn command(rest: &[String]) -> Result<(), String> {
     };
     args::reject_leftovers(&argv)?;
 
-    let bandwidth = match mbits.as_str() {
-        "2" => DataRate::MBPS_2,
-        "5.5" => DataRate::MBPS_5_5,
-        "11" => DataRate::MBPS_11,
-        other => {
-            return Err(format!(
-                "unsupported bandwidth {other:?} (use 2, 5.5 or 11)"
-            ))
-        }
-    };
-    let transport = match variant.as_str() {
-        "vegas" => Transport::vegas(2),
-        "vegas-thin" => Transport::vegas_thinning(2),
-        "newreno" => Transport::newreno(),
-        "newreno-thin" => Transport::newreno_thinning(),
-        "reno" => Transport::reno(),
-        "tahoe" => Transport::tahoe(),
-        "optwin" => Transport::newreno_optimal_window(3),
-        "udp" => Transport::paced_udp(SimDuration::from_millis(2)),
-        other => return Err(format!("unknown variant {other:?}")),
-    };
+    let bandwidth = args::parse_rate(&mbits)?;
+    let transport = args::parse_transport(&variant)?;
     if hops == 0 {
         return Err("--hops must be positive".into());
     }

@@ -1,0 +1,160 @@
+//! `mwn stats` — run one scenario with the observability layer on and
+//! print the unified metrics: per-layer counters, per-batch dropping
+//! probability (paper Fig. 14), a cwnd-vs-time series (Figs. 3–4) and the
+//! engine's self-profile.
+
+use std::time::Instant;
+
+use mwn::experiment::{run_instrumented, ObsConfig};
+use mwn::{ExperimentScale, ProbeKind, ProbeSample, Scenario};
+use mwn_obs::CounterBlock;
+
+use crate::args;
+
+/// Probe samples retained for the time-series section.
+const PROBE_CAPACITY: usize = 1 << 18;
+
+pub fn command(rest: &[String]) -> Result<(), String> {
+    let mut argv: Vec<String> = rest.to_vec();
+    let topology = args::take_value(&mut argv, "--topology")?.unwrap_or_else(|| "chain".into());
+    let hops: usize = match args::take_value(&mut argv, "--hops")? {
+        Some(v) => args::parse(&v, "hop count")?,
+        None => 6,
+    };
+    let rate = args::take_value(&mut argv, "--rate")?.unwrap_or_else(|| "2".into());
+    let variant = args::take_value(&mut argv, "--transport")?.unwrap_or_else(|| "newreno".into());
+    let seed: u64 = match args::take_value(&mut argv, "--seed")? {
+        Some(v) => args::parse(&v, "seed")?,
+        None => 42,
+    };
+    let mult: u64 = match args::take_value(&mut argv, "--scale")? {
+        Some(v) => args::parse(&v, "scale")?,
+        None => 1,
+    };
+    let series: usize = match args::take_value(&mut argv, "--series")? {
+        Some(v) => args::parse(&v, "series length")?,
+        None => 24,
+    };
+    args::reject_leftovers(&argv)?;
+    if hops == 0 {
+        return Err("--hops must be positive".into());
+    }
+    let bandwidth = args::parse_rate(&rate)?;
+    let transport = args::parse_transport(&variant)?;
+
+    let scenario = match topology.as_str() {
+        "chain" => Scenario::chain(hops, bandwidth, transport, seed),
+        "grid" => Scenario::grid6(bandwidth, transport, seed),
+        "random" => Scenario::random10(bandwidth, transport, seed),
+        other => return Err(format!("unknown topology {other:?} (chain|grid|random)")),
+    };
+    let scale = ExperimentScale::scaled(mult);
+
+    eprintln!(
+        "{} | {} nodes, {} flow(s), {bandwidth}, seed {seed}, {} batches x {} packets",
+        scenario.flows[0].transport.label(),
+        scenario.topology.len(),
+        scenario.flows.len(),
+        scale.batches,
+        scale.batch_packets,
+    );
+
+    let wall = Instant::now();
+    let r = run_instrumented(&scenario, scale, ObsConfig::full(PROBE_CAPACITY));
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let m = r
+        .metrics
+        .as_ref()
+        .expect("instrumented run reports metrics");
+
+    println!("engine profile");
+    println!("  events processed {:>12}", m.profile.events_processed());
+    println!(
+        "  events/sec       {:>12.0}  (wall {:.2} s)",
+        m.profile.events_per_sec(wall_secs),
+        wall_secs
+    );
+    println!("  peak event queue {:>12}", m.profile.peak_queue_depth());
+    for (kind, count) in m.profile.by_kind() {
+        println!("    {kind:<18} {count:>10}");
+    }
+
+    let totals = m.totals.node_totals();
+    println!();
+    println!("per-layer counter totals (all nodes, whole run)");
+    print_block("phy", &totals.phy);
+    print_block("mac", &totals.mac);
+    print_block("aodv", &totals.aodv);
+    println!(
+        "  gauges: route_table_size {} ifq_depth {}",
+        totals.route_table_size, totals.ifq_depth
+    );
+
+    println!();
+    println!("transport counter totals (per flow)");
+    for (i, f) in m.totals.flows.iter().enumerate() {
+        if let Some(tx) = &f.sender {
+            print_block(&format!("f{i} tx"), tx);
+        }
+        if let Some(rx) = &f.sink {
+            print_block(&format!("f{i} rx"), rx);
+        }
+    }
+
+    println!();
+    println!("link-layer dropping probability per batch (Fig. 14)");
+    for (i, b) in m.batches.iter().enumerate() {
+        let tag = if i == 0 { " (transient)" } else { "" };
+        println!(
+            "  batch {i:<2} [{:>8.1}..{:>8.1} s]  {:.4}{tag}",
+            b.start.as_secs_f64(),
+            b.end.as_secs_f64(),
+            b.drop_probability()
+        );
+    }
+    println!(
+        "  steady-state mean (batch-means over measured batches): {:.4}",
+        r.drop_probability.mean
+    );
+
+    let cwnd: Vec<&ProbeSample> = m
+        .probes
+        .iter()
+        .filter(|p| p.kind == ProbeKind::Cwnd && p.id == 0)
+        .collect();
+    println!();
+    println!(
+        "cwnd vs time, flow 0 (Figs. 3-4) — {} change points, showing {}",
+        cwnd.len(),
+        series.min(cwnd.len())
+    );
+    println!("  {:>10}  {:>7}", "t (s)", "cwnd");
+    for s in downsample(&cwnd, series) {
+        println!("  {:>10.3}  {:>7.2}", s.time.as_secs_f64(), s.value);
+    }
+    Ok(())
+}
+
+fn print_block<B: CounterBlock>(label: &str, block: &B) {
+    print!("  {label:<6}");
+    for (name, v) in B::field_names().iter().zip(block.values()) {
+        print!(" {name} {v}");
+    }
+    println!();
+}
+
+/// Evenly thins `samples` down to at most `limit` entries, always keeping
+/// the first and last so the series' extent is visible.
+fn downsample<'a>(samples: &[&'a ProbeSample], limit: usize) -> Vec<&'a ProbeSample> {
+    if limit == 0 || samples.is_empty() {
+        return Vec::new();
+    }
+    if samples.len() <= limit {
+        return samples.to_vec();
+    }
+    let last = samples.len() - 1;
+    let picks = limit.max(2);
+    (0..picks)
+        .map(|i| samples[i * last / (picks - 1)])
+        .collect()
+}

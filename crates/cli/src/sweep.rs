@@ -1,9 +1,9 @@
 //! `mwn sweep` — run an experiment suite on a worker pool, streaming
 //! results into a resumable JSONL store.
 
-use mwn::jobs;
-use mwn::ExperimentScale;
-use mwn_runner::{default_workers, run_sweep, simulate, SweepOptions};
+use mwn::jobs::{self, JobSpec};
+use mwn::{ExperimentScale, RunResults};
+use mwn_runner::{default_workers, run_sweep, simulate, simulate_instrumented, SweepOptions};
 
 use crate::args;
 
@@ -22,6 +22,7 @@ pub fn command(rest: &[String]) -> Result<(), String> {
         return Err("--scale must be at least 1".into());
     }
     let suite = args::take_value(&mut argv, "--suite")?.unwrap_or_else(|| "chain".into());
+    let metrics = args::take_flag(&mut argv, "--metrics");
     args::reject_leftovers(&argv)?;
 
     let scale = ExperimentScale::scaled(mult);
@@ -41,8 +42,13 @@ pub fn command(rest: &[String]) -> Result<(), String> {
         jobs.len()
     );
     let opts = SweepOptions::new(&out).workers(workers);
+    let exec: &(dyn Fn(&JobSpec) -> RunResults + Sync) = if metrics {
+        &simulate_instrumented
+    } else {
+        &simulate
+    };
     let summary =
-        run_sweep(&jobs, &opts, &simulate).map_err(|e| format!("results store {out:?}: {e}"))?;
+        run_sweep(&jobs, &opts, exec).map_err(|e| format!("results store {out:?}: {e}"))?;
     if summary.failed > 0 {
         return Err(format!(
             "{} of {} job(s) failed; see \"status\":\"failed\" lines in {out}",

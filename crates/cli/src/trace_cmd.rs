@@ -1,7 +1,6 @@
 //! `mwn trace` — annotated event trace of a chain's first packets.
 
-use mwn::{Scenario, SimDuration, SimTime, Transport};
-use mwn_phy::DataRate;
+use mwn::{Scenario, SimDuration, SimTime};
 
 use crate::args;
 
@@ -15,21 +14,36 @@ pub fn command(rest: &[String]) -> Result<(), String> {
         Some(v) => args::parse(&v, "event count")?,
         None => 60,
     };
+    let rate = args::take_value(&mut argv, "--rate")?.unwrap_or_else(|| "2".into());
+    let variant = args::take_value(&mut argv, "--transport")?.unwrap_or_else(|| "newreno".into());
+    let format = args::take_value(&mut argv, "--format")?.unwrap_or_else(|| "text".into());
     args::reject_leftovers(&argv)?;
     if hops == 0 {
         return Err("--hops must be positive".into());
     }
+    let bandwidth = args::parse_rate(&rate)?;
+    let transport = args::parse_transport(&variant)?;
+    if !matches!(format.as_str(), "text" | "jsonl") {
+        return Err(format!("unknown format {format:?} (use text or jsonl)"));
+    }
 
-    let scenario = Scenario::chain(hops, DataRate::MBPS_2, Transport::newreno(), 1);
+    let scenario = Scenario::chain(hops, bandwidth, transport, 1);
+    let label = scenario.flows[0].transport.label();
     let mut net = scenario.build();
     net.enable_trace(events.max(16));
     net.run_until_delivered(2, SimTime::ZERO + SimDuration::from_secs(30));
     net.run_until(net.now() + SimDuration::from_millis(50));
 
-    println!("{hops}-hop chain, TCP NewReno, first two data packets:");
-    println!("{:>12}  {:>4} {:>4}  event", "time", "node", "lyr");
-    for record in net.trace().into_iter().take(events) {
-        println!("{record}");
+    if format == "jsonl" {
+        for record in net.trace().into_iter().take(events) {
+            println!("{}", record.to_jsonl());
+        }
+    } else {
+        println!("{hops}-hop chain, {label}, first two data packets:");
+        println!("{:>12}  {:>4} {:>4}  event", "time", "node", "lyr");
+        for record in net.trace().into_iter().take(events) {
+            println!("{record}");
+        }
     }
     Ok(())
 }

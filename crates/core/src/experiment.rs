@@ -6,6 +6,7 @@
 //! 95 % confidence intervals. [`run`] reproduces that procedure at a
 //! configurable scale.
 
+use mwn_obs::{MetricsRegistry, MetricsReport};
 use mwn_pkt::FlowId;
 use mwn_sim::stats::{jain_fairness, BatchMeans, Estimate};
 use mwn_sim::{SimDuration, SimTime};
@@ -85,6 +86,40 @@ impl ExperimentScale {
     }
 }
 
+/// What the observability layer collects during a run.
+///
+/// Everything defaults to off; [`run`] uses [`ObsConfig::off`], so
+/// uninstrumented experiments pay nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Collect per-batch counter deltas and whole-run totals.
+    pub metrics: bool,
+    /// Probe-buffer capacity in samples (0 disables time-series probes).
+    pub probe_capacity: usize,
+    /// Profile the event loop (events processed, histogram, peak queue).
+    pub profile: bool,
+}
+
+impl ObsConfig {
+    /// Nothing collected ([`RunResults::metrics`] stays `None`).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Everything on, retaining up to `probe_capacity` probe samples.
+    pub fn full(probe_capacity: usize) -> Self {
+        ObsConfig {
+            metrics: true,
+            probe_capacity,
+            profile: true,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.metrics || self.probe_capacity > 0 || self.profile
+    }
+}
+
 /// Steady-state measures for one flow.
 #[derive(Debug, Clone)]
 pub struct FlowResult {
@@ -137,6 +172,9 @@ pub struct RunResults {
     pub energy_per_packet: f64,
     /// Whether the run completed or was truncated at the deadline.
     pub outcome: RunOutcome,
+    /// Unified observability report (`None` unless requested via
+    /// [`run_instrumented`]).
+    pub metrics: Option<MetricsReport>,
 }
 
 /// Per-flow counters snapshot at a batch boundary.
@@ -159,7 +197,23 @@ struct FlowSnapshot {
 /// assert!(r.aggregate_goodput_kbps.mean > 0.0);
 /// ```
 pub fn run(scenario: &Scenario, scale: ExperimentScale) -> RunResults {
+    run_instrumented(scenario, scale, ObsConfig::off())
+}
+
+/// Like [`run`], with the observability layer collecting what `obs` asks
+/// for; the report lands in [`RunResults::metrics`].
+pub fn run_instrumented(scenario: &Scenario, scale: ExperimentScale, obs: ObsConfig) -> RunResults {
     let mut net = scenario.build();
+    if obs.probe_capacity > 0 {
+        net.enable_probes(obs.probe_capacity);
+    }
+    if obs.profile {
+        net.enable_profiling();
+    }
+    let mut registry = obs.metrics.then(MetricsRegistry::new);
+    if let Some(reg) = &mut registry {
+        reg.begin(net.collect_metrics());
+    }
     let flows = net.flow_count();
     let deadline = SimTime::ZERO + scale.deadline;
 
@@ -244,6 +298,9 @@ pub fn run(scenario: &Scenario, scale: ExperimentScale) -> RunResults {
             // End of the transient batch: snapshot route-failure count.
             frf_at_transient_end = totals.aodv.false_route_failures;
         }
+        if let Some(reg) = &mut registry {
+            reg.end_batch(net.collect_metrics());
+        }
         net.reset_window_averages();
         batch_start = now;
     }
@@ -267,6 +324,17 @@ pub fn run(scenario: &Scenario, scale: ExperimentScale) -> RunResults {
     };
     let energy = net.total_energy_joules();
     let delivered_total = net.total_delivered().max(1);
+    let metrics = obs.enabled().then(|| MetricsReport {
+        batches: registry
+            .map(MetricsRegistry::into_batches)
+            .unwrap_or_default(),
+        totals: net.collect_metrics(),
+        probes: net
+            .probes()
+            .map(|p| p.samples().copied().collect())
+            .unwrap_or_default(),
+        profile: net.profile().cloned().unwrap_or_default(),
+    });
 
     RunResults {
         per_flow: (0..flows)
@@ -287,6 +355,7 @@ pub fn run(scenario: &Scenario, scale: ExperimentScale) -> RunResults {
         total_energy_joules: energy,
         energy_per_packet: energy / delivered_total as f64,
         outcome,
+        metrics,
     }
 }
 
@@ -308,6 +377,50 @@ mod tests {
         // Single flow: fairness is 1 by definition.
         assert!((r.fairness.mean - 1.0).abs() < 1e-9);
         assert!(r.total_energy_joules > 0.0);
+    }
+
+    #[test]
+    fn instrumented_run_collects_metrics_and_matches_uninstrumented() {
+        let s = Scenario::chain(2, DataRate::MBPS_2, Transport::vegas(2), 1);
+        let scale = ExperimentScale::smoke();
+        let plain = run(&s, scale);
+        let inst = run_instrumented(&s, scale, ObsConfig::full(1 << 16));
+
+        // Observation must not perturb the simulation.
+        assert_eq!(
+            plain.aggregate_goodput_kbps.mean,
+            inst.aggregate_goodput_kbps.mean
+        );
+        assert!(plain.metrics.is_none());
+
+        let m = inst.metrics.expect("instrumented run reports metrics");
+        // One BatchMetrics per completed batch, transient included.
+        assert_eq!(m.batches.len(), scale.batches);
+        let totals = m.totals.node_totals();
+        assert!(totals.mac.data_sent > 0);
+        assert!(totals.mac.unicast_accepted > 0);
+        // Whole-run totals equal the sum of the per-batch deltas plus
+        // whatever preceded the first boundary (nothing here).
+        let batch_sum: u64 = m
+            .batches
+            .iter()
+            .map(|b| b.node_totals().mac.data_sent)
+            .sum();
+        assert_eq!(batch_sum, totals.mac.data_sent);
+        // Probes captured a cwnd series for the flow, and Vegas exposes
+        // its diff signal once RTT estimates exist.
+        assert!(m
+            .probes
+            .iter()
+            .any(|p| p.kind == mwn_obs::ProbeKind::Cwnd && p.id == 0));
+        assert!(m
+            .probes
+            .iter()
+            .any(|p| p.kind == mwn_obs::ProbeKind::VegasDiff));
+        // The profile saw every event the run processed.
+        assert!(m.profile.events_processed() > 0);
+        assert!(m.profile.peak_queue_depth() > 0);
+        assert!(m.profile.by_kind().iter().any(|&(k, _)| k == "mac_timer"));
     }
 
     #[test]

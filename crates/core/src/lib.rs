@@ -39,9 +39,16 @@ mod scenario;
 pub mod topology;
 pub mod trace;
 
-pub use experiment::{ExperimentScale, FlowResult, RunOutcome, RunResults};
+pub use experiment::{ExperimentScale, FlowResult, ObsConfig, RunOutcome, RunResults};
 pub use network::{Network, NetworkTotals, StepOutcome};
 pub use scenario::{FlowSpec, Scenario, Transport};
+
+// Re-export the observability layer's vocabulary so downstream users
+// (runner, CLI) see one coherent API.
+pub use mwn_obs::{
+    BatchMetrics, MetricsReport, MetricsSnapshot, ProbeKind, ProbeSample, TraceEvent,
+};
+pub use mwn_sim::EngineProfile;
 
 // Re-export the pieces users need to build scenarios.
 pub use mwn_aodv::AodvConfig;

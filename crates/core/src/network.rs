@@ -2,10 +2,11 @@
 
 use mwn_aodv::{AodvAction, AodvCounters, Router};
 use mwn_mac80211::{Dcf, MacAction, MacCounters, MacTimer};
+use mwn_obs::{CounterBlock, FlowCounters, MetricsSnapshot, NodeCounters, ProbeBuffer, ProbeKind};
 use mwn_phy::{EnergyMeter, EnergyParams, Medium, RadioEvent, Transceiver, TxId};
 use mwn_pkt::{Body, FlowId, MacFrame, NodeId, Packet};
 use mwn_sim::stats::TimeWeightedAverage;
-use mwn_sim::{EventId, EventQueue, FxHashMap, Pcg32, SimDuration, SimTime};
+use mwn_sim::{EngineProfile, EventId, EventQueue, FxHashMap, Pcg32, SimDuration, SimTime};
 use mwn_tcp::{
     PacedUdpSource, TcpSender, TcpSenderStats, TcpSink, TcpSinkStats, TransportAction,
     TransportTimer, UdpSink,
@@ -13,7 +14,7 @@ use mwn_tcp::{
 
 use crate::mobility::MobilityModel;
 use crate::scenario::{Scenario, Transport};
-use crate::trace::{TraceBuffer, TraceLayer, TraceRecord};
+use crate::trace::{TraceBuffer, TraceEvent, TraceRecord};
 
 /// Which end of a flow a transport timer belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +57,21 @@ enum Event {
     MobilityTick,
 }
 
+/// Stable event-kind name for the engine profile's histogram.
+fn event_kind(event: &Event) -> &'static str {
+    match event {
+        Event::SignalStart { .. } => "signal_start",
+        Event::SignalEnd { .. } => "signal_end",
+        Event::TxEnd { .. } => "tx_end",
+        Event::Mac { .. } => "mac_timer",
+        Event::AodvSend { .. } => "aodv_send",
+        Event::AodvDiscovery { .. } => "aodv_discovery",
+        Event::Transport { .. } => "transport_timer",
+        Event::FlowStart { .. } => "flow_start",
+        Event::MobilityTick => "mobility_tick",
+    }
+}
+
 #[derive(Debug)]
 #[allow(clippy::large_enum_variant)] // one agent per flow; size is irrelevant
 enum SourceAgent {
@@ -92,32 +108,6 @@ pub struct NetworkTotals {
     pub aodv: AodvCounters,
 }
 
-impl NetworkTotals {
-    fn add_mac(&mut self, c: &MacCounters) {
-        self.mac.unicast_accepted += c.unicast_accepted;
-        self.mac.broadcast_accepted += c.broadcast_accepted;
-        self.mac.queue_drops += c.queue_drops;
-        self.mac.rts_retry_drops += c.rts_retry_drops;
-        self.mac.data_retry_drops += c.data_retry_drops;
-        self.mac.unicast_delivered += c.unicast_delivered;
-        self.mac.rts_sent += c.rts_sent;
-        self.mac.data_sent += c.data_sent;
-        self.mac.cts_timeouts += c.cts_timeouts;
-        self.mac.ack_timeouts += c.ack_timeouts;
-        self.mac.duplicates_suppressed += c.duplicates_suppressed;
-    }
-
-    fn add_aodv(&mut self, c: &AodvCounters) {
-        self.aodv.false_route_failures += c.false_route_failures;
-        self.aodv.rreqs_originated += c.rreqs_originated;
-        self.aodv.rreqs_forwarded += c.rreqs_forwarded;
-        self.aodv.rreps_generated += c.rreps_generated;
-        self.aodv.rerrs_sent += c.rerrs_sent;
-        self.aodv.no_route_drops += c.no_route_drops;
-        self.aodv.link_failure_drops += c.link_failure_drops;
-    }
-}
-
 /// Outcome of a bounded run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -152,6 +142,8 @@ pub struct Network {
     transport_timers: FxHashMap<(FlowId, Role, TransportTimer), EventId>,
     total_delivered: u64,
     trace: Option<TraceBuffer>,
+    probes: Option<ProbeBuffer>,
+    profile: Option<EngineProfile>,
     mobility: Option<MobilityModel>,
 }
 
@@ -257,6 +249,8 @@ impl Network {
             transport_timers: FxHashMap::default(),
             total_delivered: 0,
             trace: None,
+            probes: None,
+            profile: None,
             mobility,
         }
     }
@@ -275,13 +269,35 @@ impl Network {
             .unwrap_or_default()
     }
 
-    /// Records a trace event; zero-cost when tracing is disabled.
-    fn trace_event(&mut self, node: NodeId, layer: TraceLayer, event: impl FnOnce() -> String) {
+    /// Enables on-change time-series probes (cwnd, srtt, Vegas diff,
+    /// interface-queue depth) into a ring buffer of `capacity` samples.
+    pub fn enable_probes(&mut self, capacity: usize) {
+        self.probes = Some(ProbeBuffer::new(capacity));
+    }
+
+    /// The probe buffer, if probes were enabled.
+    pub fn probes(&self) -> Option<&ProbeBuffer> {
+        self.probes.as_ref()
+    }
+
+    /// Enables event-loop self-profiling (events processed, histogram by
+    /// kind, peak pending-event depth).
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(EngineProfile::new());
+    }
+
+    /// The engine profile, if profiling was enabled.
+    pub fn profile(&self) -> Option<&EngineProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Records a trace event; the closure never runs (no formatting, no
+    /// allocation) when tracing is disabled.
+    fn trace_event(&mut self, node: NodeId, event: impl FnOnce() -> TraceEvent) {
         if let Some(buf) = &mut self.trace {
             buf.push(TraceRecord {
                 time: self.now,
                 node,
-                layer,
                 event: event(),
             });
         }
@@ -350,12 +366,44 @@ impl Network {
     pub fn totals(&self) -> NetworkTotals {
         let mut t = NetworkTotals::default();
         for m in &self.macs {
-            t.add_mac(m.counters());
+            t.mac = t.mac.plus(m.counters());
         }
         for r in &self.routers {
-            t.add_aodv(r.counters());
+            t.aodv = t.aodv.plus(r.counters());
         }
         t
+    }
+
+    /// A whole-network counter snapshot (every layer, every node, every
+    /// flow) at the current instant, for [`mwn_obs::MetricsRegistry`]
+    /// batch-boundary deltas.
+    pub fn collect_metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            time: self.now,
+            nodes: (0..self.macs.len())
+                .map(|i| NodeCounters {
+                    phy: *self.transceivers[i].counters(),
+                    mac: *self.macs[i].counters(),
+                    aodv: *self.routers[i].counters(),
+                    route_table_size: self.routers[i].table().len() as u64,
+                    ifq_depth: self.macs[i].queue_len() as u64,
+                })
+                .collect(),
+            flows: self
+                .flows
+                .iter()
+                .map(|f| FlowCounters {
+                    sender: match &f.source {
+                        SourceAgent::Tcp(s) => Some(*s.stats()),
+                        SourceAgent::Udp(_) => None,
+                    },
+                    sink: match &f.sink {
+                        SinkAgent::Tcp(s) => Some(*s.stats()),
+                        SinkAgent::Udp(_) => None,
+                    },
+                })
+                .collect(),
+        }
     }
 
     /// Total radio energy consumed by `node` so far, in joules.
@@ -400,6 +448,9 @@ impl Network {
             return;
         };
         self.now = t;
+        if let Some(p) = &mut self.profile {
+            p.record(event_kind(&event), self.queue.len());
+        }
         self.handle(event);
     }
 
@@ -542,13 +593,11 @@ impl Network {
 
     fn start_transmission(&mut self, node: NodeId, frame: MacFrame) {
         let duration = self.params.airtime(&frame);
-        self.trace_event(node, TraceLayer::Mac, || {
-            format!(
-                "TX {:?} -> {} ({} B, {duration})",
-                frame.kind(),
-                frame.dst(),
-                frame.size_bytes()
-            )
+        self.trace_event(node, || TraceEvent::MacTx {
+            kind: frame.kind(),
+            dst: frame.dst(),
+            bytes: frame.size_bytes(),
+            airtime: duration,
         });
         let effects = self.medium.effects_of(node).to_vec();
         self.energy[node.index()].add_tx(duration);
@@ -601,8 +650,9 @@ impl Network {
                     }
                 }
                 MacAction::Deliver { from, packet } => {
-                    self.trace_event(node, TraceLayer::Mac, || {
-                        format!("RX packet uid={} from {from}", packet.uid)
+                    self.trace_event(node, || TraceEvent::MacRx {
+                        uid: packet.uid,
+                        from,
                     });
                     let actions = self.routers[node.index()].on_received(self.now, from, packet);
                     self.apply_aodv_actions(node, actions);
@@ -613,8 +663,9 @@ impl Network {
                     success,
                 } => {
                     if !success {
-                        self.trace_event(node, TraceLayer::Mac, || {
-                            format!("retry limit: giving up uid={} -> {next_hop}", packet.uid)
+                        self.trace_event(node, || TraceEvent::MacRetryExhausted {
+                            uid: packet.uid,
+                            next_hop,
                         });
                     }
                     let actions = self.routers[node.index()]
@@ -625,11 +676,13 @@ impl Network {
                     // Queue drops are already tallied in the MAC counters;
                     // the transport recovers end-to-end.
                     let uid = packet.uid;
-                    self.trace_event(node, TraceLayer::Mac, || {
-                        format!("queue full: dropped uid={uid}")
-                    });
+                    self.trace_event(node, || TraceEvent::MacQueueDrop { uid });
                 }
             }
+        }
+        if let Some(p) = &mut self.probes {
+            let depth = self.macs[node.index()].queue_len();
+            p.record(self.now, ProbeKind::IfqDepth, node.raw(), depth as f64);
         }
     }
 
@@ -656,9 +709,7 @@ impl Network {
                     }
                 }
                 AodvAction::Deliver(packet) => {
-                    self.trace_event(node, TraceLayer::Route, || {
-                        format!("deliver uid={} to transport", packet.uid)
-                    });
+                    self.trace_event(node, || TraceEvent::RouteDeliver { uid: packet.uid });
                     self.deliver_to_transport(node, packet)
                 }
                 AodvAction::SetDiscoveryTimer { dst, delay } => {
@@ -676,17 +727,13 @@ impl Network {
                     }
                 }
                 AodvAction::NotifyRouteFailure { dst } => {
-                    self.trace_event(node, TraceLayer::Route, || {
-                        format!("ELFN: route to {dst} failed")
-                    });
+                    self.trace_event(node, || TraceEvent::RouteFailure { dst });
                     self.notify_route_failure(node, dst);
                 }
                 AodvAction::Drop { ref packet, reason } => {
                     // Tallied in the router's counters.
                     let uid = packet.uid;
-                    self.trace_event(node, TraceLayer::Route, || {
-                        format!("drop uid={uid}: {reason:?}")
-                    });
+                    self.trace_event(node, || TraceEvent::RouteDrop { uid, reason });
                 }
             }
         }
@@ -765,6 +812,15 @@ impl Network {
         let f = &mut self.flows[flow.index()];
         if let SourceAgent::Tcp(s) = &f.source {
             f.cwnd_twa.record(self.now, s.cwnd());
+            if let Some(p) = &mut self.probes {
+                p.record(self.now, ProbeKind::Cwnd, flow.raw(), s.cwnd());
+                if let Some(srtt) = s.srtt() {
+                    p.record(self.now, ProbeKind::Srtt, flow.raw(), srtt.as_secs_f64());
+                }
+                if let Some(diff) = s.vegas_diff() {
+                    p.record(self.now, ProbeKind::VegasDiff, flow.raw(), diff);
+                }
+            }
         }
     }
 
@@ -778,12 +834,12 @@ impl Network {
         for action in actions {
             match action {
                 TransportAction::SendPacket(packet) => {
-                    self.trace_event(node, TraceLayer::Transport, || match &packet.body {
+                    self.trace_event(node, || match &packet.body {
                         Body::Tcp(seg) if seg.is_data() => {
-                            format!("{flow} send seq={}", seg.seq)
+                            TraceEvent::TcpData { flow, seq: seg.seq }
                         }
-                        Body::Tcp(seg) => format!("{flow} send ack={}", seg.ack as i64),
-                        Body::Udp(d) => format!("{flow} send cbr seq={}", d.seq),
+                        Body::Tcp(seg) => TraceEvent::TcpAck { flow, ack: seg.ack },
+                        Body::Udp(d) => TraceEvent::UdpData { flow, seq: d.seq },
                         Body::Aodv(_) => unreachable!("transport never sends AODV"),
                     });
                     let actions = self.routers[node.index()].send(self.now, packet);

@@ -1,10 +1,11 @@
-//! Structured event tracing.
+//! Structured event tracing (re-exported from [`mwn_obs`]).
 //!
 //! When enabled on a [`crate::Network`], the event loop records one
 //! [`TraceRecord`] per interesting protocol event (frame transmissions,
 //! receptions, MAC outcomes, routing decisions, transport milestones) into
-//! a bounded ring buffer. Tracing is off by default and costs nothing
-//! until enabled.
+//! a bounded ring buffer. Records carry a typed [`TraceEvent`] — no
+//! strings are formatted until a record is displayed or exported, so
+//! tracing is off by default and costs nothing until enabled.
 //!
 //! # Example
 //!
@@ -16,157 +17,7 @@
 //! net.enable_trace(1024);
 //! net.run_until_delivered(1, SimTime::ZERO + SimDuration::from_secs(10));
 //! let trace = net.trace();
-//! assert!(trace.iter().any(|r| r.event.contains("TX Rts")));
+//! assert!(trace.iter().any(|r| r.to_string().contains("TX Rts")));
 //! ```
 
-use std::collections::VecDeque;
-use std::fmt;
-
-use mwn_pkt::NodeId;
-use mwn_sim::SimTime;
-
-/// Which protocol layer produced a record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TraceLayer {
-    /// Radio / medium events.
-    Phy,
-    /// 802.11 DCF events.
-    Mac,
-    /// AODV events.
-    Route,
-    /// TCP / UDP events.
-    Transport,
-}
-
-impl fmt::Display for TraceLayer {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TraceLayer::Phy => "PHY",
-            TraceLayer::Mac => "MAC",
-            TraceLayer::Route => "RTR",
-            TraceLayer::Transport => "TRN",
-        };
-        f.write_str(s)
-    }
-}
-
-/// One traced protocol event.
-#[derive(Debug, Clone)]
-pub struct TraceRecord {
-    /// When it happened.
-    pub time: SimTime,
-    /// The node it happened at.
-    pub node: NodeId,
-    /// The layer that produced it.
-    pub layer: TraceLayer,
-    /// Human-readable description.
-    pub event: String,
-}
-
-impl fmt::Display for TraceRecord {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:>12.6}s {:>5} {} {}",
-            self.time.as_secs_f64(),
-            self.node.to_string(),
-            self.layer,
-            self.event
-        )
-    }
-}
-
-/// Bounded ring buffer of trace records.
-#[derive(Debug, Default)]
-pub struct TraceBuffer {
-    records: VecDeque<TraceRecord>,
-    capacity: usize,
-    dropped: u64,
-}
-
-impl TraceBuffer {
-    /// Creates a buffer holding at most `capacity` records (older records
-    /// are evicted first).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "trace buffer needs capacity");
-        TraceBuffer {
-            records: VecDeque::with_capacity(capacity.min(4096)),
-            capacity,
-            dropped: 0,
-        }
-    }
-
-    /// Appends a record, evicting the oldest if full.
-    pub fn push(&mut self, record: TraceRecord) {
-        if self.records.len() == self.capacity {
-            self.records.pop_front();
-            self.dropped += 1;
-        }
-        self.records.push_back(record);
-    }
-
-    /// The retained records, oldest first.
-    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
-        self.records.iter()
-    }
-
-    /// Number of retained records.
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    /// `true` if nothing was recorded (or everything was evicted).
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-
-    /// Records evicted due to the capacity bound.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn rec(ns: u64, msg: &str) -> TraceRecord {
-        TraceRecord {
-            time: SimTime::from_nanos(ns),
-            node: NodeId(1),
-            layer: TraceLayer::Mac,
-            event: msg.to_string(),
-        }
-    }
-
-    #[test]
-    fn ring_buffer_evicts_oldest() {
-        let mut b = TraceBuffer::new(2);
-        b.push(rec(1, "a"));
-        b.push(rec(2, "b"));
-        b.push(rec(3, "c"));
-        let events: Vec<&str> = b.records().map(|r| r.event.as_str()).collect();
-        assert_eq!(events, vec!["b", "c"]);
-        assert_eq!(b.dropped(), 1);
-        assert_eq!(b.len(), 2);
-    }
-
-    #[test]
-    fn display_formats_layers() {
-        let r = rec(1_500_000, "RTS -> n2");
-        let s = r.to_string();
-        assert!(s.contains("MAC"));
-        assert!(s.contains("RTS -> n2"));
-        assert!(s.contains("0.001500s"));
-    }
-
-    #[test]
-    #[should_panic(expected = "capacity")]
-    fn zero_capacity_rejected() {
-        TraceBuffer::new(0);
-    }
-}
+pub use mwn_obs::trace::{TraceBuffer, TraceEvent, TraceLayer, TraceRecord};

@@ -1,10 +1,11 @@
-//! Hand-rolled JSON emission and field extraction for the results store.
+//! Hand-rolled JSON emission and field extraction, shared by the metrics
+//! serializers here and the `mwn-runner` results store.
 //!
-//! The store format is JSON Lines with a *fixed field order*, so that two
+//! The output format is JSON Lines with a *fixed field order*, so that two
 //! runs producing the same results produce byte-identical files. A full
-//! JSON parser is deliberately out of scope: the only reader is the resume
-//! path, which needs two string fields out of lines this module itself
-//! wrote, so a targeted scanner suffices.
+//! JSON parser is deliberately out of scope: the only reader is the store's
+//! resume path, which needs two string fields out of lines this module
+//! itself wrote, so a targeted scanner suffices.
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,41 @@
+//! `mwn-obs` — the observability layer of the multihop-wireless TCP study.
+//!
+//! The paper's evaluation hinges on *internal* protocol signals: the
+//! congestion-window evolution of Figures 3–4, the link-layer dropping
+//! probability of Figure 14, per-flow goodput fairness. This crate gives
+//! every layer of the simulator one way to expose those signals, with
+//! zero cost when disabled:
+//!
+//! * [`metrics`] — typed counter blocks ([`CounterBlock`]) unifying the
+//!   PHY, MAC, AODV and TCP statistics structs, and a [`MetricsRegistry`]
+//!   that snapshots them per node per batch;
+//! * [`trace`] — a [`TraceEvent`] enum replacing pre-formatted strings,
+//!   recorded into a bounded ring buffer and exportable as JSONL;
+//! * [`probe`] — on-change time-series sampling of cwnd, srtt, the Vegas
+//!   `diff` signal and interface-queue depth;
+//! * [`json`] — the hand-rolled, byte-deterministic JSON emitter shared
+//!   with the results store (no serde: the workspace builds offline).
+//!
+//! # Example
+//!
+//! ```
+//! use mwn_obs::metrics::{MetricsRegistry, MetricsSnapshot};
+//! use mwn_sim::SimTime;
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.begin(MetricsSnapshot::empty(SimTime::ZERO));
+//! reg.end_batch(MetricsSnapshot::empty(SimTime::from_nanos(1_000)));
+//! assert_eq!(reg.batches().len(), 1);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod probe;
+pub mod trace;
+
+pub use metrics::{
+    BatchMetrics, CounterBlock, FlowCounters, MetricsRegistry, MetricsReport, MetricsSnapshot,
+    NodeCounters,
+};
+pub use probe::{ProbeBuffer, ProbeKind, ProbeSample};
+pub use trace::{TraceBuffer, TraceEvent, TraceLayer, TraceRecord};

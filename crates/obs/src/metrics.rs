@@ -1,0 +1,537 @@
+//! Unified typed metrics: counter blocks per layer, per-node/per-flow
+//! snapshots, and batch-boundary deltas.
+//!
+//! Every protocol layer already keeps a plain counter struct
+//! ([`MacCounters`], [`AodvCounters`], [`PhyCounters`], the TCP stats).
+//! [`CounterBlock`] gives them one shared shape — named `u64` fields with
+//! element-wise `plus`/`minus` — so aggregation, batch deltas and JSON
+//! serialization are written once instead of once per struct.
+//!
+//! A [`MetricsRegistry`] turns whole-network [`MetricsSnapshot`]s taken at
+//! batch boundaries into per-batch deltas, reproducing the paper's
+//! batch-means methodology for *internal* counters the same way
+//! `mwn::experiment` does for goodput.
+
+use mwn_aodv::AodvCounters;
+use mwn_mac80211::MacCounters;
+use mwn_phy::PhyCounters;
+use mwn_sim::profile::EngineProfile;
+use mwn_sim::SimTime;
+use mwn_tcp::{TcpSenderStats, TcpSinkStats};
+
+use crate::json::{arr, Obj};
+use crate::probe::ProbeSample;
+
+/// A block of named monotonic `u64` counters.
+///
+/// Implemented by each layer's statistics struct so that summation over
+/// nodes, batch-boundary deltas and serialization are uniform.
+pub trait CounterBlock: Copy {
+    /// Short layer tag (`"phy"`, `"mac"`, ...), used as the JSON key.
+    const KIND: &'static str;
+
+    /// Field names, in declaration order.
+    fn field_names() -> &'static [&'static str];
+
+    /// Field values, in the same order as [`CounterBlock::field_names`].
+    fn values(&self) -> Vec<u64>;
+
+    /// Element-wise difference `self - earlier` (counters are monotonic;
+    /// callers pass a snapshot taken earlier in the same run).
+    fn minus(&self, earlier: &Self) -> Self;
+
+    /// Element-wise sum.
+    fn plus(&self, other: &Self) -> Self;
+
+    /// The block as a JSON object with fields in declaration order.
+    fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        for (name, v) in Self::field_names().iter().zip(self.values()) {
+            o = o.u64(name, v);
+        }
+        o.finish()
+    }
+}
+
+macro_rules! counter_block {
+    ($ty:ty, $kind:literal, [$($field:ident),+ $(,)?]) => {
+        impl CounterBlock for $ty {
+            const KIND: &'static str = $kind;
+
+            fn field_names() -> &'static [&'static str] {
+                &[$(stringify!($field)),+]
+            }
+
+            fn values(&self) -> Vec<u64> {
+                vec![$(self.$field),+]
+            }
+
+            fn minus(&self, earlier: &Self) -> Self {
+                Self { $($field: self.$field - earlier.$field),+ }
+            }
+
+            fn plus(&self, other: &Self) -> Self {
+                Self { $($field: self.$field + other.$field),+ }
+            }
+        }
+    };
+}
+
+counter_block!(PhyCounters, "phy", [captures, collisions, undecoded]);
+
+counter_block!(
+    MacCounters,
+    "mac",
+    [
+        unicast_accepted,
+        broadcast_accepted,
+        queue_drops,
+        rts_retry_drops,
+        data_retry_drops,
+        unicast_delivered,
+        rts_sent,
+        data_sent,
+        cts_timeouts,
+        ack_timeouts,
+        duplicates_suppressed,
+        early_drops,
+    ]
+);
+
+counter_block!(
+    AodvCounters,
+    "aodv",
+    [
+        false_route_failures,
+        rreqs_originated,
+        rreqs_forwarded,
+        rreps_generated,
+        rerrs_sent,
+        no_route_drops,
+        link_failure_drops,
+    ]
+);
+
+counter_block!(
+    TcpSenderStats,
+    "tcp_tx",
+    [
+        data_packets_sent,
+        retransmissions,
+        timeouts,
+        fast_retransmits,
+        dup_acks,
+    ]
+);
+
+counter_block!(
+    TcpSinkStats,
+    "tcp_rx",
+    [
+        delivered,
+        acks_sent,
+        duplicates,
+        out_of_order,
+        acks_suppressed
+    ]
+);
+
+/// One node's counters (all layers) plus point-in-time gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Radio counters (capture, collision, EIFS).
+    pub phy: PhyCounters,
+    /// 802.11 DCF counters.
+    pub mac: MacCounters,
+    /// AODV counters (RREQ/RREP/RERR, route breaks, drops).
+    pub aodv: AodvCounters,
+    /// Gauge: routing-table entries at snapshot time.
+    pub route_table_size: u64,
+    /// Gauge: interface-queue depth at snapshot time.
+    pub ifq_depth: u64,
+}
+
+impl NodeCounters {
+    /// Counter deltas since `earlier`; gauges keep the *later* (current)
+    /// value, since a gauge difference is meaningless.
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        NodeCounters {
+            phy: self.phy.minus(&earlier.phy),
+            mac: self.mac.minus(&earlier.mac),
+            aodv: self.aodv.minus(&earlier.aodv),
+            route_table_size: self.route_table_size,
+            ifq_depth: self.ifq_depth,
+        }
+    }
+
+    /// Element-wise sum of counters; gauges add too (callers summing over
+    /// nodes get totals: total table entries, total queued packets).
+    pub fn plus(&self, other: &Self) -> Self {
+        NodeCounters {
+            phy: self.phy.plus(&other.phy),
+            mac: self.mac.plus(&other.mac),
+            aodv: self.aodv.plus(&other.aodv),
+            route_table_size: self.route_table_size + other.route_table_size,
+            ifq_depth: self.ifq_depth + other.ifq_depth,
+        }
+    }
+
+    fn to_json(self) -> String {
+        Obj::new()
+            .raw("phy", &self.phy.to_json())
+            .raw("mac", &self.mac.to_json())
+            .raw("aodv", &self.aodv.to_json())
+            .u64("route_table_size", self.route_table_size)
+            .u64("ifq_depth", self.ifq_depth)
+            .finish()
+    }
+}
+
+/// One flow's transport counters (`None` at the non-TCP end of UDP flows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowCounters {
+    /// Sender-side TCP stats.
+    pub sender: Option<TcpSenderStats>,
+    /// Sink-side TCP stats.
+    pub sink: Option<TcpSinkStats>,
+}
+
+impl FlowCounters {
+    /// Counter deltas since `earlier`.
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        FlowCounters {
+            sender: match (&self.sender, &earlier.sender) {
+                (Some(a), Some(b)) => Some(a.minus(b)),
+                (s, _) => *s,
+            },
+            sink: match (&self.sink, &earlier.sink) {
+                (Some(a), Some(b)) => Some(a.minus(b)),
+                (s, _) => *s,
+            },
+        }
+    }
+
+    fn to_json(self) -> String {
+        Obj::new()
+            .raw(
+                "sender",
+                &self.sender.map_or("null".into(), |s| s.to_json()),
+            )
+            .raw("sink", &self.sink.map_or("null".into(), |s| s.to_json()))
+            .finish()
+    }
+}
+
+/// The whole network's counters at one instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// When the snapshot was taken.
+    pub time: SimTime,
+    /// Per-node counters, indexed by node id.
+    pub nodes: Vec<NodeCounters>,
+    /// Per-flow transport counters, indexed by flow id.
+    pub flows: Vec<FlowCounters>,
+}
+
+impl MetricsSnapshot {
+    /// A snapshot with no nodes or flows (tests, placeholders).
+    pub fn empty(time: SimTime) -> Self {
+        MetricsSnapshot {
+            time,
+            nodes: Vec::new(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// Sum of all nodes' counters (gauges sum too).
+    pub fn node_totals(&self) -> NodeCounters {
+        self.nodes
+            .iter()
+            .fold(NodeCounters::default(), |acc, n| acc.plus(n))
+    }
+
+    fn to_json(&self) -> String {
+        Obj::new()
+            .f64("t_secs", self.time.as_secs_f64())
+            .raw("nodes", &arr(self.nodes.iter().map(|n| n.to_json())))
+            .raw("flows", &arr(self.flows.iter().map(|f| f.to_json())))
+            .finish()
+    }
+}
+
+/// Per-node and per-flow counter deltas over one batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchMetrics {
+    /// Batch start time.
+    pub start: SimTime,
+    /// Batch end time.
+    pub end: SimTime,
+    /// Per-node deltas (gauges: value at batch end).
+    pub nodes: Vec<NodeCounters>,
+    /// Per-flow deltas.
+    pub flows: Vec<FlowCounters>,
+}
+
+impl BatchMetrics {
+    /// Sum of all nodes' deltas.
+    pub fn node_totals(&self) -> NodeCounters {
+        self.nodes
+            .iter()
+            .fold(NodeCounters::default(), |acc, n| acc.plus(n))
+    }
+
+    /// The paper's link-layer dropping probability over this batch
+    /// (Figure 14): contention drops per unicast packet entering service.
+    pub fn drop_probability(&self) -> f64 {
+        self.node_totals().mac.drop_probability()
+    }
+
+    fn to_json(&self) -> String {
+        Obj::new()
+            .f64("start_secs", self.start.as_secs_f64())
+            .f64("end_secs", self.end.as_secs_f64())
+            .raw("nodes", &arr(self.nodes.iter().map(|n| n.to_json())))
+            .raw("flows", &arr(self.flows.iter().map(|f| f.to_json())))
+            .finish()
+    }
+}
+
+/// Accumulates batch-boundary snapshots into per-batch deltas.
+///
+/// Call [`MetricsRegistry::begin`] with the run's initial snapshot, then
+/// [`MetricsRegistry::end_batch`] at each batch boundary; each call yields
+/// one [`BatchMetrics`] covering the interval since the previous boundary.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    baseline: Option<MetricsSnapshot>,
+    batches: Vec<BatchMetrics>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry; call [`MetricsRegistry::begin`] before the first
+    /// batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the baseline snapshot the first batch is measured against.
+    pub fn begin(&mut self, snapshot: MetricsSnapshot) {
+        self.baseline = Some(snapshot);
+    }
+
+    /// Closes a batch: records the deltas since the previous boundary and
+    /// makes `snapshot` the new baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`MetricsRegistry::begin`] was never called, or if the
+    /// snapshot's node/flow shape changed mid-run.
+    pub fn end_batch(&mut self, snapshot: MetricsSnapshot) {
+        let base = self
+            .baseline
+            .as_ref()
+            .expect("MetricsRegistry::begin before end_batch");
+        assert_eq!(base.nodes.len(), snapshot.nodes.len(), "node count changed");
+        assert_eq!(base.flows.len(), snapshot.flows.len(), "flow count changed");
+        self.batches.push(BatchMetrics {
+            start: base.time,
+            end: snapshot.time,
+            nodes: snapshot
+                .nodes
+                .iter()
+                .zip(&base.nodes)
+                .map(|(now, then)| now.delta_since(then))
+                .collect(),
+            flows: snapshot
+                .flows
+                .iter()
+                .zip(&base.flows)
+                .map(|(now, then)| now.delta_since(then))
+                .collect(),
+        });
+        self.baseline = Some(snapshot);
+    }
+
+    /// The recorded batch deltas, oldest first.
+    pub fn batches(&self) -> &[BatchMetrics] {
+        &self.batches
+    }
+
+    /// Discards all recorded batches and the baseline.
+    pub fn reset(&mut self) {
+        self.baseline = None;
+        self.batches.clear();
+    }
+
+    /// Consumes the registry into its batch list.
+    pub fn into_batches(self) -> Vec<BatchMetrics> {
+        self.batches
+    }
+}
+
+/// Everything the observability layer collected over one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// Per-batch counter deltas (index 0 is the discarded transient).
+    pub batches: Vec<BatchMetrics>,
+    /// Cumulative whole-run snapshot at the end.
+    pub totals: MetricsSnapshot,
+    /// Time-series probe samples (empty unless probes were enabled).
+    pub probes: Vec<ProbeSample>,
+    /// Engine self-profiling (zeroed unless profiling was enabled).
+    pub profile: EngineProfile,
+}
+
+impl MetricsReport {
+    /// Serializes the report as one deterministic JSON object (the
+    /// optional `metrics` field of a sweep result row).
+    ///
+    /// Wall-clock rates are deliberately absent: everything here is a
+    /// pure function of the job spec, preserving the store's
+    /// byte-determinism across worker counts and machines.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .raw("profile", &profile_json(&self.profile))
+            .raw("totals", &self.totals.to_json())
+            .raw(
+                "batches",
+                &arr(self.batches.iter().map(BatchMetrics::to_json)),
+            )
+            .raw("probes", &arr(self.probes.iter().map(ProbeSample::to_json)))
+            .finish()
+    }
+}
+
+/// Serializes an [`EngineProfile`] as a JSON object (histogram keys
+/// sorted, so output is deterministic).
+pub fn profile_json(p: &EngineProfile) -> String {
+    let mut hist = Obj::new();
+    for (kind, count) in p.by_kind() {
+        hist = hist.u64(kind, count);
+    }
+    Obj::new()
+        .u64("events", p.events_processed())
+        .usize("peak_queue", p.peak_queue_depth())
+        .raw("by_kind", &hist.finish())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t_ns: u64, accepted: u64, drops: u64, table: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            time: SimTime::from_nanos(t_ns),
+            nodes: vec![NodeCounters {
+                mac: MacCounters {
+                    unicast_accepted: accepted,
+                    rts_retry_drops: drops,
+                    ..Default::default()
+                },
+                route_table_size: table,
+                ..Default::default()
+            }],
+            flows: vec![FlowCounters {
+                sender: Some(TcpSenderStats {
+                    data_packets_sent: accepted,
+                    ..Default::default()
+                }),
+                sink: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn registry_deltas_across_batch_boundaries() {
+        let mut reg = MetricsRegistry::new();
+        reg.begin(snap(0, 10, 1, 3));
+        reg.end_batch(snap(1_000, 110, 5, 4));
+        reg.end_batch(snap(2_000, 310, 5, 2));
+
+        let b = reg.batches();
+        assert_eq!(b.len(), 2);
+        // First batch: counters are deltas, gauges are end-of-batch values.
+        assert_eq!(b[0].nodes[0].mac.unicast_accepted, 100);
+        assert_eq!(b[0].nodes[0].mac.rts_retry_drops, 4);
+        assert_eq!(b[0].nodes[0].route_table_size, 4);
+        assert_eq!(b[0].flows[0].sender.unwrap().data_packets_sent, 100);
+        assert_eq!(b[0].start, SimTime::from_nanos(0));
+        assert_eq!(b[0].end, SimTime::from_nanos(1_000));
+        // Second batch measures against the first boundary, not the start.
+        assert_eq!(b[1].nodes[0].mac.unicast_accepted, 200);
+        assert_eq!(b[1].nodes[0].mac.rts_retry_drops, 0);
+        assert_eq!(b[1].nodes[0].route_table_size, 2);
+        assert!((b[0].drop_probability() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_reset_clears_batches_and_baseline() {
+        let mut reg = MetricsRegistry::new();
+        reg.begin(snap(0, 0, 0, 0));
+        reg.end_batch(snap(1_000, 50, 0, 1));
+        assert_eq!(reg.batches().len(), 1);
+        reg.reset();
+        assert!(reg.batches().is_empty());
+        // A fresh begin/end cycle works and measures from the new baseline.
+        reg.begin(snap(5_000, 100, 0, 1));
+        reg.end_batch(snap(6_000, 160, 0, 1));
+        assert_eq!(reg.batches().len(), 1);
+        assert_eq!(reg.batches()[0].nodes[0].mac.unicast_accepted, 60);
+        assert_eq!(reg.batches()[0].start, SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin before end_batch")]
+    fn end_batch_without_begin_panics() {
+        MetricsRegistry::new().end_batch(snap(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn counter_block_roundtrip_sum_and_difference() {
+        let a = MacCounters {
+            unicast_accepted: 7,
+            data_sent: 9,
+            ..Default::default()
+        };
+        let b = MacCounters {
+            unicast_accepted: 3,
+            data_sent: 4,
+            ..Default::default()
+        };
+        let sum = a.plus(&b);
+        assert_eq!(sum.unicast_accepted, 10);
+        assert_eq!(sum.minus(&b), a);
+        assert_eq!(MacCounters::field_names().len(), sum.values().len());
+    }
+
+    #[test]
+    fn node_totals_sum_over_nodes() {
+        let mut s = snap(0, 5, 0, 2);
+        s.nodes.push(NodeCounters {
+            mac: MacCounters {
+                unicast_accepted: 7,
+                ..Default::default()
+            },
+            route_table_size: 3,
+            ..Default::default()
+        });
+        let t = s.node_totals();
+        assert_eq!(t.mac.unicast_accepted, 12);
+        assert_eq!(t.route_table_size, 5);
+    }
+
+    #[test]
+    fn report_json_shape_is_stable() {
+        let report = MetricsReport {
+            batches: vec![],
+            totals: MetricsSnapshot::empty(SimTime::from_nanos(1_000_000_000)),
+            probes: vec![],
+            profile: EngineProfile::default(),
+        };
+        assert_eq!(
+            report.to_json(),
+            r#"{"profile":{"events":0,"peak_queue":0,"by_kind":{}},"totals":{"t_secs":1,"nodes":[],"flows":[]},"batches":[],"probes":[]}"#
+        );
+    }
+}

@@ -1,0 +1,432 @@
+//! Structured event tracing.
+//!
+//! The event loop records one [`TraceRecord`] per interesting protocol
+//! event — frame transmissions, receptions, MAC outcomes, routing
+//! decisions, transport milestones — into a bounded ring buffer. Each
+//! record carries a typed [`TraceEvent`] instead of a pre-formatted
+//! string, so traces can be machine-read (JSONL export, assertions on
+//! variants) without parsing, and a disabled trace performs no formatting
+//! or allocation at all.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use mwn_aodv::AodvDropReason;
+use mwn_pkt::{FlowId, MacFrameKind, NodeId};
+use mwn_sim::{SimDuration, SimTime};
+
+use crate::json::Obj;
+
+/// Which protocol layer produced a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceLayer {
+    /// Radio / medium events.
+    Phy,
+    /// 802.11 DCF events.
+    Mac,
+    /// AODV events.
+    Route,
+    /// TCP / UDP events.
+    Transport,
+}
+
+impl fmt::Display for TraceLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLayer::Phy => "PHY",
+            TraceLayer::Mac => "MAC",
+            TraceLayer::Route => "RTR",
+            TraceLayer::Transport => "TRN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced protocol event, as typed data.
+///
+/// `Display` renders the same human-readable lines the simulator always
+/// printed; [`TraceEvent::kind`] and [`TraceRecord::to_jsonl`] expose the
+/// machine-readable form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The MAC put a frame on the air.
+    MacTx {
+        /// Frame type (RTS/CTS/ACK/DATA).
+        kind: MacFrameKind,
+        /// Link-layer destination.
+        dst: NodeId,
+        /// Frame size on the air.
+        bytes: u32,
+        /// Airtime including preamble.
+        airtime: SimDuration,
+    },
+    /// The MAC delivered a received packet up to the routing layer.
+    MacRx {
+        /// Packet uid.
+        uid: u64,
+        /// Link-layer sender.
+        from: NodeId,
+    },
+    /// The MAC exhausted its retry limit and gave up on a packet.
+    MacRetryExhausted {
+        /// Packet uid.
+        uid: u64,
+        /// The unreachable next hop.
+        next_hop: NodeId,
+    },
+    /// The interface queue was full; the packet was dropped.
+    MacQueueDrop {
+        /// Packet uid.
+        uid: u64,
+    },
+    /// AODV delivered a packet to the local transport.
+    RouteDeliver {
+        /// Packet uid.
+        uid: u64,
+    },
+    /// AODV reported a route failure to the transport (ELFN).
+    RouteFailure {
+        /// The destination whose route broke.
+        dst: NodeId,
+    },
+    /// AODV dropped a packet.
+    RouteDrop {
+        /// Packet uid.
+        uid: u64,
+        /// Why it was dropped.
+        reason: AodvDropReason,
+    },
+    /// A TCP sender emitted a data segment.
+    TcpData {
+        /// The flow.
+        flow: FlowId,
+        /// Sequence number (packet granularity).
+        seq: u64,
+    },
+    /// A TCP sink emitted an acknowledgement.
+    TcpAck {
+        /// The flow.
+        flow: FlowId,
+        /// Cumulative ACK number (`u64::MAX` = nothing received yet,
+        /// rendered as `-1`).
+        ack: u64,
+    },
+    /// A paced-UDP source emitted a CBR packet.
+    UdpData {
+        /// The flow.
+        flow: FlowId,
+        /// Sequence number.
+        seq: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The layer that produces this event.
+    pub fn layer(&self) -> TraceLayer {
+        match self {
+            TraceEvent::MacTx { .. }
+            | TraceEvent::MacRx { .. }
+            | TraceEvent::MacRetryExhausted { .. }
+            | TraceEvent::MacQueueDrop { .. } => TraceLayer::Mac,
+            TraceEvent::RouteDeliver { .. }
+            | TraceEvent::RouteFailure { .. }
+            | TraceEvent::RouteDrop { .. } => TraceLayer::Route,
+            TraceEvent::TcpData { .. } | TraceEvent::TcpAck { .. } | TraceEvent::UdpData { .. } => {
+                TraceLayer::Transport
+            }
+        }
+    }
+
+    /// Stable machine-readable discriminant, used as the JSONL `event`
+    /// field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::MacTx { .. } => "mac_tx",
+            TraceEvent::MacRx { .. } => "mac_rx",
+            TraceEvent::MacRetryExhausted { .. } => "mac_retry_drop",
+            TraceEvent::MacQueueDrop { .. } => "mac_queue_drop",
+            TraceEvent::RouteDeliver { .. } => "route_deliver",
+            TraceEvent::RouteFailure { .. } => "route_failure",
+            TraceEvent::RouteDrop { .. } => "route_drop",
+            TraceEvent::TcpData { .. } => "tcp_data",
+            TraceEvent::TcpAck { .. } => "tcp_ack",
+            TraceEvent::UdpData { .. } => "udp_data",
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::MacTx {
+                kind,
+                dst,
+                bytes,
+                airtime,
+            } => write!(f, "TX {kind:?} -> {dst} ({bytes} B, {airtime})"),
+            TraceEvent::MacRx { uid, from } => write!(f, "RX packet uid={uid} from {from}"),
+            TraceEvent::MacRetryExhausted { uid, next_hop } => {
+                write!(f, "retry limit: giving up uid={uid} -> {next_hop}")
+            }
+            TraceEvent::MacQueueDrop { uid } => write!(f, "queue full: dropped uid={uid}"),
+            TraceEvent::RouteDeliver { uid } => write!(f, "deliver uid={uid} to transport"),
+            TraceEvent::RouteFailure { dst } => write!(f, "ELFN: route to {dst} failed"),
+            TraceEvent::RouteDrop { uid, reason } => write!(f, "drop uid={uid}: {reason:?}"),
+            TraceEvent::TcpData { flow, seq } => write!(f, "{flow} send seq={seq}"),
+            TraceEvent::TcpAck { flow, ack } => write!(f, "{flow} send ack={}", *ack as i64),
+            TraceEvent::UdpData { flow, seq } => write!(f, "{flow} send cbr seq={seq}"),
+        }
+    }
+}
+
+/// One traced protocol event with its time and place.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub time: SimTime,
+    /// The node it happened at.
+    pub node: NodeId,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// The layer that produced this record.
+    pub fn layer(&self) -> TraceLayer {
+        self.event.layer()
+    }
+
+    /// Serializes the record as one JSON line (fixed field order: `t`,
+    /// `node`, `layer`, `event`, then the event's own fields).
+    pub fn to_jsonl(&self) -> String {
+        let head = Obj::new()
+            .f64("t", self.time.as_secs_f64())
+            .u64("node", u64::from(self.node.raw()))
+            .str("layer", &self.layer().to_string())
+            .str("event", self.event.kind());
+        match self.event {
+            TraceEvent::MacTx {
+                kind,
+                dst,
+                bytes,
+                airtime,
+            } => head
+                .str("kind", &format!("{kind:?}"))
+                .u64("dst", u64::from(dst.raw()))
+                .u64("bytes", u64::from(bytes))
+                .f64("airtime_s", airtime.as_secs_f64()),
+            TraceEvent::MacRx { uid, from } => {
+                head.u64("uid", uid).u64("from", u64::from(from.raw()))
+            }
+            TraceEvent::MacRetryExhausted { uid, next_hop } => head
+                .u64("uid", uid)
+                .u64("next_hop", u64::from(next_hop.raw())),
+            TraceEvent::MacQueueDrop { uid } => head.u64("uid", uid),
+            TraceEvent::RouteDeliver { uid } => head.u64("uid", uid),
+            TraceEvent::RouteFailure { dst } => head.u64("dst", u64::from(dst.raw())),
+            TraceEvent::RouteDrop { uid, reason } => {
+                head.u64("uid", uid).str("reason", &format!("{reason:?}"))
+            }
+            TraceEvent::TcpData { flow, seq } => {
+                head.u64("flow", u64::from(flow.raw())).u64("seq", seq)
+            }
+            TraceEvent::TcpAck { flow, ack } => head
+                .u64("flow", u64::from(flow.raw()))
+                .raw("ack", &(ack as i64).to_string()),
+            TraceEvent::UdpData { flow, seq } => {
+                head.u64("flow", u64::from(flow.raw())).u64("seq", seq)
+            }
+        }
+        .finish()
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12.6}s {:>5} {} {}",
+            self.time.as_secs_f64(),
+            self.node.to_string(),
+            self.layer(),
+            self.event
+        )
+    }
+}
+
+/// Bounded ring buffer of trace records.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` records (older records
+    /// are evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer needs capacity");
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn push(&mut self, record: TraceRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing was recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ns: u64, uid: u64) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_nanos(ns),
+            node: NodeId(1),
+            event: TraceEvent::MacRx {
+                uid,
+                from: NodeId(0),
+            },
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut b = TraceBuffer::new(2);
+        b.push(rec(1, 10));
+        b.push(rec(2, 11));
+        b.push(rec(3, 12));
+        let uids: Vec<u64> = b
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::MacRx { uid, .. } => uid,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(uids, vec![11, 12]);
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn ring_buffer_never_exceeds_capacity() {
+        let mut b = TraceBuffer::new(3);
+        for i in 0..100 {
+            b.push(rec(i, i));
+            assert!(b.len() <= 3, "len {} exceeded capacity", b.len());
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dropped(), 97);
+        // The survivors are the newest three, in order.
+        let times: Vec<u64> = b.records().map(|r| r.time.as_nanos()).collect();
+        assert_eq!(times, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_newest() {
+        let mut b = TraceBuffer::new(1);
+        b.push(rec(1, 1));
+        b.push(rec(2, 2));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.records().next().unwrap().time.as_nanos(), 2);
+        assert_eq!(b.dropped(), 1);
+    }
+
+    #[test]
+    fn display_formats_layers() {
+        let r = TraceRecord {
+            time: SimTime::from_nanos(1_500_000),
+            node: NodeId(1),
+            event: TraceEvent::MacRetryExhausted {
+                uid: 9,
+                next_hop: NodeId(2),
+            },
+        };
+        let s = r.to_string();
+        assert!(s.contains("MAC"));
+        assert!(s.contains("giving up uid=9 -> n2"));
+        assert!(s.contains("0.001500s"));
+    }
+
+    #[test]
+    fn events_map_to_layers() {
+        let ev = TraceEvent::RouteFailure { dst: NodeId(3) };
+        assert_eq!(ev.layer(), TraceLayer::Route);
+        assert_eq!(ev.kind(), "route_failure");
+        let ev = TraceEvent::TcpData {
+            flow: FlowId(0),
+            seq: 4,
+        };
+        assert_eq!(ev.layer(), TraceLayer::Transport);
+    }
+
+    #[test]
+    fn jsonl_is_machine_readable() {
+        let r = TraceRecord {
+            time: SimTime::from_nanos(2_000_000_000),
+            node: NodeId(4),
+            event: TraceEvent::TcpAck {
+                flow: FlowId(1),
+                ack: u64::MAX,
+            },
+        };
+        let line = r.to_jsonl();
+        assert_eq!(
+            line,
+            r#"{"t":2,"node":4,"layer":"TRN","event":"tcp_ack","flow":1,"ack":-1}"#
+        );
+    }
+
+    #[test]
+    fn no_ack_sentinel_displays_as_minus_one() {
+        let ev = TraceEvent::TcpAck {
+            flow: FlowId(0),
+            ack: u64::MAX,
+        };
+        assert_eq!(ev.to_string(), "f0 send ack=-1");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        TraceBuffer::new(0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Radio-level statistics counters.
+
+/// Per-node PHY statistics: what the capture/collision machinery decided.
+///
+/// These expose the reception-model internals the paper's analysis leans
+/// on — physical capture is what lets same-direction chain traffic
+/// survive its own hidden terminals (§4.2), and EIFS deferral after
+/// undecodable energy is what keeps two-hop neighbours off the
+/// SIFS-spaced control frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhyCounters {
+    /// Decodable receptions that survived overlapping interference
+    /// because the locked frame was ≥ CPThresh stronger (ns-2 capture).
+    pub captures: u64,
+    /// Decodable receptions corrupted by overlapping interference.
+    pub collisions: u64,
+    /// Sense-only signals that ended while locked (PHY-RXEND with error):
+    /// each one makes the MAC defer EIFS instead of DIFS.
+    pub undecoded: u64,
+}

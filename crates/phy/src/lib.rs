@@ -13,12 +13,14 @@
 //! (carrier busy/idle, reception start/end). The event scheduling itself
 //! lives in the `mwn` composition crate.
 
+mod counters;
 mod energy;
 mod medium;
 mod position;
 mod rate;
 mod transceiver;
 
+pub use counters::PhyCounters;
 pub use energy::{EnergyMeter, EnergyParams};
 pub use medium::{Medium, RangeModel, SignalClass};
 pub use position::Position;

@@ -19,6 +19,7 @@
 
 use mwn_sim::FxHashMap;
 
+use crate::counters::PhyCounters;
 use crate::medium::SignalClass;
 
 /// Identifies one transmission on the medium (assigned by the caller;
@@ -80,6 +81,8 @@ pub struct Transceiver {
     /// A locked frame survives interference weaker than
     /// `locked_power / threshold`; `None` means any overlap corrupts.
     capture_threshold: Option<f64>,
+    /// Capture/collision/EIFS decision counts.
+    counters: PhyCounters,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -114,7 +117,13 @@ impl Transceiver {
             rx: None,
             transmitting: false,
             capture_threshold,
+            counters: PhyCounters::default(),
         }
+    }
+
+    /// Capture/collision/EIFS statistics accumulated so far.
+    pub fn counters(&self) -> &PhyCounters {
+        &self.counters
     }
 
     /// `true` if interference at `interferer_power` corrupts a locked
@@ -167,10 +176,25 @@ impl Transceiver {
             // stronger) frame is then discarded. This is the dominant
             // hidden-terminal loss mechanism: the interferer fires first,
             // occupies the receiver, and the real frame is lost.
-            let interfered = self
-                .active
-                .iter()
-                .any(|(&id, c)| id != tx && c.interferes && self.corrupts(class.power, c.power));
+            let mut contested = false;
+            let mut interfered = false;
+            for (&id, c) in &self.active {
+                if id == tx || !c.interferes {
+                    continue;
+                }
+                contested = true;
+                if self.corrupts(class.power, c.power) {
+                    interfered = true;
+                    break;
+                }
+            }
+            if class.decodable {
+                if interfered {
+                    self.counters.collisions += 1;
+                } else if contested {
+                    self.counters.captures += 1;
+                }
+            }
             self.rx = Some(RxState {
                 tx,
                 power: class.power,
@@ -188,8 +212,13 @@ impl Transceiver {
                 .is_some_and(|rx| self.corrupts(rx.power, class.power));
             if corrupts {
                 if let Some(rx) = &mut self.rx {
+                    if rx.decodable && !rx.corrupted {
+                        self.counters.collisions += 1;
+                    }
                     rx.corrupted = true;
                 }
+            } else if self.rx.is_some_and(|rx| rx.decodable && !rx.corrupted) {
+                self.counters.captures += 1;
             }
         }
 
@@ -219,6 +248,7 @@ impl Transceiver {
                     });
                 } else {
                     // Locked noise ended: PHY-RXEND with error → EIFS.
+                    self.counters.undecoded += 1;
                     events.push(RadioEvent::UndecodedEnd);
                 }
             }

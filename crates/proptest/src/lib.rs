@@ -12,7 +12,7 @@
 //!   [`prop_oneof!`],
 //! * strategies for integer/float ranges, tuples, [`Just`], `prop_map`,
 //!   [`collection::vec`] and [`any`],
-//! * a deterministic case runner ([`TestRunner`] semantics collapse to a
+//! * a deterministic case runner (`TestRunner` semantics collapse to a
 //!   seeded loop — no shrinking; on failure the case index is printed so
 //!   the run can be reproduced).
 //!

@@ -31,7 +31,7 @@
 //! eprintln!("{} run, {} resumed, {} failed", summary.ran, summary.skipped, summary.failed);
 //! ```
 
-pub mod json;
+pub use mwn_obs::json;
 pub mod pool;
 pub mod progress;
 pub mod store;
@@ -79,6 +79,21 @@ impl SweepOptions {
         self.quiet = quiet;
         self
     }
+}
+
+/// Like [`simulate`], with the observability layer on: each result row
+/// gains a `metrics` object (per-batch counter deltas, whole-run totals,
+/// engine profile), and the manifest reports total events processed.
+pub fn simulate_instrumented(spec: &JobSpec) -> RunResults {
+    mwn::experiment::run_instrumented(
+        &spec.scenario(),
+        spec.scale,
+        mwn::ObsConfig {
+            metrics: true,
+            probe_capacity: 0,
+            profile: true,
+        },
+    )
 }
 
 /// What a sweep did, by job count.
@@ -147,15 +162,23 @@ pub fn run_sweep(
     let mut journal = store::Journal::open(&opts.out)?;
     let mut progress = progress::Progress::new(total, skipped, workers, opts.quiet);
     let mut io_error: Option<std::io::Error> = None;
+    let mut events_processed = 0u64;
 
     pool::run(
         pending,
         workers,
         |spec| match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| executor(spec))) {
-            Ok(results) => (store::done_line(spec, &results), false),
+            Ok(results) => {
+                let events = results
+                    .metrics
+                    .as_ref()
+                    .map_or(0, |m| m.profile.events_processed());
+                (store::done_line(spec, &results), false, events)
+            }
             Err(payload) => (
                 store::failed_line(spec, &pool::panic_message(payload)),
                 true,
+                0,
             ),
         },
         |event| match event {
@@ -170,10 +193,15 @@ pub fn run_sweep(
                 // The executor is already wrapped in catch_unwind, so the
                 // pool-level Err arm only fires if line *serialization*
                 // panics; fold both into a failed record.
-                let (line, failed) = match result {
-                    Ok(pair) => pair,
-                    Err(msg) => (format!("{{\"type\":\"error\",\"detail\":{msg:?}}}"), true),
+                let (line, failed, events) = match result {
+                    Ok(triple) => triple,
+                    Err(msg) => (
+                        format!("{{\"type\":\"error\",\"detail\":{msg:?}}}"),
+                        true,
+                        0,
+                    ),
                 };
+                events_processed += events;
                 if let Err(e) = journal.append(&line) {
                     io_error.get_or_insert(e);
                 }
@@ -195,6 +223,12 @@ pub fn run_sweep(
             let owned: Vec<JobSpec> = jobs.iter().map(|j| (*j).clone()).collect();
             let mut m = Manifest::for_jobs(&owned, workers, detect_commit());
             m.wall_clock_secs = start.elapsed().as_secs_f64();
+            m.events_processed = events_processed;
+            m.events_per_sec = if m.wall_clock_secs > 0.0 {
+                events_processed as f64 / m.wall_clock_secs
+            } else {
+                0.0
+            };
             m
         }
     };

@@ -36,10 +36,16 @@ pub struct Manifest {
     pub jobs: usize,
     /// Worker threads used.
     pub workers: usize,
-    /// Wall-clock duration of the run in seconds. The *only*
-    /// nondeterministic field of the file; fixed by tests that compare
+    /// Wall-clock duration of the run in seconds. Nondeterministic (like
+    /// the two event-rate fields below); fixed by tests that compare
     /// whole files.
     pub wall_clock_secs: f64,
+    /// Simulator events processed across all executed jobs (0 unless the
+    /// sweep ran with the observability layer on).
+    pub events_processed: u64,
+    /// Events per wall-clock second. Nondeterministic; 0 when
+    /// `events_processed` is 0.
+    pub events_per_sec: f64,
 }
 
 impl Manifest {
@@ -72,6 +78,8 @@ impl Manifest {
             jobs: jobs.len(),
             workers,
             wall_clock_secs: 0.0,
+            events_processed: 0,
+            events_per_sec: 0.0,
         }
     }
 
@@ -85,6 +93,8 @@ impl Manifest {
             .usize("jobs", self.jobs)
             .usize("workers", self.workers)
             .f64("wall_clock_secs", self.wall_clock_secs)
+            .u64("events_processed", self.events_processed)
+            .f64("events_per_sec", self.events_per_sec)
             .finish()
     }
 }
@@ -110,7 +120,7 @@ pub fn done_line(spec: &JobSpec, r: &RunResults) -> String {
             .raw("avg_window", &estimate(&f.avg_window))
             .finish()
     }));
-    job_head(spec)
+    let mut obj = job_head(spec)
         .str("status", "done")
         .str("outcome", &outcome)
         .raw(
@@ -128,8 +138,13 @@ pub fn done_line(spec: &JobSpec, r: &RunResults) -> String {
         .f64("measured_secs", r.measured_time.as_secs_f64())
         .f64("total_energy_joules", r.total_energy_joules)
         .f64("energy_per_packet", r.energy_per_packet)
-        .raw("flows", &flows)
-        .finish()
+        .raw("flows", &flows);
+    // Omitted entirely for uninstrumented runs, so their lines are
+    // byte-identical with or without this build.
+    if let Some(m) = &r.metrics {
+        obj = obj.raw("metrics", &m.to_json());
+    }
+    obj.finish()
 }
 
 /// Serializes a crashed job as one store line (`"status":"failed"`).
@@ -253,6 +268,25 @@ mod tests {
         let line = m.to_line();
         assert!(line.starts_with(r#"{"type":"manifest","version":1,"commit":"abc123""#));
         assert!(line.contains(r#""workers":4"#));
+    }
+
+    #[test]
+    fn done_line_metrics_field_present_only_when_collected() {
+        let job = sample_job();
+        let plain = crate::simulate(&job);
+        let line = done_line(&job, &plain);
+        assert!(
+            !line.contains("\"metrics\""),
+            "uninstrumented rows must not grow a metrics field"
+        );
+
+        let instrumented = crate::simulate_instrumented(&job);
+        let line = done_line(&job, &instrumented);
+        assert!(line.contains(r#""metrics":{"profile":{"events":"#));
+        assert!(line.contains(r#""batches":[{"start_secs":"#));
+        // Deterministic: serializing the same instrumented run twice gives
+        // identical bytes.
+        assert_eq!(line, done_line(&job, &crate::simulate_instrumented(&job)));
     }
 
     #[test]

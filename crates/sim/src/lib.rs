@@ -8,7 +8,9 @@
 //!   tie-break for events scheduled at the same instant,
 //! * [`Pcg32`] — a small, fully deterministic pseudo-random number generator,
 //! * [`stats`] — batch-means steady-state statistics, confidence intervals,
-//!   time-weighted averages and Jain's fairness index.
+//!   time-weighted averages and Jain's fairness index,
+//! * [`profile`] — event-loop self-profiling (events processed, histogram
+//!   by kind, peak pending-event depth).
 //!
 //! # Example
 //!
@@ -25,11 +27,13 @@
 
 mod event;
 pub mod fxhash;
+pub mod profile;
 mod rng;
 pub mod stats;
 mod time;
 
 pub use event::{EventId, EventQueue};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use profile::EngineProfile;
 pub use rng::Pcg32;
 pub use time::{SimDuration, SimTime};

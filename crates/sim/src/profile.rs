@@ -1,0 +1,111 @@
+//! Simulator self-profiling: where the event loop spends its events.
+//!
+//! An [`EngineProfile`] is fed one call per processed event and
+//! accumulates the totals the ROADMAP's performance work needs: events
+//! processed, an event-count histogram by kind, and the peak future-event
+//! list depth. Wall-clock rates are derived by the caller
+//! ([`EngineProfile::events_per_sec`]) so the profile itself stays a pure
+//! function of the simulation.
+
+use crate::fxhash::FxHashMap;
+
+/// Accumulated event-loop statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EngineProfile {
+    events_processed: u64,
+    peak_queue_depth: usize,
+    by_kind: FxHashMap<&'static str, u64>,
+}
+
+impl EngineProfile {
+    /// A zeroed profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one processed event of `kind`, observed with `queue_depth`
+    /// events still pending.
+    pub fn record(&mut self, kind: &'static str, queue_depth: usize) {
+        self.events_processed += 1;
+        if queue_depth > self.peak_queue_depth {
+            self.peak_queue_depth = queue_depth;
+        }
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Largest pending-event count observed.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue_depth
+    }
+
+    /// The event-count histogram, sorted by kind name (deterministic).
+    pub fn by_kind(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<(&'static str, u64)> = self.by_kind.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Events per wall-clock second, given the measured wall time.
+    pub fn events_per_sec(&self, wall_secs: f64) -> f64 {
+        if wall_secs > 0.0 {
+            self.events_processed as f64 / wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another profile into this one (peak depth takes the max).
+    pub fn merge(&mut self, other: &EngineProfile) {
+        self.events_processed += other.events_processed;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        for (&k, &n) in &other.by_kind {
+            *self.by_kind.entry(k).or_insert(0) += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_and_histogram_sorts() {
+        let mut p = EngineProfile::new();
+        p.record("mac_timer", 3);
+        p.record("signal_start", 10);
+        p.record("mac_timer", 5);
+        assert_eq!(p.events_processed(), 3);
+        assert_eq!(p.peak_queue_depth(), 10);
+        assert_eq!(
+            p.by_kind(),
+            vec![("mac_timer", 2), ("signal_start", 1)],
+            "sorted by kind name"
+        );
+    }
+
+    #[test]
+    fn events_per_sec_handles_zero_wall_time() {
+        let mut p = EngineProfile::new();
+        p.record("x", 0);
+        assert_eq!(p.events_per_sec(0.0), 0.0);
+        assert!((p.events_per_sec(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_depth() {
+        let mut a = EngineProfile::new();
+        a.record("x", 4);
+        let mut b = EngineProfile::new();
+        b.record("x", 9);
+        b.record("y", 1);
+        a.merge(&b);
+        assert_eq!(a.events_processed(), 3);
+        assert_eq!(a.peak_queue_depth(), 9);
+        assert_eq!(a.by_kind(), vec![("x", 2), ("y", 1)]);
+    }
+}

@@ -2,7 +2,7 @@
 //! congestion-control flavors.
 
 use mwn_pkt::{Body, FlowId, NodeId, Packet, TcpSegment};
-use mwn_sim::{FxHashMap, SimTime};
+use mwn_sim::{FxHashMap, SimDuration, SimTime};
 
 use crate::config::TcpConfig;
 use crate::rto::RtoEstimator;
@@ -43,6 +43,8 @@ pub struct TcpSenderStats {
     pub timeouts: u64,
     /// Fast retransmissions (3 dupacks, or Vegas fine-grained checks).
     pub fast_retransmits: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -225,6 +227,24 @@ impl TcpSender {
     /// Sender statistics.
     pub fn stats(&self) -> &TcpSenderStats {
         &self.stats
+    }
+
+    /// The coarse-grained smoothed RTT estimate, if a sample exists yet.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rto.srtt()
+    }
+
+    /// Vegas' congestion signal `diff = W·(1 − baseRTT/RTT)` in packets,
+    /// available once both RTT estimates exist (`None` on the reactive
+    /// flavors).
+    pub fn vegas_diff(&self) -> Option<f64> {
+        match &self.flavor {
+            FlavorState::Vegas(v) => {
+                let (base, rtt) = (v.base_rtt?, v.last_rtt?);
+                Some(self.cwnd * (1.0 - base / rtt))
+            }
+            _ => None,
+        }
     }
 
     /// `true` while operating in slow start (for the paper's observation
@@ -483,6 +503,7 @@ impl TcpSender {
 
     fn handle_dupack(&mut self, now: SimTime, actions: &mut Vec<TransportAction>) {
         self.dupacks += 1;
+        self.stats.dup_acks += 1;
         match &mut self.flavor {
             FlavorState::NewReno | FlavorState::Reno => {
                 if self.in_recovery {

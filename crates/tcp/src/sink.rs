@@ -32,6 +32,9 @@ pub struct TcpSinkStats {
     pub duplicates: u64,
     /// Packets that arrived out of order.
     pub out_of_order: u64,
+    /// In-order packets whose ACK the thinning policy withheld (the
+    /// ACK-thinning decisions the paper's §5 comparison counts).
+    pub acks_suppressed: u64,
 }
 
 /// A packet-granularity TCP sink.
@@ -155,12 +158,15 @@ impl TcpSink {
         let d = self.thinning_factor(seq);
         if self.pending >= d {
             self.emit_ack(&mut actions);
-        } else if !self.timer_armed {
-            self.timer_armed = true;
-            actions.push(TransportAction::SetTimer {
-                timer: TransportTimer::DelayedAck,
-                delay: DELAYED_ACK_TIMEOUT,
-            });
+        } else {
+            self.stats.acks_suppressed += 1;
+            if !self.timer_armed {
+                self.timer_armed = true;
+                actions.push(TransportAction::SetTimer {
+                    timer: TransportTimer::DelayedAck,
+                    delay: DELAYED_ACK_TIMEOUT,
+                });
+            }
         }
         actions
     }

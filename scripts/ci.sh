@@ -17,10 +17,16 @@ else
     echo "==> cargo clippy unavailable; skipping lints"
 fi
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="--deny warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> observability overhead bench (trace disabled vs enabled)"
+cargo bench -p mwn-bench --bench obs_overhead -- --quick
 
 echo "CI gate passed."
