@@ -65,6 +65,27 @@ pub enum AodvAction {
         /// The destination that became unreachable.
         dst: NodeId,
     },
+    /// Informational: a sequence-numbered route was installed or improved
+    /// (reverse route from an RREQ, forward route from an RREP). Hosts
+    /// may trace it; no state change is requested.
+    RouteInstalled {
+        /// Route destination.
+        dst: NodeId,
+        /// Neighbor the route forwards through.
+        next_hop: NodeId,
+        /// Hops to the destination.
+        hop_count: u8,
+        /// Destination sequence number the route carries.
+        dst_seq: u32,
+    },
+    /// Informational: a route was invalidated (link failure or RERR) and
+    /// its destination sequence number bumped to `dst_seq`.
+    RouteLost {
+        /// Route destination.
+        dst: NodeId,
+        /// The sequence number after the invalidation bump.
+        dst_seq: u32,
+    },
 }
 
 /// Routing-layer statistics.
@@ -221,6 +242,9 @@ impl Router {
             }
         }
         if !broken.is_empty() {
+            for &(dst, dst_seq) in &broken {
+                actions.push(AodvAction::RouteLost { dst, dst_seq });
+            }
             if self.config.elfn {
                 for &(dst, _) in &broken {
                     actions.push(AodvAction::NotifyRouteFailure { dst });
@@ -368,14 +392,21 @@ impl Router {
             return; // our own flood echoed back
         }
         // Reverse route towards the originator.
-        self.table.update(
+        if self.table.update(
             orig,
             from,
             hop_count.saturating_add(1),
             orig_seq,
             now,
             self.config.active_route_lifetime,
-        );
+        ) {
+            actions.push(AodvAction::RouteInstalled {
+                dst: orig,
+                next_hop: from,
+                hop_count: hop_count.saturating_add(1),
+                dst_seq: orig_seq,
+            });
+        }
         // A reverse route may satisfy a discovery we have pending.
         if self.pending.contains_key(&orig) {
             self.flush_buffered(now, orig, actions);
@@ -524,14 +555,21 @@ impl Router {
             unreachable!("handle_rrep called with non-RREP");
         };
         // Forward route to the destination.
-        self.table.update(
+        if self.table.update(
             dst,
             from,
             hop_count.saturating_add(1),
             dst_seq,
             now,
             self.config.active_route_lifetime,
-        );
+        ) {
+            actions.push(AodvAction::RouteInstalled {
+                dst,
+                next_hop: from,
+                hop_count: hop_count.saturating_add(1),
+                dst_seq,
+            });
+        }
 
         if orig == self.me {
             // Discovery complete.
@@ -572,6 +610,9 @@ impl Router {
             }
         }
         if !propagate.is_empty() {
+            for &(dst, dst_seq) in &propagate {
+                actions.push(AodvAction::RouteLost { dst, dst_seq });
+            }
             if self.config.elfn {
                 for &(dst, _) in &propagate {
                     actions.push(AodvAction::NotifyRouteFailure { dst });

@@ -82,7 +82,10 @@ impl Line {
                 AodvAction::CancelDiscoveryTimer { dst } => {
                     self.timers.retain(|(n, d, _)| !(*n == node && *d == dst));
                 }
-                AodvAction::Drop { .. } | AodvAction::NotifyRouteFailure { .. } => {}
+                AodvAction::Drop { .. }
+                | AodvAction::NotifyRouteFailure { .. }
+                | AodvAction::RouteInstalled { .. }
+                | AodvAction::RouteLost { .. } => {}
             }
         }
     }

@@ -1,0 +1,36 @@
+//! Golden-trace conformance of the fast canonical scenarios, run as a
+//! plain test so `cargo test` catches behavioral drift even when the
+//! `mwn check` CLI step is skipped. The full 10-scenario suite runs in
+//! CI via `mwn check`.
+
+use mwn_check::golden::{conformance, parse_digests, BUILTIN_DIGESTS};
+use mwn_check::{fast_cases, run_traced};
+
+#[test]
+fn fast_canonical_cases_match_committed_digests() {
+    let golden = parse_digests(BUILTIN_DIGESTS).expect("committed digests parse");
+    for case in fast_cases() {
+        let report = case.run();
+        assert!(
+            report.violations.is_empty(),
+            "{}: invariant violations: {:?}",
+            case.name,
+            report.violations
+        );
+        if let Some(msg) = conformance(&report, &golden) {
+            panic!("{}: {msg}", case.name);
+        }
+    }
+}
+
+/// Any change to any traced layer must change the digest: re-running a
+/// canonical scenario with a different delivery target yields a
+/// different trace, and the digest catches it.
+#[test]
+fn digest_detects_a_changed_trace() {
+    use mwn_check::golden::trace_digest;
+    let case = &fast_cases()[0];
+    let full = run_traced(&case.scenario(), case.target, case.deadline);
+    let short = run_traced(&case.scenario(), case.target / 2, case.deadline);
+    assert_ne!(trace_digest(&full), trace_digest(&short));
+}

@@ -1,0 +1,60 @@
+//! End-to-end proof that the invariant checker catches real bugs: run
+//! the full stack with the runtime fault hooks enabled and assert the
+//! corresponding rule fires — and that the same scenario is clean with
+//! the fault off.
+
+use mwn::{AckPolicy, DataRate, Flavor, MacParams, Scenario, SimDuration, TcpConfig, Transport};
+use mwn_check::check_scenario;
+
+fn rules(violations: &[mwn_check::Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+/// A node that skips EIFS after corrupted receptions must be flagged by
+/// the `eifs` rule. On a 2-hop chain every data transmission is sensed
+/// (but not decodable) two hops away, so corrupted receptions — and
+/// thus EIFS obligations — occur constantly.
+#[test]
+fn eifs_fault_is_detected_and_baseline_is_clean() {
+    let mut faulty = Scenario::chain(2, DataRate::MBPS_2, Transport::newreno(), 1);
+    faulty.mac_override = Some(MacParams {
+        fault_skip_eifs: true,
+        ..MacParams::ieee80211b(DataRate::MBPS_2)
+    });
+    let v = check_scenario(&faulty, 30, SimDuration::from_secs(30));
+    assert!(
+        rules(&v).contains(&"eifs"),
+        "EIFS-skip fault went undetected: {v:?}"
+    );
+
+    let clean = Scenario::chain(2, DataRate::MBPS_2, Transport::newreno(), 1);
+    let v = check_scenario(&clean, 30, SimDuration::from_secs(30));
+    assert!(v.is_empty(), "baseline chain(2) is not clean: {v:?}");
+}
+
+/// A sender whose congestion window grows past the configured maximum
+/// must be flagged by the `cwnd-bound` rule. A small `Wmax` keeps the
+/// 1-hop chain lossless (in-flight stays below every queue), so with
+/// the fault relaxing the growth cap to `4 × Wmax`, congestion
+/// avoidance walks cwnd straight past the legal bound.
+#[test]
+fn cwnd_overshoot_fault_is_detected_and_baseline_is_clean() {
+    let small_window = |fault| Transport::Tcp {
+        flavor: Flavor::NewReno,
+        config: TcpConfig {
+            fault_cwnd_overshoot: fault,
+            ..TcpConfig::paper(2).with_max_window(8)
+        },
+        ack_policy: AckPolicy::EveryPacket,
+    };
+    let faulty = Scenario::chain(1, DataRate::MBPS_2, small_window(true), 1);
+    let v = check_scenario(&faulty, 500, SimDuration::from_secs(60));
+    assert!(
+        rules(&v).contains(&"cwnd-bound"),
+        "cwnd-overshoot fault went undetected: {v:?}"
+    );
+
+    let clean = Scenario::chain(1, DataRate::MBPS_2, small_window(false), 1);
+    let v = check_scenario(&clean, 500, SimDuration::from_secs(60));
+    assert!(v.is_empty(), "baseline chain(1) is not clean: {v:?}");
+}

@@ -1,0 +1,131 @@
+//! `mwn check` — run the cross-layer invariant checker and golden-trace
+//! conformance over the canonical scenarios, optionally fuzzing random
+//! scenarios on top.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mwn_check::golden::{conformance, format_digests, parse_digests, BUILTIN_DIGESTS};
+use mwn_check::{canonical_cases, fast_cases, fuzz, CanonicalCase, CaseReport};
+
+use crate::args::{parse, reject_leftovers, take_flag, take_value};
+
+/// Where `--bless` writes (and where the build embeds the digests from),
+/// relative to the repository root.
+const GOLDEN_PATH: &str = "crates/check/golden/digests.txt";
+
+pub fn command(argv: &[String]) -> Result<(), String> {
+    let mut argv = argv.to_vec();
+    let suite = take_value(&mut argv, "--suite")?.unwrap_or_else(|| "full".to_string());
+    let bless = take_flag(&mut argv, "--bless");
+    let fuzz_cases: u32 = match take_value(&mut argv, "--fuzz")? {
+        Some(v) => parse(&v, "fuzz case count")?,
+        None => 0,
+    };
+    let jobs: usize = match take_value(&mut argv, "--jobs")? {
+        Some(v) => parse(&v, "job count")?,
+        None => 0,
+    };
+    let golden_path = take_value(&mut argv, "--golden")?;
+    reject_leftovers(&argv)?;
+
+    // Blessing always regenerates the complete digest file; a partial
+    // suite would silently drop the other scenarios' lines.
+    let cases = if bless {
+        canonical_cases()
+    } else {
+        match suite.as_str() {
+            "full" => canonical_cases(),
+            "fast" => fast_cases(),
+            other => return Err(format!("unknown suite {other:?} (use fast or full)")),
+        }
+    };
+
+    let reports = run_cases(&cases, jobs);
+    let mut failures = 0usize;
+    for report in &reports {
+        for v in &report.violations {
+            failures += 1;
+            print!("{v}");
+        }
+    }
+
+    if bless {
+        if failures > 0 {
+            return Err(format!(
+                "{failures} invariant violation(s); refusing to bless a non-conforming trace"
+            ));
+        }
+        let path = golden_path.unwrap_or_else(|| GOLDEN_PATH.to_string());
+        std::fs::write(&path, format_digests(&reports))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("blessed {} scenario digests -> {path}", reports.len());
+    } else {
+        let from_file;
+        let golden_text = match &golden_path {
+            Some(path) => {
+                from_file =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                from_file.as_str()
+            }
+            None => BUILTIN_DIGESTS,
+        };
+        let golden = parse_digests(golden_text)?;
+        for report in &reports {
+            match conformance(report, &golden) {
+                Some(msg) => {
+                    failures += 1;
+                    println!("FAIL {}: {msg}", report.name);
+                }
+                None => println!("ok   {} ({} records)", report.name, report.count),
+            }
+        }
+    }
+
+    if fuzz_cases > 0 {
+        match fuzz("mwn-check-cli", fuzz_cases) {
+            Ok(n) => println!("fuzz: {n} cases, no violations"),
+            Err(failure) => {
+                failures += 1;
+                print!("{failure}");
+            }
+        }
+    }
+
+    if failures > 0 {
+        Err(format!("{failures} check failure(s)"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Runs the canonical cases on `jobs` worker threads (0 = one per CPU),
+/// preserving case order in the returned reports.
+fn run_cases(cases: &[CanonicalCase], jobs: usize) -> Vec<CaseReport> {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        jobs
+    }
+    .min(cases.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CaseReport>>> =
+        Mutex::new((0..cases.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(case) = cases.get(i) else { break };
+                let report = case.run();
+                slots.lock().unwrap()[i] = Some(report);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every case ran"))
+        .collect()
+}

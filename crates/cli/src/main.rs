@@ -7,10 +7,12 @@
 //! mwn stats [options]                                         run instrumented, print metrics
 //! mwn list                                                    list reproducible experiments
 //! mwn trace [--hops H] [--events N] [--format text|jsonl]     print an annotated event trace
+//! mwn check [--suite fast|full] [--bless] [--fuzz N]          invariants + golden-trace conformance
 //! ```
 
 use std::process::ExitCode;
 
+mod check_cmd;
 mod repro;
 mod run;
 mod stats_cmd;
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("trace") => trace_cmd::command(&args[1..]),
+        Some("check") => check_cmd::command(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -75,6 +78,12 @@ fn print_usage() {
          \x20 mwn trace [--hops H] [--events N] [--transport <variant>]\n\
          \x20           [--rate 2|5.5|11] [--format text|jsonl]\n\
          \x20     Show the annotated event trace of a chain's first packets.\n\n\
+         \x20 mwn check [--suite fast|full] [--bless] [--fuzz N] [--jobs N] [--golden F]\n\
+         \x20     Run the canonical scenarios under the cross-layer invariant\n\
+         \x20     checker and compare trace digests against the committed\n\
+         \x20     golden file. --bless regenerates the digests (full suite,\n\
+         \x20     refused if any invariant fails); --fuzz N adds N random\n\
+         \x20     checked scenarios with shrinking on failure.\n\n\
          \x20 mwn list\n\
          \x20     List the reproducible experiments."
     );

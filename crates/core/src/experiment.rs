@@ -465,4 +465,35 @@ mod tests {
         assert!(gp > 200.0, "goodput {gp} kbit/s too low");
         assert!(gp < 2000.0, "goodput {gp} kbit/s above line rate");
     }
+
+    mod scaled_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `scaled` never panics and respects its saturation contract
+            /// for arbitrary multipliers, including the overflow region.
+            #[test]
+            fn scaled_never_panics(mult: u64) {
+                let s = ExperimentScale::scaled(mult);
+                prop_assert!(s.batch_packets >= ExperimentScale::quick().batch_packets);
+                prop_assert_eq!(s.batches, ExperimentScale::quick().batches);
+                // Constructing the deadline exercised `from_secs` (×1e9
+                // internally) without overflow; it can only have grown.
+                prop_assert!(s.deadline >= ExperimentScale::quick().deadline);
+            }
+
+            /// Monotonicity: a larger multiplier never yields a smaller
+            /// scale in any field (saturation makes it non-strict).
+            #[test]
+            fn scaled_is_monotone(a: u64, b: u64) {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let sl = ExperimentScale::scaled(lo);
+                let sh = ExperimentScale::scaled(hi);
+                prop_assert!(sl.batch_packets <= sh.batch_packets);
+                prop_assert!(sl.deadline <= sh.deadline);
+                prop_assert_eq!(sl.batches, sh.batches);
+            }
+        }
+    }
 }

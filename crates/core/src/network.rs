@@ -269,6 +269,14 @@ impl Network {
             .unwrap_or_default()
     }
 
+    /// Trace records evicted because the ring buffer was full (zero means
+    /// the retained trace is complete).
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace
+            .as_ref()
+            .map_or(0, mwn_obs::trace::TraceBuffer::dropped)
+    }
+
     /// Enables on-change time-series probes (cwnd, srtt, Vegas diff,
     /// interface-queue depth) into a ring buffer of `capacity` samples.
     pub fn enable_probes(&mut self, capacity: usize) {
@@ -564,7 +572,10 @@ impl Network {
                 RadioEvent::CarrierBusy => self.macs[node.index()].on_carrier_busy(self.now),
                 RadioEvent::CarrierIdle => self.macs[node.index()].on_carrier_idle(self.now),
                 RadioEvent::RxStart(_) => Vec::new(),
-                RadioEvent::UndecodedEnd => self.macs[node.index()].on_rx_corrupt(self.now),
+                RadioEvent::UndecodedEnd => {
+                    self.trace_event(node, || TraceEvent::PhyCorrupt);
+                    self.macs[node.index()].on_rx_corrupt(self.now)
+                }
                 RadioEvent::RxEnd { tx, ok } => {
                     if ok {
                         let frame = self
@@ -572,8 +583,10 @@ impl Network {
                             .get(&tx)
                             .map(|(f, _)| f.clone())
                             .expect("RxEnd for unknown transmission");
+                        self.trace_event(node, || TraceEvent::PhyRxOk);
                         self.macs[node.index()].on_rx_frame(self.now, frame)
                     } else {
+                        self.trace_event(node, || TraceEvent::PhyCorrupt);
                         self.macs[node.index()].on_rx_corrupt(self.now)
                     }
                 }
@@ -598,6 +611,7 @@ impl Network {
             dst: frame.dst(),
             bytes: frame.size_bytes(),
             airtime: duration,
+            nav: frame.nav(),
         });
         let effects = self.medium.effects_of(node).to_vec();
         self.energy[node.index()].add_tx(duration);
@@ -636,6 +650,11 @@ impl Network {
             match action {
                 MacAction::StartTx(frame) => self.start_transmission(node, frame),
                 MacAction::SetTimer { timer, delay } => {
+                    if timer == MacTimer::Defer {
+                        self.trace_event(node, || TraceEvent::MacDefer {
+                            nanos: delay.as_nanos(),
+                        });
+                    }
                     if let Some(old) = self.mac_timers.remove(&(node, timer)) {
                         self.queue.cancel(old);
                     }
@@ -730,6 +749,22 @@ impl Network {
                     self.trace_event(node, || TraceEvent::RouteFailure { dst });
                     self.notify_route_failure(node, dst);
                 }
+                AodvAction::RouteInstalled {
+                    dst,
+                    next_hop,
+                    hop_count,
+                    dst_seq,
+                } => {
+                    self.trace_event(node, || TraceEvent::RouteUpdate {
+                        dst,
+                        next_hop,
+                        hop_count,
+                        dst_seq,
+                    });
+                }
+                AodvAction::RouteLost { dst, dst_seq } => {
+                    self.trace_event(node, || TraceEvent::RouteInvalidate { dst, dst_seq });
+                }
                 AodvAction::Drop { ref packet, reason } => {
                     // Tallied in the router's counters.
                     let uid = packet.uid;
@@ -810,16 +845,32 @@ impl Network {
 
     fn note_window(&mut self, flow: FlowId) {
         let f = &mut self.flows[flow.index()];
-        if let SourceAgent::Tcp(s) = &f.source {
-            f.cwnd_twa.record(self.now, s.cwnd());
-            if let Some(p) = &mut self.probes {
-                p.record(self.now, ProbeKind::Cwnd, flow.raw(), s.cwnd());
-                if let Some(srtt) = s.srtt() {
-                    p.record(self.now, ProbeKind::Srtt, flow.raw(), srtt.as_secs_f64());
-                }
-                if let Some(diff) = s.vegas_diff() {
-                    p.record(self.now, ProbeKind::VegasDiff, flow.raw(), diff);
-                }
+        let SourceAgent::Tcp(s) = &f.source else {
+            return;
+        };
+        let node = f.src;
+        let cwnd = s.cwnd();
+        let srtt = s.srtt();
+        let diff = s.vegas_diff();
+        f.cwnd_twa.record(self.now, cwnd);
+        // Fixed-point milli-packets keep the trace event `Eq`/hashable.
+        self.trace_event(node, || TraceEvent::TcpCwnd {
+            flow,
+            cwnd_milli: (cwnd * 1000.0).round() as u64,
+        });
+        if let Some(diff) = diff {
+            self.trace_event(node, || TraceEvent::TcpVegasDiff {
+                flow,
+                diff_milli: (diff * 1000.0).round() as i64,
+            });
+        }
+        if let Some(p) = &mut self.probes {
+            p.record(self.now, ProbeKind::Cwnd, flow.raw(), cwnd);
+            if let Some(srtt) = srtt {
+                p.record(self.now, ProbeKind::Srtt, flow.raw(), srtt.as_secs_f64());
+            }
+            if let Some(diff) = diff {
+                p.record(self.now, ProbeKind::VegasDiff, flow.raw(), diff);
             }
         }
     }

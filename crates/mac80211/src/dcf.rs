@@ -353,7 +353,7 @@ impl Dcf {
             return;
         }
         self.defer_armed = true;
-        let delay = if self.eifs_next {
+        let delay = if self.eifs_next && !self.params.fault_skip_eifs {
             self.params.eifs()
         } else {
             self.params.difs()

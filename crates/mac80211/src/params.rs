@@ -51,6 +51,11 @@ pub struct MacParams {
     /// proxy for contention — runs high, signalling TCP before the
     /// retry limits do. `None` disables (the paper's configuration).
     pub link_red: Option<LinkRedParams>,
+    /// Fault-injection hook for the invariant checker: when set, the DCF
+    /// uses DIFS even when EIFS deference is required after a corrupted
+    /// reception. Exists only so `mwn check` can demonstrate that the
+    /// EIFS invariant catches the bug; never set in real experiments.
+    pub fault_skip_eifs: bool,
 }
 
 /// Parameters of the link-layer RED extension.
@@ -96,6 +101,7 @@ impl MacParams {
             data_rate,
             adaptive_pacing: false,
             link_red: None,
+            fault_skip_eifs: false,
         }
     }
 
@@ -113,6 +119,7 @@ impl MacParams {
             data_rate,
             adaptive_pacing: false,
             link_red: None,
+            fault_skip_eifs: false,
         }
     }
 

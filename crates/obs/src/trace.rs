@@ -49,6 +49,12 @@ impl fmt::Display for TraceLayer {
 /// machine-readable form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
+    /// The radio finished decoding a frame intact (before any MAC-level
+    /// address filtering — overheard frames count too).
+    PhyRxOk,
+    /// A reception ended undecodable: a collision, or a signal below the
+    /// capture threshold. The MAC must use EIFS for its next deference.
+    PhyCorrupt,
     /// The MAC put a frame on the air.
     MacTx {
         /// Frame type (RTS/CTS/ACK/DATA).
@@ -59,6 +65,14 @@ pub enum TraceEvent {
         bytes: u32,
         /// Airtime including preamble.
         airtime: SimDuration,
+        /// Duration/NAV value carried by the frame (zero for ACKs).
+        nav: SimDuration,
+    },
+    /// The MAC armed its interframe deference timer (DIFS, or EIFS after
+    /// a corrupted reception).
+    MacDefer {
+        /// The deference duration in nanoseconds.
+        nanos: u64,
     },
     /// The MAC delivered a received packet up to the routing layer.
     MacRx {
@@ -83,6 +97,26 @@ pub enum TraceEvent {
     RouteDeliver {
         /// Packet uid.
         uid: u64,
+    },
+    /// AODV installed or refreshed a sequence-numbered route (learned
+    /// from an RREQ's reverse path or an RREP's forward path).
+    RouteUpdate {
+        /// Route destination.
+        dst: NodeId,
+        /// Neighbor the route forwards through.
+        next_hop: NodeId,
+        /// Hops to the destination.
+        hop_count: u8,
+        /// Destination sequence number the route was learned with.
+        dst_seq: u32,
+    },
+    /// AODV invalidated a route (link failure or received RERR), bumping
+    /// its destination sequence number.
+    RouteInvalidate {
+        /// Route destination.
+        dst: NodeId,
+        /// The sequence number after the invalidation bump.
+        dst_seq: u32,
     },
     /// AODV reported a route failure to the transport (ELFN).
     RouteFailure {
@@ -118,22 +152,45 @@ pub enum TraceEvent {
         /// Sequence number.
         seq: u64,
     },
+    /// A TCP sender's congestion window changed (sampled on every window
+    /// update). Fixed-point milli-packets so the event stays `Eq`.
+    TcpCwnd {
+        /// The flow.
+        flow: FlowId,
+        /// `cwnd` in units of 1/1000 packet.
+        cwnd_milli: u64,
+    },
+    /// A Vegas sender's `diff = cwnd · (1 − baseRTT/RTT)` signal.
+    /// Fixed-point milli-packets, signed so negative excursions (which
+    /// the checker flags) are representable.
+    TcpVegasDiff {
+        /// The flow.
+        flow: FlowId,
+        /// `diff` in units of 1/1000 packet.
+        diff_milli: i64,
+    },
 }
 
 impl TraceEvent {
     /// The layer that produces this event.
     pub fn layer(&self) -> TraceLayer {
         match self {
+            TraceEvent::PhyRxOk | TraceEvent::PhyCorrupt => TraceLayer::Phy,
             TraceEvent::MacTx { .. }
+            | TraceEvent::MacDefer { .. }
             | TraceEvent::MacRx { .. }
             | TraceEvent::MacRetryExhausted { .. }
             | TraceEvent::MacQueueDrop { .. } => TraceLayer::Mac,
             TraceEvent::RouteDeliver { .. }
+            | TraceEvent::RouteUpdate { .. }
+            | TraceEvent::RouteInvalidate { .. }
             | TraceEvent::RouteFailure { .. }
             | TraceEvent::RouteDrop { .. } => TraceLayer::Route,
-            TraceEvent::TcpData { .. } | TraceEvent::TcpAck { .. } | TraceEvent::UdpData { .. } => {
-                TraceLayer::Transport
-            }
+            TraceEvent::TcpData { .. }
+            | TraceEvent::TcpAck { .. }
+            | TraceEvent::UdpData { .. }
+            | TraceEvent::TcpCwnd { .. }
+            | TraceEvent::TcpVegasDiff { .. } => TraceLayer::Transport,
         }
     }
 
@@ -141,16 +198,23 @@ impl TraceEvent {
     /// field.
     pub fn kind(&self) -> &'static str {
         match self {
+            TraceEvent::PhyRxOk => "phy_rx_ok",
+            TraceEvent::PhyCorrupt => "phy_corrupt",
             TraceEvent::MacTx { .. } => "mac_tx",
+            TraceEvent::MacDefer { .. } => "mac_defer",
             TraceEvent::MacRx { .. } => "mac_rx",
             TraceEvent::MacRetryExhausted { .. } => "mac_retry_drop",
             TraceEvent::MacQueueDrop { .. } => "mac_queue_drop",
             TraceEvent::RouteDeliver { .. } => "route_deliver",
+            TraceEvent::RouteUpdate { .. } => "route_update",
+            TraceEvent::RouteInvalidate { .. } => "route_invalidate",
             TraceEvent::RouteFailure { .. } => "route_failure",
             TraceEvent::RouteDrop { .. } => "route_drop",
             TraceEvent::TcpData { .. } => "tcp_data",
             TraceEvent::TcpAck { .. } => "tcp_ack",
             TraceEvent::UdpData { .. } => "udp_data",
+            TraceEvent::TcpCwnd { .. } => "tcp_cwnd",
+            TraceEvent::TcpVegasDiff { .. } => "tcp_vegas_diff",
         }
     }
 }
@@ -158,22 +222,58 @@ impl TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TraceEvent::PhyRxOk => write!(f, "decoded a frame intact"),
+            TraceEvent::PhyCorrupt => write!(f, "reception corrupted (EIFS next)"),
             TraceEvent::MacTx {
                 kind,
                 dst,
                 bytes,
                 airtime,
+                ..
             } => write!(f, "TX {kind:?} -> {dst} ({bytes} B, {airtime})"),
+            TraceEvent::MacDefer { nanos } => {
+                write!(f, "defer {}", SimDuration::from_nanos(*nanos))
+            }
             TraceEvent::MacRx { uid, from } => write!(f, "RX packet uid={uid} from {from}"),
             TraceEvent::MacRetryExhausted { uid, next_hop } => {
                 write!(f, "retry limit: giving up uid={uid} -> {next_hop}")
             }
             TraceEvent::MacQueueDrop { uid } => write!(f, "queue full: dropped uid={uid}"),
             TraceEvent::RouteDeliver { uid } => write!(f, "deliver uid={uid} to transport"),
+            TraceEvent::RouteUpdate {
+                dst,
+                next_hop,
+                hop_count,
+                dst_seq,
+            } => write!(
+                f,
+                "route {dst} via {next_hop} hops={hop_count} seq={dst_seq}"
+            ),
+            TraceEvent::RouteInvalidate { dst, dst_seq } => {
+                write!(f, "route {dst} invalidated seq={dst_seq}")
+            }
             TraceEvent::RouteFailure { dst } => write!(f, "ELFN: route to {dst} failed"),
             TraceEvent::RouteDrop { uid, reason } => write!(f, "drop uid={uid}: {reason:?}"),
             TraceEvent::TcpData { flow, seq } => write!(f, "{flow} send seq={seq}"),
             TraceEvent::TcpAck { flow, ack } => write!(f, "{flow} send ack={}", *ack as i64),
+            TraceEvent::TcpCwnd { flow, cwnd_milli } => {
+                write!(
+                    f,
+                    "{flow} cwnd={}.{:03}",
+                    cwnd_milli / 1000,
+                    cwnd_milli % 1000
+                )
+            }
+            TraceEvent::TcpVegasDiff { flow, diff_milli } => {
+                let sign = if *diff_milli < 0 { "-" } else { "" };
+                let mag = diff_milli.unsigned_abs();
+                write!(
+                    f,
+                    "{flow} vegas diff={sign}{}.{:03}",
+                    mag / 1000,
+                    mag % 1000
+                )
+            }
             TraceEvent::UdpData { flow, seq } => write!(f, "{flow} send cbr seq={seq}"),
         }
     }
@@ -205,16 +305,21 @@ impl TraceRecord {
             .str("layer", &self.layer().to_string())
             .str("event", self.event.kind());
         match self.event {
+            TraceEvent::PhyRxOk => head,
+            TraceEvent::PhyCorrupt => head,
             TraceEvent::MacTx {
                 kind,
                 dst,
                 bytes,
                 airtime,
+                nav,
             } => head
                 .str("kind", &format!("{kind:?}"))
                 .u64("dst", u64::from(dst.raw()))
                 .u64("bytes", u64::from(bytes))
-                .f64("airtime_s", airtime.as_secs_f64()),
+                .f64("airtime_s", airtime.as_secs_f64())
+                .f64("nav_s", nav.as_secs_f64()),
+            TraceEvent::MacDefer { nanos } => head.u64("nanos", nanos),
             TraceEvent::MacRx { uid, from } => {
                 head.u64("uid", uid).u64("from", u64::from(from.raw()))
             }
@@ -223,6 +328,19 @@ impl TraceRecord {
                 .u64("next_hop", u64::from(next_hop.raw())),
             TraceEvent::MacQueueDrop { uid } => head.u64("uid", uid),
             TraceEvent::RouteDeliver { uid } => head.u64("uid", uid),
+            TraceEvent::RouteUpdate {
+                dst,
+                next_hop,
+                hop_count,
+                dst_seq,
+            } => head
+                .u64("dst", u64::from(dst.raw()))
+                .u64("next_hop", u64::from(next_hop.raw()))
+                .u64("hops", u64::from(hop_count))
+                .u64("seq", u64::from(dst_seq)),
+            TraceEvent::RouteInvalidate { dst, dst_seq } => head
+                .u64("dst", u64::from(dst.raw()))
+                .u64("seq", u64::from(dst_seq)),
             TraceEvent::RouteFailure { dst } => head.u64("dst", u64::from(dst.raw())),
             TraceEvent::RouteDrop { uid, reason } => {
                 head.u64("uid", uid).str("reason", &format!("{reason:?}"))
@@ -233,6 +351,12 @@ impl TraceRecord {
             TraceEvent::TcpAck { flow, ack } => head
                 .u64("flow", u64::from(flow.raw()))
                 .raw("ack", &(ack as i64).to_string()),
+            TraceEvent::TcpCwnd { flow, cwnd_milli } => head
+                .u64("flow", u64::from(flow.raw()))
+                .u64("cwnd_milli", cwnd_milli),
+            TraceEvent::TcpVegasDiff { flow, diff_milli } => head
+                .u64("flow", u64::from(flow.raw()))
+                .raw("diff_milli", &diff_milli.to_string()),
             TraceEvent::UdpData { flow, seq } => {
                 head.u64("flow", u64::from(flow.raw())).u64("seq", seq)
             }
@@ -428,5 +552,75 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         TraceBuffer::new(0);
+    }
+
+    #[test]
+    fn phy_events_map_and_serialize() {
+        assert_eq!(TraceEvent::PhyRxOk.layer(), TraceLayer::Phy);
+        assert_eq!(TraceEvent::PhyCorrupt.layer(), TraceLayer::Phy);
+        let r = TraceRecord {
+            time: SimTime::from_nanos(500),
+            node: NodeId(2),
+            event: TraceEvent::PhyCorrupt,
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            r#"{"t":0.0000005,"node":2,"layer":"PHY","event":"phy_corrupt"}"#
+        );
+    }
+
+    #[test]
+    fn route_update_serializes_all_fields() {
+        let r = TraceRecord {
+            time: SimTime::from_nanos(1_000_000_000),
+            node: NodeId(1),
+            event: TraceEvent::RouteUpdate {
+                dst: NodeId(4),
+                next_hop: NodeId(2),
+                hop_count: 3,
+                dst_seq: 7,
+            },
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            r#"{"t":1,"node":1,"layer":"RTR","event":"route_update","dst":4,"next_hop":2,"hops":3,"seq":7}"#
+        );
+        assert_eq!(r.event.to_string(), "route n4 via n2 hops=3 seq=7");
+    }
+
+    #[test]
+    fn milli_fixed_point_events_display_and_serialize() {
+        let cwnd = TraceEvent::TcpCwnd {
+            flow: FlowId(0),
+            cwnd_milli: 2500,
+        };
+        assert_eq!(cwnd.to_string(), "f0 cwnd=2.500");
+        let diff = TraceEvent::TcpVegasDiff {
+            flow: FlowId(0),
+            diff_milli: -250,
+        };
+        assert_eq!(diff.to_string(), "f0 vegas diff=-0.250");
+        let r = TraceRecord {
+            time: SimTime::from_nanos(0),
+            node: NodeId(0),
+            event: diff,
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            r#"{"t":0,"node":0,"layer":"TRN","event":"tcp_vegas_diff","flow":0,"diff_milli":-250}"#
+        );
+    }
+
+    #[test]
+    fn mac_defer_roundtrips_duration() {
+        let ev = TraceEvent::MacDefer { nanos: 364_000 };
+        assert_eq!(ev.kind(), "mac_defer");
+        assert_eq!(ev.layer(), TraceLayer::Mac);
+        let r = TraceRecord {
+            time: SimTime::from_nanos(10),
+            node: NodeId(3),
+            event: ev,
+        };
+        assert!(r.to_jsonl().contains(r#""nanos":364000"#));
     }
 }

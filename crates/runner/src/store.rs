@@ -188,6 +188,12 @@ pub fn load_done(out: &Path) -> std::io::Result<DoneMap> {
             Err(e) => return Err(e),
         };
         for line in text.lines() {
+            // A crash mid-append can leave a final line cut off anywhere;
+            // every line this store writes ends with `}`, so anything else
+            // is a torn write and its job must re-run.
+            if !line.ends_with('}') {
+                continue;
+            }
             if extract_str_field(line, "type").as_deref() != Some("result") {
                 continue;
             }
@@ -335,6 +341,54 @@ mod tests {
         let mut it = text.lines();
         assert!(it.next().unwrap().contains(r#""type":"manifest""#));
         assert_eq!(it.next(), Some(done.as_str()));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_journal_line_does_not_resume() {
+        // A crash can happen mid-`write_all`, cutting the final journal
+        // line anywhere — including after enough of it that the key and
+        // status fields still parse. Such a torn line must not be treated
+        // as a completed job.
+        let dir = std::env::temp_dir().join(format!("mwn-store-trunc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("results.jsonl");
+        let _ = fs::remove_file(&out);
+        let _ = fs::remove_file(journal_path(&out));
+
+        let job = sample_job();
+        let done = job_head(&job).str("status", "done").finish();
+        let mut j = Journal::open(&out).unwrap();
+        j.append(&done).unwrap();
+
+        // Simulate the torn write: a second done-line for another key,
+        // cut off before its closing `}` (and with no trailing newline).
+        let jobs = chain_study(ExperimentScale::smoke());
+        let other = &jobs[1];
+        assert_ne!(other.key(), job.key());
+        let torn_full = job_head(other).str("status", "done").finish();
+        let torn = &torn_full[..torn_full.len() - 1];
+        assert!(
+            extract_str_field(torn, "key").is_some()
+                && extract_str_field(torn, "status").as_deref() == Some("done"),
+            "the torn prefix must still look resumable field-wise for the \
+             test to prove anything"
+        );
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(journal_path(&out))
+            .unwrap();
+        f.write_all(torn.as_bytes()).unwrap();
+        f.flush().unwrap();
+        drop(f);
+
+        let map = load_done(&out).unwrap();
+        assert_eq!(map.len(), 1, "only the intact line resumes");
+        assert!(map.contains_key(&job.key()));
+        assert!(
+            !map.contains_key(&other.key()),
+            "torn line must re-run its job"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 }

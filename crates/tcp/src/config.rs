@@ -27,6 +27,12 @@ pub struct TcpConfig {
     /// sender frozen (extension; Holland & Vaidya use seconds-scale
     /// probing).
     pub probe_interval: SimDuration,
+    /// Fault-injection hook for the invariant checker: when set, the
+    /// sender's window-growth paths clamp `cwnd` to `4 × wmax` instead of
+    /// `wmax`, so slow start overshoots the receiver's advertised window.
+    /// Exists only so `mwn check` can demonstrate that the cwnd-bound
+    /// invariant catches the bug; never set in real experiments.
+    pub fault_cwnd_overshoot: bool,
 }
 
 impl TcpConfig {
@@ -43,6 +49,7 @@ impl TcpConfig {
             initial_rto: SimDuration::from_secs(1),
             max_rto: SimDuration::from_secs(64),
             probe_interval: SimDuration::from_secs(2),
+            fault_cwnd_overshoot: false,
         }
     }
 

@@ -187,4 +187,81 @@ mod tests {
             SimDuration::from_secs(64),
         );
     }
+
+    #[test]
+    #[should_panic(expected = "min_rto must not exceed max_rto")]
+    fn inverted_bounds_rejected() {
+        RtoEstimator::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(64),
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(200),
+        );
+    }
+
+    #[test]
+    fn backoff_shift_saturates_at_sixteen() {
+        // 2^16 on a 300 ms base is already past max_rto, so the cap on the
+        // shift amount must never be observable through `current()` —
+        // and must not overflow even after absurdly many backoffs.
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        for _ in 0..1_000 {
+            e.backoff();
+        }
+        assert_eq!(e.current(), SimDuration::from_secs(64));
+    }
+
+    #[test]
+    fn backoff_before_first_sample_clamps_to_max() {
+        // initial_rto = 1 s; six doublings = 64 s = max_rto exactly, the
+        // seventh must clamp rather than exceed it.
+        let mut e = est();
+        for _ in 0..6 {
+            e.backoff();
+        }
+        assert_eq!(e.current(), SimDuration::from_secs(64));
+        e.backoff();
+        assert_eq!(e.current(), SimDuration::from_secs(64));
+    }
+
+    #[test]
+    fn zero_rtt_sample_clamps_to_min() {
+        // A zero-duration sample gives srtt = 0 and rttvar = 0; the
+        // variance floor is one tick, so RTO = 100 ms, below min_rto.
+        let mut e = est();
+        e.sample(SimDuration::ZERO);
+        assert_eq!(e.srtt(), Some(SimDuration::ZERO));
+        assert_eq!(e.current(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn backoff_applies_before_min_clamp() {
+        // Base RTO quantizes to 100 ms (below min); one backoff doubles
+        // the *base* to 200 ms, which equals the floor — three backoffs
+        // reach 800 ms, showing the clamp happens after the shift.
+        let mut e = est();
+        e.sample(SimDuration::ZERO);
+        e.backoff();
+        assert_eq!(e.current(), SimDuration::from_millis(200));
+        e.backoff();
+        assert_eq!(e.current(), SimDuration::from_millis(400));
+        e.backoff();
+        assert_eq!(e.current(), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn equal_bounds_pin_rto() {
+        let mut e = RtoEstimator::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+        );
+        // Even the (smaller) initial RTO is pulled up to the min == max.
+        assert_eq!(e.current(), SimDuration::from_secs(2));
+        e.sample(SimDuration::from_millis(50));
+        e.backoff();
+        assert_eq!(e.current(), SimDuration::from_secs(2));
+    }
 }

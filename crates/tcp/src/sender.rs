@@ -241,6 +241,11 @@ impl TcpSender {
         match &self.flavor {
             FlavorState::Vegas(v) => {
                 let (base, rtt) = (v.base_rtt?, v.last_rtt?);
+                if rtt <= 0.0 {
+                    // Degenerate zero-RTT sample: no queueing delay can be
+                    // inferred, so the signal is zero (not 0/0 = NaN).
+                    return Some(0.0);
+                }
                 Some(self.cwnd * (1.0 - base / rtt))
             }
             _ => None,
@@ -435,6 +440,17 @@ impl TcpSender {
         }
     }
 
+    /// The ceiling window growth clamps `cwnd` to. Normally `wmax`; the
+    /// `fault_cwnd_overshoot` checker hook relaxes it to `4 × wmax`.
+    fn wmax_cap(&self) -> f64 {
+        let cap = f64::from(self.config.wmax);
+        if self.config.fault_cwnd_overshoot {
+            cap * 4.0
+        } else {
+            cap
+        }
+    }
+
     /// Slow start / congestion avoidance opening shared by the reactive
     /// (Tahoe/Reno/NewReno) flavors: +1 per ACK event below `ssthresh`,
     /// +1/cwnd above.
@@ -444,7 +460,7 @@ impl TcpSender {
         } else {
             self.cwnd += 1.0 / self.cwnd;
         }
-        self.cwnd = self.cwnd.min(f64::from(self.config.wmax));
+        self.cwnd = self.cwnd.min(self.wmax_cap());
     }
 
     fn vegas_new_ack(&mut self, now: SimTime, actions: &mut Vec<TransportAction>) {
@@ -471,6 +487,7 @@ impl TcpSender {
         }
 
         // Once-per-RTT window adjustment.
+        let cap = self.wmax_cap();
         let FlavorState::Vegas(v) = &mut self.flavor else {
             unreachable!("vegas_new_ack on non-Vegas flavor");
         };
@@ -490,14 +507,14 @@ impl TcpSender {
                 } else if diff > f64::from(self.config.beta) {
                     self.cwnd = (self.cwnd - 1.0).max(2.0);
                 }
-                self.cwnd = self.cwnd.min(f64::from(self.config.wmax));
+                self.cwnd = self.cwnd.min(cap);
             }
             v.epoch_marker = self.t_seqno;
         }
         // Slow start growth: +1 per ACK event, but only in growing RTTs,
         // so the window doubles every *other* round trip.
         if v.in_slow_start && v.ss_grow {
-            self.cwnd = (self.cwnd + 1.0).min(f64::from(self.config.wmax));
+            self.cwnd = (self.cwnd + 1.0).min(cap);
         }
     }
 
@@ -936,6 +953,86 @@ mod tests {
         assert_eq!(s.stats().timeouts, 2);
         assert_eq!(s.stats().retransmissions, 2);
         assert_eq!(s.stats().data_packets_sent, 6);
+    }
+
+    #[test]
+    fn vegas_diff_none_until_first_sample() {
+        let mut s = sender(Flavor::Vegas);
+        assert_eq!(s.vegas_diff(), None, "no RTT estimates yet");
+        s.start(t(0));
+        assert_eq!(s.vegas_diff(), None, "sending alone yields no sample");
+        s.on_ack(t(100), 0);
+        // First sample sets base == last, so diff is exactly zero.
+        assert_eq!(s.vegas_diff(), Some(0.0));
+    }
+
+    #[test]
+    fn vegas_diff_none_on_reactive_flavors() {
+        let mut s = sender(Flavor::NewReno);
+        s.start(t(0));
+        s.on_ack(t(100), 0);
+        assert_eq!(s.vegas_diff(), None);
+    }
+
+    #[test]
+    fn vegas_diff_zero_rtt_is_zero_not_nan() {
+        let mut s = sender(Flavor::Vegas);
+        s.start(t(0));
+        // The ACK arrives at the send instant: rtt sample is exactly zero.
+        s.on_ack(t(0), 0);
+        let diff = s.vegas_diff().expect("both estimates exist");
+        assert!(diff.is_finite(), "0/0 must not leak out as NaN");
+        assert_eq!(diff, 0.0);
+        // Follow-up zero-RTT acks drive the once-per-RTT adjustment with
+        // the same degenerate estimates: no panic, window stays sane.
+        s.on_ack(t(0), 1);
+        s.on_ack(t(0), 2);
+        assert!(s.cwnd() >= 1.0);
+        assert!(s.cwnd() <= f64::from(s.config.wmax));
+    }
+
+    #[test]
+    fn vegas_diff_unchanged_by_quick_dupack() {
+        let mut s = sender(Flavor::Vegas);
+        s.cwnd = 6.0;
+        s.start(t(0));
+        if let FlavorState::Vegas(v) = &mut s.flavor {
+            v.in_slow_start = false;
+            v.base_rtt = Some(0.050);
+        }
+        s.on_ack(t(100), 0); // last_rtt = 100 ms, base 50 ms
+        let before = s.vegas_diff().expect("estimates exist");
+        assert!(before > 0.0);
+        // A dupack well inside the fine timeout: no retransmit, no cut,
+        // and — crucially — no RTT sample (Karn), so diff is untouched.
+        s.on_ack(t(110), 0);
+        assert_eq!(s.vegas_diff(), Some(before));
+    }
+
+    #[test]
+    fn vegas_diff_scales_with_expiry_cut_on_dupack() {
+        let mut s = sender(Flavor::Vegas);
+        s.cwnd = 6.0;
+        s.start(t(0));
+        if let FlavorState::Vegas(v) = &mut s.flavor {
+            v.in_slow_start = false;
+        }
+        s.on_ack(t(50), 0); // fine_srtt = base = last = 50 ms
+        if let FlavorState::Vegas(v) = &mut s.flavor {
+            v.base_rtt = Some(0.025); // pretend an earlier faster RTT
+        }
+        let w_before = s.cwnd();
+        let before = s.vegas_diff().expect("estimates exist");
+        assert!(before > 0.0);
+        // A dupack long after the fine timeout triggers the expiry
+        // retransmit and its window cut; diff = W·(1 − base/last) must
+        // shrink by exactly the same factor, since the RTT estimates see
+        // no new sample on a dupack (Karn).
+        s.on_ack(t(500), 0);
+        let after = s.vegas_diff().expect("estimates survive the cut");
+        assert!(s.cwnd() < w_before);
+        assert!((after - before * s.cwnd() / w_before).abs() < 1e-9);
+        assert!(after < before);
     }
 
     proptest! {

@@ -178,4 +178,67 @@ mod tests {
     fn zero_rate_rejected() {
         model(40, 0.0).equilibrium();
     }
+
+    #[test]
+    #[should_panic(expected = "base RTT")]
+    fn zero_base_rtt_rejected() {
+        // diff = W·(1 − baseRTT/RTT) is undefined at baseRTT = 0; the
+        // model must refuse rather than divide by zero downstream.
+        model(0, 100.0).equilibrium();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn inverted_thresholds_rejected() {
+        let mut m = model(40, 100.0);
+        m.alpha = 3.0;
+        m.beta = 1.0;
+        m.equilibrium();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let mut m = model(40, 100.0);
+        m.alpha = 0.0;
+        m.beta = 0.0;
+        m.equilibrium();
+    }
+
+    #[test]
+    fn boundary_unconstrained_equals_wmax_is_path_limited() {
+        // BDP + target queue == Wmax exactly: the path-limited branch must
+        // win (throughput = mu with a standing queue), not the degenerate
+        // window-limited one.
+        let mut m = model(620, 100.0); // BDP = 62, + 2 queued = 64 = wmax
+        m.wmax = 64.0;
+        let eq = m.equilibrium();
+        assert!(!eq.window_limited);
+        assert!((eq.window - 64.0).abs() < 1e-9);
+        assert!((eq.queued - 2.0).abs() < 1e-9);
+        assert!((eq.throughput_pps - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_limited_below_bdp_never_reports_negative_queue() {
+        // BDP = 1000 >> Wmax: diff would be negative if computed naively
+        // as W − BDP; the model clamps the queue at zero.
+        let eq = model(100, 10_000.0).equilibrium();
+        assert!(eq.window_limited);
+        assert!(eq.queued >= 0.0);
+        // RTT stays at baseRTT when no queue forms.
+        assert_eq!(eq.rtt, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn window_limited_above_bdp_keeps_bottleneck_saturated() {
+        // Wmax between BDP and BDP + target queue: a smaller-than-desired
+        // queue forms but the pipe is still full.
+        let mut m = model(630, 100.0); // BDP = 63; unconstrained = 65 > 64
+        m.wmax = 64.0;
+        let eq = m.equilibrium();
+        assert!(eq.window_limited);
+        assert!((eq.throughput_pps - 100.0).abs() < 1e-9);
+        assert!((eq.queued - 1.0).abs() < 1e-9);
+    }
 }

@@ -26,6 +26,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Cross-layer invariants + golden-trace conformance on the three fast
+# canonical scenarios, plus a 32-case scenario-fuzz smoke. Budget: the
+# fast suite runs in well under a second and the fuzz cases a few
+# seconds total in release; the whole step stays under ~10 s.
+echo "==> mwn check --suite fast --fuzz 32"
+cargo run --release -q -p mwn-cli -- check --suite fast --fuzz 32
+
 echo "==> observability overhead bench (trace disabled vs enabled)"
 cargo bench -p mwn-bench --bench obs_overhead -- --quick
 
