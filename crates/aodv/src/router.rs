@@ -171,51 +171,73 @@ impl Router {
         &self.table
     }
 
-    /// The transport layer sends `packet` (with `packet.src == me`).
-    pub fn send(&mut self, now: SimTime, packet: Packet) -> Vec<AodvAction> {
-        let mut actions = Vec::new();
+    /// The transport layer sends `packet` (with `packet.src == me`);
+    /// resulting actions are appended to `out`.
+    pub fn send(&mut self, now: SimTime, packet: Packet, out: &mut Vec<AodvAction>) {
         let dst = packet.dst;
         if dst == self.me {
-            actions.push(AodvAction::Deliver(packet));
-            return actions;
+            out.push(AodvAction::Deliver(packet));
+            return;
         }
         if let Some(route) = self.table.active(dst, now) {
             let next_hop = route.next_hop;
             self.table
                 .refresh(dst, now, self.config.active_route_lifetime);
-            actions.push(AodvAction::Send {
+            out.push(AodvAction::Send {
                 packet,
                 next_hop,
                 delay: SimDuration::ZERO,
             });
         } else {
-            self.buffer_and_discover(now, packet, &mut actions);
+            self.buffer_and_discover(now, packet, out);
         }
-        actions
     }
 
     /// The MAC delivered `packet`, transmitted by neighbor `from`.
-    pub fn on_received(&mut self, now: SimTime, from: NodeId, packet: Packet) -> Vec<AodvAction> {
-        let mut actions = Vec::new();
+    pub fn on_received(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        packet: Packet,
+        out: &mut Vec<AodvAction>,
+    ) {
         // Hearing any frame from a neighbor establishes/refreshes the
         // 1-hop route to it (without sequence information, seq 0 suffices
         // to fill a hole but never downgrades a real entry).
         self.table
             .update(from, from, 1, 0, now, self.config.active_route_lifetime);
 
-        if let Body::Aodv(msg) = &packet.body {
-            let msg = msg.clone();
-            match msg {
-                AodvMessage::Rreq { .. } => self.handle_rreq(now, from, packet, msg, &mut actions),
-                AodvMessage::Rrep { .. } => self.handle_rrep(now, from, msg, &mut actions),
-                AodvMessage::Rerr { unreachable } => {
-                    self.handle_rerr(now, from, &unreachable, &mut actions)
-                }
+        // Copy the message fields out first so the packet itself can move
+        // into the handlers without cloning the message body.
+        match &packet.body {
+            Body::Aodv(AodvMessage::Rreq {
+                rreq_id,
+                orig,
+                orig_seq,
+                dst,
+                dst_seq,
+                hop_count,
+            }) => {
+                let (rreq_id, orig, orig_seq, dst, dst_seq, hop_count) =
+                    (*rreq_id, *orig, *orig_seq, *dst, *dst_seq, *hop_count);
+                self.handle_rreq(
+                    now, from, packet, rreq_id, orig, orig_seq, dst, dst_seq, hop_count, out,
+                );
             }
-        } else {
-            self.forward_data(now, from, packet, &mut actions);
+            Body::Aodv(AodvMessage::Rrep {
+                orig,
+                dst,
+                dst_seq,
+                hop_count,
+            }) => {
+                let (orig, dst, dst_seq, hop_count) = (*orig, *dst, *dst_seq, *hop_count);
+                self.handle_rrep(now, from, orig, dst, dst_seq, hop_count, out);
+            }
+            Body::Aodv(AodvMessage::Rerr { unreachable }) => {
+                self.handle_rerr(now, from, unreachable, out);
+            }
+            _ => self.forward_data(now, from, packet, out),
         }
-        actions
     }
 
     /// MAC feedback for a unicast packet previously handed over with
@@ -226,10 +248,10 @@ impl Router {
         next_hop: NodeId,
         packet: Packet,
         success: bool,
-    ) -> Vec<AodvAction> {
-        let mut actions = Vec::new();
+        out: &mut Vec<AodvAction>,
+    ) {
         if success {
-            return actions;
+            return;
         }
         // Link-layer failure: the route through this neighbor is declared
         // broken. In a static network this is by construction a *false*
@@ -243,14 +265,14 @@ impl Router {
         }
         if !broken.is_empty() {
             for &(dst, dst_seq) in &broken {
-                actions.push(AodvAction::RouteLost { dst, dst_seq });
+                out.push(AodvAction::RouteLost { dst, dst_seq });
             }
             if self.config.elfn {
                 for &(dst, _) in &broken {
-                    actions.push(AodvAction::NotifyRouteFailure { dst });
+                    out.push(AodvAction::NotifyRouteFailure { dst });
                 }
             }
-            self.broadcast_rerr(now, broken, &mut actions);
+            self.broadcast_rerr(now, broken, out);
         }
         // The packet itself is lost; the transport layer recovers
         // end-to-end (for TCP: timeout, retransmission, new discovery) —
@@ -258,40 +280,37 @@ impl Router {
         if packet.is_transport_data() || matches!(packet.body, Body::Tcp(_) | Body::Udp(_)) {
             self.counters.link_failure_drops += 1;
         }
-        actions.push(AodvAction::Drop {
+        out.push(AodvAction::Drop {
             packet,
             reason: AodvDropReason::LinkFailure,
         });
-        actions
     }
 
     /// The discovery timer for `dst` fired.
-    pub fn on_discovery_timeout(&mut self, now: SimTime, dst: NodeId) -> Vec<AodvAction> {
-        let mut actions = Vec::new();
+    pub fn on_discovery_timeout(&mut self, now: SimTime, dst: NodeId, out: &mut Vec<AodvAction>) {
         // The route may have appeared independently (e.g. via an
         // overheard RREP) between timer arming and expiry.
         if self.table.active(dst, now).is_some() {
-            self.flush_buffered(now, dst, &mut actions);
-            return actions;
+            self.flush_buffered(now, dst, out);
+            return;
         }
         let Some(d) = self.pending.get_mut(&dst) else {
-            return actions; // stale timer
+            return; // stale timer
         };
         if d.attempts > self.config.rreq_retries {
             let d = self.pending.remove(&dst).expect("checked above");
             for packet in d.buffered {
                 self.counters.no_route_drops += 1;
-                actions.push(AodvAction::Drop {
+                out.push(AodvAction::Drop {
                     packet,
                     reason: AodvDropReason::NoRoute,
                 });
             }
-            return actions;
+            return;
         }
         d.attempts += 1;
         let attempts = d.attempts;
-        self.originate_rreq(now, dst, attempts, &mut actions);
-        actions
+        self.originate_rreq(now, dst, attempts, out);
     }
 
     // ---- internals -----------------------------------------------------
@@ -369,25 +388,20 @@ impl Router {
         actions.push(AodvAction::SetDiscoveryTimer { dst, delay: wait });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_rreq(
         &mut self,
         now: SimTime,
         from: NodeId,
         mut packet: Packet,
-        msg: AodvMessage,
+        rreq_id: u32,
+        orig: NodeId,
+        orig_seq: u32,
+        dst: NodeId,
+        dst_seq: Option<u32>,
+        hop_count: u8,
         actions: &mut Vec<AodvAction>,
     ) {
-        let AodvMessage::Rreq {
-            rreq_id,
-            orig,
-            orig_seq,
-            dst,
-            dst_seq,
-            hop_count,
-        } = msg
-        else {
-            unreachable!("handle_rreq called with non-RREQ");
-        };
         if orig == self.me {
             return; // our own flood echoed back
         }
@@ -538,22 +552,17 @@ impl Router {
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_rrep(
         &mut self,
         now: SimTime,
         from: NodeId,
-        msg: AodvMessage,
+        orig: NodeId,
+        dst: NodeId,
+        dst_seq: u32,
+        hop_count: u8,
         actions: &mut Vec<AodvAction>,
     ) {
-        let AodvMessage::Rrep {
-            orig,
-            dst,
-            dst_seq,
-            hop_count,
-        } = msg
-        else {
-            unreachable!("handle_rrep called with non-RREP");
-        };
         // Forward route to the destination.
         if self.table.update(
             dst,
@@ -716,6 +725,17 @@ impl Router {
     }
 }
 
+/// Test shim for the out-param API: `act!(r.method(args...))` calls the
+/// method with a fresh action buffer appended and returns the buffer.
+#[cfg(test)]
+macro_rules! act {
+    ($m:ident.$meth:ident($($arg:expr),* $(,)?)) => {{
+        let mut out = Vec::new();
+        $m.$meth($($arg,)* &mut out);
+        out
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,7 +778,7 @@ mod tests {
     #[test]
     fn send_without_route_originates_rreq() {
         let mut r = router(0);
-        let a = r.send(t(0), data(1, 0, 5));
+        let a = act!(r.send(t(0), data(1, 0, 5)));
         let s = sends(&a);
         assert_eq!(s.len(), 1);
         assert!(s[0].1.is_broadcast());
@@ -775,8 +795,8 @@ mod tests {
     #[test]
     fn second_packet_buffers_without_new_rreq() {
         let mut r = router(0);
-        r.send(t(0), data(1, 0, 5));
-        let a = r.send(t(1), data(2, 0, 5));
+        act!(r.send(t(0), data(1, 0, 5)));
+        let a = act!(r.send(t(1), data(2, 0, 5)));
         assert!(sends(&a).is_empty());
         assert_eq!(r.counters().rreqs_originated, 1);
     }
@@ -784,8 +804,8 @@ mod tests {
     #[test]
     fn rrep_completes_discovery_and_flushes() {
         let mut r = router(0);
-        r.send(t(0), data(1, 0, 5));
-        r.send(t(1), data(2, 0, 5));
+        act!(r.send(t(0), data(1, 0, 5)));
+        act!(r.send(t(1), data(2, 0, 5)));
         let rrep = Packet::new(
             100,
             NodeId(1),
@@ -797,13 +817,13 @@ mod tests {
                 hop_count: 4,
             }),
         );
-        let a = r.on_received(t(50), NodeId(1), rrep);
+        let a = act!(r.on_received(t(50), NodeId(1), rrep));
         assert!(a.contains(&AodvAction::CancelDiscoveryTimer { dst: NodeId(5) }));
         let s = sends(&a);
         assert_eq!(s.len(), 2, "both buffered packets flushed");
         assert!(s.iter().all(|(_, nh)| *nh == NodeId(1)));
         // Subsequent sends go straight through.
-        let a = r.send(t(60), data(3, 0, 5));
+        let a = act!(r.send(t(60), data(3, 0, 5)));
         assert_eq!(sends(&a), vec![(&data(3, 0, 5), NodeId(1))]);
     }
 
@@ -823,7 +843,7 @@ mod tests {
                 hop_count: 3,
             }),
         );
-        let a = r.on_received(t(10), NodeId(4), rreq);
+        let a = act!(r.on_received(t(10), NodeId(4), rreq));
         let s = sends(&a);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].1, NodeId(4), "RREP unicast to the previous hop");
@@ -861,13 +881,13 @@ mod tests {
                 }),
             )
         };
-        let a = r.on_received(t(10), NodeId(1), mk(100));
+        let a = act!(r.on_received(t(10), NodeId(1), mk(100)));
         let s = sends(&a);
         assert_eq!(s.len(), 1);
         assert!(s[0].1.is_broadcast());
         assert_eq!(r.counters().rreqs_forwarded, 1);
         // Duplicate from another neighbor: suppressed.
-        let a = r.on_received(t(11), NodeId(3), mk(101));
+        let a = act!(r.on_received(t(11), NodeId(3), mk(101)));
         assert!(sends(&a).is_empty());
         assert_eq!(r.counters().rreqs_forwarded, 1);
     }
@@ -889,7 +909,7 @@ mod tests {
             }),
         );
         p.ttl = 1;
-        let a = r.on_received(t(10), NodeId(1), p);
+        let a = act!(r.on_received(t(10), NodeId(1), p));
         assert!(sends(&a).is_empty());
     }
 
@@ -899,21 +919,21 @@ mod tests {
         // Install route to 5 via 3.
         r.table
             .update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
-        let a = r.on_received(t(1), NodeId(1), data(7, 0, 5));
+        let a = act!(r.on_received(t(1), NodeId(1), data(7, 0, 5)));
         let s = sends(&a);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].1, NodeId(3));
         assert_eq!(s[0].0.ttl, mwn_pkt::sizes::DEFAULT_TTL - 1);
 
         // Packet addressed to us is delivered.
-        let a = r.on_received(t(2), NodeId(1), data(8, 0, 2));
+        let a = act!(r.on_received(t(2), NodeId(1), data(8, 0, 2)));
         assert!(a.iter().any(|x| matches!(x, AodvAction::Deliver(_))));
     }
 
     #[test]
     fn forwarding_without_route_drops_and_rerrs() {
         let mut r = router(2);
-        let a = r.on_received(t(1), NodeId(1), data(7, 0, 5));
+        let a = act!(r.on_received(t(1), NodeId(1), data(7, 0, 5)));
         assert!(a.iter().any(|x| matches!(
             x,
             AodvAction::Drop {
@@ -934,7 +954,7 @@ mod tests {
             .update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
         r.table
             .update(NodeId(6), NodeId(1), 4, 2, t(0), SimDuration::from_secs(10));
-        let a = r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), false);
+        let a = act!(r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), false));
         assert_eq!(r.counters().false_route_failures, 1);
         assert!(r.table().active(NodeId(5), t(2)).is_none());
         assert!(r.table().active(NodeId(6), t(2)).is_none());
@@ -956,7 +976,7 @@ mod tests {
         let mut r = router(0);
         r.table
             .update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
-        let a = r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), true);
+        let a = act!(r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), true));
         assert!(a.is_empty());
         assert_eq!(r.counters().false_route_failures, 0);
         assert!(r.table().active(NodeId(5), t(2)).is_some());
@@ -978,11 +998,11 @@ mod tests {
                 }),
             )
         };
-        let a = r.on_received(t(1), NodeId(1), rerr(1));
+        let a = act!(r.on_received(t(1), NodeId(1), rerr(1)));
         assert!(sends(&a).is_empty());
         assert!(r.table().active(NodeId(5), t(2)).is_some());
         // RERR from our actual next hop: invalidate + propagate.
-        let a = r.on_received(t(2), NodeId(3), rerr(3));
+        let a = act!(r.on_received(t(2), NodeId(3), rerr(3)));
         assert!(r.table().active(NodeId(5), t(3)).is_none());
         assert_eq!(sends(&a).len(), 1);
     }
@@ -990,15 +1010,15 @@ mod tests {
     #[test]
     fn discovery_retries_then_gives_up() {
         let mut r = router(0);
-        r.send(t(0), data(1, 0, 5));
+        act!(r.send(t(0), data(1, 0, 5)));
         // Retry 1 and 2 re-flood with doubled waits.
-        let a = r.on_discovery_timeout(t(1000), NodeId(5));
+        let a = act!(r.on_discovery_timeout(t(1000), NodeId(5)));
         assert_eq!(sends(&a).len(), 1);
-        let a = r.on_discovery_timeout(t(3000), NodeId(5));
+        let a = act!(r.on_discovery_timeout(t(3000), NodeId(5)));
         assert_eq!(sends(&a).len(), 1);
         assert_eq!(r.counters().rreqs_originated, 3);
         // Third timeout: give up, drop buffered packets.
-        let a = r.on_discovery_timeout(t(7000), NodeId(5));
+        let a = act!(r.on_discovery_timeout(t(7000), NodeId(5)));
         assert!(a.iter().any(|x| matches!(
             x,
             AodvAction::Drop {
@@ -1008,7 +1028,7 @@ mod tests {
         )));
         assert_eq!(r.counters().no_route_drops, 1);
         // A later send restarts discovery from scratch.
-        let a = r.send(t(8000), data(2, 0, 5));
+        let a = act!(r.send(t(8000), data(2, 0, 5)));
         assert_eq!(sends(&a).len(), 1);
     }
 
@@ -1019,7 +1039,7 @@ mod tests {
             .update(NodeId(5), NodeId(3), 2, 1, t(0), SimDuration::from_secs(10));
         let mut p = data(7, 0, 5);
         p.ttl = 1;
-        let a = r.on_received(t(1), NodeId(1), p);
+        let a = act!(r.on_received(t(1), NodeId(1), p));
         assert!(a.iter().any(|x| matches!(
             x,
             AodvAction::Drop {
@@ -1033,9 +1053,9 @@ mod tests {
     fn buffer_overflow_drops_excess() {
         let mut r = router(0);
         for i in 0..64 {
-            r.send(t(0), data(i, 0, 5));
+            act!(r.send(t(0), data(i, 0, 5)));
         }
-        let a = r.send(t(1), data(99, 0, 5));
+        let a = act!(r.send(t(1), data(99, 0, 5)));
         assert!(a.iter().any(|x| matches!(
             x,
             AodvAction::Drop {
@@ -1063,7 +1083,7 @@ mod tests {
                 hop_count: 1,
             }),
         );
-        let a = r.on_received(t(1), NodeId(1), rreq);
+        let a = act!(r.on_received(t(1), NodeId(1), rreq));
         let s = sends(&a);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].1, NodeId(1));
@@ -1095,7 +1115,7 @@ mod tests {
                 hop_count: 1,
             }),
         );
-        let a = r.on_received(t(1), NodeId(3), rrep);
+        let a = act!(r.on_received(t(1), NodeId(3), rrep));
         let s = sends(&a);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].1, NodeId(1));
@@ -1134,9 +1154,9 @@ mod dup_tests {
                 }),
             )
         };
-        let a = r.on_received(SimTime::ZERO, NodeId(1), mk(1));
+        let a = act!(r.on_received(SimTime::ZERO, NodeId(1), mk(1)));
         assert!(a.iter().any(|x| matches!(x, AodvAction::Send { .. })));
-        let a = r.on_received(SimTime::ZERO, NodeId(3), mk(2));
+        let a = act!(r.on_received(SimTime::ZERO, NodeId(3), mk(2)));
         assert!(!a.iter().any(|x| matches!(x, AodvAction::Send { .. })));
         assert_eq!(r.counters().rreqs_forwarded, 1);
     }
@@ -1180,7 +1200,7 @@ mod elfn_tests {
             .update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
         r.table
             .update(NodeId(6), NodeId(1), 4, 2, t(0), SimDuration::from_secs(10));
-        let a = r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), false);
+        let a = act!(r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), false));
         let notified: Vec<NodeId> = a
             .iter()
             .filter_map(|x| match x {
@@ -1205,7 +1225,7 @@ mod elfn_tests {
                 unreachable: vec![(NodeId(5), 9)],
             }),
         );
-        let a = r.on_received(t(2), NodeId(3), rerr);
+        let a = act!(r.on_received(t(2), NodeId(3), rerr));
         assert!(a
             .iter()
             .any(|x| matches!(x, AodvAction::NotifyRouteFailure { dst: NodeId(5) })));
@@ -1216,7 +1236,7 @@ mod elfn_tests {
         let mut r = Router::new(NodeId(0), AodvConfig::default(), Pcg32::new(0), 0);
         r.table
             .update(NodeId(5), NodeId(1), 3, 2, t(0), SimDuration::from_secs(10));
-        let a = r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), false);
+        let a = act!(r.on_tx_confirm(t(1), NodeId(1), data(7, 0, 5), false));
         assert!(!a
             .iter()
             .any(|x| matches!(x, AodvAction::NotifyRouteFailure { .. })));

@@ -96,7 +96,8 @@ impl Line {
         while let Some((to, from, packet)) = self.in_flight.pop_front() {
             budget -= 1;
             assert!(budget > 0, "message storm never settled");
-            let actions = self.routers[to].on_received(self.now, NodeId(from as u32), packet);
+            let mut actions = Vec::new();
+            self.routers[to].on_received(self.now, NodeId(from as u32), packet, &mut actions);
             self.apply(to, actions);
         }
     }
@@ -109,7 +110,8 @@ impl Line {
         }
         let (node, dst, at) = self.timers.remove(0);
         self.now = self.now.max(at);
-        let actions = self.routers[node].on_discovery_timeout(self.now, dst);
+        let mut actions = Vec::new();
+        self.routers[node].on_discovery_timeout(self.now, dst, &mut actions);
         self.apply(node, actions);
         self.settle();
         true
@@ -122,7 +124,8 @@ impl Line {
             NodeId(to as u32),
             Body::Tcp(TcpSegment::data(FlowId(0), uid)),
         );
-        let actions = self.routers[from].send(self.now, p);
+        let mut actions = Vec::new();
+        self.routers[from].send(self.now, p, &mut actions);
         self.apply(from, actions);
         self.settle();
     }
@@ -192,7 +195,8 @@ fn link_failure_invalidates_and_rediscovers() {
         NodeId(4),
         Body::Tcp(TcpSegment::data(FlowId(0), 9)),
     );
-    let actions = line.routers[0].on_tx_confirm(line.now, NodeId(1), victim, false);
+    let mut actions = Vec::new();
+    line.routers[0].on_tx_confirm(line.now, NodeId(1), victim, false, &mut actions);
     line.apply(0, actions);
     line.settle();
     assert_eq!(line.routers[0].counters().false_route_failures, 1);
@@ -225,7 +229,8 @@ fn rerr_from_midpath_reaches_the_source() {
         NodeId(5),
         Body::Tcp(TcpSegment::data(FlowId(0), 9)),
     );
-    let actions = line.routers[3].on_tx_confirm(line.now, NodeId(4), victim, false);
+    let mut actions = Vec::new();
+    line.routers[3].on_tx_confirm(line.now, NodeId(4), victim, false, &mut actions);
     line.apply(3, actions);
     line.settle();
     // The RERR cascade must invalidate the stale route at the source.
@@ -248,7 +253,8 @@ fn unreachable_destination_gives_up_after_retries() {
         NodeId(9),
         Body::Tcp(TcpSegment::data(FlowId(0), 0)),
     );
-    let actions = line.routers[0].send(line.now, p);
+    let mut actions = Vec::new();
+    line.routers[0].send(line.now, p, &mut actions);
     line.apply(0, actions);
     line.settle();
     let mut fired = 0;

@@ -3,13 +3,35 @@
 //! `mwn check` CLI step is skipped. The full 10-scenario suite runs in
 //! CI via `mwn check`.
 
-use mwn_check::golden::{conformance, parse_digests, BUILTIN_DIGESTS};
+use mwn_check::golden::{canonical_cases, conformance, parse_digests, BUILTIN_DIGESTS};
 use mwn_check::{fast_cases, run_traced};
 
 #[test]
 fn fast_canonical_cases_match_committed_digests() {
     let golden = parse_digests(BUILTIN_DIGESTS).expect("committed digests parse");
     for case in fast_cases() {
+        let report = case.run();
+        assert!(
+            report.violations.is_empty(),
+            "{}: invariant violations: {:?}",
+            case.name,
+            report.violations
+        );
+        if let Some(msg) = conformance(&report, &golden) {
+            panic!("{}: {msg}", case.name);
+        }
+    }
+}
+
+/// The whole 10-scenario canonical suite (what `mwn check --suite full`
+/// runs) against the committed digests. This is the strongest guard the
+/// repo has against engine refactors that change behavior: the timer
+/// wheel, the shared in-flight frame table and the pooled dispatch
+/// buffers must reproduce every golden trace byte-for-byte.
+#[test]
+fn full_canonical_suite_matches_committed_digests() {
+    let golden = parse_digests(BUILTIN_DIGESTS).expect("committed digests parse");
+    for case in canonical_cases() {
         let report = case.run();
         assert!(
             report.violations.is_empty(),

@@ -1,0 +1,409 @@
+//! `mwn bench` — engine-throughput benchmark with a committed baseline.
+//!
+//! Runs a fixed set of canonical scenarios with [`mwn::EngineProfile`]
+//! self-profiling enabled, reports wall-clock events per second for each,
+//! and maintains `BENCH_engine.json` — the committed perf trajectory of
+//! the event engine. Every entry records the same scenarios with the same
+//! workloads, so entries are comparable row-by-row across commits.
+//!
+//! ```text
+//! mwn bench                      run the full set, compare vs the baseline
+//! mwn bench --quick              run the quick subset only (CI gate)
+//! mwn bench --check              exit non-zero on >20% events/sec regression
+//! mwn bench --record LABEL       append this run to BENCH_engine.json
+//! mwn bench --repeat N           best-of-N wall time per scenario
+//! mwn bench --out FILE           baseline path (default BENCH_engine.json)
+//! ```
+
+use std::time::Instant;
+
+use mwn::mobility::RandomWaypoint;
+use mwn::{topology, FlowSpec, NodeId, Scenario, SimDuration, SimTime, Transport};
+use mwn_obs::json::Obj;
+use mwn_phy::DataRate;
+
+use crate::args::{parse, reject_leftovers, take_flag, take_value};
+
+/// Version tag of the `BENCH_engine.json` schema.
+const SCHEMA: &str = "mwn-bench-engine/1";
+
+/// Relative events/sec drop (vs the committed baseline) that fails
+/// `--check`.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// One benchmark scenario. Workloads are fixed forever: changing a target
+/// or seed would silently invalidate every committed baseline entry.
+struct BenchCase {
+    name: &'static str,
+    /// Included in the `--quick` CI subset.
+    quick: bool,
+    /// Delivery target passed to the run.
+    target: u64,
+    /// Simulated-time safety deadline (never binding on a healthy engine).
+    deadline: SimDuration,
+    build: fn() -> Scenario,
+}
+
+/// The 50-node random topology shared by the two heaviest cases: 50 nodes
+/// on a 1500 × 500 m² field with five deterministic long TCP flows.
+fn random50(transport: Transport, mobility: bool) -> Scenario {
+    let seed = 4242;
+    let topo = topology::random(50, 1500.0, 500.0, 250.0, seed);
+    // Deterministic endpoints (no RNG): five src → src+25 pairs. The
+    // topology is connected, so every pair is reachable.
+    let flows = (0..5u32)
+        .map(|i| FlowSpec {
+            src: NodeId(i * 3),
+            dst: NodeId(i * 3 + 25),
+            transport,
+        })
+        .collect();
+    let mut s = Scenario::new(topo, flows, DataRate::MBPS_2, seed);
+    if mobility {
+        s.mobility = Some(RandomWaypoint {
+            width: 1500.0,
+            height: 500.0,
+            min_speed: 1.0,
+            max_speed: 10.0,
+            pause: SimDuration::from_secs(2),
+            tick: SimDuration::from_millis(100),
+        });
+    }
+    s
+}
+
+fn cases() -> Vec<BenchCase> {
+    vec![
+        BenchCase {
+            name: "chain8-newreno-2m",
+            quick: true,
+            target: 4_000,
+            deadline: SimDuration::from_secs(3_000),
+            build: || Scenario::chain(8, DataRate::MBPS_2, Transport::newreno(), 1),
+        },
+        BenchCase {
+            name: "grid6-newreno-11m",
+            quick: true,
+            target: 12_000,
+            deadline: SimDuration::from_secs(3_000),
+            build: || Scenario::grid6(DataRate::MBPS_11, Transport::newreno(), 1),
+        },
+        BenchCase {
+            name: "random50-vegas-2m",
+            quick: true,
+            target: 12_000,
+            deadline: SimDuration::from_secs(3_000),
+            build: || random50(Transport::vegas(2), false),
+        },
+        BenchCase {
+            name: "random50-mobility-newreno-2m",
+            quick: false,
+            target: 6_000,
+            deadline: SimDuration::from_secs(3_000),
+            build: || random50(Transport::newreno(), true),
+        },
+    ]
+}
+
+/// One measured scenario run.
+struct Measurement {
+    name: &'static str,
+    events: u64,
+    peak_queue_depth: usize,
+    delivered: u64,
+    sim_secs: f64,
+    /// Best (smallest) wall time over the repeats.
+    wall_secs: f64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        Obj::new()
+            .str("name", self.name)
+            .u64("events", self.events)
+            .usize("peak_queue_depth", self.peak_queue_depth)
+            .u64("delivered", self.delivered)
+            .f64("sim_secs", self.sim_secs)
+            .f64("wall_secs", self.wall_secs)
+            .f64("events_per_sec", self.events_per_sec())
+            .finish()
+    }
+}
+
+fn run_case(case: &BenchCase, repeat: u32) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..repeat.max(1) {
+        let scenario = (case.build)();
+        let mut net = scenario.build();
+        net.enable_profiling();
+        let started = Instant::now();
+        net.run_until_delivered(case.target, SimTime::ZERO + case.deadline);
+        let wall_secs = started.elapsed().as_secs_f64();
+        let profile = net.profile().expect("profiling enabled above");
+        if std::env::var_os("MWN_BENCH_HISTO").is_some() {
+            for (kind, count) in profile.by_kind() {
+                eprintln!("    {kind:<18} {count:>12}");
+            }
+        }
+        let m = Measurement {
+            name: case.name,
+            events: profile.events_processed(),
+            peak_queue_depth: profile.peak_queue_depth(),
+            delivered: net.total_delivered(),
+            sim_secs: net.now().as_secs_f64(),
+            wall_secs,
+        };
+        if best.as_ref().is_none_or(|b| m.wall_secs < b.wall_secs) {
+            best = Some(m);
+        }
+    }
+    best.expect("repeat >= 1")
+}
+
+pub fn command(argv: &[String]) -> Result<(), String> {
+    let mut argv = argv.to_vec();
+    let quick = take_flag(&mut argv, "--quick");
+    let check = take_flag(&mut argv, "--check");
+    let record = take_value(&mut argv, "--record")?;
+    let out = take_value(&mut argv, "--out")?.unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let repeat: u32 = match take_value(&mut argv, "--repeat")? {
+        Some(v) => parse(&v, "repeat count")?,
+        None => 1,
+    };
+    reject_leftovers(&argv)?;
+    if record.is_some() && quick {
+        return Err("--record requires the full scenario set (drop --quick)".to_string());
+    }
+
+    let baseline = std::fs::read_to_string(&out).ok();
+    let baseline_eps = baseline.as_deref().map(last_entry_eps);
+
+    let selected: Vec<BenchCase> = cases().into_iter().filter(|c| !quick || c.quick).collect();
+    println!(
+        "running {} scenario(s), best of {} run(s) each:",
+        selected.len(),
+        repeat.max(1)
+    );
+
+    let mut measurements = Vec::new();
+    let mut worst_ratio: Option<(f64, &'static str)> = None;
+    for case in &selected {
+        let m = run_case(case, repeat);
+        let eps = m.events_per_sec();
+        let vs = baseline_eps
+            .as_ref()
+            .and_then(|b| b.iter().find(|(n, _)| n == m.name))
+            .map(|&(_, base)| eps / base);
+        match vs {
+            Some(r) => {
+                println!(
+                    "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  ({:.2}x vs baseline)",
+                    m.name, m.events, m.wall_secs, eps, r
+                );
+                if worst_ratio.is_none_or(|(w, _)| r < w) {
+                    worst_ratio = Some((r, m.name));
+                }
+            }
+            None => println!(
+                "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  (no baseline)",
+                m.name, m.events, m.wall_secs, eps
+            ),
+        }
+        measurements.push(m);
+    }
+
+    if let Some(label) = record {
+        let text = render_file(baseline.as_deref(), &label, &measurements)?;
+        std::fs::write(&out, text).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("recorded entry {label:?} in {out}");
+    }
+
+    if check {
+        let Some((ratio, name)) = worst_ratio else {
+            return Err(format!(
+                "--check: no committed baseline in {out} (record one first)"
+            ));
+        };
+        if ratio < 1.0 - REGRESSION_TOLERANCE {
+            return Err(format!(
+                "events/sec regression: {name} at {:.0}% of the committed baseline \
+                 (tolerance {:.0}%)",
+                ratio * 100.0,
+                (1.0 - REGRESSION_TOLERANCE) * 100.0
+            ));
+        }
+        println!(
+            "check passed: worst scenario {name} at {:.2}x of the committed baseline",
+            ratio
+        );
+    }
+    Ok(())
+}
+
+// ---- BENCH_engine.json ----------------------------------------------------
+//
+// The file is JSON, laid out one entry per line so entries can be parsed
+// (and preserved across `--record`) without a full JSON parser:
+//
+//   {
+//     "schema": "mwn-bench-engine/1",
+//     "entries": [
+//       {"label":"...","scenarios":[{...},{...}]},
+//       {"label":"...","scenarios":[{...},{...}]}
+//     ]
+//   }
+
+/// Extracts the existing entry lines (everything inside `"entries": [...]`
+/// that looks like an entry object).
+fn entry_lines(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with(r#"{"label""#))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect()
+}
+
+/// Per-scenario events/sec of the *last* (most recent) entry.
+fn last_entry_eps(text: &str) -> Vec<(String, f64)> {
+    let Some(last) = entry_lines(text).into_iter().next_back() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    // Scenario objects never nest, so splitting on '{' yields one chunk
+    // per scenario object (plus the entry prefix, which has no "name").
+    for chunk in last.split('{') {
+        let Some(name) = extract_str(chunk, "name") else {
+            continue;
+        };
+        if let Some(eps) = extract_num(chunk, "events_per_sec") {
+            out.push((name, eps));
+        }
+    }
+    out
+}
+
+fn extract_str(chunk: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = chunk.find(&pat)? + pat.len();
+    let end = chunk[start..].find('"')?;
+    Some(chunk[start..start + end].to_string())
+}
+
+fn extract_num(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = chunk.find(&pat)? + pat.len();
+    let rest = &chunk[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn render_entry(label: &str, measurements: &[Measurement]) -> String {
+    let scenarios: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
+    format!(
+        r#"{{"label":{},"scenarios":[{}]}}"#,
+        quoted(label),
+        scenarios.join(",")
+    )
+}
+
+fn quoted(s: &str) -> String {
+    Obj::new().str("l", s).finish()[5..]
+        .trim_end_matches('}')
+        .to_string()
+}
+
+fn render_file(
+    existing: Option<&str>,
+    label: &str,
+    measurements: &[Measurement],
+) -> Result<String, String> {
+    let mut entries = existing.map(entry_lines).unwrap_or_default();
+    if entries
+        .iter()
+        .any(|e| extract_str(e, "label").as_deref() == Some(label))
+    {
+        return Err(format!(
+            "entry {label:?} already recorded (pick a new label)"
+        ));
+    }
+    entries.push(render_entry(label, measurements));
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"entries\": [\n");
+    let n = entries.len();
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(e);
+        if i + 1 < n {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(name: &'static str, events: u64, wall: f64) -> Measurement {
+        Measurement {
+            name,
+            events,
+            peak_queue_depth: 9,
+            delivered: 100,
+            sim_secs: 2.5,
+            wall_secs: wall,
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_entries() {
+        let first = render_file(None, "pre", &[meas("a", 1000, 0.5)]).unwrap();
+        assert!(first.contains(SCHEMA));
+        let second = render_file(Some(&first), "post", &[meas("a", 4000, 0.5)]).unwrap();
+        assert_eq!(entry_lines(&second).len(), 2);
+        // The comparison baseline is the most recent entry.
+        let eps = last_entry_eps(&second);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].0, "a");
+        assert!((eps[0].1 - 8000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let first = render_file(None, "pre", &[meas("a", 1000, 0.5)]).unwrap();
+        assert!(render_file(Some(&first), "pre", &[meas("a", 1, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn fmt_f64_in_scenario_json_is_parseable() {
+        let line = meas("chain", 123, 0.25).to_json();
+        assert_eq!(extract_str(&line, "name").as_deref(), Some("chain"));
+        assert_eq!(extract_num(&line, "events"), Some(123.0));
+        assert_eq!(extract_num(&line, "events_per_sec"), Some(492.0));
+    }
+
+    #[test]
+    fn bench_cases_have_unique_names_and_a_quick_subset() {
+        let all = cases();
+        let mut names: Vec<&str> = all.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        assert!(all.iter().any(|c| c.quick) && all.iter().any(|c| !c.quick));
+        assert!(names.contains(&"random50-vegas-2m"));
+    }
+}

@@ -8,10 +8,12 @@
 //! mwn list                                                    list reproducible experiments
 //! mwn trace [--hops H] [--events N] [--format text|jsonl]     print an annotated event trace
 //! mwn check [--suite fast|full] [--bless] [--fuzz N]          invariants + golden-trace conformance
+//! mwn bench [--quick] [--check] [--record LABEL]              engine events/sec vs committed baseline
 //! ```
 
 use std::process::ExitCode;
 
+mod bench_cmd;
 mod check_cmd;
 mod repro;
 mod run;
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         }
         Some("trace") => trace_cmd::command(&args[1..]),
         Some("check") => check_cmd::command(&args[1..]),
+        Some("bench") => bench_cmd::command(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -84,6 +87,12 @@ fn print_usage() {
          \x20     golden file. --bless regenerates the digests (full suite,\n\
          \x20     refused if any invariant fails); --fuzz N adds N random\n\
          \x20     checked scenarios with shrinking on failure.\n\n\
+         \x20 mwn bench [--quick] [--check] [--record LABEL] [--repeat N] [--out F]\n\
+         \x20     Measure engine events/sec on the canonical benchmark\n\
+         \x20     scenarios and compare against the committed baseline in\n\
+         \x20     BENCH_engine.json. --record appends this run to the\n\
+         \x20     baseline file; --check fails on a >20% regression\n\
+         \x20     (CI sets MWN_BENCH_SKIP=1 on machines too noisy to gate).\n\n\
          \x20 mwn list\n\
          \x20     List the reproducible experiments."
     );

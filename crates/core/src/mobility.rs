@@ -106,12 +106,12 @@ impl MobilityModel {
     }
 
     /// Advances every node by one tick and returns the new positions.
-    pub fn step(&mut self) -> Vec<Position> {
+    pub fn step(&mut self) -> &[Position] {
         let dt = self.params.tick.as_secs_f64();
         for i in 0..self.positions.len() {
             self.advance(i, dt);
         }
-        self.positions.clone()
+        &self.positions
     }
 
     fn advance(&mut self, i: usize, mut dt: f64) {
@@ -204,7 +204,7 @@ mod tests {
         let mut m = model(0);
         let mut prev = m.positions().to_vec();
         for _ in 0..200 {
-            let next = m.step();
+            let next = m.step().to_vec();
             for (a, b) in prev.iter().zip(&next) {
                 let v = a.distance_to(*b) / 0.1;
                 // A node may arrive and re-depart mid-tick, so allow a
@@ -239,7 +239,7 @@ mod tests {
         let mut a = model(0);
         let mut b = model(0);
         for _ in 0..100 {
-            assert_eq!(a.step(), b.step());
+            assert_eq!(a.step().to_vec(), b.step());
         }
     }
 }

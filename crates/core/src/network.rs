@@ -1,5 +1,7 @@
 //! The network: every protocol layer wired to one event loop.
 
+use std::rc::Rc;
+
 use mwn_aodv::{AodvAction, AodvCounters, Router};
 use mwn_mac80211::{Dcf, MacAction, MacCounters, MacTimer};
 use mwn_obs::{CounterBlock, FlowCounters, MetricsSnapshot, NodeCounters, ProbeBuffer, ProbeKind};
@@ -21,6 +23,16 @@ use crate::trace::{TraceBuffer, TraceEvent, TraceRecord};
 enum Role {
     Source,
     Sink,
+}
+
+impl Role {
+    /// Dense index into the per-flow timer table.
+    fn index(self) -> usize {
+        match self {
+            Role::Source => 0,
+            Role::Sink => 1,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -134,17 +146,30 @@ pub struct Network {
     routers: Vec<Router>,
     energy: Vec<EnergyMeter>,
     flows: Vec<Flow>,
-    /// Frames on the air: payload plus outstanding SignalEnd count.
-    in_flight: FxHashMap<TxId, (MacFrame, usize)>,
+    /// Frames on the air: one shared payload per transmission plus the
+    /// outstanding SignalEnd count. Every receiver decodes the same
+    /// `Rc<MacFrame>`; the list is linear-scanned because only a handful
+    /// of transmissions overlap at any instant.
+    in_flight: Vec<(TxId, Rc<MacFrame>, usize)>,
     next_tx_id: u64,
-    mac_timers: FxHashMap<(NodeId, MacTimer), EventId>,
+    /// Flat per-node MAC timer table, indexed by [`MacTimer::index`].
+    mac_timers: Vec<[Option<EventId>; MacTimer::COUNT]>,
     discovery_timers: FxHashMap<(NodeId, NodeId), EventId>,
-    transport_timers: FxHashMap<(FlowId, Role, TransportTimer), EventId>,
+    /// Flat per-flow transport timer table, `[role][timer]`.
+    transport_timers: Vec<[[Option<EventId>; TransportTimer::COUNT]; 2]>,
     total_delivered: u64,
     trace: Option<TraceBuffer>,
     probes: Option<ProbeBuffer>,
     profile: Option<EngineProfile>,
     mobility: Option<MobilityModel>,
+    /// Recycled action/event buffers. Dispatch re-enters (a delivered
+    /// frame can start a new transmission), so each taker pops its own
+    /// buffer and the apply path returns it once drained — the steady
+    /// state allocates nothing.
+    mac_pool: Vec<Vec<MacAction>>,
+    aodv_pool: Vec<Vec<AodvAction>>,
+    transport_pool: Vec<Vec<TransportAction>>,
+    radio_pool: Vec<Vec<RadioEvent>>,
 }
 
 impl std::fmt::Debug for Network {
@@ -242,16 +267,20 @@ impl Network {
             routers,
             energy,
             flows,
-            in_flight: FxHashMap::default(),
+            in_flight: Vec::new(),
             next_tx_id: 0,
-            mac_timers: FxHashMap::default(),
+            mac_timers: vec![[None; MacTimer::COUNT]; n],
             discovery_timers: FxHashMap::default(),
-            transport_timers: FxHashMap::default(),
+            transport_timers: vec![[[None; TransportTimer::COUNT]; 2]; scenario.flows.len()],
             total_delivered: 0,
             trace: None,
             probes: None,
             profile: None,
             mobility,
+            mac_pool: Vec::new(),
+            aodv_pool: Vec::new(),
+            transport_pool: Vec::new(),
+            radio_pool: Vec::new(),
         }
     }
 
@@ -467,23 +496,28 @@ impl Network {
     fn handle(&mut self, event: Event) {
         match event {
             Event::SignalStart { node, tx, class } => {
-                let evs = self.transceivers[node.index()].signal_start(tx, class);
+                let mut evs = self.radio_pool.pop().unwrap_or_default();
+                self.transceivers[node.index()].signal_start(tx, class, &mut evs);
                 self.process_radio_events(node, evs);
             }
             Event::SignalEnd { node, tx } => {
-                let evs = self.transceivers[node.index()].signal_end(tx);
+                let mut evs = self.radio_pool.pop().unwrap_or_default();
+                self.transceivers[node.index()].signal_end(tx, &mut evs);
                 self.process_radio_events(node, evs);
                 self.release_in_flight(tx);
             }
             Event::TxEnd { node } => {
-                let evs = self.transceivers[node.index()].tx_end();
-                let actions = self.macs[node.index()].on_tx_done(self.now);
+                let mut evs = self.radio_pool.pop().unwrap_or_default();
+                self.transceivers[node.index()].tx_end(&mut evs);
+                let mut actions = self.mac_pool.pop().unwrap_or_default();
+                self.macs[node.index()].on_tx_done(self.now, &mut actions);
                 self.apply_mac_actions(node, actions);
                 self.process_radio_events(node, evs);
             }
             Event::Mac { node, timer } => {
-                self.mac_timers.remove(&(node, timer));
-                let actions = self.macs[node.index()].on_timer(self.now, timer);
+                self.mac_timers[node.index()][timer.index()] = None;
+                let mut actions = self.mac_pool.pop().unwrap_or_default();
+                self.macs[node.index()].on_timer(self.now, timer, &mut actions);
                 self.apply_mac_actions(node, actions);
             }
             Event::AodvSend {
@@ -491,16 +525,18 @@ impl Network {
                 next_hop,
                 packet,
             } => {
-                let actions = self.macs[node.index()].enqueue(self.now, next_hop, packet);
+                let mut actions = self.mac_pool.pop().unwrap_or_default();
+                self.macs[node.index()].enqueue(self.now, next_hop, packet, &mut actions);
                 self.apply_mac_actions(node, actions);
             }
             Event::AodvDiscovery { node, dst } => {
                 self.discovery_timers.remove(&(node, dst));
-                let actions = self.routers[node.index()].on_discovery_timeout(self.now, dst);
+                let mut actions = self.aodv_pool.pop().unwrap_or_default();
+                self.routers[node.index()].on_discovery_timeout(self.now, dst, &mut actions);
                 self.apply_aodv_actions(node, actions);
             }
             Event::Transport { flow, role, timer } => {
-                self.transport_timers.remove(&(flow, role, timer));
+                self.transport_timers[flow.index()][role.index()][timer.index()] = None;
                 self.dispatch_transport_timer(flow, role, timer);
             }
             Event::MobilityTick => {
@@ -512,12 +548,13 @@ impl Network {
                 }
             }
             Event::FlowStart { flow } => {
+                let mut actions = self.transport_pool.pop().unwrap_or_default();
                 let f = &mut self.flows[flow.index()];
                 let node = f.src;
-                let actions = match &mut f.source {
-                    SourceAgent::Tcp(s) => s.start(self.now),
-                    SourceAgent::Udp(s) => s.start(self.now),
-                };
+                match &mut f.source {
+                    SourceAgent::Tcp(s) => s.start(self.now, &mut actions),
+                    SourceAgent::Udp(s) => s.start(self.now, &mut actions),
+                }
                 self.note_window(flow);
                 self.apply_transport_actions(flow, Role::Source, node, actions);
             }
@@ -525,82 +562,91 @@ impl Network {
     }
 
     fn dispatch_transport_timer(&mut self, flow: FlowId, role: Role, timer: TransportTimer) {
+        let mut actions = self.transport_pool.pop().unwrap_or_default();
         let f = &mut self.flows[flow.index()];
-        match (role, timer) {
-            (Role::Source, TransportTimer::Rtx) => {
-                let node = f.src;
-                let SourceAgent::Tcp(s) = &mut f.source else {
-                    return;
-                };
-                let actions = s.on_rtx_timeout(self.now);
-                self.note_window(flow);
-                self.apply_transport_actions(flow, Role::Source, node, actions);
+        let mut note = false;
+        let node = match (role, timer, &mut f.source, &mut f.sink) {
+            (Role::Source, TransportTimer::Rtx, SourceAgent::Tcp(s), _) => {
+                s.on_rtx_timeout(self.now, &mut actions);
+                note = true;
+                f.src
             }
-            (Role::Source, TransportTimer::Probe) => {
-                let node = f.src;
-                let SourceAgent::Tcp(s) = &mut f.source else {
-                    return;
-                };
-                let actions = s.on_probe_timer(self.now);
-                self.apply_transport_actions(flow, Role::Source, node, actions);
+            (Role::Source, TransportTimer::Probe, SourceAgent::Tcp(s), _) => {
+                s.on_probe_timer(self.now, &mut actions);
+                f.src
             }
-            (Role::Source, TransportTimer::Pace) => {
-                let node = f.src;
-                let SourceAgent::Udp(s) = &mut f.source else {
-                    return;
-                };
-                let actions = s.on_pace_timer(self.now);
-                self.apply_transport_actions(flow, Role::Source, node, actions);
+            (Role::Source, TransportTimer::Pace, SourceAgent::Udp(s), _) => {
+                s.on_pace_timer(self.now, &mut actions);
+                f.src
             }
-            (Role::Sink, TransportTimer::DelayedAck) => {
-                let node = f.dst;
-                let SinkAgent::Tcp(s) = &mut f.sink else {
-                    return;
-                };
-                let actions = s.on_delayed_ack_timer(self.now);
-                self.apply_transport_actions(flow, Role::Sink, node, actions);
+            (Role::Sink, TransportTimer::DelayedAck, _, SinkAgent::Tcp(s)) => {
+                s.on_delayed_ack_timer(self.now, &mut actions);
+                f.dst
             }
-            _ => {}
+            _ => {
+                self.transport_pool.push(actions);
+                return;
+            }
+        };
+        if note {
+            self.note_window(flow);
         }
+        self.apply_transport_actions(flow, role, node, actions);
     }
 
     // ---- PHY plumbing ----------------------------------------------------
 
-    fn process_radio_events(&mut self, node: NodeId, events: Vec<RadioEvent>) {
-        for ev in events {
-            let actions = match ev {
-                RadioEvent::CarrierBusy => self.macs[node.index()].on_carrier_busy(self.now),
-                RadioEvent::CarrierIdle => self.macs[node.index()].on_carrier_idle(self.now),
-                RadioEvent::RxStart(_) => Vec::new(),
+    fn process_radio_events(&mut self, node: NodeId, mut events: Vec<RadioEvent>) {
+        for ev in events.drain(..) {
+            let mut actions = self.mac_pool.pop().unwrap_or_default();
+            match ev {
+                RadioEvent::CarrierBusy => {
+                    self.macs[node.index()].on_carrier_busy(self.now, &mut actions);
+                }
+                RadioEvent::CarrierIdle => {
+                    self.macs[node.index()].on_carrier_idle(self.now, &mut actions);
+                }
+                RadioEvent::RxStart(_) => {}
                 RadioEvent::UndecodedEnd => {
                     self.trace_event(node, || TraceEvent::PhyCorrupt);
-                    self.macs[node.index()].on_rx_corrupt(self.now)
+                    self.macs[node.index()].on_rx_corrupt(self.now);
                 }
                 RadioEvent::RxEnd { tx, ok } => {
                     if ok {
                         let frame = self
-                            .in_flight
-                            .get(&tx)
-                            .map(|(f, _)| f.clone())
+                            .lookup_in_flight(tx)
                             .expect("RxEnd for unknown transmission");
                         self.trace_event(node, || TraceEvent::PhyRxOk);
-                        self.macs[node.index()].on_rx_frame(self.now, frame)
+                        self.macs[node.index()].on_rx_frame(self.now, &frame, &mut actions);
                     } else {
                         self.trace_event(node, || TraceEvent::PhyCorrupt);
-                        self.macs[node.index()].on_rx_corrupt(self.now)
+                        self.macs[node.index()].on_rx_corrupt(self.now);
                     }
                 }
-            };
+            }
             self.apply_mac_actions(node, actions);
         }
+        self.radio_pool.push(events);
+    }
+
+    /// The shared payload of transmission `tx`, if still on the air.
+    fn lookup_in_flight(&self, tx: TxId) -> Option<Rc<MacFrame>> {
+        self.in_flight
+            .iter()
+            .rev()
+            .find(|(id, ..)| *id == tx)
+            .map(|(_, f, _)| Rc::clone(f))
     }
 
     fn release_in_flight(&mut self, tx: TxId) {
-        if let Some((_, remaining)) = self.in_flight.get_mut(&tx) {
-            *remaining -= 1;
-            if *remaining == 0 {
-                self.in_flight.remove(&tx);
-            }
+        let Some(pos) = self.in_flight.iter().position(|(id, ..)| *id == tx) else {
+            debug_assert!(false, "SignalEnd released unknown transmission {tx:?}");
+            return;
+        };
+        let remaining = &mut self.in_flight[pos].2;
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.in_flight.swap_remove(pos);
         }
     }
 
@@ -613,13 +659,15 @@ impl Network {
             airtime: duration,
             nav: frame.nav(),
         });
-        let effects = self.medium.effects_of(node).to_vec();
         self.energy[node.index()].add_tx(duration);
+        // `effects` borrows the medium in place; the loop only touches
+        // disjoint fields (queue, energy), so no copy of the list is made.
+        let effects = self.medium.effects_of(node);
         if !effects.is_empty() {
             let tx = TxId(self.next_tx_id);
             self.next_tx_id += 1;
-            self.in_flight.insert(tx, (frame, effects.len()));
-            for e in &effects {
+            self.in_flight.push((tx, Rc::new(frame), effects.len()));
+            for e in effects {
                 self.queue.schedule(
                     self.now + e.delay,
                     Event::SignalStart {
@@ -639,14 +687,15 @@ impl Network {
         }
         self.queue
             .schedule(self.now + duration, Event::TxEnd { node });
-        let evs = self.transceivers[node.index()].tx_start();
+        let mut evs = self.radio_pool.pop().unwrap_or_default();
+        self.transceivers[node.index()].tx_start(&mut evs);
         self.process_radio_events(node, evs);
     }
 
     // ---- action application ----------------------------------------------
 
-    fn apply_mac_actions(&mut self, node: NodeId, actions: Vec<MacAction>) {
-        for action in actions {
+    fn apply_mac_actions(&mut self, node: NodeId, mut actions: Vec<MacAction>) {
+        for action in actions.drain(..) {
             match action {
                 MacAction::StartTx(frame) => self.start_transmission(node, frame),
                 MacAction::SetTimer { timer, delay } => {
@@ -655,16 +704,17 @@ impl Network {
                             nanos: delay.as_nanos(),
                         });
                     }
-                    if let Some(old) = self.mac_timers.remove(&(node, timer)) {
+                    let slot = &mut self.mac_timers[node.index()][timer.index()];
+                    if let Some(old) = slot.take() {
                         self.queue.cancel(old);
                     }
-                    let id = self
-                        .queue
-                        .schedule(self.now + delay, Event::Mac { node, timer });
-                    self.mac_timers.insert((node, timer), id);
+                    *slot = Some(
+                        self.queue
+                            .schedule(self.now + delay, Event::Mac { node, timer }),
+                    );
                 }
                 MacAction::CancelTimer(timer) => {
-                    if let Some(old) = self.mac_timers.remove(&(node, timer)) {
+                    if let Some(old) = self.mac_timers[node.index()][timer.index()].take() {
                         self.queue.cancel(old);
                     }
                 }
@@ -673,8 +723,9 @@ impl Network {
                         uid: packet.uid,
                         from,
                     });
-                    let actions = self.routers[node.index()].on_received(self.now, from, packet);
-                    self.apply_aodv_actions(node, actions);
+                    let mut aodv = self.aodv_pool.pop().unwrap_or_default();
+                    self.routers[node.index()].on_received(self.now, from, packet, &mut aodv);
+                    self.apply_aodv_actions(node, aodv);
                 }
                 MacAction::TxConfirm {
                     next_hop,
@@ -687,9 +738,10 @@ impl Network {
                             next_hop,
                         });
                     }
-                    let actions = self.routers[node.index()]
-                        .on_tx_confirm(self.now, next_hop, packet, success);
-                    self.apply_aodv_actions(node, actions);
+                    let mut aodv = self.aodv_pool.pop().unwrap_or_default();
+                    self.routers[node.index()]
+                        .on_tx_confirm(self.now, next_hop, packet, success, &mut aodv);
+                    self.apply_aodv_actions(node, aodv);
                 }
                 MacAction::Dropped { ref packet, .. } => {
                     // Queue drops are already tallied in the MAC counters;
@@ -703,10 +755,11 @@ impl Network {
             let depth = self.macs[node.index()].queue_len();
             p.record(self.now, ProbeKind::IfqDepth, node.raw(), depth as f64);
         }
+        self.mac_pool.push(actions);
     }
 
-    fn apply_aodv_actions(&mut self, node: NodeId, actions: Vec<AodvAction>) {
-        for action in actions {
+    fn apply_aodv_actions(&mut self, node: NodeId, mut actions: Vec<AodvAction>) {
+        for action in actions.drain(..) {
             match action {
                 AodvAction::Send {
                     packet,
@@ -714,8 +767,9 @@ impl Network {
                     delay,
                 } => {
                     if delay.is_zero() {
-                        let actions = self.macs[node.index()].enqueue(self.now, next_hop, packet);
-                        self.apply_mac_actions(node, actions);
+                        let mut mac = self.mac_pool.pop().unwrap_or_default();
+                        self.macs[node.index()].enqueue(self.now, next_hop, packet, &mut mac);
+                        self.apply_mac_actions(node, mac);
                     } else {
                         self.queue.schedule(
                             self.now + delay,
@@ -772,21 +826,26 @@ impl Network {
                 }
             }
         }
+        self.aodv_pool.push(actions);
     }
 
     fn deliver_to_transport(&mut self, node: NodeId, packet: Packet) {
         match &packet.body {
             Body::Tcp(seg) => {
                 let flow_id = seg.flow;
+                let (seq, ack, is_data) = (seg.seq, seg.ack, seg.is_data());
+                let mut actions = self.transport_pool.pop().unwrap_or_default();
                 let Some(f) = self.flows.get_mut(flow_id.index()) else {
+                    self.transport_pool.push(actions);
                     return;
                 };
-                if seg.is_data() && node == f.dst {
+                if is_data && node == f.dst {
                     let SinkAgent::Tcp(sink) = &mut f.sink else {
+                        self.transport_pool.push(actions);
                         return;
                     };
                     let before = sink.stats().delivered;
-                    let actions = sink.on_data(self.now, seg.seq);
+                    sink.on_data(self.now, seq, &mut actions);
                     let after = sink.stats().delivered;
                     if after > before {
                         f.last_delivery = Some(self.now);
@@ -795,14 +854,17 @@ impl Network {
                     self.total_delivered += after - before;
                     let dst = f.dst;
                     self.apply_transport_actions(flow_id, Role::Sink, dst, actions);
-                } else if !seg.is_data() && node == f.src {
+                } else if !is_data && node == f.src {
                     let SourceAgent::Tcp(sender) = &mut f.source else {
+                        self.transport_pool.push(actions);
                         return;
                     };
-                    let actions = sender.on_ack(self.now, seg.ack);
+                    sender.on_ack(self.now, ack, &mut actions);
                     let src = f.src;
                     self.note_window(flow_id);
                     self.apply_transport_actions(flow_id, Role::Source, src, actions);
+                } else {
+                    self.transport_pool.push(actions);
                 }
             }
             Body::Udp(d) => {
@@ -831,14 +893,15 @@ impl Network {
     fn notify_route_failure(&mut self, node: NodeId, dst: NodeId) {
         for i in 0..self.flows.len() {
             let flow_id = FlowId(i as u32);
-            let f = &mut self.flows[i];
-            if f.src != node || f.dst != dst {
+            let f = &self.flows[i];
+            if f.src != node || f.dst != dst || !matches!(f.source, SourceAgent::Tcp(_)) {
                 continue;
             }
-            let SourceAgent::Tcp(sender) = &mut f.source else {
-                continue;
+            let mut actions = self.transport_pool.pop().unwrap_or_default();
+            let SourceAgent::Tcp(sender) = &mut self.flows[i].source else {
+                unreachable!("checked above");
             };
-            let actions = sender.on_route_failure(self.now);
+            sender.on_route_failure(self.now, &mut actions);
             self.apply_transport_actions(flow_id, Role::Source, node, actions);
         }
     }
@@ -880,9 +943,9 @@ impl Network {
         flow: FlowId,
         role: Role,
         node: NodeId,
-        actions: Vec<TransportAction>,
+        mut actions: Vec<TransportAction>,
     ) {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 TransportAction::SendPacket(packet) => {
                     self.trace_event(node, || match &packet.body {
@@ -893,25 +956,31 @@ impl Network {
                         Body::Udp(d) => TraceEvent::UdpData { flow, seq: d.seq },
                         Body::Aodv(_) => unreachable!("transport never sends AODV"),
                     });
-                    let actions = self.routers[node.index()].send(self.now, packet);
-                    self.apply_aodv_actions(node, actions);
+                    let mut aodv = self.aodv_pool.pop().unwrap_or_default();
+                    self.routers[node.index()].send(self.now, packet, &mut aodv);
+                    self.apply_aodv_actions(node, aodv);
                 }
                 TransportAction::SetTimer { timer, delay } => {
-                    if let Some(old) = self.transport_timers.remove(&(flow, role, timer)) {
+                    let slot =
+                        &mut self.transport_timers[flow.index()][role.index()][timer.index()];
+                    if let Some(old) = slot.take() {
                         self.queue.cancel(old);
                     }
-                    let id = self
-                        .queue
-                        .schedule(self.now + delay, Event::Transport { flow, role, timer });
-                    self.transport_timers.insert((flow, role, timer), id);
+                    *slot = Some(
+                        self.queue
+                            .schedule(self.now + delay, Event::Transport { flow, role, timer }),
+                    );
                 }
                 TransportAction::CancelTimer(timer) => {
-                    if let Some(old) = self.transport_timers.remove(&(flow, role, timer)) {
+                    if let Some(old) =
+                        self.transport_timers[flow.index()][role.index()][timer.index()].take()
+                    {
                         self.queue.cancel(old);
                     }
                 }
             }
         }
+        self.transport_pool.push(actions);
     }
 }
 

@@ -29,6 +29,24 @@ pub enum MacTimer {
     Nav,
 }
 
+impl MacTimer {
+    /// Number of timer kinds; hosts can keep per-node timer state in a
+    /// flat `[_; MacTimer::COUNT]` array instead of a hash map.
+    pub const COUNT: usize = 6;
+
+    /// Dense index of this timer kind, in `0..Self::COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            MacTimer::Defer => 0,
+            MacTimer::Backoff => 1,
+            MacTimer::Sifs => 2,
+            MacTimer::CtsTimeout => 3,
+            MacTimer::AckTimeout => 4,
+            MacTimer::Nav => 5,
+        }
+    }
+}
+
 /// Why the MAC dropped a packet without transmitting it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MacDropReason {
@@ -204,55 +222,60 @@ impl Dcf {
     }
 
     /// Accepts a packet from the network layer for transmission to
-    /// `next_hop` (or [`NodeId::BROADCAST`]).
-    pub fn enqueue(&mut self, now: SimTime, next_hop: NodeId, packet: Packet) -> Vec<MacAction> {
-        let mut actions = Vec::new();
+    /// `next_hop` (or [`NodeId::BROADCAST`]); resulting actions are
+    /// appended to `out`.
+    pub fn enqueue(
+        &mut self,
+        now: SimTime,
+        next_hop: NodeId,
+        packet: Packet,
+        out: &mut Vec<MacAction>,
+    ) {
         if self.queue.len() >= self.params.queue_capacity {
             self.counters.queue_drops += 1;
-            actions.push(MacAction::Dropped {
+            out.push(MacAction::Dropped {
                 packet,
                 reason: MacDropReason::QueueFull,
             });
-            return actions;
+            return;
         }
         self.queue.push_back((next_hop, packet));
-        self.maybe_start_contention(now, &mut actions);
-        actions
+        self.maybe_start_contention(now, out);
     }
 
     /// Physical carrier sense went busy.
-    pub fn on_carrier_busy(&mut self, now: SimTime) -> Vec<MacAction> {
-        let mut actions = Vec::new();
+    pub fn on_carrier_busy(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
         self.carrier_busy = true;
-        self.suspend_contention(now, &mut actions);
-        actions
+        self.suspend_contention(now, out);
     }
 
     /// Physical carrier sense went idle.
-    pub fn on_carrier_idle(&mut self, now: SimTime) -> Vec<MacAction> {
-        let mut actions = Vec::new();
+    pub fn on_carrier_idle(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
         self.carrier_busy = false;
-        self.maybe_start_contention(now, &mut actions);
-        actions
+        self.maybe_start_contention(now, out);
     }
 
-    /// A frame was received intact.
-    pub fn on_rx_frame(&mut self, now: SimTime, frame: MacFrame) -> Vec<MacAction> {
-        let mut actions = Vec::new();
+    /// A frame was received intact. The frame is borrowed — one shared
+    /// in-flight frame serves every receiver — and its packet is cloned
+    /// only on the paths that actually hand it upward.
+    pub fn on_rx_frame(&mut self, now: SimTime, frame: &MacFrame, out: &mut Vec<MacAction>) {
         self.eifs_next = false;
 
         if frame.dst() == self.me {
             match frame {
-                MacFrame::Rts { src, nav, .. } => self.handle_rts(now, src, nav, &mut actions),
-                MacFrame::Cts { src, .. } => self.handle_cts(now, src, &mut actions),
-                MacFrame::Ack { src, .. } => self.handle_ack(now, src, &mut actions),
+                MacFrame::Rts { src, nav, .. } => self.handle_rts(now, *src, *nav, out),
+                MacFrame::Cts { src, .. } => self.handle_cts(now, *src, out),
+                MacFrame::Ack { src, .. } => self.handle_ack(now, *src, out),
                 MacFrame::Data {
                     src, seq, packet, ..
-                } => self.handle_data(now, src, seq, packet, &mut actions),
+                } => self.handle_data(now, *src, *seq, packet, out),
             }
         } else if frame.is_broadcast() {
             if let MacFrame::Data { src, packet, .. } = frame {
-                actions.push(MacAction::Deliver { from: src, packet });
+                out.push(MacAction::Deliver {
+                    from: *src,
+                    packet: packet.clone(),
+                });
             }
         } else {
             // Overheard frame: virtual carrier sense.
@@ -261,21 +284,19 @@ impl Dcf {
                 let until = now + nav;
                 if until > self.nav_until {
                     self.nav_until = until;
-                    actions.push(MacAction::SetTimer {
+                    out.push(MacAction::SetTimer {
                         timer: MacTimer::Nav,
                         delay: nav,
                     });
-                    self.suspend_contention(now, &mut actions);
+                    self.suspend_contention(now, out);
                 }
             }
         }
-        actions
     }
 
     /// A corrupted frame finished arriving: the next deference uses EIFS.
-    pub fn on_rx_corrupt(&mut self, _now: SimTime) -> Vec<MacAction> {
+    pub fn on_rx_corrupt(&mut self, _now: SimTime) {
         self.eifs_next = true;
-        Vec::new()
     }
 
     /// Our transmission finished on the air.
@@ -283,20 +304,19 @@ impl Dcf {
     /// # Panics
     ///
     /// Panics if the MAC was not transmitting.
-    pub fn on_tx_done(&mut self, now: SimTime) -> Vec<MacAction> {
-        let mut actions = Vec::new();
+    pub fn on_tx_done(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
         let kind = self.on_air.take().expect("tx_done without transmission");
         match kind {
             OnAir::Rts => {
                 self.awaiting = Some(Awaiting::Cts);
-                actions.push(MacAction::SetTimer {
+                out.push(MacAction::SetTimer {
                     timer: MacTimer::CtsTimeout,
                     delay: self.params.cts_timeout(),
                 });
             }
             OnAir::Data => {
                 self.awaiting = Some(Awaiting::Ack);
-                actions.push(MacAction::SetTimer {
+                out.push(MacAction::SetTimer {
                     timer: MacTimer::AckTimeout,
                     delay: self.params.ack_timeout(),
                 });
@@ -304,27 +324,24 @@ impl Dcf {
             OnAir::Broadcast => {
                 // Broadcasts complete unconditionally.
                 self.current = None;
-                self.complete_exchange(now, &mut actions);
+                self.complete_exchange(now, out);
             }
             OnAir::Cts | OnAir::Ack => {
-                self.maybe_start_contention(now, &mut actions);
+                self.maybe_start_contention(now, out);
             }
         }
-        actions
     }
 
     /// A previously armed timer fired.
-    pub fn on_timer(&mut self, now: SimTime, timer: MacTimer) -> Vec<MacAction> {
-        let mut actions = Vec::new();
+    pub fn on_timer(&mut self, now: SimTime, timer: MacTimer, out: &mut Vec<MacAction>) {
         match timer {
-            MacTimer::Defer => self.on_defer_fired(now, &mut actions),
-            MacTimer::Backoff => self.on_backoff_fired(now, &mut actions),
-            MacTimer::Sifs => self.on_sifs_fired(now, &mut actions),
-            MacTimer::CtsTimeout => self.on_cts_timeout(now, &mut actions),
-            MacTimer::AckTimeout => self.on_ack_timeout(now, &mut actions),
-            MacTimer::Nav => self.maybe_start_contention(now, &mut actions),
+            MacTimer::Defer => self.on_defer_fired(now, out),
+            MacTimer::Backoff => self.on_backoff_fired(now, out),
+            MacTimer::Sifs => self.on_sifs_fired(now, out),
+            MacTimer::CtsTimeout => self.on_cts_timeout(now, out),
+            MacTimer::AckTimeout => self.on_ack_timeout(now, out),
+            MacTimer::Nav => self.maybe_start_contention(now, out),
         }
-        actions
     }
 
     // ---- internals -----------------------------------------------------
@@ -542,7 +559,7 @@ impl Dcf {
         now: SimTime,
         src: NodeId,
         seq: u16,
-        packet: Packet,
+        packet: &Packet,
         actions: &mut Vec<MacAction>,
     ) {
         // Acknowledge unless we are mid-exchange ourselves (then the sender
@@ -561,7 +578,10 @@ impl Dcf {
             self.counters.duplicates_suppressed += 1;
         } else {
             self.rx_cache.insert(src, seq);
-            actions.push(MacAction::Deliver { from: src, packet });
+            actions.push(MacAction::Deliver {
+                from: src,
+                packet: packet.clone(),
+            });
         }
     }
 
@@ -704,6 +724,17 @@ impl Dcf {
     }
 }
 
+/// Test shim for the out-param API: `act!(m.method(args...))` calls the
+/// method with a fresh action buffer appended and returns the buffer.
+#[cfg(test)]
+macro_rules! act {
+    ($m:ident.$meth:ident($($arg:expr),* $(,)?)) => {{
+        let mut out = Vec::new();
+        $m.$meth($($arg,)* &mut out);
+        out
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -757,9 +788,9 @@ mod tests {
     #[test]
     fn idle_enqueue_defers_difs_then_sends_rts() {
         let mut m = mac(0);
-        let a = m.enqueue(t(0), NodeId(1), data_packet(1));
+        let a = act!(m.enqueue(t(0), NodeId(1), data_packet(1)));
         assert!(has_timer(&a, MacTimer::Defer));
-        let a = m.on_timer(t(50), MacTimer::Defer);
+        let a = act!(m.on_timer(t(50), MacTimer::Defer));
         let f = started_frame(&a);
         assert!(matches!(f, MacFrame::Rts { dst: NodeId(1), .. }));
         assert_eq!(m.counters().rts_sent, 1);
@@ -772,34 +803,34 @@ mod tests {
         let mut r = mac(1); // receiver
 
         // Sender: enqueue -> defer -> RTS.
-        s.enqueue(t(0), NodeId(1), data_packet(1));
-        let a = s.on_timer(t(50), MacTimer::Defer);
+        act!(s.enqueue(t(0), NodeId(1), data_packet(1)));
+        let a = act!(s.on_timer(t(50), MacTimer::Defer));
         let rts = started_frame(&a).clone();
 
         // RTS arrives at receiver; receiver schedules CTS after SIFS.
-        let a = r.on_rx_frame(t(402), rts);
+        let a = act!(r.on_rx_frame(t(402), &rts));
         assert!(has_timer(&a, MacTimer::Sifs));
         // Sender's RTS tx completes; awaits CTS.
-        let a = s.on_tx_done(t(402));
+        let a = act!(s.on_tx_done(t(402)));
         assert!(has_timer(&a, MacTimer::CtsTimeout));
 
         // Receiver sends CTS.
-        let a = r.on_timer(t(412), MacTimer::Sifs);
+        let a = act!(r.on_timer(t(412), MacTimer::Sifs));
         let cts = started_frame(&a).clone();
         assert!(matches!(cts, MacFrame::Cts { dst: NodeId(0), .. }));
 
         // CTS arrives at sender -> DATA after SIFS.
-        let a = s.on_rx_frame(t(716), cts);
+        let a = act!(s.on_rx_frame(t(716), &cts));
         assert!(a.contains(&MacAction::CancelTimer(MacTimer::CtsTimeout)));
         assert!(has_timer(&a, MacTimer::Sifs));
-        r.on_tx_done(t(716));
+        act!(r.on_tx_done(t(716)));
 
-        let a = s.on_timer(t(726), MacTimer::Sifs);
+        let a = act!(s.on_timer(t(726), MacTimer::Sifs));
         let data = started_frame(&a).clone();
         assert!(matches!(data, MacFrame::Data { dst: NodeId(1), .. }));
 
         // DATA arrives at receiver: delivered upward, ACK scheduled.
-        let a = r.on_rx_frame(t(7030), data);
+        let a = act!(r.on_rx_frame(t(7030), &data));
         assert!(a.iter().any(|x| matches!(
             x,
             MacAction::Deliver {
@@ -808,16 +839,16 @@ mod tests {
             }
         )));
         assert!(has_timer(&a, MacTimer::Sifs));
-        let a = s.on_tx_done(t(7030));
+        let a = act!(s.on_tx_done(t(7030)));
         assert!(has_timer(&a, MacTimer::AckTimeout));
 
         // Receiver sends MAC ACK.
-        let a = r.on_timer(t(7040), MacTimer::Sifs);
+        let a = act!(r.on_timer(t(7040), MacTimer::Sifs));
         let ack = started_frame(&a).clone();
         assert!(matches!(ack, MacFrame::Ack { dst: NodeId(0), .. }));
 
         // ACK arrives: success confirmed.
-        let a = s.on_rx_frame(t(7344), ack);
+        let a = act!(s.on_rx_frame(t(7344), &ack));
         assert!(a.iter().any(|x| matches!(
             x,
             MacAction::TxConfirm {
@@ -826,28 +857,28 @@ mod tests {
                 ..
             }
         )));
-        r.on_tx_done(t(7344));
+        act!(r.on_tx_done(t(7344)));
         assert_eq!(s.counters().unicast_delivered, 1);
     }
 
     #[test]
     fn rts_retry_limit_reports_link_failure() {
         let mut m = mac(0);
-        m.enqueue(t(0), NodeId(1), data_packet(1));
+        act!(m.enqueue(t(0), NodeId(1), data_packet(1)));
         let mut now = t(50);
         let mut failed = false;
         // First attempt from the defer; subsequent from backoff timers.
-        let mut actions = m.on_timer(now, MacTimer::Defer);
+        let mut actions = act!(m.on_timer(now, MacTimer::Defer));
         for attempt in 1..=7 {
             assert!(
                 matches!(started_frame(&actions), MacFrame::Rts { .. }),
                 "attempt {attempt} should send RTS"
             );
             now += SimDuration::from_micros(352);
-            let a = m.on_tx_done(now);
+            let a = act!(m.on_tx_done(now));
             assert!(has_timer(&a, MacTimer::CtsTimeout));
             now += params().cts_timeout();
-            let a = m.on_timer(now, MacTimer::CtsTimeout);
+            let a = act!(m.on_timer(now, MacTimer::CtsTimeout));
             if a.iter()
                 .any(|x| matches!(x, MacAction::TxConfirm { success: false, .. }))
             {
@@ -858,10 +889,10 @@ mod tests {
             // The retry path armed a Defer; fire it, then the backoff.
             assert!(has_timer(&a, MacTimer::Defer));
             now += params().difs();
-            let d = m.on_timer(now, MacTimer::Defer);
+            let d = act!(m.on_timer(now, MacTimer::Defer));
             assert!(has_timer(&d, MacTimer::Backoff));
             now += SimDuration::from_millis(25);
-            actions = m.on_timer(now, MacTimer::Backoff);
+            actions = act!(m.on_timer(now, MacTimer::Backoff));
         }
         assert!(failed, "link failure never reported");
         assert_eq!(m.counters().rts_retry_drops, 1);
@@ -872,12 +903,12 @@ mod tests {
     fn queue_overflow_drops_packets() {
         let mut m = mac(0);
         // Medium busy so nothing enters service; capacity 50.
-        m.on_carrier_busy(t(0));
+        act!(m.on_carrier_busy(t(0)));
         for i in 0..50 {
-            let a = m.enqueue(t(1), NodeId(1), data_packet(i));
+            let a = act!(m.enqueue(t(1), NodeId(1), data_packet(i)));
             assert!(!a.iter().any(|x| matches!(x, MacAction::Dropped { .. })));
         }
-        let a = m.enqueue(t(2), NodeId(1), data_packet(99));
+        let a = act!(m.enqueue(t(2), NodeId(1), data_packet(99)));
         assert!(a.iter().any(|x| matches!(
             x,
             MacAction::Dropped {
@@ -892,11 +923,11 @@ mod tests {
     #[test]
     fn broadcast_sends_plain_data_without_ack_wait() {
         let mut m = mac(0);
-        m.enqueue(t(0), NodeId::BROADCAST, data_packet(1));
-        let a = m.on_timer(t(50), MacTimer::Defer);
+        act!(m.enqueue(t(0), NodeId::BROADCAST, data_packet(1)));
+        let a = act!(m.on_timer(t(50), MacTimer::Defer));
         let f = started_frame(&a);
         assert!(f.is_broadcast());
-        let a = m.on_tx_done(t(7000));
+        let a = act!(m.on_tx_done(t(7000)));
         // No response timers: exchange done.
         assert!(!has_timer(&a, MacTimer::AckTimeout));
         assert!(!has_timer(&a, MacTimer::CtsTimeout));
@@ -911,38 +942,38 @@ mod tests {
             dst: NodeId(1),
             nav: SimDuration::from_micros(7000),
         };
-        let a = m.on_rx_frame(t(400), rts);
+        let a = act!(m.on_rx_frame(t(400), &rts));
         assert!(has_timer(&a, MacTimer::Nav));
 
         // A packet arrives: medium physically idle but NAV busy -> no defer.
-        let a = m.enqueue(t(500), NodeId(3), data_packet(5));
+        let a = act!(m.enqueue(t(500), NodeId(3), data_packet(5)));
         assert!(!has_timer(&a, MacTimer::Defer));
 
         // NAV expires: contention starts.
-        let a = m.on_timer(t(7400), MacTimer::Nav);
+        let a = act!(m.on_timer(t(7400), MacTimer::Nav));
         assert!(has_timer(&a, MacTimer::Defer));
     }
 
     #[test]
     fn busy_carrier_freezes_backoff_and_resumes() {
         let mut m = mac(0);
-        m.enqueue(t(0), NodeId(1), data_packet(1));
+        act!(m.enqueue(t(0), NodeId(1), data_packet(1)));
         // Go through one CTS timeout to force a backoff.
-        m.on_timer(t(50), MacTimer::Defer);
-        m.on_tx_done(t(402));
-        let a = m.on_timer(t(1000), MacTimer::CtsTimeout);
+        act!(m.on_timer(t(50), MacTimer::Defer));
+        act!(m.on_tx_done(t(402)));
+        let a = act!(m.on_timer(t(1000), MacTimer::CtsTimeout));
         assert!(has_timer(&a, MacTimer::Defer));
-        let a = m.on_timer(t(1050), MacTimer::Defer);
+        let a = act!(m.on_timer(t(1050), MacTimer::Defer));
         assert!(has_timer(&a, MacTimer::Backoff));
 
         // Medium goes busy mid-countdown: backoff timer cancelled.
-        let a = m.on_carrier_busy(t(1060));
+        let a = act!(m.on_carrier_busy(t(1060)));
         assert!(a.contains(&MacAction::CancelTimer(MacTimer::Backoff)));
 
         // Idle again: defer then resumed backoff.
-        let a = m.on_carrier_idle(t(2000));
+        let a = act!(m.on_carrier_idle(t(2000)));
         assert!(has_timer(&a, MacTimer::Defer));
-        let a = m.on_timer(t(2050), MacTimer::Defer);
+        let a = act!(m.on_timer(t(2050), MacTimer::Defer));
         // Either resumes counting or, if 0 slots remained, transmits.
         assert!(has_timer(&a, MacTimer::Backoff) || !a.is_empty());
     }
@@ -951,7 +982,7 @@ mod tests {
     fn eifs_after_corrupted_frame() {
         let mut m = mac(0);
         m.on_rx_corrupt(t(100));
-        let a = m.enqueue(t(100), NodeId(1), data_packet(1));
+        let a = act!(m.enqueue(t(100), NodeId(1), data_packet(1)));
         let delay = a.iter().find_map(|x| match x {
             MacAction::SetTimer {
                 timer: MacTimer::Defer,
@@ -961,7 +992,7 @@ mod tests {
         });
         assert_eq!(delay, Some(params().eifs()));
         // After the EIFS defer, normal DIFS resumes.
-        m.on_timer(t(464), MacTimer::Defer);
+        act!(m.on_timer(t(464), MacTimer::Defer));
         assert_eq!(m.counters().rts_sent, 1);
     }
 
@@ -976,14 +1007,14 @@ mod tests {
             nav: SimDuration::ZERO,
             packet: data_packet(uid),
         };
-        let a = m.on_rx_frame(t(100), mk(1));
+        let a = act!(m.on_rx_frame(t(100), &mk(1)));
         assert!(a.iter().any(|x| matches!(x, MacAction::Deliver { .. })));
         // Send the ACK.
-        m.on_timer(t(110), MacTimer::Sifs);
-        m.on_tx_done(t(414));
+        act!(m.on_timer(t(110), MacTimer::Sifs));
+        act!(m.on_tx_done(t(414)));
         // Same MAC seq again (ACK was lost at the sender): ACKed, not
         // delivered twice.
-        let a = m.on_rx_frame(t(9000), mk(1));
+        let a = act!(m.on_rx_frame(t(9000), &mk(1)));
         assert!(!a.iter().any(|x| matches!(x, MacAction::Deliver { .. })));
         assert!(has_timer(&a, MacTimer::Sifs));
         assert_eq!(m.counters().duplicates_suppressed, 1);
@@ -992,15 +1023,15 @@ mod tests {
     #[test]
     fn rts_ignored_while_mid_exchange() {
         let mut m = mac(0);
-        m.enqueue(t(0), NodeId(1), data_packet(1));
-        m.on_timer(t(50), MacTimer::Defer);
-        m.on_tx_done(t(402)); // awaiting CTS
+        act!(m.enqueue(t(0), NodeId(1), data_packet(1)));
+        act!(m.on_timer(t(50), MacTimer::Defer));
+        act!(m.on_tx_done(t(402))); // awaiting CTS
         let rts = MacFrame::Rts {
             src: NodeId(2),
             dst: NodeId(0),
             nav: SimDuration::from_micros(7000),
         };
-        let a = m.on_rx_frame(t(500), rts);
+        let a = act!(m.on_rx_frame(t(500), &rts));
         assert!(
             !has_timer(&a, MacTimer::Sifs),
             "must not CTS while awaiting CTS"
@@ -1010,29 +1041,29 @@ mod tests {
     #[test]
     fn ack_timeout_exhausts_long_retry_limit() {
         let mut m = mac(0);
-        m.enqueue(t(0), NodeId(1), data_packet(1));
+        act!(m.enqueue(t(0), NodeId(1), data_packet(1)));
         let mut now = t(50);
-        let mut actions = m.on_timer(now, MacTimer::Defer); // RTS out
+        let mut actions = act!(m.on_timer(now, MacTimer::Defer)); // RTS out
         let mut failures = 0;
         for _round in 0..4 {
             assert!(matches!(started_frame(&actions), MacFrame::Rts { .. }));
             now += SimDuration::from_micros(352);
-            m.on_tx_done(now);
+            act!(m.on_tx_done(now));
             // CTS arrives.
             let cts = MacFrame::Cts {
                 src: NodeId(1),
                 dst: NodeId(0),
                 nav: SimDuration::ZERO,
             };
-            m.on_rx_frame(now + SimDuration::from_micros(314), cts);
+            act!(m.on_rx_frame(now + SimDuration::from_micros(314), &cts));
             now += SimDuration::from_micros(324);
-            let a = m.on_timer(now, MacTimer::Sifs);
+            let a = act!(m.on_timer(now, MacTimer::Sifs));
             assert!(matches!(started_frame(&a), MacFrame::Data { .. }));
             now += SimDuration::from_micros(6304);
-            m.on_tx_done(now);
+            act!(m.on_tx_done(now));
             // No ACK: timeout.
             now += params().ack_timeout();
-            let a = m.on_timer(now, MacTimer::AckTimeout);
+            let a = act!(m.on_timer(now, MacTimer::AckTimeout));
             if a.iter()
                 .any(|x| matches!(x, MacAction::TxConfirm { success: false, .. }))
             {
@@ -1040,9 +1071,9 @@ mod tests {
                 break;
             }
             // Work through defer + backoff for the retry.
-            let a = m.on_timer(now, MacTimer::Defer);
+            let a = act!(m.on_timer(now, MacTimer::Defer));
             assert!(has_timer(&a, MacTimer::Backoff));
-            actions = m.on_timer(now + SimDuration::from_millis(20), MacTimer::Backoff);
+            actions = act!(m.on_timer(now + SimDuration::from_millis(20), MacTimer::Backoff));
         }
         assert_eq!(failures, 1, "must fail after 4 DATA attempts");
         assert_eq!(m.counters().data_retry_drops, 1);
@@ -1052,36 +1083,36 @@ mod tests {
     #[test]
     fn next_queued_packet_enters_service_after_success() {
         let mut m = mac(0);
-        m.enqueue(t(0), NodeId(1), data_packet(1));
-        m.enqueue(t(0), NodeId(1), data_packet(2));
+        act!(m.enqueue(t(0), NodeId(1), data_packet(1)));
+        act!(m.enqueue(t(0), NodeId(1), data_packet(2)));
         // Run exchange 1 quickly.
-        m.on_timer(t(50), MacTimer::Defer);
-        m.on_tx_done(t(402));
-        m.on_rx_frame(
+        act!(m.on_timer(t(50), MacTimer::Defer));
+        act!(m.on_tx_done(t(402)));
+        act!(m.on_rx_frame(
             t(716),
-            MacFrame::Cts {
+            &MacFrame::Cts {
                 src: NodeId(1),
                 dst: NodeId(0),
                 nav: SimDuration::ZERO,
             },
-        );
-        m.on_timer(t(726), MacTimer::Sifs);
-        m.on_tx_done(t(7030));
-        let a = m.on_rx_frame(
+        ));
+        act!(m.on_timer(t(726), MacTimer::Sifs));
+        act!(m.on_tx_done(t(7030)));
+        let a = act!(m.on_rx_frame(
             t(7344),
-            MacFrame::Ack {
+            &MacFrame::Ack {
                 src: NodeId(1),
                 dst: NodeId(0),
             },
-        );
+        ));
         assert!(a
             .iter()
             .any(|x| matches!(x, MacAction::TxConfirm { success: true, .. })));
         // Post-backoff armed; defer scheduled for packet 2.
         assert!(has_timer(&a, MacTimer::Defer));
-        let a = m.on_timer(t(7394), MacTimer::Defer);
+        let a = act!(m.on_timer(t(7394), MacTimer::Defer));
         assert!(has_timer(&a, MacTimer::Backoff));
-        let a = m.on_timer(t(8000), MacTimer::Backoff);
+        let a = act!(m.on_timer(t(8000), MacTimer::Backoff));
         assert!(matches!(started_frame(&a), MacFrame::Rts { .. }));
         assert_eq!(m.counters().unicast_accepted, 2);
     }
@@ -1089,16 +1120,16 @@ mod tests {
     #[test]
     fn cw_doubles_and_resets() {
         let mut m = mac(0);
-        m.enqueue(t(0), NodeId(1), data_packet(1));
-        m.on_timer(t(50), MacTimer::Defer);
-        m.on_tx_done(t(402));
+        act!(m.enqueue(t(0), NodeId(1), data_packet(1)));
+        act!(m.on_timer(t(50), MacTimer::Defer));
+        act!(m.on_tx_done(t(402)));
         assert_eq!(m.cw, 31);
-        m.on_timer(t(1000), MacTimer::CtsTimeout);
+        act!(m.on_timer(t(1000), MacTimer::CtsTimeout));
         assert_eq!(m.cw, 63);
-        m.on_timer(t(1000), MacTimer::Defer);
-        m.on_timer(t(30_000), MacTimer::Backoff);
-        m.on_tx_done(t(31_000));
-        m.on_timer(t(32_000), MacTimer::CtsTimeout);
+        act!(m.on_timer(t(1000), MacTimer::Defer));
+        act!(m.on_timer(t(30_000), MacTimer::Backoff));
+        act!(m.on_tx_done(t(31_000)));
+        act!(m.on_timer(t(32_000), MacTimer::CtsTimeout));
         assert_eq!(m.cw, 127);
     }
 }
@@ -1128,7 +1159,7 @@ mod extension_tests {
         let params = MacParams::ieee80211b(DataRate::MBPS_2);
         let mut m = Dcf::new(NodeId(0), params, Pcg32::new(1));
         for i in 0..20 {
-            m.enqueue(t(i), NodeId(1), data_packet(i));
+            act!(m.enqueue(t(i), NodeId(1), data_packet(i)));
         }
         assert_eq!(m.counters().early_drops, 0);
         assert!(!m.lred_drops_now());
@@ -1148,8 +1179,8 @@ mod extension_tests {
         m.note_exchange_retries(7);
         assert!(m.retry_ewma > 2.0);
         // With max_p = 1.0 above max_th, the head-of-line packet drops.
-        m.enqueue(t(0), NodeId(1), data_packet(1));
-        let a = m.on_timer(t(50), MacTimer::Defer);
+        act!(m.enqueue(t(0), NodeId(1), data_packet(1)));
+        let a = act!(m.on_timer(t(50), MacTimer::Defer));
         assert!(a.iter().any(|x| matches!(
             x,
             MacAction::Dropped {
@@ -1179,34 +1210,34 @@ mod extension_tests {
         let mut params = MacParams::ieee80211b(DataRate::MBPS_2);
         params.adaptive_pacing = true;
         let mut m = Dcf::new(NodeId(0), params, Pcg32::new(1));
-        m.enqueue(t(0), NodeId(1), data_packet(1));
-        m.enqueue(t(0), NodeId(1), data_packet(2));
+        act!(m.enqueue(t(0), NodeId(1), data_packet(1)));
+        act!(m.enqueue(t(0), NodeId(1), data_packet(2)));
         // Run the first exchange to completion.
-        m.on_timer(t(50), MacTimer::Defer);
-        m.on_tx_done(t(402));
-        m.on_rx_frame(
+        act!(m.on_timer(t(50), MacTimer::Defer));
+        act!(m.on_tx_done(t(402)));
+        act!(m.on_rx_frame(
             t(716),
-            MacFrame::Cts {
+            &MacFrame::Cts {
                 src: NodeId(1),
                 dst: NodeId(0),
                 nav: SimDuration::ZERO,
             },
-        );
-        m.on_timer(t(726), MacTimer::Sifs);
-        m.on_tx_done(t(7030));
-        let a = m.on_rx_frame(
+        ));
+        act!(m.on_timer(t(726), MacTimer::Sifs));
+        act!(m.on_tx_done(t(7030)));
+        let a = act!(m.on_rx_frame(
             t(7344),
-            MacFrame::Ack {
+            &MacFrame::Ack {
                 src: NodeId(1),
                 dst: NodeId(0),
             },
-        );
+        ));
         assert!(a
             .iter()
             .any(|x| matches!(x, MacAction::TxConfirm { success: true, .. })));
         // Next packet's backoff includes ~one data airtime (6304 us ≈ 315
         // slots) on top of the contention window draw.
-        let d = m.on_timer(t(7394), MacTimer::Defer);
+        let d = act!(m.on_timer(t(7394), MacTimer::Defer));
         let delay = d.iter().find_map(|x| match x {
             MacAction::SetTimer {
                 timer: MacTimer::Backoff,

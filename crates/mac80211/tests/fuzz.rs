@@ -109,36 +109,34 @@ proptest! {
         let mut on_air = false;
         let mut uid = 0u64;
 
+        let mut actions = Vec::new();
         for input in inputs {
             now += SimDuration::from_micros(50);
-            let actions = match input {
+            actions.clear();
+            match input {
                 Input::EnqueueUnicast => {
                     uid += 1;
-                    dcf.enqueue(now, NodeId(1), data_packet(uid))
+                    dcf.enqueue(now, NodeId(1), data_packet(uid), &mut actions);
                 }
                 Input::EnqueueBroadcast => {
                     uid += 1;
-                    dcf.enqueue(now, NodeId::BROADCAST, data_packet(uid))
+                    dcf.enqueue(now, NodeId::BROADCAST, data_packet(uid), &mut actions);
                 }
-                Input::CarrierBusy => dcf.on_carrier_busy(now),
-                Input::CarrierIdle => dcf.on_carrier_idle(now),
+                Input::CarrierBusy => dcf.on_carrier_busy(now, &mut actions),
+                Input::CarrierIdle => dcf.on_carrier_idle(now, &mut actions),
                 Input::RxCorrupt => dcf.on_rx_corrupt(now),
-                Input::Timer(t) => dcf.on_timer(now, t),
+                Input::Timer(t) => dcf.on_timer(now, t, &mut actions),
                 Input::TxDone => {
                     if on_air {
                         on_air = false;
-                        dcf.on_tx_done(now)
-                    } else {
-                        Vec::new()
+                        dcf.on_tx_done(now, &mut actions);
                     }
                 }
                 Input::RxFrame(code) => {
-                    if on_air {
+                    if !on_air {
                         // A half-duplex radio cannot receive while
                         // transmitting; the host never delivers then.
-                        Vec::new()
-                    } else {
-                        dcf.on_rx_frame(now, frame_for(code, me))
+                        dcf.on_rx_frame(now, &frame_for(code, me), &mut actions);
                     }
                 }
             };
@@ -172,7 +170,8 @@ proptest! {
         let mut dcf = Dcf::new(me, params, Pcg32::new(seed));
         let mut now = SimTime::ZERO;
         let mut pending: Vec<MacTimer> = Vec::new();
-        let mut actions = dcf.enqueue(now, NodeId(1), data_packet(1));
+        let mut actions = Vec::new();
+        dcf.enqueue(now, NodeId(1), data_packet(1), &mut actions);
         let mut transmitted = false;
         for _round in 0..64 {
             for a in &actions {
@@ -188,7 +187,8 @@ proptest! {
             }
             let Some(timer) = pending.pop() else { break };
             now += SimDuration::from_millis(1);
-            actions = dcf.on_timer(now, timer);
+            actions.clear();
+            dcf.on_timer(now, timer, &mut actions);
         }
         prop_assert!(transmitted, "MAC never transmitted on a quiet medium");
     }

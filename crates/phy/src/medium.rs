@@ -186,34 +186,39 @@ impl Medium {
     /// # Panics
     ///
     /// Panics if the number of positions changes.
-    pub fn set_positions(&mut self, positions: Vec<Position>) {
+    pub fn set_positions(&mut self, positions: &[Position]) {
         assert_eq!(
             positions.len(),
             self.positions.len(),
             "node count is fixed for the lifetime of the medium"
         );
-        self.positions = positions;
+        self.positions.copy_from_slice(positions);
         self.recompute();
     }
 
+    /// Rebuilds every per-transmitter effect list in place. The outer vector
+    /// and each inner buffer are reused, so a mobility tick costs no
+    /// allocations once the buffers have grown to their working size.
     fn recompute(&mut self) {
-        let positions = &self.positions;
-        let ranges = self.ranges;
-        self.effects = (0..positions.len())
-            .map(|tx| {
-                (0..positions.len())
-                    .filter(|&rx| rx != tx)
-                    .filter_map(|rx| {
-                        let d = positions[tx].distance_to(positions[rx]);
-                        ranges.classify(d).map(|class| Effect {
-                            node: NodeId(rx as u32),
-                            class,
-                            delay: SimDuration::from_secs_f64(d / SPEED_OF_LIGHT),
-                        })
-                    })
-                    .collect()
-            })
-            .collect();
+        let n = self.positions.len();
+        self.effects.resize_with(n, Vec::new);
+        for tx in 0..n {
+            let bucket = &mut self.effects[tx];
+            bucket.clear();
+            for rx in 0..n {
+                if rx == tx {
+                    continue;
+                }
+                let d = self.positions[tx].distance_to(self.positions[rx]);
+                if let Some(class) = self.ranges.classify(d) {
+                    bucket.push(Effect {
+                        node: NodeId(rx as u32),
+                        class,
+                        delay: SimDuration::from_secs_f64(d / SPEED_OF_LIGHT),
+                    });
+                }
+            }
+        }
     }
 
     /// Number of nodes.
@@ -345,11 +350,11 @@ mod mobility_tests {
         );
         assert!(m.in_tx_range(NodeId(0), NodeId(1)));
         // Node 1 walks out of decode range but stays sensed.
-        m.set_positions(vec![Position::new(0.0, 0.0), Position::new(400.0, 0.0)]);
+        m.set_positions(&[Position::new(0.0, 0.0), Position::new(400.0, 0.0)]);
         assert!(!m.in_tx_range(NodeId(0), NodeId(1)));
         assert!(m.effects_of(NodeId(0)).iter().any(|e| e.class.senses));
         // And fully out of range.
-        m.set_positions(vec![Position::new(0.0, 0.0), Position::new(900.0, 0.0)]);
+        m.set_positions(&[Position::new(0.0, 0.0), Position::new(900.0, 0.0)]);
         assert!(m.effects_of(NodeId(0)).is_empty());
     }
 
@@ -357,6 +362,6 @@ mod mobility_tests {
     #[should_panic(expected = "node count is fixed")]
     fn node_count_change_rejected() {
         let mut m = Medium::new(vec![Position::new(0.0, 0.0)], RangeModel::paper());
-        m.set_positions(vec![Position::new(0.0, 0.0), Position::new(1.0, 0.0)]);
+        m.set_positions(&[Position::new(0.0, 0.0), Position::new(1.0, 0.0)]);
     }
 }

@@ -16,8 +16,10 @@
 //!   transmission abandons any reception in progress;
 //! * physical carrier sense reports busy whenever the node transmits or any
 //!   `senses`-class signal is on the air.
-
-use mwn_sim::FxHashMap;
+//!
+//! All event-producing methods append to a caller-supplied buffer instead
+//! of returning a fresh `Vec`: the transceiver sits on the event loop's hot
+//! path and must not allocate per event.
 
 use crate::counters::PhyCounters;
 use crate::medium::SignalClass;
@@ -63,15 +65,18 @@ pub enum RadioEvent {
 ///
 /// let decodable = RangeModel::paper().classify(200.0).unwrap();
 /// let mut radio = Transceiver::new();
-/// let ev = radio.signal_start(TxId(1), decodable);
+/// let mut ev = Vec::new();
+/// radio.signal_start(TxId(1), decodable, &mut ev);
 /// assert_eq!(ev, vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(1))]);
-/// let ev = radio.signal_end(TxId(1));
+/// ev.clear();
+/// radio.signal_end(TxId(1), &mut ev);
 /// assert_eq!(ev, vec![RadioEvent::RxEnd { tx: TxId(1), ok: true }, RadioEvent::CarrierIdle]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Transceiver {
-    /// All signals currently on the air at this node.
-    active: FxHashMap<TxId, SignalClass>,
+    /// All signals currently on the air at this node. A handful at most, so
+    /// a flat list beats a hash map on every lookup the hot path makes.
+    active: Vec<(TxId, SignalClass)>,
     /// Count of active signals with `senses == true`.
     sensing: usize,
     /// The reception we are locked onto, if any.
@@ -112,7 +117,7 @@ impl Transceiver {
     /// disables capture: any overlapping interference corrupts).
     pub fn with_capture(capture_threshold: Option<f64>) -> Self {
         Transceiver {
-            active: FxHashMap::default(),
+            active: Vec::new(),
             sensing: 0,
             rx: None,
             transmitting: false,
@@ -152,22 +157,24 @@ impl Transceiver {
         self.transmitting
     }
 
-    /// A classified signal starts arriving.
+    /// A classified signal starts arriving; resulting events are appended
+    /// to `out`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `tx` is already active (caller must assign unique ids).
-    pub fn signal_start(&mut self, tx: TxId, class: SignalClass) -> Vec<RadioEvent> {
+    /// Callers must assign unique ids; a duplicate active `tx` panics in
+    /// debug builds (the check is an O(active) scan, skipped in release).
+    pub fn signal_start(&mut self, tx: TxId, class: SignalClass, out: &mut Vec<RadioEvent>) {
         let was_busy = self.carrier_busy();
-        let prev = self.active.insert(tx, class);
-        assert!(prev.is_none(), "duplicate signal id {tx:?}");
+        debug_assert!(
+            !self.active.iter().any(|&(id, _)| id == tx),
+            "duplicate signal id {tx:?}"
+        );
+        self.active.push((tx, class));
         if class.senses {
             self.sensing += 1;
         }
 
-        let mut events = Vec::new();
         if !was_busy && self.carrier_busy() {
-            events.push(RadioEvent::CarrierBusy);
+            out.push(RadioEvent::CarrierBusy);
         }
 
         if self.rx.is_none() && !self.transmitting {
@@ -178,7 +185,7 @@ impl Transceiver {
             // occupies the receiver, and the real frame is lost.
             let mut contested = false;
             let mut interfered = false;
-            for (&id, c) in &self.active {
+            for &(id, c) in &self.active {
                 if id == tx || !c.interferes {
                     continue;
                 }
@@ -202,7 +209,7 @@ impl Transceiver {
                 corrupted: !class.decodable || interfered,
             });
             if class.decodable {
-                events.push(RadioEvent::RxStart(tx));
+                out.push(RadioEvent::RxStart(tx));
             }
         } else if class.interferes {
             // Interference corrupts the reception in progress, unless the
@@ -221,72 +228,72 @@ impl Transceiver {
                 self.counters.captures += 1;
             }
         }
-
-        events
     }
 
-    /// A previously started signal ends.
+    /// A previously started signal ends; resulting events are appended to
+    /// `out`.
     ///
     /// # Panics
     ///
     /// Panics if `tx` was never started.
-    pub fn signal_end(&mut self, tx: TxId) -> Vec<RadioEvent> {
+    pub fn signal_end(&mut self, tx: TxId, out: &mut Vec<RadioEvent>) {
         let was_busy = self.carrier_busy();
-        let class = self.active.remove(&tx).expect("signal_end without start");
+        let pos = self
+            .active
+            .iter()
+            .position(|&(id, _)| id == tx)
+            .expect("signal_end without start");
+        let (_, class) = self.active.swap_remove(pos);
         if class.senses {
             self.sensing -= 1;
         }
 
-        let mut events = Vec::new();
         if let Some(rx) = self.rx {
             if rx.tx == tx {
                 self.rx = None;
                 if rx.decodable {
-                    events.push(RadioEvent::RxEnd {
+                    out.push(RadioEvent::RxEnd {
                         tx,
                         ok: !rx.corrupted,
                     });
                 } else {
                     // Locked noise ended: PHY-RXEND with error → EIFS.
                     self.counters.undecoded += 1;
-                    events.push(RadioEvent::UndecodedEnd);
+                    out.push(RadioEvent::UndecodedEnd);
                 }
             }
             // Signals that never locked the radio were discarded at
             // arrival (ns-2 frees them silently): no event at their end.
         }
         if was_busy && !self.carrier_busy() {
-            events.push(RadioEvent::CarrierIdle);
+            out.push(RadioEvent::CarrierIdle);
         }
-        events
     }
 
     /// The node starts transmitting. Any reception in progress is
-    /// abandoned (no `RxEnd` will be reported for it).
-    pub fn tx_start(&mut self) -> Vec<RadioEvent> {
+    /// abandoned (no `RxEnd` will be reported for it). Resulting events
+    /// are appended to `out`.
+    pub fn tx_start(&mut self, out: &mut Vec<RadioEvent>) {
         let was_busy = self.carrier_busy();
         self.transmitting = true;
         self.rx = None;
-        let mut events = Vec::new();
         if !was_busy {
-            events.push(RadioEvent::CarrierBusy);
+            out.push(RadioEvent::CarrierBusy);
         }
-        events
     }
 
-    /// The node's transmission ends.
+    /// The node's transmission ends; resulting events are appended to
+    /// `out`.
     ///
     /// # Panics
     ///
     /// Panics if the node was not transmitting.
-    pub fn tx_end(&mut self) -> Vec<RadioEvent> {
+    pub fn tx_end(&mut self, out: &mut Vec<RadioEvent>) {
         assert!(self.transmitting, "tx_end without tx_start");
         self.transmitting = false;
-        let mut events = Vec::new();
         if !self.carrier_busy() {
-            events.push(RadioEvent::CarrierIdle);
+            out.push(RadioEvent::CarrierIdle);
         }
-        events
     }
 }
 
@@ -311,17 +318,41 @@ mod tests {
         RangeModel::paper().classify(300.0).unwrap()
     }
 
+    fn start(r: &mut Transceiver, tx: TxId, class: SignalClass) -> Vec<RadioEvent> {
+        let mut out = Vec::new();
+        r.signal_start(tx, class, &mut out);
+        out
+    }
+
+    fn end(r: &mut Transceiver, tx: TxId) -> Vec<RadioEvent> {
+        let mut out = Vec::new();
+        r.signal_end(tx, &mut out);
+        out
+    }
+
+    fn tx_start(r: &mut Transceiver) -> Vec<RadioEvent> {
+        let mut out = Vec::new();
+        r.tx_start(&mut out);
+        out
+    }
+
+    fn tx_end(r: &mut Transceiver) -> Vec<RadioEvent> {
+        let mut out = Vec::new();
+        r.tx_end(&mut out);
+        out
+    }
+
     #[test]
     fn clean_reception() {
         let mut r = Transceiver::new();
         assert!(!r.carrier_busy());
-        let ev = r.signal_start(TxId(1), decodable());
+        let ev = start(&mut r, TxId(1), decodable());
         assert_eq!(
             ev,
             vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(1))]
         );
         assert!(r.receiving());
-        let ev = r.signal_end(TxId(1));
+        let ev = end(&mut r, TxId(1));
         assert_eq!(
             ev,
             vec![
@@ -340,10 +371,10 @@ mod tests {
         // Paper chain geometry: sender 200 m away, interferer 400 m away.
         // Power ratio (two-ray ground) = 12.5 ≥ CPThresh 10: survive.
         let mut r = Transceiver::new();
-        r.signal_start(TxId(1), decodable());
-        let ev = r.signal_start(TxId(2), interference());
+        start(&mut r, TxId(1), decodable());
+        let ev = start(&mut r, TxId(2), interference());
         assert!(ev.is_empty());
-        let ev = r.signal_end(TxId(1));
+        let ev = end(&mut r, TxId(1));
         assert_eq!(
             ev,
             vec![RadioEvent::RxEnd {
@@ -351,17 +382,17 @@ mod tests {
                 ok: true
             }]
         );
-        r.signal_end(TxId(2));
+        end(&mut r, TxId(2));
     }
 
     #[test]
     fn strong_hidden_terminal_corrupts_reception() {
         let mut r = Transceiver::new();
-        r.signal_start(TxId(1), decodable());
+        start(&mut r, TxId(1), decodable());
         // 300 m interferer: ratio ≈ 4 < 10, reception is doomed.
-        let ev = r.signal_start(TxId(2), strong_interference());
+        let ev = start(&mut r, TxId(2), strong_interference());
         assert!(ev.is_empty()); // carrier already busy, no new lock
-        let ev = r.signal_end(TxId(1));
+        let ev = end(&mut r, TxId(1));
         assert_eq!(
             ev,
             vec![RadioEvent::RxEnd {
@@ -372,16 +403,16 @@ mod tests {
         // Medium still busy until the interferer ends; the never-locked
         // interferer ends silently.
         assert!(r.carrier_busy());
-        let ev = r.signal_end(TxId(2));
+        let ev = end(&mut r, TxId(2));
         assert_eq!(ev, vec![RadioEvent::CarrierIdle]);
     }
 
     #[test]
     fn without_capture_any_interference_corrupts() {
         let mut r = Transceiver::with_capture(None);
-        r.signal_start(TxId(1), decodable());
-        r.signal_start(TxId(2), interference()); // weak, but no capture
-        let ev = r.signal_end(TxId(1));
+        start(&mut r, TxId(1), decodable());
+        start(&mut r, TxId(2), interference()); // weak, but no capture
+        let ev = end(&mut r, TxId(1));
         assert_eq!(
             ev,
             vec![RadioEvent::RxEnd {
@@ -389,17 +420,17 @@ mod tests {
                 ok: false
             }]
         );
-        r.signal_end(TxId(2));
+        end(&mut r, TxId(2));
     }
 
     #[test]
     fn two_equal_decodable_frames_collide() {
         // Equal power: no capture in either direction.
         let mut r = Transceiver::new();
-        r.signal_start(TxId(1), decodable());
-        let ev = r.signal_start(TxId(2), decodable());
+        start(&mut r, TxId(1), decodable());
+        let ev = start(&mut r, TxId(2), decodable());
         assert!(ev.is_empty()); // no second lock
-        let ev = r.signal_end(TxId(1));
+        let ev = end(&mut r, TxId(1));
         assert_eq!(
             ev,
             vec![RadioEvent::RxEnd {
@@ -408,32 +439,32 @@ mod tests {
             }]
         );
         // Frame 2 was never locked: discarded at arrival, silent end.
-        let ev = r.signal_end(TxId(2));
+        let ev = end(&mut r, TxId(2));
         assert_eq!(ev, vec![RadioEvent::CarrierIdle]);
     }
 
     #[test]
     fn half_duplex_no_rx_while_transmitting() {
         let mut r = Transceiver::new();
-        let ev = r.tx_start();
+        let ev = tx_start(&mut r);
         assert_eq!(ev, vec![RadioEvent::CarrierBusy]);
-        let ev = r.signal_start(TxId(1), decodable());
+        let ev = start(&mut r, TxId(1), decodable());
         assert!(ev.is_empty()); // no lock, carrier already busy
         assert!(!r.receiving());
-        r.signal_end(TxId(1));
-        let ev = r.tx_end();
+        end(&mut r, TxId(1));
+        let ev = tx_end(&mut r);
         assert_eq!(ev, vec![RadioEvent::CarrierIdle]);
     }
 
     #[test]
     fn tx_start_abandons_reception() {
         let mut r = Transceiver::new();
-        r.signal_start(TxId(1), decodable());
+        start(&mut r, TxId(1), decodable());
         assert!(r.receiving());
-        r.tx_start();
+        tx_start(&mut r);
         assert!(!r.receiving());
         // Signal 1 ends with no RxEnd: the radio moved on.
-        let ev = r.signal_end(TxId(1));
+        let ev = end(&mut r, TxId(1));
         assert!(ev.is_empty());
         assert!(r.carrier_busy()); // still transmitting
     }
@@ -441,11 +472,11 @@ mod tests {
     #[test]
     fn sense_only_signal_locks_as_noise_and_eifs_at_end() {
         let mut r = Transceiver::new();
-        let ev = r.signal_start(TxId(1), interference());
+        let ev = start(&mut r, TxId(1), interference());
         assert_eq!(ev, vec![RadioEvent::CarrierBusy]);
         assert!(!r.receiving(), "noise is not a frame reception");
         assert!(r.carrier_busy());
-        let ev = r.signal_end(TxId(1));
+        let ev = end(&mut r, TxId(1));
         assert_eq!(ev, vec![RadioEvent::UndecodedEnd, RadioEvent::CarrierIdle]);
     }
 
@@ -453,52 +484,73 @@ mod tests {
     fn carrier_transitions_count_overlaps() {
         let mut r = Transceiver::new();
         assert_eq!(
-            r.signal_start(TxId(1), interference()),
+            start(&mut r, TxId(1), interference()),
             vec![RadioEvent::CarrierBusy]
         );
-        assert_eq!(r.signal_start(TxId(2), interference()), vec![]);
+        assert_eq!(start(&mut r, TxId(2), interference()), vec![]);
         // First noise was locked; second was discarded at arrival.
-        assert_eq!(r.signal_end(TxId(1)), vec![RadioEvent::UndecodedEnd]);
-        assert_eq!(r.signal_end(TxId(2)), vec![RadioEvent::CarrierIdle]);
+        assert_eq!(end(&mut r, TxId(1)), vec![RadioEvent::UndecodedEnd]);
+        assert_eq!(end(&mut r, TxId(2)), vec![RadioEvent::CarrierIdle]);
     }
 
     #[test]
     fn undecoded_end_suppressed_while_transmitting() {
         let mut r = Transceiver::new();
-        r.tx_start();
-        r.signal_start(TxId(1), interference());
-        assert!(r.signal_end(TxId(1)).is_empty());
-        r.tx_end();
+        tx_start(&mut r);
+        start(&mut r, TxId(1), interference());
+        assert!(end(&mut r, TxId(1)).is_empty());
+        tx_end(&mut r);
+    }
+
+    #[test]
+    fn events_append_without_clearing() {
+        // The out-parameter contract: callers own clearing.
+        let mut r = Transceiver::new();
+        let mut out = Vec::new();
+        r.signal_start(TxId(1), decodable(), &mut out);
+        r.signal_end(TxId(1), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                RadioEvent::CarrierBusy,
+                RadioEvent::RxStart(TxId(1)),
+                RadioEvent::RxEnd {
+                    tx: TxId(1),
+                    ok: true
+                },
+                RadioEvent::CarrierIdle
+            ]
+        );
     }
 
     #[test]
     #[should_panic(expected = "duplicate signal id")]
     fn duplicate_signal_panics() {
         let mut r = Transceiver::new();
-        r.signal_start(TxId(1), decodable());
-        r.signal_start(TxId(1), decodable());
+        start(&mut r, TxId(1), decodable());
+        start(&mut r, TxId(1), decodable());
     }
 
     #[test]
     #[should_panic(expected = "signal_end without start")]
     fn unmatched_end_panics() {
-        Transceiver::new().signal_end(TxId(9));
+        end(&mut Transceiver::new(), TxId(9));
     }
 
     #[test]
     fn back_to_back_receptions_after_collision_recover() {
         let mut r = Transceiver::new();
-        r.signal_start(TxId(1), decodable());
-        r.signal_start(TxId(2), interference());
-        r.signal_end(TxId(1));
-        r.signal_end(TxId(2));
+        start(&mut r, TxId(1), decodable());
+        start(&mut r, TxId(2), interference());
+        end(&mut r, TxId(1));
+        end(&mut r, TxId(2));
         // Radio recovered: next frame is received cleanly.
-        let ev = r.signal_start(TxId(3), decodable());
+        let ev = start(&mut r, TxId(3), decodable());
         assert_eq!(
             ev,
             vec![RadioEvent::CarrierBusy, RadioEvent::RxStart(TxId(3))]
         );
-        let ev = r.signal_end(TxId(3));
+        let ev = end(&mut r, TxId(3));
         assert_eq!(
             ev,
             vec![

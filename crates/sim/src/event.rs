@@ -1,4 +1,11 @@
-//! Cancellable future-event list.
+//! Reference future-event list: binary heap + tombstone set.
+//!
+//! This was the engine's event queue before the timer wheel
+//! ([`crate::wheel::EventQueue`]) replaced it on the hot path. It is kept —
+//! unchanged in behaviour — as the trusted oracle for the differential
+//! proptests in `tests/wheel_differential.rs`: any schedule/cancel/pop
+//! interleaving must produce the identical pop sequence on both
+//! implementations.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -6,12 +13,10 @@ use std::collections::BinaryHeap;
 use crate::fxhash::FxHashSet;
 
 use crate::time::SimTime;
+use crate::wheel::EventId;
 
-/// Handle to a scheduled event, usable to cancel it before it fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
-
-/// The future-event list of a discrete-event simulation.
+/// The future-event list of a discrete-event simulation, as a binary heap
+/// with a tombstone set for cancellation.
 ///
 /// Events scheduled for the same instant are popped in the order they were
 /// scheduled (FIFO), which keeps runs deterministic. Cancellation is lazy: a
@@ -20,9 +25,9 @@ pub struct EventId(u64);
 /// # Example
 ///
 /// ```
-/// use mwn_sim::{EventQueue, SimTime};
+/// use mwn_sim::{ReferenceEventQueue, SimTime};
 ///
-/// let mut q = EventQueue::new();
+/// let mut q = ReferenceEventQueue::new();
 /// let a = q.schedule(SimTime::from_nanos(10), 'a');
 /// q.schedule(SimTime::from_nanos(10), 'b');
 /// q.cancel(a);
@@ -30,7 +35,7 @@ pub struct EventId(u64);
 /// assert!(q.pop().is_none());
 /// ```
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct ReferenceEventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     /// Ids of scheduled-but-not-yet-fired, not-cancelled events. An entry in
     /// the heap whose id is absent here was cancelled and is skipped on pop.
@@ -67,10 +72,10 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> ReferenceEventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        ReferenceEventQueue {
             heap: BinaryHeap::new(),
             pending: FxHashSet::default(),
             next_id: 0,
@@ -140,7 +145,7 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for ReferenceEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -156,7 +161,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceEventQueue::new();
         q.schedule(t(30), 3);
         q.schedule(t(10), 1);
         q.schedule(t(20), 2);
@@ -168,7 +173,7 @@ mod tests {
 
     #[test]
     fn ties_are_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceEventQueue::new();
         for i in 0..100 {
             q.schedule(t(5), i);
         }
@@ -179,7 +184,7 @@ mod tests {
 
     #[test]
     fn cancellation_skips_events() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceEventQueue::new();
         let a = q.schedule(t(1), 'a');
         let b = q.schedule(t(2), 'b');
         q.schedule(t(3), 'c');
@@ -192,7 +197,7 @@ mod tests {
 
     #[test]
     fn cancel_after_fire_is_noop() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceEventQueue::new();
         let a = q.schedule(t(1), 'a');
         assert_eq!(q.pop(), Some((t(1), 'a')));
         q.cancel(a);
@@ -204,7 +209,7 @@ mod tests {
 
     #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceEventQueue::new();
         let a = q.schedule(t(1), 'a');
         q.schedule(t(2), 'b');
         q.cancel(a);
@@ -216,7 +221,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "scheduling into the past")]
     fn scheduling_into_the_past_panics() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceEventQueue::new();
         q.schedule(t(10), ());
         q.pop();
         q.schedule(t(5), ());
@@ -224,7 +229,7 @@ mod tests {
 
     #[test]
     fn rescheduling_at_now_is_allowed() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceEventQueue::new();
         q.schedule(t(10), 1);
         assert_eq!(q.pop(), Some((t(10), 1)));
         q.schedule(t(10), 2);

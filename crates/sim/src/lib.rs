@@ -5,7 +5,9 @@
 //!
 //! * [`SimTime`] and [`SimDuration`] — nanosecond-resolution simulated time,
 //! * [`EventQueue`] — a cancellable future-event list with a deterministic
-//!   tie-break for events scheduled at the same instant,
+//!   tie-break for events scheduled at the same instant, implemented as a
+//!   hierarchical timer wheel ([`ReferenceEventQueue`] is the retained
+//!   binary-heap oracle it is differentially tested against),
 //! * [`Pcg32`] — a small, fully deterministic pseudo-random number generator,
 //! * [`stats`] — batch-means steady-state statistics, confidence intervals,
 //!   time-weighted averages and Jain's fairness index,
@@ -31,9 +33,11 @@ pub mod profile;
 mod rng;
 pub mod stats;
 mod time;
+mod wheel;
 
-pub use event::{EventId, EventQueue};
+pub use event::ReferenceEventQueue;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use profile::EngineProfile;
 pub use rng::Pcg32;
 pub use time::{SimDuration, SimTime};
+pub use wheel::{EventId, EventQueue};

@@ -7,14 +7,17 @@
 //! ([`EngineProfile::events_per_sec`]) so the profile itself stays a pure
 //! function of the simulation.
 
-use crate::fxhash::FxHashMap;
-
 /// Accumulated event-loop statistics.
+///
+/// The per-kind histogram is a linear-scan `Vec` rather than a hash map:
+/// hosts record a handful of distinct `&'static str` kinds millions of
+/// times, so a pointer-equality scan over ≤ a dozen entries beats hashing
+/// the string on every event.
 #[derive(Debug, Clone, Default)]
 pub struct EngineProfile {
     events_processed: u64,
     peak_queue_depth: usize,
-    by_kind: FxHashMap<&'static str, u64>,
+    by_kind: Vec<(&'static str, u64)>,
 }
 
 impl EngineProfile {
@@ -30,7 +33,21 @@ impl EngineProfile {
         if queue_depth > self.peak_queue_depth {
             self.peak_queue_depth = queue_depth;
         }
-        *self.by_kind.entry(kind).or_insert(0) += 1;
+        self.bump(kind, 1);
+    }
+
+    /// Adds `n` to `kind`'s bucket. Callers pass the same literal for the
+    /// same kind, so `std::ptr::eq` almost always hits; content equality
+    /// is the correctness fallback for distinct instances of equal
+    /// strings (e.g. across codegen units).
+    fn bump(&mut self, kind: &'static str, n: u64) {
+        for (k, count) in &mut self.by_kind {
+            if std::ptr::eq(*k as *const str, kind as *const str) || *k == kind {
+                *count += n;
+                return;
+            }
+        }
+        self.by_kind.push((kind, n));
     }
 
     /// Total events processed.
@@ -45,7 +62,7 @@ impl EngineProfile {
 
     /// The event-count histogram, sorted by kind name (deterministic).
     pub fn by_kind(&self) -> Vec<(&'static str, u64)> {
-        let mut v: Vec<(&'static str, u64)> = self.by_kind.iter().map(|(&k, &n)| (k, n)).collect();
+        let mut v = self.by_kind.clone();
         v.sort_unstable_by_key(|&(k, _)| k);
         v
     }
@@ -63,8 +80,8 @@ impl EngineProfile {
     pub fn merge(&mut self, other: &EngineProfile) {
         self.events_processed += other.events_processed;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
-        for (&k, &n) in &other.by_kind {
-            *self.by_kind.entry(k).or_insert(0) += n;
+        for &(k, n) in &other.by_kind {
+            self.bump(k, n);
         }
     }
 }

@@ -1,0 +1,102 @@
+//! Differential test: the timer wheel against the reference queue.
+//!
+//! [`EventQueue`] (hierarchical timer wheel) replaced
+//! [`ReferenceEventQueue`] (binary heap + tombstones) on the engine's hot
+//! path. The two must be observationally identical: for ANY interleaving
+//! of schedules, cancels and pops — including cancels of ids that already
+//! fired — both queues must pop the exact same `(time, payload)` sequence
+//! and report the same live count.
+
+use mwn_sim::{EventQueue, ReferenceEventQueue, SimTime};
+use proptest::prelude::*;
+
+/// One scripted operation on both queues.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule a payload `delta_ns` after the last popped time.
+    Schedule { delta_ns: u64 },
+    /// Cancel the k-th id ever handed out (possibly already fired).
+    Cancel { k: usize },
+    /// Pop one event from both queues and compare.
+    Pop,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Mostly near-future times (exercises the ready heap and the low
+        // wheel levels), some mid-range (higher levels), and a few far
+        // enough out to land in the overflow heap beyond the wheel span.
+        (0u64..2_000_000).prop_map(|delta_ns| Op::Schedule { delta_ns }),
+        (0u64..500).prop_map(|delta_ns| Op::Schedule { delta_ns }),
+        (0u64..(1 << 50)).prop_map(|delta_ns| Op::Schedule { delta_ns }),
+        (0usize..256).prop_map(|k| Op::Cancel { k }),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wheel_matches_reference_queue(
+        ops in proptest::collection::vec(arb_op(), 1..300),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut reference = ReferenceEventQueue::new();
+        let mut ids = Vec::new();
+        let mut now = 0u64;
+        let mut payload = 0u32;
+        for op in ops {
+            match op {
+                Op::Schedule { delta_ns } => {
+                    let at = SimTime::from_nanos(now + delta_ns);
+                    ids.push((wheel.schedule(at, payload), reference.schedule(at, payload)));
+                    payload += 1;
+                }
+                Op::Cancel { k } => {
+                    if !ids.is_empty() {
+                        let (w, r) = ids[k % ids.len()];
+                        wheel.cancel(w);
+                        reference.cancel(r);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(wheel.peek_time(), reference.peek_time());
+                    let got = wheel.pop();
+                    prop_assert_eq!(got, reference.pop());
+                    if let Some((t, _)) = got {
+                        now = t.as_nanos();
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), reference.len());
+            prop_assert_eq!(wheel.is_empty(), reference.is_empty());
+        }
+        // Drain both to the end: the full tail must match too.
+        loop {
+            let got = wheel.pop();
+            prop_assert_eq!(got, reference.pop());
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same-instant events pop FIFO by schedule order on both queues.
+    #[test]
+    fn simultaneous_events_stay_fifo(count in 1usize..200, time_ns in 0u64..(1 << 44)) {
+        let mut wheel = EventQueue::new();
+        let mut reference = ReferenceEventQueue::new();
+        let at = SimTime::from_nanos(time_ns);
+        for i in 0..count {
+            wheel.schedule(at, i);
+            reference.schedule(at, i);
+        }
+        for i in 0..count {
+            let got = wheel.pop();
+            prop_assert_eq!(got, reference.pop());
+            prop_assert_eq!(got, Some((at, i)));
+        }
+    }
+}

@@ -50,6 +50,22 @@ pub enum TransportTimer {
     Probe,
 }
 
+impl TransportTimer {
+    /// Number of timer kinds; hosts can keep per-flow timer state in a
+    /// flat `[_; TransportTimer::COUNT]` array instead of a hash map.
+    pub const COUNT: usize = 4;
+
+    /// Dense index of this timer kind, in `0..Self::COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            TransportTimer::Rtx => 0,
+            TransportTimer::DelayedAck => 1,
+            TransportTimer::Pace => 2,
+            TransportTimer::Probe => 3,
+        }
+    }
+}
+
 /// Effects requested by a transport agent.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TransportAction {

@@ -21,7 +21,8 @@ use crate::{TransportAction, TransportTimer};
 ///
 /// let gap = SimDuration::from_millis(36);
 /// let mut src = PacedUdpSource::new(FlowId(0), NodeId(0), NodeId(7), gap, 0);
-/// let actions = src.start(SimTime::ZERO);
+/// let mut actions = Vec::new();
+/// src.start(SimTime::ZERO, &mut actions);
 /// assert!(matches!(actions[0], TransportAction::SendPacket(_)));
 /// assert!(matches!(actions[1], TransportAction::SetTimer { timer: TransportTimer::Pace, .. }));
 /// ```
@@ -64,16 +65,16 @@ impl PacedUdpSource {
     }
 
     /// Starts the flow: sends the first packet and arms the pacing timer.
-    pub fn start(&mut self, now: SimTime) -> Vec<TransportAction> {
-        self.emit(now)
+    pub fn start(&mut self, now: SimTime, out: &mut Vec<TransportAction>) {
+        self.emit(now, out);
     }
 
     /// The pacing timer fired: send the next packet and re-arm.
-    pub fn on_pace_timer(&mut self, now: SimTime) -> Vec<TransportAction> {
-        self.emit(now)
+    pub fn on_pace_timer(&mut self, now: SimTime, out: &mut Vec<TransportAction>) {
+        self.emit(now, out);
     }
 
-    fn emit(&mut self, _now: SimTime) -> Vec<TransportAction> {
+    fn emit(&mut self, _now: SimTime, out: &mut Vec<TransportAction>) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let uid = self.next_uid;
@@ -84,13 +85,11 @@ impl PacedUdpSource {
             self.dst,
             Body::Udp(UdpDatagram::cbr(self.flow, seq)),
         );
-        vec![
-            TransportAction::SendPacket(packet),
-            TransportAction::SetTimer {
-                timer: TransportTimer::Pace,
-                delay: self.gap,
-            },
-        ]
+        out.push(TransportAction::SendPacket(packet));
+        out.push(TransportAction::SetTimer {
+            timer: TransportTimer::Pace,
+            delay: self.gap,
+        });
     }
 }
 
@@ -134,11 +133,13 @@ mod tests {
         let gap = SimDuration::from_millis(36);
         let mut s = PacedUdpSource::new(FlowId(0), NodeId(0), NodeId(7), gap, 0);
         let mut now = SimTime::ZERO;
-        let a = s.start(now);
+        let mut a = Vec::new();
+        s.start(now, &mut a);
         assert_eq!(a.len(), 2);
         for i in 1..10u64 {
             now += gap;
-            let a = s.on_pace_timer(now);
+            a.clear();
+            s.on_pace_timer(now, &mut a);
             match &a[0] {
                 TransportAction::SendPacket(p) => match &p.body {
                     Body::Udp(d) => assert_eq!(d.seq, i),

@@ -121,7 +121,9 @@ enum FlavorState {
 /// A packet-granularity TCP sender with an unbounded (FTP) backlog.
 ///
 /// Drive it with [`TcpSender::start`], [`TcpSender::on_ack`] and
-/// [`TcpSender::on_rtx_timeout`]; apply the returned actions.
+/// [`TcpSender::on_rtx_timeout`]; every input appends the requested
+/// effects to a caller-owned action buffer (hot paths reuse one buffer
+/// instead of allocating per event).
 ///
 /// # Example
 ///
@@ -132,7 +134,8 @@ enum FlavorState {
 ///
 /// let mut tx = TcpSender::new(TcpConfig::default(), Flavor::NewReno,
 ///                             FlowId(0), NodeId(0), NodeId(3), 0);
-/// let actions = tx.start(SimTime::ZERO);
+/// let mut actions = Vec::new();
+/// tx.start(SimTime::ZERO, &mut actions);
 /// // Initial window is 1 packet: one send plus the retransmit timer.
 /// assert!(matches!(actions[0], TransportAction::SendPacket(_)));
 /// assert_eq!(tx.cwnd(), 1.0);
@@ -264,20 +267,17 @@ impl TcpSender {
     }
 
     /// Opens the connection: fills the initial window.
-    pub fn start(&mut self, now: SimTime) -> Vec<TransportAction> {
-        let mut actions = Vec::new();
-        self.send_window(now, &mut actions);
-        self.update_rtx_timer(&mut actions);
-        actions
+    pub fn start(&mut self, now: SimTime, out: &mut Vec<TransportAction>) {
+        self.send_window(now, out);
+        self.update_rtx_timer(out);
     }
 
     /// A cumulative ACK arrived (`ackno` as carried in the segment;
     /// [`TcpSegment::NO_ACK`] means "nothing received yet").
-    pub fn on_ack(&mut self, now: SimTime, ackno: u64) -> Vec<TransportAction> {
-        let mut actions = Vec::new();
+    pub fn on_ack(&mut self, now: SimTime, ackno: u64, out: &mut Vec<TransportAction>) {
         if self.frozen {
             // A probe made it through and back: the route is restored.
-            self.thaw(&mut actions);
+            self.thaw(out);
         }
         let ack_count = if ackno == TcpSegment::NO_ACK {
             0
@@ -285,13 +285,12 @@ impl TcpSender {
             ackno + 1
         };
         if ack_count > self.acked {
-            self.handle_new_ack(now, ack_count, &mut actions);
+            self.handle_new_ack(now, ack_count, out);
         } else if self.t_seqno > self.acked {
-            self.handle_dupack(now, &mut actions);
+            self.handle_dupack(now, out);
         }
-        self.send_window(now, &mut actions);
-        self.update_rtx_timer(&mut actions);
-        actions
+        self.send_window(now, out);
+        self.update_rtx_timer(out);
     }
 
     /// `true` while an ELFN route-failure notice has the sender frozen.
@@ -303,40 +302,36 @@ impl TcpSender {
     /// down. The sender freezes its window and retransmission state and
     /// probes periodically; the ACK of a probe thaws it
     /// (Holland & Vaidya's explicit link failure notification).
-    pub fn on_route_failure(&mut self, _now: SimTime) -> Vec<TransportAction> {
-        let mut actions = Vec::new();
+    pub fn on_route_failure(&mut self, _now: SimTime, out: &mut Vec<TransportAction>) {
         if self.frozen {
-            return actions;
+            return;
         }
         self.frozen = true;
         self.saved_cwnd = self.cwnd;
         if self.rtx_armed {
             self.rtx_armed = false;
-            actions.push(TransportAction::CancelTimer(TransportTimer::Rtx));
+            out.push(TransportAction::CancelTimer(TransportTimer::Rtx));
         }
-        actions.push(TransportAction::SetTimer {
+        out.push(TransportAction::SetTimer {
             timer: TransportTimer::Probe,
             delay: self.config.probe_interval,
         });
-        actions
     }
 
     /// The ELFN probe timer fired: retransmit the first unacked packet
     /// (which also re-triggers route discovery) and re-arm.
-    pub fn on_probe_timer(&mut self, now: SimTime) -> Vec<TransportAction> {
-        let mut actions = Vec::new();
+    pub fn on_probe_timer(&mut self, now: SimTime, out: &mut Vec<TransportAction>) {
         if !self.frozen {
-            return actions; // stale
+            return; // stale
         }
         if self.acked < self.t_seqno {
             let seq = self.acked;
-            self.send_seq(now, seq, &mut actions);
+            self.send_seq(now, seq, out);
         }
-        actions.push(TransportAction::SetTimer {
+        out.push(TransportAction::SetTimer {
             timer: TransportTimer::Probe,
             delay: self.config.probe_interval,
         });
-        actions
     }
 
     /// Thaws the connection after a probe was acknowledged: the window is
@@ -351,11 +346,10 @@ impl TcpSender {
     }
 
     /// The retransmission timer fired.
-    pub fn on_rtx_timeout(&mut self, now: SimTime) -> Vec<TransportAction> {
-        let mut actions = Vec::new();
+    pub fn on_rtx_timeout(&mut self, now: SimTime, out: &mut Vec<TransportAction>) {
         self.rtx_armed = false;
         if self.frozen || self.acked >= self.t_seqno {
-            return actions; // frozen (ELFN standby) or nothing outstanding
+            return; // frozen (ELFN standby) or nothing outstanding
         }
         self.stats.timeouts += 1;
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
@@ -372,9 +366,8 @@ impl TcpSender {
         self.rto.backoff();
         // Go-back-N, as in ns-2: rewind and let slow start resend.
         self.t_seqno = self.acked;
-        self.send_window(now, &mut actions);
-        self.update_rtx_timer(&mut actions);
-        actions
+        self.send_window(now, out);
+        self.update_rtx_timer(out);
     }
 
     // ---- internals -----------------------------------------------------
@@ -654,6 +647,17 @@ impl TcpSender {
     }
 }
 
+/// Test shim for the out-param API: `act!(s.method(args...))` calls the
+/// method with a fresh action buffer appended and returns the buffer.
+#[cfg(test)]
+macro_rules! act {
+    ($m:ident.$meth:ident($($arg:expr),* $(,)?)) => {{
+        let mut out = Vec::new();
+        $m.$meth($($arg,)* &mut out);
+        out
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,7 +695,7 @@ mod tests {
     #[test]
     fn initial_window_is_one() {
         let mut s = sender(Flavor::NewReno);
-        let a = s.start(t(0));
+        let a = act!(s.start(t(0)));
         assert_eq!(sent_seqs(&a), vec![0]);
         assert!(a.iter().any(|x| matches!(
             x,
@@ -705,14 +709,14 @@ mod tests {
     #[test]
     fn newreno_slow_start_doubles_per_rtt() {
         let mut s = sender(Flavor::NewReno);
-        s.start(t(0));
+        act!(s.start(t(0)));
         // ACK packet 0: cwnd 2, sends 1 and 2.
-        let a = s.on_ack(t(100), 0);
+        let a = act!(s.on_ack(t(100), 0));
         assert_eq!(s.cwnd(), 2.0);
         assert_eq!(sent_seqs(&a), vec![1, 2]);
         // ACK 1, 2: cwnd 4.
-        s.on_ack(t(200), 1);
-        let a = s.on_ack(t(200), 2);
+        act!(s.on_ack(t(200), 1));
+        let a = act!(s.on_ack(t(200), 2));
         assert_eq!(s.cwnd(), 4.0);
         assert_eq!(sent_seqs(&a), vec![5, 6]);
         assert!(s.in_slow_start());
@@ -723,10 +727,10 @@ mod tests {
         let mut s = sender(Flavor::NewReno);
         s.ssthresh = 2.0;
         s.cwnd = 2.0;
-        s.start(t(0));
-        s.on_ack(t(100), 0);
+        act!(s.start(t(0)));
+        act!(s.on_ack(t(100), 0));
         assert_eq!(s.cwnd(), 2.5);
-        s.on_ack(t(100), 1);
+        act!(s.on_ack(t(100), 1));
         assert_eq!(s.cwnd(), 2.9);
         assert!(!s.in_slow_start());
     }
@@ -736,13 +740,13 @@ mod tests {
         let mut s = sender(Flavor::NewReno);
         s.cwnd = 8.0;
         s.ssthresh = 8.0; // congestion avoidance
-        s.start(t(0)); // sends 0..8
-        s.on_ack(t(100), 0); // acked=1
-                             // Packet 1 lost; dupacks for 0.
-        s.on_ack(t(110), 0);
-        let a = s.on_ack(t(111), 0);
+        act!(s.start(t(0))); // sends 0..8
+        act!(s.on_ack(t(100), 0)); // acked=1
+                                   // Packet 1 lost; dupacks for 0.
+        act!(s.on_ack(t(110), 0));
+        let a = act!(s.on_ack(t(111), 0));
         assert!(sent_seqs(&a).is_empty());
-        let a = s.on_ack(t(112), 0); // 3rd dupack
+        let a = act!(s.on_ack(t(112), 0)); // 3rd dupack
         assert_eq!(sent_seqs(&a), vec![1], "retransmits the hole");
         assert_eq!(s.stats().fast_retransmits, 1);
         assert_eq!(s.stats().retransmissions, 1);
@@ -757,18 +761,18 @@ mod tests {
         let mut s = sender(Flavor::NewReno);
         s.cwnd = 8.0;
         s.ssthresh = 8.0;
-        s.start(t(0)); // 0..8 out
-        s.on_ack(t(100), 0);
+        act!(s.start(t(0))); // 0..8 out
+        act!(s.on_ack(t(100), 0));
         for _ in 0..3 {
-            s.on_ack(t(110), 0);
+            act!(s.on_ack(t(110), 0));
         }
         assert!(s.in_recovery);
         // Partial ACK up to 2 (packet 3 also lost).
-        let a = s.on_ack(t(200), 2);
+        let a = act!(s.on_ack(t(200), 2));
         assert_eq!(sent_seqs(&a), vec![3]);
         assert!(s.in_recovery, "stays in recovery until recover is passed");
         // Full ACK ends recovery and deflates to ssthresh.
-        s.on_ack(t(300), 8);
+        act!(s.on_ack(t(300), 8));
         assert!(!s.in_recovery);
         assert_eq!(s.cwnd(), s.ssthresh);
     }
@@ -777,8 +781,8 @@ mod tests {
     fn timeout_goes_back_n_with_window_one() {
         let mut s = sender(Flavor::NewReno);
         s.cwnd = 8.0;
-        s.start(t(0)); // 0..8 out
-        let a = s.on_rtx_timeout(t(1000));
+        act!(s.start(t(0))); // 0..8 out
+        let a = act!(s.on_rtx_timeout(t(1000)));
         assert_eq!(sent_seqs(&a), vec![0], "go-back-N resends first unacked");
         assert_eq!(s.cwnd(), 1.0);
         assert_eq!(s.stats().timeouts, 1);
@@ -791,7 +795,7 @@ mod tests {
         // An FTP sender always has data outstanding once started, so the
         // stale path only applies before the connection opens.
         let mut s = sender(Flavor::NewReno);
-        let a = s.on_rtx_timeout(t(2000));
+        let a = act!(s.on_rtx_timeout(t(2000)));
         assert!(a.is_empty());
         assert_eq!(s.stats().timeouts, 0);
     }
@@ -799,11 +803,11 @@ mod tests {
     #[test]
     fn karn_rule_skips_retransmitted_samples() {
         let mut s = sender(Flavor::NewReno);
-        s.start(t(0));
-        s.on_rtx_timeout(t(1000)); // packet 0 retransmitted
+        act!(s.start(t(0)));
+        act!(s.on_rtx_timeout(t(1000))); // packet 0 retransmitted
         let rto_before = s.rto.current();
-        s.on_ack(t(1100), 0); // ack of a retransmitted packet: no sample
-                              // Backoff not cleared by a (non-)sample: RTO still backed off.
+        act!(s.on_ack(t(1100), 0)); // ack of a retransmitted packet: no sample
+                                    // Backoff not cleared by a (non-)sample: RTO still backed off.
         assert_eq!(s.rto.current(), rto_before);
     }
 
@@ -818,7 +822,7 @@ mod tests {
             0,
         );
         s.cwnd = 50.0;
-        let a = s.start(t(0));
+        let a = act!(s.start(t(0)));
         assert_eq!(sent_seqs(&a), vec![0, 1, 2], "MaxWin=3 limits the burst");
         assert_eq!(s.window(), 3);
     }
@@ -831,13 +835,13 @@ mod tests {
             v.in_slow_start = false;
         }
         s.cwnd = 4.0;
-        s.start(t(0));
+        act!(s.start(t(0)));
         // RTT == baseRTT: diff = 0 < alpha -> +1 per RTT.
-        s.on_ack(t(100), 0); // first sample sets base; epoch marker passes
+        act!(s.on_ack(t(100), 0)); // first sample sets base; epoch marker passes
         let w1 = s.cwnd();
-        s.on_ack(t(200), 1);
-        s.on_ack(t(200), 2);
-        s.on_ack(t(200), 3);
+        act!(s.on_ack(t(200), 1));
+        act!(s.on_ack(t(200), 2));
+        act!(s.on_ack(t(200), 3));
         // Only one adjustment per RTT epoch.
         assert!(s.cwnd() <= w1 + 1.0 + 1e-9);
         assert!(s.cwnd() > 4.0);
@@ -851,10 +855,10 @@ mod tests {
             v.base_rtt = Some(0.050);
         }
         s.cwnd = 10.0;
-        s.start(t(0)); // sends 0..10
-                       // RTT = 100 ms vs base 50 ms: diff = 10·(1-0.5) = 5 > β=2 -> -1.
-        s.on_ack(t(100), 0);
-        s.on_ack(t(200), 1); // epoch boundary crossed with high RTT
+        act!(s.start(t(0))); // sends 0..10
+                             // RTT = 100 ms vs base 50 ms: diff = 10·(1-0.5) = 5 > β=2 -> -1.
+        act!(s.on_ack(t(100), 0));
+        act!(s.on_ack(t(200), 1)); // epoch boundary crossed with high RTT
         assert!(s.cwnd() < 10.0);
     }
 
@@ -862,14 +866,14 @@ mod tests {
     fn vegas_slow_start_exits_on_gamma() {
         let mut s = sender(Flavor::Vegas);
         s.cwnd = 8.0;
-        s.start(t(0));
+        act!(s.start(t(0)));
         if let FlavorState::Vegas(v) = &mut s.flavor {
             v.base_rtt = Some(0.050);
         }
         assert!(s.in_slow_start());
         // RTT doubled: diff = 8·(1−0.5) = 4 > γ=2 -> exit with 7/8 cut.
-        s.on_ack(t(100), 0);
-        s.on_ack(t(200), 1);
+        act!(s.on_ack(t(100), 0));
+        act!(s.on_ack(t(200), 1));
         assert!(!s.in_slow_start());
         assert!(s.cwnd() <= 8.0 * 7.0 / 8.0 + 1.0);
     }
@@ -878,10 +882,10 @@ mod tests {
     fn vegas_fine_grained_retransmit_on_first_dupack() {
         let mut s = sender(Flavor::Vegas);
         s.cwnd = 6.0;
-        s.start(t(0)); // 0..6 out at t=0
-        s.on_ack(t(50), 0); // sample: fine_srtt = 50 ms
-                            // Much later, a single dupack arrives: packet 1 is long expired.
-        let a = s.on_ack(t(500), 0);
+        act!(s.start(t(0))); // 0..6 out at t=0
+        act!(s.on_ack(t(50), 0)); // sample: fine_srtt = 50 ms
+                                  // Much later, a single dupack arrives: packet 1 is long expired.
+        let a = act!(s.on_ack(t(500), 0));
         assert_eq!(
             sent_seqs(&a),
             vec![1],
@@ -893,7 +897,7 @@ mod tests {
         // Second dupack immediately after: packet 1 was just resent, no
         // second retransmission, no second cut.
         let cw = s.cwnd();
-        let a = s.on_ack(t(501), 0);
+        let a = act!(s.on_ack(t(501), 0));
         assert!(sent_seqs(&a).is_empty());
         assert_eq!(s.cwnd(), cw);
     }
@@ -902,12 +906,12 @@ mod tests {
     fn vegas_third_dupack_fast_retransmit_when_not_expired() {
         let mut s = sender(Flavor::Vegas);
         s.cwnd = 6.0;
-        s.start(t(0));
-        s.on_ack(t(100), 0); // fine_srtt 100 ms
-                             // Three quick dupacks well within the fine timeout.
-        s.on_ack(t(110), 0);
-        s.on_ack(t(112), 0);
-        let a = s.on_ack(t(114), 0);
+        act!(s.start(t(0)));
+        act!(s.on_ack(t(100), 0)); // fine_srtt 100 ms
+                                   // Three quick dupacks well within the fine timeout.
+        act!(s.on_ack(t(110), 0));
+        act!(s.on_ack(t(112), 0));
+        let a = act!(s.on_ack(t(114), 0));
         assert_eq!(sent_seqs(&a), vec![1]);
     }
 
@@ -915,11 +919,11 @@ mod tests {
     fn no_ack_sentinel_counts_as_dupack() {
         let mut s = sender(Flavor::NewReno);
         s.cwnd = 5.0;
-        s.start(t(0)); // 0..5 out
-                       // Receiver got 1,2 out of order but never 0: acks NO_ACK.
-        s.on_ack(t(100), TcpSegment::NO_ACK);
-        s.on_ack(t(101), TcpSegment::NO_ACK);
-        let a = s.on_ack(t(102), TcpSegment::NO_ACK);
+        act!(s.start(t(0))); // 0..5 out
+                             // Receiver got 1,2 out of order but never 0: acks NO_ACK.
+        act!(s.on_ack(t(100), TcpSegment::NO_ACK));
+        act!(s.on_ack(t(101), TcpSegment::NO_ACK));
+        let a = act!(s.on_ack(t(102), TcpSegment::NO_ACK));
         assert_eq!(
             sent_seqs(&a),
             vec![0],
@@ -930,13 +934,13 @@ mod tests {
     #[test]
     fn rtx_timer_cancelled_when_all_acked() {
         let mut s = sender(Flavor::NewReno);
-        s.start(t(0));
+        act!(s.start(t(0)));
         // Prevent new data from keeping the window full by capping wmax.
         s.config.wmax = 1;
-        let a = s.on_ack(t(100), 0);
+        let a = act!(s.on_ack(t(100), 0));
         // One new packet (seq 1) goes out; ack it too.
         assert_eq!(sent_seqs(&a), vec![1]);
-        let a = s.on_ack(t(200), 1);
+        let a = act!(s.on_ack(t(200), 1));
         // Window limit 1: seq 2 sent, timer re-armed (still outstanding).
         assert!(a
             .iter()
@@ -947,9 +951,9 @@ mod tests {
     fn retransmission_counter_tracks_all_resends() {
         let mut s = sender(Flavor::NewReno);
         s.cwnd = 4.0;
-        s.start(t(0));
-        s.on_rtx_timeout(t(1000));
-        s.on_rtx_timeout(t(3000));
+        act!(s.start(t(0)));
+        act!(s.on_rtx_timeout(t(1000)));
+        act!(s.on_rtx_timeout(t(3000)));
         assert_eq!(s.stats().timeouts, 2);
         assert_eq!(s.stats().retransmissions, 2);
         assert_eq!(s.stats().data_packets_sent, 6);
@@ -959,9 +963,9 @@ mod tests {
     fn vegas_diff_none_until_first_sample() {
         let mut s = sender(Flavor::Vegas);
         assert_eq!(s.vegas_diff(), None, "no RTT estimates yet");
-        s.start(t(0));
+        act!(s.start(t(0)));
         assert_eq!(s.vegas_diff(), None, "sending alone yields no sample");
-        s.on_ack(t(100), 0);
+        act!(s.on_ack(t(100), 0));
         // First sample sets base == last, so diff is exactly zero.
         assert_eq!(s.vegas_diff(), Some(0.0));
     }
@@ -969,24 +973,24 @@ mod tests {
     #[test]
     fn vegas_diff_none_on_reactive_flavors() {
         let mut s = sender(Flavor::NewReno);
-        s.start(t(0));
-        s.on_ack(t(100), 0);
+        act!(s.start(t(0)));
+        act!(s.on_ack(t(100), 0));
         assert_eq!(s.vegas_diff(), None);
     }
 
     #[test]
     fn vegas_diff_zero_rtt_is_zero_not_nan() {
         let mut s = sender(Flavor::Vegas);
-        s.start(t(0));
+        act!(s.start(t(0)));
         // The ACK arrives at the send instant: rtt sample is exactly zero.
-        s.on_ack(t(0), 0);
+        act!(s.on_ack(t(0), 0));
         let diff = s.vegas_diff().expect("both estimates exist");
         assert!(diff.is_finite(), "0/0 must not leak out as NaN");
         assert_eq!(diff, 0.0);
         // Follow-up zero-RTT acks drive the once-per-RTT adjustment with
         // the same degenerate estimates: no panic, window stays sane.
-        s.on_ack(t(0), 1);
-        s.on_ack(t(0), 2);
+        act!(s.on_ack(t(0), 1));
+        act!(s.on_ack(t(0), 2));
         assert!(s.cwnd() >= 1.0);
         assert!(s.cwnd() <= f64::from(s.config.wmax));
     }
@@ -995,17 +999,17 @@ mod tests {
     fn vegas_diff_unchanged_by_quick_dupack() {
         let mut s = sender(Flavor::Vegas);
         s.cwnd = 6.0;
-        s.start(t(0));
+        act!(s.start(t(0)));
         if let FlavorState::Vegas(v) = &mut s.flavor {
             v.in_slow_start = false;
             v.base_rtt = Some(0.050);
         }
-        s.on_ack(t(100), 0); // last_rtt = 100 ms, base 50 ms
+        act!(s.on_ack(t(100), 0)); // last_rtt = 100 ms, base 50 ms
         let before = s.vegas_diff().expect("estimates exist");
         assert!(before > 0.0);
         // A dupack well inside the fine timeout: no retransmit, no cut,
         // and — crucially — no RTT sample (Karn), so diff is untouched.
-        s.on_ack(t(110), 0);
+        act!(s.on_ack(t(110), 0));
         assert_eq!(s.vegas_diff(), Some(before));
     }
 
@@ -1013,11 +1017,11 @@ mod tests {
     fn vegas_diff_scales_with_expiry_cut_on_dupack() {
         let mut s = sender(Flavor::Vegas);
         s.cwnd = 6.0;
-        s.start(t(0));
+        act!(s.start(t(0)));
         if let FlavorState::Vegas(v) = &mut s.flavor {
             v.in_slow_start = false;
         }
-        s.on_ack(t(50), 0); // fine_srtt = base = last = 50 ms
+        act!(s.on_ack(t(50), 0)); // fine_srtt = base = last = 50 ms
         if let FlavorState::Vegas(v) = &mut s.flavor {
             v.base_rtt = Some(0.025); // pretend an earlier faster RTT
         }
@@ -1028,7 +1032,7 @@ mod tests {
         // retransmit and its window cut; diff = W·(1 − base/last) must
         // shrink by exactly the same factor, since the RTT estimates see
         // no new sample on a dupack (Karn).
-        s.on_ack(t(500), 0);
+        act!(s.on_ack(t(500), 0));
         let after = s.vegas_diff().expect("estimates survive the cut");
         assert!(s.cwnd() < w_before);
         assert!((after - before * s.cwnd() / w_before).abs() < 1e-9);
@@ -1046,13 +1050,13 @@ mod tests {
             let flavor = if flavor_vegas { Flavor::Vegas } else { Flavor::NewReno };
             let mut s = sender(flavor);
             let mut now = SimTime::ZERO;
-            s.start(now);
+            act!(s.start(now));
             for (ackno, dt) in acks {
                 now += SimDuration::from_millis(dt);
                 if dt % 7 == 0 {
-                    s.on_rtx_timeout(now);
+                    act!(s.on_rtx_timeout(now));
                 } else {
-                    s.on_ack(now, ackno);
+                    act!(s.on_ack(now, ackno));
                 }
                 prop_assert!(s.acked <= s.t_seqno);
                 prop_assert!(s.cwnd() >= 1.0);
@@ -1101,11 +1105,11 @@ mod reactive_flavor_tests {
         let mut s = sender(Flavor::Tahoe);
         s.cwnd = 8.0;
         s.ssthresh = 8.0;
-        s.start(t(0)); // 0..8 out
-        s.on_ack(t(100), 0);
-        s.on_ack(t(110), 0);
-        s.on_ack(t(111), 0);
-        let a = s.on_ack(t(112), 0); // 3rd dupack
+        act!(s.start(t(0))); // 0..8 out
+        act!(s.on_ack(t(100), 0));
+        act!(s.on_ack(t(110), 0));
+        act!(s.on_ack(t(111), 0));
+        let a = act!(s.on_ack(t(112), 0)); // 3rd dupack
         assert_eq!(sent_seqs(&a), vec![1], "Tahoe retransmits the hole");
         assert_eq!(s.cwnd(), 1.0, "Tahoe collapses to the initial window");
         assert!(s.ssthresh >= 4.0);
@@ -1117,15 +1121,15 @@ mod reactive_flavor_tests {
         let mut s = sender(Flavor::Reno);
         s.cwnd = 8.0;
         s.ssthresh = 8.0;
-        s.start(t(0)); // 0..8 out
-        s.on_ack(t(100), 0);
+        act!(s.start(t(0))); // 0..8 out
+        act!(s.on_ack(t(100), 0));
         for _ in 0..3 {
-            s.on_ack(t(110), 0);
+            act!(s.on_ack(t(110), 0));
         }
         assert!(s.in_recovery);
         // Partial ACK (packets 3.. still missing): Reno deflates and
         // leaves recovery WITHOUT retransmitting the next hole.
-        let a = s.on_ack(t(200), 2);
+        let a = act!(s.on_ack(t(200), 2));
         assert!(
             sent_seqs(&a).iter().all(|&q| q > 8),
             "no hole retransmission: {a:?}"
@@ -1141,14 +1145,14 @@ mod reactive_flavor_tests {
             let mut s = sender(flavor);
             s.cwnd = 8.0;
             s.ssthresh = 8.0;
-            s.start(t(0));
-            s.on_ack(t(100), 0);
+            act!(s.start(t(0)));
+            act!(s.on_ack(t(100), 0));
             for _ in 0..3 {
-                s.on_ack(t(110), 0);
+                act!(s.on_ack(t(110), 0));
             }
             assert!(s.in_recovery, "{flavor:?}");
             // Full ACK: identical exit (Reno may add one CA increment).
-            s.on_ack(t(200), 8);
+            act!(s.on_ack(t(200), 8));
             assert!(!s.in_recovery, "{flavor:?}");
             assert!(
                 s.cwnd() >= s.ssthresh && s.cwnd() <= s.ssthresh + 1.0,
@@ -1163,10 +1167,10 @@ mod reactive_flavor_tests {
     fn tahoe_never_enters_recovery() {
         let mut s = sender(Flavor::Tahoe);
         s.cwnd = 10.0;
-        s.start(t(0));
-        s.on_ack(t(100), 0);
+        act!(s.start(t(0)));
+        act!(s.on_ack(t(100), 0));
         for _ in 0..8 {
-            s.on_ack(t(110), 0);
+            act!(s.on_ack(t(110), 0));
         }
         assert!(!s.in_recovery);
     }
@@ -1209,11 +1213,11 @@ mod elfn_tests {
     fn route_failure_freezes_and_probes() {
         let mut s = sender();
         s.cwnd = 8.0;
-        s.start(t(0));
-        s.on_ack(t(50), 0);
+        act!(s.start(t(0)));
+        act!(s.on_ack(t(50), 0));
         let cwnd_before = s.cwnd();
 
-        let a = s.on_route_failure(t(100));
+        let a = act!(s.on_route_failure(t(100)));
         assert!(s.frozen());
         assert!(a.contains(&TransportAction::CancelTimer(TransportTimer::Rtx)));
         assert!(a.iter().any(|x| matches!(
@@ -1225,7 +1229,7 @@ mod elfn_tests {
         )));
 
         // Probe: retransmits the first unacked, re-arms.
-        let a = s.on_probe_timer(t(2100));
+        let a = act!(s.on_probe_timer(t(2100)));
         assert_eq!(sent_seqs(&a), vec![1]);
         assert!(a.iter().any(|x| matches!(
             x,
@@ -1236,12 +1240,12 @@ mod elfn_tests {
         )));
 
         // RTO firing while frozen is ignored.
-        let a = s.on_rtx_timeout(t(3000));
+        let a = act!(s.on_rtx_timeout(t(3000)));
         assert!(a.is_empty());
         assert_eq!(s.stats().timeouts, 0);
 
         // The probe's ACK thaws with the saved window.
-        let a = s.on_ack(t(4000), 1);
+        let a = act!(s.on_ack(t(4000), 1));
         assert!(!s.frozen());
         assert!(a.contains(&TransportAction::CancelTimer(TransportTimer::Probe)));
         assert!(s.cwnd() >= cwnd_before, "window restored, not collapsed");
@@ -1250,10 +1254,10 @@ mod elfn_tests {
     #[test]
     fn double_failure_notice_is_idempotent() {
         let mut s = sender();
-        s.start(t(0));
-        let first = s.on_route_failure(t(10));
+        act!(s.start(t(0)));
+        let first = act!(s.on_route_failure(t(10)));
         assert!(!first.is_empty());
-        let second = s.on_route_failure(t(20));
+        let second = act!(s.on_route_failure(t(20)));
         assert!(
             second.is_empty(),
             "already frozen: no duplicate probe timer"
@@ -1263,10 +1267,10 @@ mod elfn_tests {
     #[test]
     fn stale_probe_after_thaw_is_ignored() {
         let mut s = sender();
-        s.start(t(0));
-        s.on_route_failure(t(10));
-        s.on_ack(t(100), 0); // thaw
-        let a = s.on_probe_timer(t(2100));
+        act!(s.start(t(0)));
+        act!(s.on_route_failure(t(10)));
+        act!(s.on_ack(t(100), 0)); // thaw
+        let a = act!(s.on_probe_timer(t(2100)));
         assert!(a.is_empty());
     }
 
@@ -1274,11 +1278,11 @@ mod elfn_tests {
     fn frozen_sender_survives_without_progress() {
         let mut s = sender();
         s.cwnd = 4.0;
-        s.start(t(0));
-        s.on_route_failure(t(10));
+        act!(s.start(t(0)));
+        act!(s.on_route_failure(t(10)));
         // Many probes without answers: no window change, no timeouts.
         for k in 1..10u64 {
-            s.on_probe_timer(t(k * 2000));
+            act!(s.on_probe_timer(t(k * 2000)));
         }
         assert!(s.frozen());
         assert_eq!(s.stats().timeouts, 0);

@@ -50,7 +50,8 @@ pub struct TcpSinkStats {
 /// use mwn_tcp::{AckPolicy, TcpSink, TransportAction};
 ///
 /// let mut rx = TcpSink::new(AckPolicy::EveryPacket, FlowId(0), NodeId(5), NodeId(0), 1 << 32);
-/// let actions = rx.on_data(SimTime::ZERO, 0);
+/// let mut actions = Vec::new();
+/// rx.on_data(SimTime::ZERO, 0, &mut actions);
 /// assert!(matches!(actions[0], TransportAction::SendPacket(_)));
 /// assert_eq!(rx.stats().delivered, 1);
 /// ```
@@ -129,22 +130,22 @@ impl TcpSink {
         }
     }
 
-    /// A data segment with sequence `seq` arrived.
-    pub fn on_data(&mut self, _now: SimTime, seq: u64) -> Vec<TransportAction> {
-        let mut actions = Vec::new();
+    /// A data segment with sequence `seq` arrived; resulting actions are
+    /// appended to `out`.
+    pub fn on_data(&mut self, _now: SimTime, seq: u64, out: &mut Vec<TransportAction>) {
         if seq < self.next_expected || self.ooo.contains(&seq) {
             // Duplicate: re-ACK immediately (the previous ACK was lost).
             self.stats.duplicates += 1;
-            self.emit_ack(&mut actions);
-            return actions;
+            self.emit_ack(out);
+            return;
         }
         if seq > self.next_expected {
             // Hole: buffer and send an immediate duplicate ACK so the
             // sender's fast-retransmit machinery engages.
             self.stats.out_of_order += 1;
             self.ooo.insert(seq);
-            self.emit_ack(&mut actions);
-            return actions;
+            self.emit_ack(out);
+            return;
         }
         // In order: deliver it and any buffered continuation.
         self.next_expected += 1;
@@ -157,18 +158,17 @@ impl TcpSink {
         }
         let d = self.thinning_factor(seq);
         if self.pending >= d {
-            self.emit_ack(&mut actions);
+            self.emit_ack(out);
         } else {
             self.stats.acks_suppressed += 1;
             if !self.timer_armed {
                 self.timer_armed = true;
-                actions.push(TransportAction::SetTimer {
+                out.push(TransportAction::SetTimer {
                     timer: TransportTimer::DelayedAck,
                     delay: DELAYED_ACK_TIMEOUT,
                 });
             }
         }
-        actions
     }
 
     /// The delayed-ACK flush timer fired.
@@ -180,18 +180,16 @@ impl TcpSink {
     /// timeout. For Vegas — whose congestion signal is the RTT — this
     /// matters: a constant full-timeout inflation would read as permanent
     /// congestion and pin the window below the thinning factor `d`.
-    pub fn on_delayed_ack_timer(&mut self, _now: SimTime) -> Vec<TransportAction> {
-        let mut actions = Vec::new();
+    pub fn on_delayed_ack_timer(&mut self, _now: SimTime, out: &mut Vec<TransportAction>) {
         self.timer_armed = false;
         if self.pending > 0 {
-            self.flush(&mut actions);
+            self.flush(out);
             self.timer_armed = true;
-            actions.push(TransportAction::SetTimer {
+            out.push(TransportAction::SetTimer {
                 timer: TransportTimer::DelayedAck,
                 delay: DELAYED_ACK_TIMEOUT,
             });
         }
-        actions
     }
 
     /// Sends the ACK without touching the timer (used by the periodic
@@ -229,6 +227,17 @@ impl TcpSink {
     }
 }
 
+/// Test shim for the out-param API: `act!(m.method(args...))` calls the
+/// method with a fresh action buffer appended and returns the buffer.
+#[cfg(test)]
+macro_rules! act {
+    ($m:ident.$meth:ident($($arg:expr),* $(,)?)) => {{
+        let mut out = Vec::new();
+        $m.$meth($($arg,)* &mut out);
+        out
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,7 +268,7 @@ mod tests {
     fn every_packet_policy_acks_each() {
         let mut s = sink(AckPolicy::EveryPacket);
         for seq in 0..5 {
-            let a = s.on_data(t(seq), seq);
+            let a = act!(s.on_data(t(seq), seq));
             assert_eq!(acks(&a), vec![seq]);
         }
         assert_eq!(s.stats().delivered, 5);
@@ -269,12 +278,12 @@ mod tests {
     #[test]
     fn out_of_order_triggers_immediate_dupack() {
         let mut s = sink(AckPolicy::EveryPacket);
-        s.on_data(t(0), 0);
-        let a = s.on_data(t(1), 2); // hole at 1
+        act!(s.on_data(t(0), 0));
+        let a = act!(s.on_data(t(1), 2)); // hole at 1
         assert_eq!(acks(&a), vec![0], "duplicate ACK for the last in-order");
         assert_eq!(s.stats().out_of_order, 1);
         // Filling the hole delivers both and acks cumulatively.
-        let a = s.on_data(t(2), 1);
+        let a = act!(s.on_data(t(2), 1));
         assert_eq!(acks(&a), vec![2]);
         assert_eq!(s.stats().delivered, 3);
     }
@@ -282,8 +291,8 @@ mod tests {
     #[test]
     fn duplicate_data_is_reacked_not_redelivered() {
         let mut s = sink(AckPolicy::EveryPacket);
-        s.on_data(t(0), 0);
-        let a = s.on_data(t(1), 0);
+        act!(s.on_data(t(0), 0));
+        let a = act!(s.on_data(t(1), 0));
         assert_eq!(acks(&a), vec![0]);
         assert_eq!(s.stats().delivered, 1);
         assert_eq!(s.stats().duplicates, 1);
@@ -292,7 +301,7 @@ mod tests {
     #[test]
     fn ooo_before_first_packet_acks_no_ack_sentinel() {
         let mut s = sink(AckPolicy::EveryPacket);
-        let a = s.on_data(t(0), 3);
+        let a = act!(s.on_data(t(0), 3));
         assert_eq!(acks(&a), vec![TcpSegment::NO_ACK]);
     }
 
@@ -315,13 +324,13 @@ mod tests {
         let mut s = sink(AckPolicy::Thinning);
         // Prime the flow past the last threshold.
         for seq in 0..9 {
-            s.on_data(t(seq), seq);
+            act!(s.on_data(t(seq), seq));
         }
         let base_acks = s.stats().acks_sent;
         // Next four packets yield exactly one ACK (d = 4).
         let mut ack_count = 0;
         for seq in 9..13 {
-            let a = s.on_data(t(seq), seq);
+            let a = act!(s.on_data(t(seq), seq));
             ack_count += acks(&a).len();
         }
         assert_eq!(ack_count, 1);
@@ -332,34 +341,34 @@ mod tests {
     fn thinning_timer_flushes_pending_ack() {
         let mut s = sink(AckPolicy::Thinning);
         for seq in 0..9 {
-            s.on_data(t(seq), seq);
+            act!(s.on_data(t(seq), seq));
         }
         // Priming leaves pending=2 with the flush timer armed (set when
         // the first pending packet arrived). Packet 9 stays below d=4: no
         // ACK yet, and the already-armed timer is not re-armed.
-        let a = s.on_data(t(100), 9);
+        let a = act!(s.on_data(t(100), 9));
         assert!(acks(&a).is_empty());
         assert!(a.is_empty());
         // Timer fires: ACK 9 goes out.
-        let a = s.on_delayed_ack_timer(t(200));
+        let a = act!(s.on_delayed_ack_timer(t(200)));
         assert_eq!(acks(&a), vec![9]);
         // Firing again with nothing pending is silent.
-        let a = s.on_delayed_ack_timer(t(300));
+        let a = act!(s.on_delayed_ack_timer(t(300)));
         assert!(a.is_empty());
     }
 
     #[test]
     fn thinning_early_packets_acked_immediately() {
         let mut s = sink(AckPolicy::Thinning);
-        let a = s.on_data(t(0), 0);
+        let a = act!(s.on_data(t(0), 0));
         assert_eq!(acks(&a), vec![0], "d=1 at flow start");
-        let a = s.on_data(t(1), 1);
+        let a = act!(s.on_data(t(1), 1));
         assert_eq!(acks(&a), vec![1]);
         // seq 2 (n=3): d=2, so first packet leaves an armed timer...
-        let a = s.on_data(t(2), 2);
+        let a = act!(s.on_data(t(2), 2));
         assert!(acks(&a).is_empty());
         // ...and the second triggers the ACK (timer cancelled).
-        let a = s.on_data(t(3), 3);
+        let a = act!(s.on_data(t(3), 3));
         assert_eq!(acks(&a), vec![3]);
         assert!(a.contains(&TransportAction::CancelTimer(TransportTimer::DelayedAck)));
     }
@@ -374,7 +383,7 @@ mod tests {
             let mut now = SimTime::ZERO;
             for seq in seqs {
                 now += SimDuration::from_millis(1);
-                s.on_data(now, seq);
+                act!(s.on_data(now, seq));
                 distinct.insert(seq);
                 // Delivered = contiguous prefix length reached so far.
                 let prefix = (0..).take_while(|i| distinct.contains(i)).count() as u64;

@@ -167,7 +167,8 @@ impl Pipe {
     }
 
     fn run_until(&mut self, deadline: SimTime) {
-        let start = self.sender.start(self.now);
+        let mut start = Vec::new();
+        self.sender.start(self.now, &mut start);
         self.apply_sender(start);
         while let Some((&(at, id), _)) = self.events.iter().next() {
             if at > deadline {
@@ -188,7 +189,8 @@ impl Pipe {
                         unreachable!()
                     };
                     let seq = seg.seq;
-                    let actions = self.sink.on_data(self.now, seq);
+                    let mut actions = Vec::new();
+                    self.sink.on_data(self.now, seq, &mut actions);
                     self.apply_sink(actions);
                 }
                 Ev::AckArrives(p) => {
@@ -196,17 +198,20 @@ impl Pipe {
                         unreachable!()
                     };
                     let ack = seg.ack;
-                    let actions = self.sender.on_ack(self.now, ack);
+                    let mut actions = Vec::new();
+                    self.sender.on_ack(self.now, ack, &mut actions);
                     self.apply_sender(actions);
                 }
                 Ev::SenderRtx => {
                     self.sender_rtx = None;
-                    let actions = self.sender.on_rtx_timeout(self.now);
+                    let mut actions = Vec::new();
+                    self.sender.on_rtx_timeout(self.now, &mut actions);
                     self.apply_sender(actions);
                 }
                 Ev::SinkDelack => {
                     self.sink_delack = None;
-                    let actions = self.sink.on_delayed_ack_timer(self.now);
+                    let mut actions = Vec::new();
+                    self.sink.on_delayed_ack_timer(self.now, &mut actions);
                     self.apply_sink(actions);
                 }
             }

@@ -36,4 +36,15 @@ cargo run --release -q -p mwn-cli -- check --suite fast --fuzz 32
 echo "==> observability overhead bench (trace disabled vs enabled)"
 cargo bench -p mwn-bench --bench obs_overhead -- --quick
 
+# Engine-throughput regression gate: the quick scenario subset against
+# the committed BENCH_engine.json baseline, failing on a >20% events/sec
+# drop. Wall-clock dependent, so loaded or throttled machines can set
+# MWN_BENCH_SKIP=1 to bypass it.
+if [ "${MWN_BENCH_SKIP:-0}" = "1" ]; then
+    echo "==> mwn bench skipped (MWN_BENCH_SKIP=1)"
+else
+    echo "==> mwn bench --quick --check"
+    cargo run --release -q -p mwn-cli -- bench --quick --check --repeat 3
+fi
+
 echo "CI gate passed."
