@@ -1,0 +1,110 @@
+//! Differential check of the spatial-grid medium under *realistic*
+//! mobility: random-waypoint trajectories (the exact workload of the
+//! `random200-mobility` / `random500-mobility` benches and the ELFN
+//! extension study) driven through both [`Medium::move_nodes`] and the
+//! dense [`ReferenceMedium`] oracle, asserting bit-identical effect
+//! lists after every tick.
+//!
+//! The proptest differential in `mwn-phy` covers adversarial positions
+//! (cell boundaries, co-location, inclusive range edges); this test
+//! covers the integration path: `MobilityModel::step` → changed-position
+//! diff → incremental grid update, tick after tick, where stale dirty
+//! sets or missed neighborhood rescans would accumulate into divergence.
+
+use mwn::mobility::{MobilityModel, RandomWaypoint};
+use mwn::{topology, SimDuration};
+use mwn_phy::{Medium, Position, RangeModel, ReferenceMedium};
+use mwn_pkt::NodeId;
+use mwn_sim::Pcg32;
+
+fn assert_media_agree(grid: &Medium, dense: &ReferenceMedium, tick: usize) {
+    assert_eq!(
+        grid.positions(),
+        dense.positions(),
+        "positions at tick {tick}"
+    );
+    for tx in 0..grid.positions().len() {
+        let id = NodeId(tx as u32);
+        assert_eq!(
+            grid.effects_of(id),
+            dense.effects_of(id),
+            "effect lists diverged for tx {tx} at tick {tick}"
+        );
+    }
+}
+
+/// Random-waypoint trajectories over the paper-density 1500 × 500 m²
+/// field: every node moves every tick, so each tick exercises the full
+/// dirty-set path (old neighborhood + new neighborhood rescans).
+#[test]
+fn waypoint_trajectories_keep_grid_and_dense_media_identical() {
+    let topo = topology::random(40, 1500.0, 500.0, 250.0, 7);
+    let params = RandomWaypoint {
+        width: 1500.0,
+        height: 500.0,
+        min_speed: 1.0,
+        max_speed: 20.0,
+        pause: SimDuration::from_millis(500),
+        tick: SimDuration::from_millis(100),
+    };
+    let mut model = MobilityModel::new(params, topo.positions().to_vec(), Pcg32::new(99));
+    let mut grid = Medium::new(topo.positions().to_vec(), RangeModel::paper());
+    let mut dense = ReferenceMedium::new(topo.positions().to_vec(), RangeModel::paper());
+    assert_media_agree(&grid, &dense, 0);
+
+    let mut moves: Vec<(NodeId, Position)> = Vec::new();
+    for tick in 1..=300 {
+        let old: Vec<Position> = grid.positions().to_vec();
+        let new = model.step();
+        moves.clear();
+        for (i, (&n, &o)) in new.iter().zip(&old).enumerate() {
+            if n != o {
+                moves.push((NodeId(i as u32), n));
+            }
+        }
+        grid.move_nodes(&moves);
+        dense.move_nodes(&moves);
+        assert_media_agree(&grid, &dense, tick);
+    }
+}
+
+/// Long pauses make the per-tick moved set *sparse* (most nodes paused,
+/// a few in flight), the regime where an incremental updater that
+/// under-scans neighborhoods of the non-movers would get away with it
+/// for many ticks before a stale list is observable.
+#[test]
+fn sparse_moves_under_long_pauses_stay_identical() {
+    let topo = topology::random(30, 1200.0, 800.0, 250.0, 3);
+    let params = RandomWaypoint {
+        width: 1200.0,
+        height: 800.0,
+        min_speed: 5.0,
+        max_speed: 15.0,
+        pause: SimDuration::from_secs(60),
+        tick: SimDuration::from_millis(200),
+    };
+    let mut model = MobilityModel::new(params, topo.positions().to_vec(), Pcg32::new(5));
+    let mut grid = Medium::new(topo.positions().to_vec(), RangeModel::paper());
+    let mut dense = ReferenceMedium::new(topo.positions().to_vec(), RangeModel::paper());
+
+    let mut moves: Vec<(NodeId, Position)> = Vec::new();
+    let mut saw_sparse_tick = false;
+    for tick in 1..=1200 {
+        let old: Vec<Position> = grid.positions().to_vec();
+        let new = model.step();
+        moves.clear();
+        for (i, (&n, &o)) in new.iter().zip(&old).enumerate() {
+            if n != o {
+                moves.push((NodeId(i as u32), n));
+            }
+        }
+        saw_sparse_tick |= !moves.is_empty() && moves.len() < 10;
+        grid.move_nodes(&moves);
+        dense.move_nodes(&moves);
+        assert_media_agree(&grid, &dense, tick);
+    }
+    assert!(
+        saw_sparse_tick,
+        "pause regime never produced a sparse move batch; test lost its point"
+    );
+}

@@ -72,6 +72,25 @@ fn random50(transport: Transport, mobility: bool) -> Scenario {
     s
 }
 
+/// A large random-waypoint scenario: the `random_large` preset (200 or
+/// 500 nodes at the paper's density) with ten random flows, every node
+/// roaming the full field. These cases exercise the spatial-grid medium's
+/// incremental `move_nodes` path at scale.
+fn random_large_mobility(nodes: usize, transport: Transport) -> Scenario {
+    let seed = 4242;
+    let mut s = Scenario::random_large(nodes, DataRate::MBPS_2, transport, seed);
+    let (width, height) = topology::random_large_dims(nodes);
+    s.mobility = Some(RandomWaypoint {
+        width,
+        height,
+        min_speed: 1.0,
+        max_speed: 10.0,
+        pause: SimDuration::from_secs(2),
+        tick: SimDuration::from_millis(100),
+    });
+    s
+}
+
 fn cases() -> Vec<BenchCase> {
     vec![
         BenchCase {
@@ -102,6 +121,20 @@ fn cases() -> Vec<BenchCase> {
             deadline: SimDuration::from_secs(3_000),
             build: || random50(Transport::newreno(), true),
         },
+        BenchCase {
+            name: "random200-mobility",
+            quick: true,
+            target: 3_000,
+            deadline: SimDuration::from_secs(1_000),
+            build: || random_large_mobility(200, Transport::newreno()),
+        },
+        BenchCase {
+            name: "random500-mobility",
+            quick: false,
+            target: 3_000,
+            deadline: SimDuration::from_secs(1_000),
+            build: || random_large_mobility(500, Transport::newreno()),
+        },
     ]
 }
 
@@ -114,6 +147,9 @@ struct Measurement {
     sim_secs: f64,
     /// Best (smallest) wall time over the repeats.
     wall_secs: f64,
+    /// Wall seconds the best run spent recomputing medium effect lists
+    /// on mobility ticks (0 for static scenarios).
+    medium_recompute_secs: f64,
 }
 
 impl Measurement {
@@ -133,6 +169,7 @@ impl Measurement {
             .u64("delivered", self.delivered)
             .f64("sim_secs", self.sim_secs)
             .f64("wall_secs", self.wall_secs)
+            .f64("medium_recompute_secs", self.medium_recompute_secs)
             .f64("events_per_sec", self.events_per_sec())
             .finish()
     }
@@ -160,6 +197,7 @@ fn run_case(case: &BenchCase, repeat: u32) -> Measurement {
             delivered: net.total_delivered(),
             sim_secs: net.now().as_secs_f64(),
             wall_secs,
+            medium_recompute_secs: profile.timed_secs("medium_recompute"),
         };
         if best.as_ref().is_none_or(|b| m.wall_secs < b.wall_secs) {
             best = Some(m);
@@ -202,10 +240,18 @@ pub fn command(argv: &[String]) -> Result<(), String> {
             .as_ref()
             .and_then(|b| b.iter().find(|(n, _)| n == m.name))
             .map(|&(_, base)| eps / base);
+        let medium = if m.medium_recompute_secs > 0.0 && m.wall_secs > 0.0 {
+            format!(
+                "  medium {:.0}%",
+                100.0 * m.medium_recompute_secs / m.wall_secs
+            )
+        } else {
+            String::new()
+        };
         match vs {
             Some(r) => {
                 println!(
-                    "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  ({:.2}x vs baseline)",
+                    "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  ({:.2}x vs baseline){medium}",
                     m.name, m.events, m.wall_secs, eps, r
                 );
                 if worst_ratio.is_none_or(|(w, _)| r < w) {
@@ -213,7 +259,7 @@ pub fn command(argv: &[String]) -> Result<(), String> {
                 }
             }
             None => println!(
-                "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  (no baseline)",
+                "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  (no baseline){medium}",
                 m.name, m.events, m.wall_secs, eps
             ),
         }
@@ -328,12 +374,19 @@ fn render_file(
     measurements: &[Measurement],
 ) -> Result<String, String> {
     let mut entries = existing.map(entry_lines).unwrap_or_default();
-    if entries
+    let taken: Vec<String> = entries
         .iter()
-        .any(|e| extract_str(e, "label").as_deref() == Some(label))
-    {
+        .filter_map(|e| extract_str(e, "label"))
+        .collect();
+    if taken.iter().any(|t| t == label) {
+        // Suggest the first numeric suffix that is actually free.
+        let suggestion = (2..)
+            .map(|i| format!("{label}-{i}"))
+            .find(|s| !taken.iter().any(|t| t == s))
+            .expect("unbounded suffix search");
         return Err(format!(
-            "entry {label:?} already recorded (pick a new label)"
+            "entry {label:?} already recorded; baseline entries are append-only \
+             (pick a new label, e.g. {suggestion:?})"
         ));
     }
     entries.push(render_entry(label, measurements));
@@ -366,6 +419,7 @@ mod tests {
             delivered: 100,
             sim_secs: 2.5,
             wall_secs: wall,
+            medium_recompute_secs: 0.125,
         }
     }
 
@@ -383,9 +437,14 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_label_rejected() {
+    fn duplicate_label_rejected_with_a_free_suggestion() {
         let first = render_file(None, "pre", &[meas("a", 1000, 0.5)]).unwrap();
-        assert!(render_file(Some(&first), "pre", &[meas("a", 1, 1.0)]).is_err());
+        let err = render_file(Some(&first), "pre", &[meas("a", 1, 1.0)]).unwrap_err();
+        assert!(err.contains("\"pre-2\""), "unhelpful error: {err}");
+        // The suggestion skips suffixes that are themselves taken.
+        let second = render_file(Some(&first), "pre-2", &[meas("a", 1000, 0.5)]).unwrap();
+        let err = render_file(Some(&second), "pre", &[meas("a", 1, 1.0)]).unwrap_err();
+        assert!(err.contains("\"pre-3\""), "suggestion not free: {err}");
     }
 
     #[test]
@@ -405,5 +464,15 @@ mod tests {
         assert_eq!(names.len(), all.len());
         assert!(all.iter().any(|c| c.quick) && all.iter().any(|c| !c.quick));
         assert!(names.contains(&"random50-vegas-2m"));
+        assert!(names.contains(&"random200-mobility"));
+        assert!(names.contains(&"random500-mobility"));
+        // random200 is the CI smoke for the spatial-grid mobility path;
+        // random500 is full-run only.
+        assert!(all
+            .iter()
+            .any(|c| c.name == "random200-mobility" && c.quick));
+        assert!(all
+            .iter()
+            .any(|c| c.name == "random500-mobility" && !c.quick));
     }
 }

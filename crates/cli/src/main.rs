@@ -73,11 +73,14 @@ fn print_usage() {
          \x20         [--variant vegas|vegas-thin|newreno|newreno-thin|reno|tahoe|optwin|udp]\n\
          \x20         [--seed S] [--scale N]\n\
          \x20     Run one scenario and print the steady-state measures.\n\n\
-         \x20 mwn stats [--topology chain|grid|random] [--hops H] [--rate 2|5.5|11]\n\
+         \x20 mwn stats [--topology chain|grid|random|random200|random500]\n\
+         \x20           [--hops H] [--rate 2|5.5|11]\n\
          \x20           [--transport <variant>] [--seed S] [--scale N] [--series N]\n\
          \x20     Run one scenario with the observability layer on: unified\n\
          \x20     per-layer counters, per-batch dropping probability (Fig. 14),\n\
-         \x20     a cwnd-vs-time series (Figs. 3-4) and the engine profile.\n\n\
+         \x20     a cwnd-vs-time series (Figs. 3-4) and the engine profile\n\
+         \x20     (random200/random500 run under waypoint mobility and report\n\
+         \x20     the medium_recompute timed section).\n\n\
          \x20 mwn trace [--hops H] [--events N] [--transport <variant>]\n\
          \x20           [--rate 2|5.5|11] [--format text|jsonl]\n\
          \x20     Show the annotated event trace of a chain's first packets.\n\n\

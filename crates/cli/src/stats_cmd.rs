@@ -46,7 +46,28 @@ pub fn command(rest: &[String]) -> Result<(), String> {
         "chain" => Scenario::chain(hops, bandwidth, transport, seed),
         "grid" => Scenario::grid6(bandwidth, transport, seed),
         "random" => Scenario::random10(bandwidth, transport, seed),
-        other => return Err(format!("unknown topology {other:?} (chain|grid|random)")),
+        // The large presets run under waypoint mobility (like the
+        // `random200-mobility` / `random500-mobility` benches), so the
+        // profile includes the `medium_recompute` timed section.
+        "random200" | "random500" => {
+            let nodes = if topology == "random200" { 200 } else { 500 };
+            let mut s = Scenario::random_large(nodes, bandwidth, transport, seed);
+            let (width, height) = mwn::topology::random_large_dims(nodes);
+            s.mobility = Some(mwn::mobility::RandomWaypoint {
+                width,
+                height,
+                min_speed: 1.0,
+                max_speed: 10.0,
+                pause: mwn::SimDuration::from_secs(2),
+                tick: mwn::SimDuration::from_millis(100),
+            });
+            s
+        }
+        other => {
+            return Err(format!(
+                "unknown topology {other:?} (chain|grid|random|random200|random500)"
+            ))
+        }
     };
     let scale = ExperimentScale::scaled(mult);
 
@@ -77,6 +98,12 @@ pub fn command(rest: &[String]) -> Result<(), String> {
     println!("  peak event queue {:>12}", m.profile.peak_queue_depth());
     for (kind, count) in m.profile.by_kind() {
         println!("    {kind:<18} {count:>10}");
+    }
+    for (kind, invocations, secs) in m.profile.timed() {
+        println!(
+            "  {kind:<18} {invocations:>10} calls  {secs:>8.3} s  ({:.0}% of wall)",
+            100.0 * secs / wall_secs.max(f64::MIN_POSITIVE)
+        );
     }
 
     let totals = m.totals.node_totals();

@@ -33,15 +33,22 @@ pub enum ScenarioKind {
     Grid6,
     /// The 120-node random topology with ten flows (Section 4.4.2).
     Random10,
+    /// A large random preset (200 or 500 nodes) at the paper's density
+    /// with ten flows ([`Scenario::random_large`]).
+    RandomLarge {
+        /// Node count: 200 or 500.
+        nodes: usize,
+    },
 }
 
 impl ScenarioKind {
-    /// Canonical token, e.g. `"chain:7"`.
+    /// Canonical token, e.g. `"chain:7"` or `"random_large:200"`.
     pub fn token(self) -> String {
         match self {
             ScenarioKind::Chain { hops } => format!("chain:{hops}"),
             ScenarioKind::Grid6 => "grid6".into(),
             ScenarioKind::Random10 => "random10".into(),
+            ScenarioKind::RandomLarge { nodes } => format!("random_large:{nodes}"),
         }
     }
 }
@@ -123,6 +130,9 @@ impl JobSpec {
             }
             ScenarioKind::Grid6 => Scenario::grid6(self.bandwidth, self.transport, self.seed),
             ScenarioKind::Random10 => Scenario::random10(self.bandwidth, self.transport, self.seed),
+            ScenarioKind::RandomLarge { nodes } => {
+                Scenario::random_large(nodes, self.bandwidth, self.transport, self.seed)
+            }
         }
     }
 }
@@ -412,6 +422,26 @@ mod tests {
         assert_eq!(tokens[1], "vegas:2+thin");
         assert_eq!(tokens[6], "newreno:w3");
         assert_eq!(tokens[7], "udp:2000000");
+    }
+
+    #[test]
+    fn random_large_jobs_have_distinct_tokens_and_build() {
+        let job = JobSpec {
+            group: "large".into(),
+            point: "nodes=200".into(),
+            kind: ScenarioKind::RandomLarge { nodes: 200 },
+            bandwidth: DataRate::MBPS_2,
+            transport: Transport::newreno(),
+            seed: 9,
+            scale: tiny(),
+        };
+        assert_eq!(job.kind.token(), "random_large:200");
+        let mut other = job.clone();
+        other.kind = ScenarioKind::RandomLarge { nodes: 500 };
+        assert_ne!(job.key(), other.key());
+        let s = job.scenario();
+        assert_eq!(s.topology.len(), 200);
+        let _ = s.build();
     }
 
     #[test]

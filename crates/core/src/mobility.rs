@@ -51,10 +51,18 @@ enum Phase {
 }
 
 /// The evolving positions of all nodes under random waypoint.
+///
+/// Every node draws its waypoints and speeds from its own forked RNG
+/// stream, so each trajectory is a pure function of (seed, node index)
+/// alone. In particular the *tick* is purely a sampling rate: two models
+/// that subdivide the same total time differently visit the same
+/// waypoint sequence at the same speeds (see the tick-subdivision test).
 #[derive(Debug, Clone)]
 pub struct MobilityModel {
     params: RandomWaypoint,
-    rng: Pcg32,
+    /// One independent stream per node, forked from the root at
+    /// construction.
+    rngs: Vec<Pcg32>,
     positions: Vec<Position>,
     phases: Vec<Phase>,
 }
@@ -76,9 +84,10 @@ impl MobilityModel {
             "need 0 < min_speed <= max_speed"
         );
         assert!(!params.tick.is_zero(), "tick must be positive");
-        let phases = initial
-            .iter()
-            .map(|_| {
+        let mut rngs: Vec<Pcg32> = initial.iter().map(|_| rng.fork()).collect();
+        let phases = rngs
+            .iter_mut()
+            .map(|rng| {
                 let target = Position::new(
                     rng.gen_range_f64(0.0, params.width),
                     rng.gen_range_f64(0.0, params.height),
@@ -89,7 +98,7 @@ impl MobilityModel {
             .collect();
         MobilityModel {
             params,
-            rng,
+            rngs,
             positions: initial,
             phases,
         }
@@ -126,12 +135,11 @@ impl MobilityModel {
                     }
                     dt -= remaining;
                     let target = Position::new(
-                        self.rng.gen_range_f64(0.0, self.params.width),
-                        self.rng.gen_range_f64(0.0, self.params.height),
+                        self.rngs[i].gen_range_f64(0.0, self.params.width),
+                        self.rngs[i].gen_range_f64(0.0, self.params.height),
                     );
-                    let speed = self
-                        .rng
-                        .gen_range_f64(self.params.min_speed, self.params.max_speed);
+                    let speed =
+                        self.rngs[i].gen_range_f64(self.params.min_speed, self.params.max_speed);
                     self.phases[i] = Phase::Moving { target, speed };
                 }
                 Phase::Moving { target, speed } => {
@@ -146,9 +154,10 @@ impl MobilityModel {
                         );
                         return;
                     }
-                    // Arrive and pause.
+                    // Arrive and pause; the constructor guarantees
+                    // speed > 0, so the travel time is well-defined.
                     self.positions[i] = target;
-                    dt -= if speed > 0.0 { dist / speed } else { dt };
+                    dt -= dist / speed;
                     self.phases[i] = Phase::Paused {
                         remaining: self.params.pause.as_secs_f64(),
                     };
@@ -240,6 +249,66 @@ mod tests {
         let mut b = model(0);
         for _ in 0..100 {
             assert_eq!(a.step().to_vec(), b.step());
+        }
+    }
+
+    /// The tick is a sampling rate, not part of the model: two models
+    /// differing only in tick subdivision visit bit-identical waypoint
+    /// sequences (per-node RNG streams make the draw order independent
+    /// of when other nodes arrive) and agree on positions at every
+    /// common time up to floating-point interpolation error.
+    #[test]
+    fn waypoint_sequences_agree_across_tick_subdivisions() {
+        let mk = |tick_ms: u64| {
+            let params = RandomWaypoint {
+                width: 1000.0,
+                height: 500.0,
+                min_speed: 5.0,
+                max_speed: 20.0,
+                pause: SimDuration::from_millis(300),
+                tick: SimDuration::from_millis(tick_ms),
+            };
+            let initial = (0..8)
+                .map(|i| Position::new(100.0 * f64::from(i), 250.0))
+                .collect();
+            MobilityModel::new(params, initial, Pcg32::new(42))
+        };
+        let mut coarse = mk(100);
+        let mut fine = mk(20);
+        for step in 0..600 {
+            coarse.step();
+            for _ in 0..5 {
+                fine.step();
+            }
+            for i in 0..8 {
+                let (a, b) = (coarse.positions()[i], fine.positions()[i]);
+                assert!(
+                    a.distance_to(b) < 1e-6,
+                    "node {i} diverged at step {step}: {a} vs {b}"
+                );
+                match (coarse.phases[i], fine.phases[i]) {
+                    (
+                        Phase::Moving {
+                            target: ta,
+                            speed: sa,
+                        },
+                        Phase::Moving {
+                            target: tb,
+                            speed: sb,
+                        },
+                    ) => {
+                        assert_eq!(ta, tb, "node {i} waypoint diverged at step {step}");
+                        assert_eq!(sa, sb, "node {i} speed diverged at step {step}");
+                    }
+                    (Phase::Paused { remaining: ra }, Phase::Paused { remaining: rb }) => {
+                        assert!(
+                            (ra - rb).abs() < 1e-9,
+                            "node {i} pause diverged at step {step}"
+                        );
+                    }
+                    (a, b) => panic!("node {i} phase diverged at step {step}: {a:?} vs {b:?}"),
+                }
+            }
         }
     }
 }

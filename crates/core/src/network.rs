@@ -162,6 +162,10 @@ pub struct Network {
     probes: Option<ProbeBuffer>,
     profile: Option<EngineProfile>,
     mobility: Option<MobilityModel>,
+    /// Reused moved-node batch for the mobility tick: only nodes whose
+    /// position actually changed (paused nodes don't) are handed to the
+    /// medium's incremental update.
+    moved: Vec<(NodeId, mwn_phy::Position)>,
     /// Recycled action/event buffers. Dispatch re-enters (a delivered
     /// frame can start a new transmission), so each taker pops its own
     /// buffer and the apply path returns it once drained — the steady
@@ -277,6 +281,7 @@ impl Network {
             probes: None,
             profile: None,
             mobility,
+            moved: Vec::new(),
             mac_pool: Vec::new(),
             aodv_pool: Vec::new(),
             transport_pool: Vec::new(),
@@ -541,8 +546,23 @@ impl Network {
             }
             Event::MobilityTick => {
                 if let Some(m) = &mut self.mobility {
+                    let started = std::time::Instant::now();
                     let positions = m.step();
-                    self.medium.set_positions(positions);
+                    // Diff against the medium's current positions so the
+                    // incremental update only touches nodes that moved
+                    // (paused nodes hold their position across ticks).
+                    self.moved.clear();
+                    for (i, (&new, &old)) in
+                        positions.iter().zip(self.medium.positions()).enumerate()
+                    {
+                        if new != old {
+                            self.moved.push((NodeId(i as u32), new));
+                        }
+                    }
+                    self.medium.move_nodes(&self.moved);
+                    if let Some(p) = &mut self.profile {
+                        p.record_timed("medium_recompute", started.elapsed().as_secs_f64());
+                    }
                     let next = self.now + m.tick();
                     self.queue.schedule(next, Event::MobilityTick);
                 }

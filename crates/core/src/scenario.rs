@@ -218,22 +218,27 @@ impl Scenario {
     /// concurrent flows between randomly selected distinct endpoints.
     pub fn random10(bandwidth: DataRate, transport: Transport, seed: u64) -> Self {
         let topology = topology::random_paper(seed);
-        let mut rng = mwn_sim::Pcg32::with_stream(seed, 0xF10A_5EED);
-        let n = topology.len() as u32;
-        let mut flows = Vec::new();
-        let mut used = std::collections::HashSet::new();
-        while flows.len() < 10 {
-            let src = NodeId(rng.gen_range_u32(n));
-            let dst = NodeId(rng.gen_range_u32(n));
-            if src == dst || !used.insert((src, dst)) {
-                continue;
-            }
-            flows.push(FlowSpec {
-                src,
-                dst,
-                transport,
-            });
-        }
+        let flows = random_flows(&topology, 10, transport, seed);
+        Scenario::new(topology, flows, bandwidth, seed)
+    }
+
+    /// A large random scenario at the paper's density: `nodes` ∈
+    /// {200, 500} on the [`topology::random_large`] field with ten
+    /// random distinct-endpoint flows, drawn exactly like
+    /// [`Scenario::random10`]. Used by the `random200-mobility` /
+    /// `random500-mobility` bench scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nodes` is 200 or 500.
+    pub fn random_large(
+        nodes: usize,
+        bandwidth: DataRate,
+        transport: Transport,
+        seed: u64,
+    ) -> Self {
+        let topology = topology::random_large(nodes, seed);
+        let flows = random_flows(&topology, 10, transport, seed);
         Scenario::new(topology, flows, bandwidth, seed)
     }
 
@@ -260,6 +265,34 @@ impl Scenario {
         }
         Network::build(self)
     }
+}
+
+/// `count` flows between randomly selected distinct endpoint pairs of
+/// `topology`, from the seed's dedicated flow-selection stream (so flow
+/// draws do not perturb topology or runtime randomness).
+fn random_flows(
+    topology: &Topology,
+    count: usize,
+    transport: Transport,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    let mut rng = mwn_sim::Pcg32::with_stream(seed, 0xF10A_5EED);
+    let n = topology.len() as u32;
+    let mut flows = Vec::new();
+    let mut used = std::collections::HashSet::new();
+    while flows.len() < count {
+        let src = NodeId(rng.gen_range_u32(n));
+        let dst = NodeId(rng.gen_range_u32(n));
+        if src == dst || !used.insert((src, dst)) {
+            continue;
+        }
+        flows.push(FlowSpec {
+            src,
+            dst,
+            transport,
+        });
+    }
+    flows
 }
 
 #[cfg(test)]
@@ -296,6 +329,19 @@ mod tests {
         // Deterministic in the seed.
         let s2 = Scenario::random10(DataRate::MBPS_2, Transport::vegas(2), 42);
         assert_eq!(s.flows, s2.flows);
+    }
+
+    #[test]
+    fn random_large_scenario_has_ten_distinct_flows() {
+        let s = Scenario::random_large(200, DataRate::MBPS_2, Transport::newreno(), 5);
+        assert_eq!(s.topology.len(), 200);
+        assert_eq!(s.flows.len(), 10);
+        for f in &s.flows {
+            assert_ne!(f.src, f.dst);
+            assert!(f.src.index() < 200 && f.dst.index() < 200);
+        }
+        let s2 = Scenario::random_large(200, DataRate::MBPS_2, Transport::newreno(), 5);
+        assert_eq!(s.flows, s2.flows, "deterministic in the seed");
     }
 
     #[test]

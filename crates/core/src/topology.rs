@@ -1,6 +1,6 @@
 //! Node placements: the paper's chain, grid and random topologies.
 
-use mwn_phy::Position;
+use mwn_phy::{Position, SpatialGrid};
 use mwn_pkt::NodeId;
 use mwn_sim::Pcg32;
 
@@ -40,15 +40,24 @@ impl Topology {
     }
 
     /// `true` if the graph induced by `range`-limited links is connected.
+    ///
+    /// Backed by a [`SpatialGrid`] with cell size `range`, so each BFS
+    /// expansion scans only the 3×3 cell neighborhood instead of every
+    /// node — O(n·k) overall, which keeps the resample loop of
+    /// [`random`] cheap even for the 500-node [`random_large`] preset.
     pub fn is_connected(&self, range: f64) -> bool {
         let n = self.positions.len();
+        let grid = SpatialGrid::build(range, &self.positions);
         let mut seen = vec![false; n];
         let mut stack = vec![0usize];
+        let mut candidates = Vec::new();
         seen[0] = true;
         let mut count = 1;
         while let Some(i) = stack.pop() {
-            #[allow(clippy::needless_range_loop)] // parallel index into seen and positions
-            for j in 0..n {
+            candidates.clear();
+            grid.candidates_near(self.positions[i], &mut candidates);
+            for &j in &candidates {
+                let j = j as usize;
                 if !seen[j] && self.positions[i].distance_to(self.positions[j]) <= range {
                     seen[j] = true;
                     count += 1;
@@ -184,6 +193,37 @@ pub fn random_paper(seed: u64) -> Topology {
     random(120, 2500.0, 1000.0, 250.0, seed)
 }
 
+/// Field dimensions of the [`random_large`] preset with `n` nodes: the
+/// area scales with `n` to keep the paper's node density (120 nodes on
+/// 2500 × 1000 m² ≈ one node per 20 800 m²), so connectivity and
+/// contention stay comparable across sizes.
+///
+/// # Panics
+///
+/// Panics unless `n` is one of the supported presets (200 or 500).
+pub fn random_large_dims(n: usize) -> (f64, f64) {
+    match n {
+        200 => (3200.0, 1300.0),
+        500 => (5100.0, 2050.0),
+        _ => panic!("random_large supports the 200- and 500-node presets, not {n}"),
+    }
+}
+
+/// A large random topology preset at the paper's node density: `n` ∈
+/// {200, 500} nodes on the [`random_large_dims`] field, resampled until
+/// the 250 m-link graph is connected (like [`random`], whose grid-backed
+/// connectivity check keeps the resampling cheap at this scale). These
+/// presets drive the `random200-mobility` / `random500-mobility` bench
+/// scenarios and large random-waypoint studies.
+///
+/// # Panics
+///
+/// Panics unless `n` is 200 or 500.
+pub fn random_large(n: usize, seed: u64) -> Topology {
+    let (width, height) = random_large_dims(n);
+    random(n, width, height, 250.0, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +283,31 @@ mod tests {
             assert!((0.0..=2500.0).contains(&p.x));
             assert!((0.0..=1000.0).contains(&p.y));
         }
+    }
+
+    #[test]
+    fn random_large_presets_connected_at_paper_density() {
+        for n in [200, 500] {
+            let (w, h) = random_large_dims(n);
+            let density = w * h / n as f64;
+            assert!(
+                (density - 2500.0 * 1000.0 / 120.0).abs() < 1500.0,
+                "{n}-node preset density {density} m²/node strays from the paper's"
+            );
+            let t = random_large(n, 11);
+            assert_eq!(t.len(), n);
+            assert!(t.is_connected(250.0));
+            assert_eq!(t, random_large(n, 11), "same seed, same layout");
+            for p in t.positions() {
+                assert!((0.0..=w).contains(&p.x) && (0.0..=h).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "200- and 500-node presets")]
+    fn random_large_rejects_unsupported_sizes() {
+        random_large_dims(300);
     }
 
     #[test]

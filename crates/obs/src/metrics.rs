@@ -404,15 +404,25 @@ impl MetricsReport {
 
 /// Serializes an [`EngineProfile`] as a JSON object (histogram keys
 /// sorted, so output is deterministic).
+///
+/// Timed sections (e.g. `medium_recompute`) are exported as invocation
+/// *counts* only: their wall-clock seconds vary across machines, which
+/// would break the sweep store's byte-determinism, so seconds stay
+/// API-only (`EngineProfile::timed_secs`) for `mwn stats` / `mwn bench`.
 pub fn profile_json(p: &EngineProfile) -> String {
     let mut hist = Obj::new();
     for (kind, count) in p.by_kind() {
         hist = hist.u64(kind, count);
     }
+    let mut timed = Obj::new();
+    for (kind, invocations, _secs) in p.timed() {
+        timed = timed.u64(kind, invocations);
+    }
     Obj::new()
         .u64("events", p.events_processed())
         .usize("peak_queue", p.peak_queue_depth())
         .raw("by_kind", &hist.finish())
+        .raw("timed_counts", &timed.finish())
         .finish()
 }
 
@@ -531,7 +541,7 @@ mod tests {
         };
         assert_eq!(
             report.to_json(),
-            r#"{"profile":{"events":0,"peak_queue":0,"by_kind":{}},"totals":{"t_secs":1,"nodes":[],"flows":[]},"batches":[],"probes":[]}"#
+            r#"{"profile":{"events":0,"peak_queue":0,"by_kind":{},"timed_counts":{}},"totals":{"t_secs":1,"nodes":[],"flows":[]},"batches":[],"probes":[]}"#
         );
     }
 }

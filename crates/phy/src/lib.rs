@@ -15,6 +15,7 @@
 
 mod counters;
 mod energy;
+mod grid;
 mod medium;
 mod position;
 mod rate;
@@ -22,7 +23,8 @@ mod transceiver;
 
 pub use counters::PhyCounters;
 pub use energy::{EnergyMeter, EnergyParams};
-pub use medium::{Medium, RangeModel, SignalClass};
+pub use grid::SpatialGrid;
+pub use medium::{Effect, Medium, RangeModel, ReferenceMedium, SignalClass};
 pub use position::Position;
 pub use rate::{DataRate, PhyTiming};
 pub use transceiver::{RadioEvent, Transceiver, TxId};

@@ -3,6 +3,7 @@
 use mwn_pkt::NodeId;
 use mwn_sim::SimDuration;
 
+use crate::grid::SpatialGrid;
 use crate::position::Position;
 
 /// Speed of light, m/s, for propagation delays.
@@ -67,6 +68,55 @@ impl RangeModel {
         }
     }
 
+    /// Checks the geometric invariants every consumer of the model relies
+    /// on. [`Medium::new`] calls this, so a custom model that would
+    /// silently produce inconsistent [`RangeModel::classify`] results
+    /// (e.g. frames decodable beyond carrier sense, so a transmission is
+    /// received where it was never sensed) is rejected up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all ranges are positive and finite,
+    /// `tx_range ≤ min(cs_range, interference_range)`, `crossover > 0`,
+    /// and `capture_threshold > 1` when set (a ratio ≤ 1 would let a
+    /// signal capture over interference at least as strong as itself).
+    pub fn validate(&self) {
+        assert!(
+            self.tx_range.is_finite() && self.tx_range > 0.0,
+            "tx_range must be positive and finite"
+        );
+        assert!(
+            self.cs_range.is_finite() && self.interference_range.is_finite(),
+            "cs/interference ranges must be finite"
+        );
+        assert!(
+            self.tx_range <= self.cs_range && self.tx_range <= self.interference_range,
+            "tx_range ({}) must not exceed cs_range ({}) or interference_range ({}): \
+             frames would decode where they are neither sensed nor interfering",
+            self.tx_range,
+            self.cs_range,
+            self.interference_range
+        );
+        assert!(
+            self.crossover.is_finite() && self.crossover > 0.0,
+            "crossover must be positive and finite"
+        );
+        if let Some(c) = self.capture_threshold {
+            assert!(
+                c.is_finite() && c > 1.0,
+                "capture_threshold must be a ratio > 1 (got {c})"
+            );
+        }
+    }
+
+    /// The largest distance at which a transmission has any effect — the
+    /// cell size of the medium's spatial grid.
+    pub fn max_range(&self) -> f64 {
+        self.tx_range
+            .max(self.cs_range)
+            .max(self.interference_range)
+    }
+
     /// Relative received power at distance `d` (arbitrary linear units):
     /// Friis `d⁻²` up to the crossover, two-ray-ground `d⁻⁴` beyond,
     /// continuous at the crossover.
@@ -119,8 +169,18 @@ pub struct SignalClass {
     pub power: f64,
 }
 
-/// The static wireless medium: node positions plus the range model, with
+/// The shared wireless medium: node positions plus the range model, with
 /// precomputed per-transmitter effect lists.
+///
+/// Effect lists are derived through a uniform [`SpatialGrid`] with cell
+/// size [`RangeModel::max_range`], so construction costs O(n·k) for k =
+/// nodes per 3×3 cell neighborhood (instead of the dense O(n²)), and
+/// [`Medium::move_nodes`] re-derives effects only for moved nodes and
+/// their old/new neighborhoods. The grid is a pure acceleration
+/// structure: candidate receivers still pass the exact
+/// [`RangeModel::classify`] distance tests and each effect list stays
+/// sorted by node id, so results are bit-identical to the dense scan
+/// (checked against [`ReferenceMedium`] by a differential proptest).
 ///
 /// # Example
 ///
@@ -148,6 +208,14 @@ pub struct Medium {
     /// `effects[tx]` lists every node affected by a transmission from `tx`,
     /// ordered by node id.
     effects: Vec<Vec<Effect>>,
+    /// Node index per cell; cell size = `ranges.max_range()`.
+    grid: SpatialGrid,
+    /// Reusable candidate-id buffer (steady state allocates nothing).
+    scratch: Vec<u32>,
+    /// Reusable dirty-transmitter buffer for [`Medium::move_nodes`].
+    dirty: Vec<u32>,
+    /// Reusable touched-cell buffer for [`Medium::move_nodes`].
+    dirty_cells: Vec<(i64, i64)>,
 }
 
 /// One receiver affected by a given transmitter.
@@ -162,26 +230,35 @@ pub struct Effect {
 }
 
 impl Medium {
-    /// Builds the medium and precomputes all pairwise effects.
+    /// Builds the medium and precomputes all effect lists through the
+    /// spatial grid.
     ///
     /// # Panics
     ///
-    /// Panics if `positions` is empty.
+    /// Panics if `positions` is empty or `ranges` is geometrically
+    /// inconsistent (see [`RangeModel::validate`]).
     pub fn new(positions: Vec<Position>, ranges: RangeModel) -> Self {
         assert!(!positions.is_empty(), "medium needs at least one node");
+        ranges.validate();
+        let grid = SpatialGrid::build(ranges.max_range(), &positions);
         let mut medium = Medium {
             positions,
             ranges,
             effects: Vec::new(),
+            grid,
+            scratch: Vec::new(),
+            dirty: Vec::new(),
+            dirty_cells: Vec::new(),
         };
-        medium.recompute();
+        medium.recompute_all();
         medium
     }
 
-    /// Moves the nodes to new positions and recomputes all pairwise
-    /// effects (used by mobility models). Signals already in flight keep
-    /// the classification they were launched with — an accepted
-    /// approximation for node speeds far below frame airtimes.
+    /// Moves the nodes to new positions and recomputes every effect list
+    /// (used when a caller does not track which nodes moved; mobility
+    /// ticks use the incremental [`Medium::move_nodes`]). Signals already
+    /// in flight keep the classification they were launched with — an
+    /// accepted approximation for node speeds far below frame airtimes.
     ///
     /// # Panics
     ///
@@ -193,32 +270,186 @@ impl Medium {
             "node count is fixed for the lifetime of the medium"
         );
         self.positions.copy_from_slice(positions);
-        self.recompute();
+        self.grid = SpatialGrid::build(self.ranges.max_range(), &self.positions);
+        self.recompute_all();
     }
 
-    /// Rebuilds every per-transmitter effect list in place. The outer vector
-    /// and each inner buffer are reused, so a mobility tick costs no
-    /// allocations once the buffers have grown to their working size.
-    fn recompute(&mut self) {
+    /// Incrementally applies a batch of position updates: moved nodes are
+    /// relocated in the grid, and effect lists are re-derived only for
+    /// the moved nodes plus every node in the 3×3 cell neighborhoods of
+    /// their old and new positions — O(moved · k) instead of O(n²). With
+    /// every node moving (a random-waypoint tick) this degrades
+    /// gracefully to a full O(n·k) grid recompute.
+    ///
+    /// Duplicate ids in `moves` are applied in order (last position
+    /// wins). Signals already in flight keep the classification they
+    /// were launched with, exactly as [`Medium::set_positions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a move references a node outside the medium.
+    pub fn move_nodes(&mut self, moves: &[(NodeId, Position)]) {
+        let mut cells = std::mem::take(&mut self.dirty_cells);
+        cells.clear();
+        // A node's effect list can only change if it lies within one cell
+        // of a mover's old or new cell, so collect those cells first …
+        for &(id, _) in moves {
+            assert!(
+                id.index() < self.positions.len(),
+                "move references node {id:?} outside the medium"
+            );
+            cells.push(self.grid.cell_of(self.positions[id.index()]));
+        }
+        for &(id, new) in moves {
+            let old = self.positions[id.index()];
+            self.grid.relocate(id.raw(), old, new);
+            self.positions[id.index()] = new;
+            cells.push(self.grid.cell_of(new));
+        }
+        // … then expand each (unique) touched cell to its 3×3
+        // neighborhood. Dedup happens at the cell level: occupant lists
+        // of distinct cells never overlap, so the dirty-transmitter list
+        // below is duplicate-free without any per-node pass.
+        cells.sort_unstable();
+        cells.dedup();
+        let touched = cells.len();
+        for i in 0..touched {
+            let (cx, cy) = cells[i];
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    cells.push((cx + dx, cy + dy));
+                }
+            }
+        }
+        cells.drain(..touched);
+        cells.sort_unstable();
+        cells.dedup();
+        let mut dirty = std::mem::take(&mut self.dirty);
+        dirty.clear();
+        for &cell in &cells {
+            dirty.extend_from_slice(self.grid.occupants(cell));
+        }
+        if dirty.len() == self.positions.len() {
+            // Everyone is dirty (the common case while every node is
+            // between waypoints): the symmetric full recompute halves
+            // the distance work.
+            self.recompute_all();
+        } else {
+            for &rx in &dirty {
+                let tx = rx as usize;
+                let (bucket, scratch) = self.take_buffers(tx);
+                let (bucket, scratch) = self.fill_effects(tx, bucket, scratch);
+                self.put_buffers(tx, bucket, scratch);
+            }
+        }
+        self.dirty = dirty;
+        self.dirty_cells = cells;
+    }
+
+    /// Rebuilds every per-transmitter effect list in place via the grid,
+    /// visiting each unordered pair once: distance, class and delay are
+    /// symmetric (squaring the coordinate deltas erases their sign), so
+    /// one exact test feeds both directions' effect lists — bit-identical
+    /// to two independent per-transmitter scans at half the distance
+    /// work. Buffers are reused, so a rebuild costs no allocations once
+    /// they have grown to their working size.
+    fn recompute_all(&mut self) {
         let n = self.positions.len();
         self.effects.resize_with(n, Vec::new);
-        for tx in 0..n {
-            let bucket = &mut self.effects[tx];
+        for bucket in &mut self.effects {
             bucket.clear();
-            for rx in 0..n {
-                if rx == tx {
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let limit = self.ranges.max_range() + 1e-6;
+        let limit2 = limit * limit;
+        for a in 0..n {
+            let pa = self.positions[a];
+            scratch.clear();
+            self.grid.candidates_near(pa, &mut scratch);
+            for &rx in &scratch {
+                let b = rx as usize;
+                if b <= a {
+                    continue; // each unordered pair exactly once
+                }
+                let pb = self.positions[b];
+                let d2 = (pa.x - pb.x).powi(2) + (pa.y - pb.y).powi(2);
+                if d2 > limit2 {
                     continue;
                 }
-                let d = self.positions[tx].distance_to(self.positions[rx]);
+                let d = d2.sqrt();
                 if let Some(class) = self.ranges.classify(d) {
-                    bucket.push(Effect {
-                        node: NodeId(rx as u32),
+                    let delay = SimDuration::from_secs_f64(d / SPEED_OF_LIGHT);
+                    self.effects[a].push(Effect {
+                        node: NodeId(rx),
                         class,
-                        delay: SimDuration::from_secs_f64(d / SPEED_OF_LIGHT),
+                        delay,
+                    });
+                    self.effects[b].push(Effect {
+                        node: NodeId(a as u32),
+                        class,
+                        delay,
                     });
                 }
             }
         }
+        for bucket in &mut self.effects {
+            bucket.sort_unstable_by_key(|e| e.node.raw());
+        }
+        self.scratch = scratch;
+    }
+
+    fn take_buffers(&mut self, tx: usize) -> (Vec<Effect>, Vec<u32>) {
+        (
+            std::mem::take(&mut self.effects[tx]),
+            std::mem::take(&mut self.scratch),
+        )
+    }
+
+    fn put_buffers(&mut self, tx: usize, bucket: Vec<Effect>, scratch: Vec<u32>) {
+        self.effects[tx] = bucket;
+        self.scratch = scratch;
+    }
+
+    /// Recomputes `tx`'s effect list from its grid neighborhood into
+    /// `bucket`. Candidates beyond `max_range` (plus a 1 µm guard for the
+    /// inclusive boundary) are rejected on the squared distance, skipping
+    /// the sqrt for the ~⅔ of each 3×3 neighborhood that lies outside the
+    /// range circle; survivors pass the exact [`RangeModel::classify`]
+    /// test on `sqrt(d²)` — bit-identical to [`Position::distance_to`],
+    /// which evaluates the same expression. The finished list is sorted
+    /// by node id, so ordering matches a dense 0..n scan.
+    fn fill_effects(
+        &self,
+        tx: usize,
+        mut bucket: Vec<Effect>,
+        mut scratch: Vec<u32>,
+    ) -> (Vec<Effect>, Vec<u32>) {
+        bucket.clear();
+        scratch.clear();
+        let pos = self.positions[tx];
+        self.grid.candidates_near(pos, &mut scratch);
+        let limit = self.ranges.max_range() + 1e-6;
+        let limit2 = limit * limit;
+        for &rx in &scratch {
+            if rx as usize == tx {
+                continue;
+            }
+            let other = self.positions[rx as usize];
+            let d2 = (pos.x - other.x).powi(2) + (pos.y - other.y).powi(2);
+            if d2 > limit2 {
+                continue;
+            }
+            let d = d2.sqrt();
+            if let Some(class) = self.ranges.classify(d) {
+                bucket.push(Effect {
+                    node: NodeId(rx),
+                    class,
+                    delay: SimDuration::from_secs_f64(d / SPEED_OF_LIGHT),
+                });
+            }
+        }
+        bucket.sort_unstable_by_key(|e| e.node.raw());
+        (bucket, scratch)
     }
 
     /// Number of nodes.
@@ -259,6 +490,104 @@ impl Medium {
             .iter()
             .filter(|e| e.class.decodable)
             .map(|e| e.node)
+    }
+}
+
+/// The dense all-pairs medium the spatial grid replaced, kept as the
+/// oracle for differential tests (mirroring `ReferenceEventQueue` in
+/// `mwn-sim`): every [`Medium`] query must return bit-identical results
+/// to this O(n²) implementation for any position set and move sequence.
+///
+/// Not used on any hot path — construction and every update cost O(n²).
+#[derive(Debug, Clone)]
+pub struct ReferenceMedium {
+    positions: Vec<Position>,
+    ranges: RangeModel,
+    effects: Vec<Vec<Effect>>,
+}
+
+impl ReferenceMedium {
+    /// Builds the reference medium with a dense all-pairs scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty or `ranges` is invalid, exactly as
+    /// [`Medium::new`].
+    pub fn new(positions: Vec<Position>, ranges: RangeModel) -> Self {
+        assert!(!positions.is_empty(), "medium needs at least one node");
+        ranges.validate();
+        let mut medium = ReferenceMedium {
+            positions,
+            ranges,
+            effects: Vec::new(),
+        };
+        medium.recompute();
+        medium
+    }
+
+    /// Moves nodes and recomputes all pairwise effects densely; the
+    /// oracle counterpart of [`Medium::move_nodes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a move references a node outside the medium.
+    pub fn move_nodes(&mut self, moves: &[(NodeId, Position)]) {
+        for &(id, new) in moves {
+            assert!(
+                id.index() < self.positions.len(),
+                "move references node {id:?} outside the medium"
+            );
+            self.positions[id.index()] = new;
+        }
+        self.recompute();
+    }
+
+    /// Replaces every position and recomputes densely; the oracle
+    /// counterpart of [`Medium::set_positions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of positions changes.
+    pub fn set_positions(&mut self, positions: &[Position]) {
+        assert_eq!(
+            positions.len(),
+            self.positions.len(),
+            "node count is fixed for the lifetime of the medium"
+        );
+        self.positions.copy_from_slice(positions);
+        self.recompute();
+    }
+
+    fn recompute(&mut self) {
+        let n = self.positions.len();
+        self.effects.resize_with(n, Vec::new);
+        for tx in 0..n {
+            let bucket = &mut self.effects[tx];
+            bucket.clear();
+            for rx in 0..n {
+                if rx == tx {
+                    continue;
+                }
+                let d = self.positions[tx].distance_to(self.positions[rx]);
+                if let Some(class) = self.ranges.classify(d) {
+                    bucket.push(Effect {
+                        node: NodeId(rx as u32),
+                        class,
+                        delay: SimDuration::from_secs_f64(d / SPEED_OF_LIGHT),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Every node affected by a transmission from `tx`, ordered by id.
+    pub fn effects_of(&self, tx: NodeId) -> &[Effect] {
+        &self.effects[tx.index()]
+    }
+
+    /// Node positions.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
     }
 }
 
@@ -363,5 +692,184 @@ mod mobility_tests {
     fn node_count_change_rejected() {
         let mut m = Medium::new(vec![Position::new(0.0, 0.0)], RangeModel::paper());
         m.set_positions(&[Position::new(0.0, 0.0), Position::new(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn move_nodes_matches_set_positions() {
+        let initial = vec![
+            Position::new(0.0, 0.0),
+            Position::new(200.0, 0.0),
+            Position::new(400.0, 0.0),
+            Position::new(600.0, 0.0),
+        ];
+        let mut incremental = Medium::new(initial.clone(), RangeModel::paper());
+        let mut rebuilt = Medium::new(initial, RangeModel::paper());
+        // Node 1 leaves decode range of 0; node 3 walks next to 0.
+        let moves = [
+            (NodeId(1), Position::new(200.0, 500.0)),
+            (NodeId(3), Position::new(100.0, 0.0)),
+        ];
+        incremental.move_nodes(&moves);
+        let mut positions = rebuilt.positions().to_vec();
+        for &(id, p) in &moves {
+            positions[id.index()] = p;
+        }
+        rebuilt.set_positions(&positions);
+        for tx in 0..4u32 {
+            assert_eq!(
+                incremental.effects_of(NodeId(tx)),
+                rebuilt.effects_of(NodeId(tx)),
+                "effect lists diverged for tx {tx}"
+            );
+        }
+    }
+
+    #[test]
+    fn move_nodes_applies_duplicate_ids_in_order() {
+        let mut m = Medium::new(
+            vec![Position::new(0.0, 0.0), Position::new(200.0, 0.0)],
+            RangeModel::paper(),
+        );
+        m.move_nodes(&[
+            (NodeId(1), Position::new(5000.0, 0.0)),
+            (NodeId(1), Position::new(100.0, 0.0)),
+        ]);
+        assert_eq!(m.positions()[1], Position::new(100.0, 0.0));
+        assert!(m.in_tx_range(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the medium")]
+    fn move_of_unknown_node_rejected() {
+        let mut m = Medium::new(vec![Position::new(0.0, 0.0)], RangeModel::paper());
+        m.move_nodes(&[(NodeId(3), Position::new(1.0, 1.0))]);
+    }
+
+    #[test]
+    fn co_located_nodes_have_full_mutual_effects() {
+        let p = Position::new(123.0, 456.0);
+        let m = Medium::new(vec![p, p, p], RangeModel::paper());
+        for tx in 0..3u32 {
+            let fx = m.effects_of(NodeId(tx));
+            assert_eq!(fx.len(), 2);
+            for e in fx {
+                assert!(e.class.decodable);
+                // Distance clamps to 1 m for power, so capture math stays
+                // finite even for co-located nodes.
+                assert!(e.class.power.is_finite() && e.class.power > 0.0);
+                assert_eq!(e.delay, SimDuration::from_secs_f64(0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn inclusive_range_boundaries_match_classify() {
+        // Receivers exactly at the 250 m and 550 m boundaries: both
+        // inclusive, and both must survive the grid's candidate pass.
+        let m = Medium::new(
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(250.0, 0.0),
+                Position::new(550.0, 0.0),
+                Position::new(550.0000001, 100000.0), // far out: no effect
+            ],
+            RangeModel::paper(),
+        );
+        let fx = m.effects_of(NodeId(0));
+        assert_eq!(fx.len(), 2);
+        assert!(fx[0].class.decodable);
+        assert!(!fx[1].class.decodable && fx[1].class.senses);
+    }
+
+    #[test]
+    fn nodes_exactly_on_cell_boundaries_are_not_lost() {
+        // Cell size is 550 m: place nodes exactly on multiples of the
+        // cell size, where floor() assigns them to the higher cell.
+        let m = Medium::new(
+            vec![
+                Position::new(550.0, 550.0),
+                Position::new(1100.0, 550.0),
+                Position::new(1100.0, 1100.0),
+                Position::new(825.0, 825.0),
+            ],
+            RangeModel::paper(),
+        );
+        // Every pairwise distance ≤ 550√2; check against a dense oracle.
+        let r = ReferenceMedium::new(m.positions().to_vec(), m.ranges());
+        for tx in 0..4u32 {
+            assert_eq!(m.effects_of(NodeId(tx)), r.effects_of(NodeId(tx)));
+        }
+        assert!(m.effects_of(NodeId(3)).iter().all(|e| e.class.senses));
+    }
+}
+
+#[cfg(test)]
+mod range_model_validation_tests {
+    use super::*;
+
+    #[test]
+    fn builtin_models_validate() {
+        RangeModel::paper().validate();
+        RangeModel::without_capture().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed cs_range")]
+    fn decode_beyond_carrier_sense_rejected() {
+        let m = RangeModel {
+            tx_range: 600.0,
+            ..RangeModel::paper()
+        };
+        Medium::new(vec![Position::new(0.0, 0.0)], m);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed cs_range")]
+    fn decode_beyond_interference_rejected() {
+        RangeModel {
+            interference_range: 200.0,
+            ..RangeModel::paper()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "crossover must be positive")]
+    fn non_positive_crossover_rejected() {
+        RangeModel {
+            crossover: 0.0,
+            ..RangeModel::paper()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "capture_threshold must be a ratio > 1")]
+    fn capture_threshold_at_or_below_one_rejected() {
+        RangeModel {
+            capture_threshold: Some(1.0),
+            ..RangeModel::paper()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tx_range must be positive")]
+    fn non_finite_tx_range_rejected() {
+        RangeModel {
+            tx_range: f64::NAN,
+            ..RangeModel::paper()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn max_range_is_the_largest_radius() {
+        assert_eq!(RangeModel::paper().max_range(), 550.0);
+        let m = RangeModel {
+            interference_range: 700.0,
+            ..RangeModel::paper()
+        };
+        assert_eq!(m.max_range(), 700.0);
     }
 }

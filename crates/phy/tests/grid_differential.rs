@@ -1,0 +1,102 @@
+//! Differential test: the spatial-grid medium against the dense oracle.
+//!
+//! [`Medium`] derives effect lists from a spatial hash grid and updates
+//! them incrementally on [`Medium::move_nodes`]; [`ReferenceMedium`] is
+//! the dense all-pairs implementation it replaced. For ANY initial
+//! placement and ANY sequence of move batches — including co-located
+//! nodes, nodes exactly on cell boundaries, and distances exactly at the
+//! inclusive 250 m / 550 m classification boundaries — both media must
+//! agree on every effect list bit for bit: same receivers in the same
+//! (node-id) order, same signal class, same power, same delay.
+
+use mwn_phy::{Medium, Position, RangeModel, ReferenceMedium};
+use mwn_pkt::NodeId;
+use proptest::prelude::*;
+
+/// Snap some coordinates onto multiples of interesting distances so the
+/// inclusive boundaries (250 m decode, 550 m sense = the grid cell size)
+/// and exact cell edges are actually hit, not just approached.
+fn snap(v: f64, lattice: u32) -> f64 {
+    match lattice % 4 {
+        0 => v,
+        1 => (v / 250.0).round() * 250.0,
+        2 => (v / 550.0).round() * 550.0,
+        _ => (v / 137.5).round() * 137.5,
+    }
+}
+
+fn arb_point() -> impl Strategy<Value = (f64, f64, u32)> {
+    (0.0f64..2200.0, 0.0f64..1100.0, 0u32..8)
+}
+
+fn positions_of(raw: &[(f64, f64, u32)]) -> Vec<Position> {
+    raw.iter()
+        .map(|&(x, y, lat)| Position::new(snap(x, lat), snap(y, lat / 4 + lat % 4)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn grid_medium_matches_dense_reference(
+        initial in proptest::collection::vec(arb_point(), 1..32),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0usize..32, arb_point()), 1..8),
+            0..6,
+        ),
+    ) {
+        let initial = positions_of(&initial);
+        let n = initial.len();
+        let mut grid = Medium::new(initial.clone(), RangeModel::paper());
+        let mut dense = ReferenceMedium::new(initial, RangeModel::paper());
+
+        let assert_equal = |grid: &Medium, dense: &ReferenceMedium, when: &str| {
+            for tx in 0..n {
+                let id = NodeId(tx as u32);
+                prop_assert_eq!(
+                    grid.effects_of(id),
+                    dense.effects_of(id),
+                    "effect lists diverged for tx {tx} {when}"
+                );
+            }
+            prop_assert_eq!(grid.positions(), dense.positions());
+        };
+        assert_equal(&grid, &dense, "after construction");
+
+        for (b, batch) in batches.iter().enumerate() {
+            let moves: Vec<(NodeId, Position)> = positions_of(
+                &batch.iter().map(|&(_, p)| p).collect::<Vec<_>>(),
+            )
+            .into_iter()
+            .zip(batch.iter().map(|&(i, _)| NodeId((i % n) as u32)))
+            .map(|(p, id)| (id, p))
+            .collect();
+            grid.move_nodes(&moves);
+            dense.move_nodes(&moves);
+            assert_equal(&grid, &dense, &format!("after move batch {b}"));
+        }
+    }
+
+    /// `set_positions` (full reposition, still grid-backed) against the
+    /// dense oracle.
+    #[test]
+    fn set_positions_matches_dense_reference(
+        initial in proptest::collection::vec(arb_point(), 1..24),
+        next in proptest::collection::vec(arb_point(), 1..24),
+    ) {
+        let initial = positions_of(&initial);
+        let n = initial.len();
+        // Reuse the initial draw to pad/trim `next` to the same length.
+        let mut next = positions_of(&next);
+        next.resize(n, initial[0]);
+        let mut grid = Medium::new(initial.clone(), RangeModel::paper());
+        let mut dense = ReferenceMedium::new(initial, RangeModel::paper());
+        grid.set_positions(&next);
+        dense.set_positions(&next);
+        for tx in 0..n {
+            let id = NodeId(tx as u32);
+            prop_assert_eq!(grid.effects_of(id), dense.effects_of(id));
+        }
+    }
+}

@@ -4,8 +4,11 @@
 //! accumulates the totals the ROADMAP's performance work needs: events
 //! processed, an event-count histogram by kind, and the peak future-event
 //! list depth. Wall-clock rates are derived by the caller
-//! ([`EngineProfile::events_per_sec`]) so the profile itself stays a pure
-//! function of the simulation.
+//! ([`EngineProfile::events_per_sec`]) so the event histogram stays a pure
+//! function of the simulation. Hosts may additionally time named hot
+//! sections ([`EngineProfile::record_timed`], e.g. the medium rebuild on
+//! a mobility tick); those buckets carry wall-clock seconds and are
+//! reported separately.
 
 /// Accumulated event-loop statistics.
 ///
@@ -18,6 +21,8 @@ pub struct EngineProfile {
     events_processed: u64,
     peak_queue_depth: usize,
     by_kind: Vec<(&'static str, u64)>,
+    /// Named timed sections: (name, invocations, total wall seconds).
+    timed: Vec<(&'static str, u64, f64)>,
 }
 
 impl EngineProfile {
@@ -48,6 +53,38 @@ impl EngineProfile {
             }
         }
         self.by_kind.push((kind, n));
+    }
+
+    /// Adds one invocation of the timed section `kind` lasting `secs`
+    /// wall-clock seconds. Unlike the event histogram, timed buckets are
+    /// machine-dependent; they exist to attribute wall time to named hot
+    /// sections (e.g. `medium_recompute` on mobility ticks).
+    pub fn record_timed(&mut self, kind: &'static str, secs: f64) {
+        for (k, count, total) in &mut self.timed {
+            if std::ptr::eq(*k as *const str, kind as *const str) || *k == kind {
+                *count += 1;
+                *total += secs;
+                return;
+            }
+        }
+        self.timed.push((kind, 1, secs));
+    }
+
+    /// The timed sections as `(name, invocations, total seconds)`, sorted
+    /// by name (deterministic).
+    pub fn timed(&self) -> Vec<(&'static str, u64, f64)> {
+        let mut v = self.timed.clone();
+        v.sort_unstable_by_key(|&(k, ..)| k);
+        v
+    }
+
+    /// Total wall seconds attributed to timed section `kind` (0.0 if the
+    /// section was never recorded).
+    pub fn timed_secs(&self, kind: &str) -> f64 {
+        self.timed
+            .iter()
+            .find(|(k, ..)| *k == kind)
+            .map_or(0.0, |&(_, _, s)| s)
     }
 
     /// Total events processed.
@@ -83,6 +120,15 @@ impl EngineProfile {
         for &(k, n) in &other.by_kind {
             self.bump(k, n);
         }
+        for &(k, count, secs) in &other.timed {
+            match self.timed.iter_mut().find(|(mk, ..)| *mk == k) {
+                Some((_, mcount, mtotal)) => {
+                    *mcount += count;
+                    *mtotal += secs;
+                }
+                None => self.timed.push((k, count, secs)),
+            }
+        }
     }
 }
 
@@ -111,6 +157,24 @@ mod tests {
         p.record("x", 0);
         assert_eq!(p.events_per_sec(0.0), 0.0);
         assert!((p.events_per_sec(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_sections_accumulate_and_merge() {
+        let mut a = EngineProfile::new();
+        a.record_timed("medium_recompute", 0.25);
+        a.record_timed("medium_recompute", 0.50);
+        assert_eq!(a.timed(), vec![("medium_recompute", 2, 0.75)]);
+        assert!((a.timed_secs("medium_recompute") - 0.75).abs() < 1e-12);
+        assert_eq!(a.timed_secs("unknown"), 0.0);
+        let mut b = EngineProfile::new();
+        b.record_timed("medium_recompute", 0.25);
+        b.record_timed("other", 1.0);
+        a.merge(&b);
+        assert_eq!(
+            a.timed(),
+            vec![("medium_recompute", 3, 1.0), ("other", 1, 1.0)]
+        );
     }
 
     #[test]

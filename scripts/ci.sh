@@ -36,15 +36,26 @@ cargo run --release -q -p mwn-cli -- check --suite fast --fuzz 32
 echo "==> observability overhead bench (trace disabled vs enabled)"
 cargo bench -p mwn-bench --bench obs_overhead -- --quick
 
+# Spatial-grid medium differential: the proptest oracle check (grid vs
+# dense all-pairs ReferenceMedium, incremental moves included) and the
+# random-waypoint trajectory differential, run explicitly and in release
+# so the gate exercises the exact medium build CI benchmarks below.
+echo "==> spatial-grid medium differential (proptest + mobility trajectories)"
+cargo test --release -q -p mwn-phy --test grid_differential
+cargo test --release -q -p mwn-check --test medium_mobility
+
 # Engine-throughput regression gate: the quick scenario subset against
 # the committed BENCH_engine.json baseline, failing on a >20% events/sec
-# drop. Wall-clock dependent, so loaded or throttled machines can set
-# MWN_BENCH_SKIP=1 to bypass it.
+# drop. The quick subset includes random200-mobility, which doubles as
+# the large-topology spatial-grid smoke (200 nodes, incremental
+# move_nodes on every mobility tick). Wall-clock dependent: best-of-5
+# absorbs transient host contention, and loaded or throttled machines
+# can set MWN_BENCH_SKIP=1 to bypass the gate entirely.
 if [ "${MWN_BENCH_SKIP:-0}" = "1" ]; then
     echo "==> mwn bench skipped (MWN_BENCH_SKIP=1)"
 else
     echo "==> mwn bench --quick --check"
-    cargo run --release -q -p mwn-cli -- bench --quick --check --repeat 3
+    cargo run --release -q -p mwn-cli -- bench --quick --check --repeat 5
 fi
 
 echo "CI gate passed."
