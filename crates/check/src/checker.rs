@@ -98,6 +98,11 @@ pub struct CheckContext {
     /// Per-flow TCP receiver window `wmax`, keyed by `FlowId::raw`.
     /// Flows absent here (UDP) skip the transport rules.
     pub flow_wmax: HashMap<u32, u64>,
+    /// Receiver window of open-loop traffic flows, whose generation-
+    /// packed ids cannot be enumerated up front: any flow missing from
+    /// [`flow_wmax`](Self::flow_wmax) falls back to this (`None` when
+    /// the scenario carries no traffic, skipping the rules as before).
+    pub traffic_wmax: Option<u64>,
     /// Static geometry for the carrier-sense and NAV rules; `None` under
     /// mobility, which disables both.
     pub medium: Option<Medium>,
@@ -117,6 +122,10 @@ impl CheckContext {
                 flow_wmax.insert(i as u32, u64::from(config.wmax));
             }
         }
+        let traffic_wmax = s.traffic.as_ref().and_then(|t| match t.transport {
+            Transport::Tcp { config, .. } => Some(u64::from(config.wmax)),
+            Transport::PacedUdp { .. } => None,
+        });
         let medium = if s.mobility.is_none() {
             Some(Medium::new(s.topology.positions().to_vec(), s.ranges))
         } else {
@@ -127,6 +136,7 @@ impl CheckContext {
             eifs_ns: params.eifs().as_nanos(),
             route_lifetime_ns: s.aodv.active_route_lifetime.as_nanos(),
             flow_wmax,
+            traffic_wmax,
             medium,
             eifs_rule: s.ranges.cs_range >= s.ranges.interference_range,
         }
@@ -238,12 +248,15 @@ fn check_eifs(records: &[TraceRecord], ctx: &CheckContext, out: &mut Vec<Violati
 /// traces an ACK before the sender can learn of it, and the sender never
 /// sends beyond its own `snd_una + wmax ≤ sink_acked + wmax`.
 fn check_transport(records: &[TraceRecord], ctx: &CheckContext, out: &mut Vec<Violation>) {
+    // Persistent flows by table position; traffic flows (generation-
+    // packed ids) share the workload's wmax.
+    let wmax_of = |flow: mwn::FlowId| ctx.flow_wmax.get(&flow.raw()).copied().or(ctx.traffic_wmax);
     // Per-flow highest traced cumulative ACK (−1 before any).
     let mut last_ack: HashMap<u32, i64> = HashMap::new();
     for (i, r) in records.iter().enumerate() {
         match r.event {
             TraceEvent::TcpCwnd { flow, cwnd_milli } => {
-                let Some(&wmax) = ctx.flow_wmax.get(&flow.raw()) else {
+                let Some(wmax) = wmax_of(flow) else {
                     continue;
                 };
                 // NewReno recovery inflates to at most wmax + 3; one
@@ -263,7 +276,7 @@ fn check_transport(records: &[TraceRecord], ctx: &CheckContext, out: &mut Vec<Vi
                 }
             }
             TraceEvent::TcpVegasDiff { flow, diff_milli } => {
-                let Some(&wmax) = ctx.flow_wmax.get(&flow.raw()) else {
+                let Some(wmax) = wmax_of(flow) else {
                     continue;
                 };
                 let hi = ((wmax + 3) * 1000 + 1) as i64;
@@ -295,7 +308,7 @@ fn check_transport(records: &[TraceRecord], ctx: &CheckContext, out: &mut Vec<Vi
                 *entry = (*entry).max(a);
             }
             TraceEvent::TcpData { flow, seq } => {
-                let Some(&wmax) = ctx.flow_wmax.get(&flow.raw()) else {
+                let Some(wmax) = wmax_of(flow) else {
                     continue;
                 };
                 let acked = *last_ack.get(&flow.raw()).unwrap_or(&-1);
@@ -674,6 +687,22 @@ mod tests {
             cwnd_milli: 500,
         };
         assert!(check(&[rec(0, 0, unknown)], &c).is_empty());
+    }
+
+    #[test]
+    fn traffic_flows_fall_back_to_the_workload_wmax() {
+        let mut c = ctx();
+        assert!(c.traffic_wmax.is_none());
+        // A flow outside the persistent table (e.g. a generation-packed
+        // traffic id) is skipped when no workload is attached…
+        let bad = TraceEvent::TcpCwnd {
+            flow: FlowId(0x0010_0009),
+            cwnd_milli: 500,
+        };
+        assert!(check(&[rec(0, 0, bad)], &c).is_empty());
+        // …and checked against the workload's wmax when one is.
+        c.traffic_wmax = Some(64);
+        assert_eq!(rules(&check(&[rec(0, 0, bad)], &c)), ["cwnd-bound"]);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 
 use std::fmt;
 
-use mwn::{FlowSpec, Scenario, SimDuration, Transport};
+use mwn::{
+    Arrival, FlowSpec, Scenario, SimDuration, SizeDist, TrafficClass, TrafficModel, TrafficSpec,
+    Transport,
+};
 use mwn_phy::DataRate;
 use mwn_pkt::NodeId;
 use proptest::{Strategy, TestRng};
@@ -72,6 +75,10 @@ pub struct ScenarioSpec {
     pub transport: u8,
     /// Packets to deliver per flow (the run's delivery target).
     pub packets: u8,
+    /// Open-loop traffic arrivals riding along (0 = none): short finite
+    /// NewReno flows churning through the flow table while the
+    /// persistent flows run.
+    pub traffic: u8,
     /// Scenario RNG seed.
     pub seed: u16,
 }
@@ -80,12 +87,13 @@ impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "chain({} hops{}) rate={} transport={} packets={} seed={}",
+            "chain({} hops{}) rate={} transport={} packets={} traffic={} seed={}",
             self.hops,
             if self.reverse { ", bidirectional" } else { "" },
             RATES[usize::from(self.rate) % RATES.len()],
             transport_name(self.transport),
             self.packets,
+            self.traffic,
             self.seed
         )
     }
@@ -109,17 +117,36 @@ impl ScenarioSpec {
                 transport,
             });
         }
+        if self.traffic > 0 {
+            s.traffic = Some(TrafficSpec {
+                model: TrafficModel {
+                    classes: vec![TrafficClass {
+                        name: "fuzz".into(),
+                        arrival: Arrival::Poisson { rate_fps: 8.0 },
+                        size: SizeDist::Fixed { packets: 2 },
+                        response: None,
+                    }],
+                    max_flows: u64::from(self.traffic),
+                    zipf_skew: 0.5,
+                    diurnal: None,
+                },
+                // Traffic always runs TCP, independent of the persistent
+                // flows' (possibly UDP) transport.
+                transport: Transport::newreno(),
+            });
+        }
         s
     }
 
-    /// Total packets the run tries to deliver across all flows.
+    /// Total packets the run tries to deliver across all flows
+    /// (persistent targets plus the finite traffic volume).
     pub fn target(&self) -> u64 {
-        u64::from(self.packets) * if self.reverse { 2 } else { 1 }
+        u64::from(self.packets) * if self.reverse { 2 } else { 1 } + u64::from(self.traffic) * 2
     }
 
     /// Candidate simplifications, most aggressive first. Every candidate
-    /// strictly reduces (hops, reverse, packets, transport, rate) in a
-    /// well-founded order, so greedy shrinking terminates.
+    /// strictly reduces (hops, reverse, packets, traffic, transport,
+    /// rate) in a well-founded order, so greedy shrinking terminates.
     pub fn simpler(&self) -> Vec<ScenarioSpec> {
         let mut out = Vec::new();
         if self.hops > 1 {
@@ -143,6 +170,18 @@ impl ScenarioSpec {
                 ..*self
             });
         }
+        if self.traffic > 0 {
+            out.push(ScenarioSpec {
+                traffic: 0,
+                ..*self
+            });
+            if self.traffic > 1 {
+                out.push(ScenarioSpec {
+                    traffic: self.traffic / 2,
+                    ..*self
+                });
+            }
+        }
         if self.transport != 0 {
             out.push(ScenarioSpec {
                 transport: 0,
@@ -161,15 +200,16 @@ pub fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
     (
         (1u8..=6, proptest::any::<bool>()),
         (0u8..3, 0u8..TRANSPORT_VARIANTS),
-        (10u8..=40, 0u16..1024),
+        (10u8..=40, 0u8..=16, 0u16..1024),
     )
         .prop_map(
-            |((hops, reverse), (rate, transport), (packets, seed))| ScenarioSpec {
+            |((hops, reverse), (rate, transport), (packets, traffic, seed))| ScenarioSpec {
                 hops,
                 reverse,
                 rate,
                 transport,
                 packets,
+                traffic,
                 seed,
             },
         )
@@ -271,16 +311,22 @@ mod tests {
         let strategy = spec_strategy();
         let mut seen_reverse = false;
         let mut seen_udp = false;
+        let mut seen_traffic = false;
         for case in 0..200 {
             let s = strategy.generate(&mut TestRng::for_case("bounds", case));
             assert!((1..=6).contains(&s.hops));
             assert!(s.rate < 3);
             assert!(s.transport < TRANSPORT_VARIANTS);
             assert!((10..=40).contains(&s.packets));
+            assert!(s.traffic <= 16);
             seen_reverse |= s.reverse;
             seen_udp |= s.transport == TRANSPORT_VARIANTS - 1;
+            seen_traffic |= s.traffic > 0;
         }
-        assert!(seen_reverse && seen_udp, "generator never drew a whole arm");
+        assert!(
+            seen_reverse && seen_udp && seen_traffic,
+            "generator never drew a whole arm"
+        );
     }
 
     #[test]
@@ -291,6 +337,7 @@ mod tests {
             rate: 2,
             transport: 4,
             packets: 20,
+            traffic: 5,
             seed: 9,
         };
         let s = spec.scenario();
@@ -298,8 +345,16 @@ mod tests {
         assert_eq!(s.flows.len(), 2);
         assert_eq!(s.flows[1].src, NodeId(3));
         assert_eq!(s.flows[1].dst, NodeId(0));
-        assert_eq!(spec.target(), 40);
+        let traffic = s.traffic.as_ref().expect("traffic arm attached");
+        assert_eq!(traffic.model.max_flows, 5);
+        assert!(matches!(traffic.transport, Transport::Tcp { .. }));
+        // 2 × 20 persistent packets + 5 traffic flows × 2 packets.
+        assert_eq!(spec.target(), 50);
         assert!(spec.to_string().contains("vegas"));
+        // traffic = 0 attaches no workload.
+        let plain = ScenarioSpec { traffic: 0, ..spec };
+        assert!(plain.scenario().traffic.is_none());
+        assert_eq!(plain.target(), 40);
     }
 
     #[test]
@@ -312,6 +367,7 @@ mod tests {
             rate: 2,
             transport: 5,
             packets: 40,
+            traffic: 9,
             seed: 3,
         };
         let (min, ()) = shrink(start, (), |s| (s.hops >= 2).then_some(()));
@@ -323,6 +379,7 @@ mod tests {
                 rate: 0,
                 transport: 0,
                 packets: 5,
+                traffic: 0,
                 seed: 3,
             }
         );
@@ -336,6 +393,7 @@ mod tests {
             rate: 1,
             transport: 2,
             packets: 12,
+            traffic: 3,
             seed: 0,
         };
         // Only the exact original fails.

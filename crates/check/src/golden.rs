@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 
 use mwn::trace::TraceRecord;
-use mwn::{Scenario, SimDuration, Transport};
+use mwn::{Scenario, SimDuration, TrafficModel, Transport};
 use mwn_phy::DataRate;
 
 use crate::checker::{check, CheckContext, Violation};
@@ -24,7 +24,12 @@ use crate::run_traced;
 pub const BUILTIN_DIGESTS: &str = include_str!("../golden/digests.txt");
 
 /// The names of the cheap cases CI runs on every push (`--suite fast`).
-pub const FAST_NAMES: [&str; 3] = ["chain1-newreno-2m", "chain2-vegas-2m", "chain2-udp-2m"];
+pub const FAST_NAMES: [&str; 4] = [
+    "chain1-newreno-2m",
+    "chain2-vegas-2m",
+    "chain2-udp-2m",
+    "traffic10-web-11m",
+];
 
 /// One canonical scenario with a committed trace digest.
 pub struct CanonicalCase {
@@ -79,7 +84,8 @@ impl CaseReport {
 }
 
 /// All canonical scenarios, covering every transport variant, the three
-/// PHY rates and the paper's three topology families.
+/// PHY rates, the paper's three topology families and the open-loop
+/// traffic extension (finite flows churning through the flow table).
 pub fn canonical_cases() -> Vec<CanonicalCase> {
     fn secs(s: u64) -> SimDuration {
         SimDuration::from_secs(s)
@@ -151,6 +157,20 @@ pub fn canonical_cases() -> Vec<CanonicalCase> {
             target: 40,
             deadline: secs(30),
             build: || Scenario::random10(DataRate::MBPS_2, Transport::vegas(2), 42),
+        },
+        CanonicalCase {
+            name: "traffic10-web-11m",
+            target: 400,
+            deadline: secs(30),
+            build: || {
+                Scenario::open_loop(
+                    10,
+                    TrafficModel::web(100),
+                    Transport::newreno(),
+                    DataRate::MBPS_11,
+                    7,
+                )
+            },
         },
     ]
 }

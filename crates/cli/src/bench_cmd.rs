@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use mwn::mobility::RandomWaypoint;
-use mwn::{topology, FlowSpec, NodeId, Scenario, SimDuration, SimTime, Transport};
+use mwn::{topology, FlowSpec, NodeId, Scenario, SimDuration, SimTime, TrafficModel, Transport};
 use mwn_obs::json::Obj;
 use mwn_phy::DataRate;
 
@@ -134,6 +134,26 @@ fn cases() -> Vec<BenchCase> {
             target: 3_000,
             deadline: SimDuration::from_secs(1_000),
             build: || random_large_mobility(500, Transport::newreno()),
+        },
+        // Open-loop flow churn: a 100 000-flow web workload (at a
+        // sustainable 20% load) spawning, transferring and vacating
+        // flow-table slots; the target samples the first ~2 700
+        // transactions. Exercises the traffic engine, slab recycling and
+        // per-flow timer management rather than steady-state forwarding.
+        BenchCase {
+            name: "traffic100k",
+            quick: true,
+            target: 20_000,
+            deadline: SimDuration::from_secs(3_000),
+            build: || {
+                Scenario::open_loop(
+                    20,
+                    TrafficModel::web(100_000).with_load(0.2),
+                    Transport::newreno(),
+                    DataRate::MBPS_11,
+                    4242,
+                )
+            },
         },
     ]
 }
@@ -466,6 +486,8 @@ mod tests {
         assert!(names.contains(&"random50-vegas-2m"));
         assert!(names.contains(&"random200-mobility"));
         assert!(names.contains(&"random500-mobility"));
+        // traffic100k is the CI smoke for open-loop flow churn.
+        assert!(all.iter().any(|c| c.name == "traffic100k" && c.quick));
         // random200 is the CI smoke for the spatial-grid mobility path;
         // random500 is full-run only.
         assert!(all

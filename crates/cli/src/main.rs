@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! mwn repro <experiment|all> [--scale N] [--jobs N] [--csv]   regenerate paper figures/tables
-//! mwn sweep [--suite chain|full] [--jobs N] [--out F]         parallel sweep into a JSONL store
+//! mwn sweep [--suite chain|full|traffic] [--jobs N] [--out F]  parallel sweep into a JSONL store
 //! mwn run [options]                                           run one scenario, print measures
 //! mwn stats [options]                                         run instrumented, print metrics
 //! mwn list                                                    list reproducible experiments
 //! mwn trace [--hops H] [--events N] [--format text|jsonl]     print an annotated event trace
 //! mwn check [--suite fast|full] [--bless] [--fuzz N]          invariants + golden-trace conformance
 //! mwn bench [--quick] [--check] [--record LABEL]              engine events/sec vs committed baseline
+//! mwn traffic [--nodes N] [--flows F] [--profile P]           open-loop workload, per-class FCT percentiles
 //! ```
 
 use std::process::ExitCode;
@@ -20,6 +21,7 @@ mod run;
 mod stats_cmd;
 mod sweep;
 mod trace_cmd;
+mod traffic_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         Some("trace") => trace_cmd::command(&args[1..]),
         Some("check") => check_cmd::command(&args[1..]),
         Some("bench") => bench_cmd::command(&args[1..]),
+        Some("traffic") => traffic_cmd::command(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -62,7 +65,7 @@ fn print_usage() {
          \x20     --scale N   batch size multiplier (1 = quick, 25 = paper scale)\n\
          \x20     --jobs N    run experiments on N worker threads (0 = one per CPU)\n\
          \x20     --csv       emit CSV instead of aligned text\n\n\
-         \x20 mwn sweep [--suite chain|full] [--jobs N] [--out results.jsonl] [--scale N]\n\
+         \x20 mwn sweep [--suite chain|full|traffic] [--jobs N] [--out results.jsonl] [--scale N]\n\
          \x20           [--metrics]\n\
          \x20     Run a suite of experiment jobs on a worker pool, appending\n\
          \x20     results to a JSONL store. Re-running with the same --out\n\
@@ -96,6 +99,13 @@ fn print_usage() {
          \x20     BENCH_engine.json. --record appends this run to the\n\
          \x20     baseline file; --check fails on a >20% regression\n\
          \x20     (CI sets MWN_BENCH_SKIP=1 on machines too noisy to gate).\n\n\
+         \x20 mwn traffic [--nodes N] [--flows F] [--profile web|mixed|heavy]\n\
+         \x20             [--load F] [--transport <variant>] [--rate 2|5.5|11]\n\
+         \x20             [--seed S] [--reps R] [--jobs N] [--deadline SECS] [--json]\n\
+         \x20     Drive an open-loop workload (finite flows, flow churn) over\n\
+         \x20     a connected random topology until every flow completes, and\n\
+         \x20     report per-class FCT percentiles, goodput and the journal\n\
+         \x20     digest (bit-identical across --jobs worker counts).\n\n\
          \x20 mwn list\n\
          \x20     List the reproducible experiments."
     );

@@ -29,7 +29,12 @@ pub fn command(rest: &[String]) -> Result<(), String> {
     let jobs = match suite.as_str() {
         "chain" => jobs::chain_study(scale),
         "full" => jobs::full_suite(scale),
-        other => return Err(format!("unknown suite {other:?} (use chain or full)")),
+        "traffic" => jobs::traffic_study(scale),
+        other => {
+            return Err(format!(
+                "unknown suite {other:?} (use chain, full or traffic)"
+            ))
+        }
     };
 
     let shown = if workers == 0 {

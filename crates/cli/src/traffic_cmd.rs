@@ -1,0 +1,219 @@
+//! `mwn traffic` — drive an open-loop workload over a random topology
+//! and report per-class flow-completion-time percentiles.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mwn::{Scenario, SimDuration, SimTime, StepOutcome, TrafficModel, Transport};
+
+use crate::args::{parse, parse_rate, parse_transport, reject_leftovers, take_flag, take_value};
+
+/// One replication's result.
+struct RepResult {
+    seed: u64,
+    outcome: StepOutcome,
+    end: SimTime,
+    live_at_end: usize,
+    journal: (u64, u64),
+    arrivals: (u64, u64),
+    /// Pre-rendered per-class report (text or JSON).
+    report: String,
+}
+
+pub fn command(argv: &[String]) -> Result<(), String> {
+    let mut argv = argv.to_vec();
+    let nodes: usize = match take_value(&mut argv, "--nodes")? {
+        Some(v) => parse(&v, "node count")?,
+        None => 20,
+    };
+    let flows: u64 = match take_value(&mut argv, "--flows")? {
+        Some(v) => parse(&v, "flow count")?,
+        None => 2_000,
+    };
+    let profile = take_value(&mut argv, "--profile")?.unwrap_or_else(|| "web".to_string());
+    let load: f64 = match take_value(&mut argv, "--load")? {
+        Some(v) => parse(&v, "load factor")?,
+        None => 1.0,
+    };
+    let transport = match take_value(&mut argv, "--transport")? {
+        Some(v) => parse_transport(&v)?,
+        None => Transport::newreno(),
+    };
+    let rate = match take_value(&mut argv, "--rate")? {
+        Some(v) => parse_rate(&v)?,
+        None => mwn_phy::DataRate::MBPS_11,
+    };
+    let seed: u64 = match take_value(&mut argv, "--seed")? {
+        Some(v) => parse(&v, "seed")?,
+        None => 1,
+    };
+    let reps: u64 = match take_value(&mut argv, "--reps")? {
+        Some(v) => parse::<u64>(&v, "replication count")?.max(1),
+        None => 1,
+    };
+    let jobs: usize = match take_value(&mut argv, "--jobs")? {
+        Some(v) => parse(&v, "job count")?,
+        None => 0,
+    };
+    let deadline_secs: u64 = match take_value(&mut argv, "--deadline")? {
+        Some(v) => parse(&v, "deadline (simulated seconds)")?,
+        None => 1_000_000,
+    };
+    let json = take_flag(&mut argv, "--json");
+    reject_leftovers(&argv)?;
+
+    if !(load > 0.0 && load.is_finite()) {
+        return Err("--load must be a positive finite factor".to_string());
+    }
+    let model = TrafficModel::profile(&profile, flows)
+        .ok_or_else(|| {
+            format!(
+                "unknown profile {profile:?} (use {})",
+                TrafficModel::PROFILES.join(", ")
+            )
+        })?
+        .with_load(load);
+    if !matches!(transport, Transport::Tcp { .. }) {
+        return Err("open-loop traffic needs a TCP transport (not udp)".to_string());
+    }
+    if nodes < 2 {
+        return Err("traffic needs at least two nodes".to_string());
+    }
+
+    let results = run_reps(
+        nodes,
+        &model,
+        transport,
+        rate,
+        seed,
+        reps,
+        jobs,
+        deadline_secs,
+        json,
+    );
+
+    let mut failures = 0usize;
+    for r in &results {
+        println!(
+            "rep seed={} journal={}:{:016x} arrivals={}:{:016x}",
+            r.seed, r.journal.0, r.journal.1, r.arrivals.0, r.arrivals.1
+        );
+        print!("{}", r.report);
+        if r.outcome != StepOutcome::TargetReached {
+            failures += 1;
+            println!(
+                "FAIL seed={}: {:?} at t={:.1}s with {} flows still live",
+                r.seed,
+                r.outcome,
+                r.end.as_secs_f64(),
+                r.live_at_end
+            );
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} replication(s) did not complete"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Runs `reps` independent replications (seeds `seed..seed+reps`) on a
+/// worker pool, preserving seed order in the output.
+#[allow(clippy::too_many_arguments)]
+fn run_reps(
+    nodes: usize,
+    model: &TrafficModel,
+    transport: Transport,
+    rate: mwn_phy::DataRate,
+    seed: u64,
+    reps: u64,
+    jobs: usize,
+    deadline_secs: u64,
+    json: bool,
+) -> Vec<RepResult> {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        jobs
+    }
+    .min(reps as usize);
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<RepResult>>> = Mutex::new((0..reps).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i as u64 >= reps {
+                    break;
+                }
+                let rep_seed = seed + i as u64;
+                let result = run_one(
+                    nodes,
+                    model.clone(),
+                    transport,
+                    rate,
+                    rep_seed,
+                    deadline_secs,
+                    json,
+                );
+                slots.lock().unwrap()[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every replication ran"))
+        .collect()
+}
+
+fn run_one(
+    nodes: usize,
+    model: TrafficModel,
+    transport: Transport,
+    rate: mwn_phy::DataRate,
+    seed: u64,
+    deadline_secs: u64,
+    json: bool,
+) -> RepResult {
+    let scenario = Scenario::open_loop(nodes, model, transport, rate, seed);
+    let mut net = scenario.build();
+    let deadline = SimTime::ZERO + SimDuration::from_secs(deadline_secs);
+    let outcome = net.run_until_traffic_done(deadline);
+    let summary = net.traffic_summary().expect("open-loop run has a summary");
+    let report = if json {
+        format!("{}\n", summary.to_json(net.now()))
+    } else {
+        let mut out = String::new();
+        out.push_str(
+            "  class        arrivals  completions  fct_p50_s  fct_p95_s  fct_p99_s  gput_p50_kbps\n",
+        );
+        for c in summary.classes() {
+            let q = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.4}"));
+            out.push_str(&format!(
+                "  {:<12} {:>8}  {:>11}  {:>9}  {:>9}  {:>9}  {:>13}\n",
+                c.name(),
+                c.arrivals(),
+                c.completions(),
+                q(c.fct().p50()),
+                q(c.fct().p95()),
+                q(c.fct().p99()),
+                c.goodput()
+                    .p50()
+                    .map_or("-".to_string(), |x| format!("{x:.1}")),
+            ));
+        }
+        out
+    };
+    RepResult {
+        seed,
+        outcome,
+        end: net.now(),
+        live_at_end: net.live_flow_count(),
+        journal: net.traffic_digest().expect("traffic digest"),
+        arrivals: net.traffic_arrival_digest().expect("arrival digest"),
+        report,
+    }
+}

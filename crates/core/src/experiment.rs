@@ -177,9 +177,13 @@ pub struct RunResults {
     pub metrics: Option<MetricsReport>,
 }
 
-/// Per-flow counters snapshot at a batch boundary.
-#[derive(Debug, Clone, Default)]
+/// Per-slot counters snapshot at a batch boundary. `tenant` keys the
+/// baseline to the flow that produced it: open-loop churn can vacate and
+/// re-let a slot mid-batch, and a baseline from the previous tenant must
+/// not be subtracted from the new one's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct FlowSnapshot {
+    tenant: Option<FlowId>,
     delivered: u64,
     retransmissions: u64,
 }
@@ -247,14 +251,35 @@ pub fn run_instrumented(scenario: &Scenario, scale: ExperimentScale, obs: ObsCon
             break;
         }
 
-        // Per-flow batch measures.
+        // Per-flow batch measures. Open-loop churn can grow the slot
+        // table between boundaries; extend the trackers to match (the
+        // persistent prefix keeps its full batch history).
+        let flows = net.flow_count();
+        if flows > snapshots.len() {
+            snapshots.resize(flows, FlowSnapshot::default());
+            goodput.resize(flows, BatchMeans::new());
+            retx.resize(flows, BatchMeans::new());
+            window.resize(flows, BatchMeans::new());
+        }
         let mut flow_goodputs = Vec::with_capacity(flows);
         for i in 0..flows {
-            let flow = FlowId(i as u32);
-            let delivered = net.flow_delivered(flow);
-            let d_delta = delivered - snapshots[i].delivered;
-            let retx_total = net.flow_sender_stats(flow).map_or(0, |s| s.retransmissions);
-            let r_delta = retx_total - snapshots[i].retransmissions;
+            let tenant = net.flow_at(i);
+            let (delivered, retx_total) = match tenant {
+                Some(flow) => (
+                    net.flow_delivered(flow),
+                    net.flow_sender_stats(flow).map_or(0, |s| s.retransmissions),
+                ),
+                None => (0, 0),
+            };
+            // A tenant change invalidates the baseline: the new flow's
+            // counters started from zero after the snapshot was taken.
+            let stale = tenant != snapshots[i].tenant;
+            let d_delta = delivered.saturating_sub(if stale { 0 } else { snapshots[i].delivered });
+            let r_delta = retx_total.saturating_sub(if stale {
+                0
+            } else {
+                snapshots[i].retransmissions
+            });
             let gp = if elapsed.is_zero() {
                 0.0
             } else {
@@ -265,8 +290,9 @@ pub fn run_instrumented(scenario: &Scenario, scale: ExperimentScale, obs: ObsCon
             } else {
                 r_delta as f64 / d_delta as f64
             };
-            let win = net.flow_avg_window(flow);
+            let win = tenant.map_or(1.0, |f| net.flow_avg_window(f));
             snapshots[i] = FlowSnapshot {
+                tenant,
                 delivered,
                 retransmissions: retx_total,
             };
@@ -337,7 +363,7 @@ pub fn run_instrumented(scenario: &Scenario, scale: ExperimentScale, obs: ObsCon
     });
 
     RunResults {
-        per_flow: (0..flows)
+        per_flow: (0..goodput.len())
             .map(|i| FlowResult {
                 flow: FlowId(i as u32),
                 goodput_kbps: goodput[i].estimate(),
@@ -453,6 +479,24 @@ mod tests {
         };
         let r = run(&s, scale);
         assert!(matches!(r.outcome, RunOutcome::Truncated { .. }));
+    }
+
+    #[test]
+    fn open_loop_scenario_survives_batch_collection() {
+        // Churn: slots vacate, recycle and multiply between batch
+        // boundaries; the collector must never underflow a delta or
+        // index a stale generation.
+        use mwn_traffic::TrafficModel;
+        let s = Scenario::open_loop(
+            10,
+            TrafficModel::web(600),
+            Transport::newreno(),
+            DataRate::MBPS_2,
+            9,
+        );
+        let r = run(&s, ExperimentScale::smoke());
+        assert!(!r.per_flow.is_empty());
+        assert!(r.packets_measured > 0 || matches!(r.outcome, RunOutcome::Truncated { .. }));
     }
 
     #[test]

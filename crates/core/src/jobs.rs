@@ -11,11 +11,14 @@
 //! [`full_suite`] and [`chain_study`] enumerate the grids behind the
 //! paper's figures using the *same* [`seed_for`] seeds as the
 //! [`crate::experiments`] drivers, so a sweep cell and the corresponding
-//! figure point are the same simulation run.
+//! figure point are the same simulation run. [`traffic_study`] adds the
+//! open-loop workload extension: built-in [`TrafficModel`] profiles
+//! crossed with the TCP variants.
 
 use mwn_phy::DataRate;
 use mwn_sim::{fxhash, SimDuration};
 use mwn_tcp::{AckPolicy, Flavor};
+use mwn_traffic::TrafficModel;
 
 use crate::experiment::ExperimentScale;
 use crate::experiments::{seed_for, PAPER_BANDWIDTHS, PAPER_HOPS};
@@ -39,16 +42,34 @@ pub enum ScenarioKind {
         /// Node count: 200 or 500.
         nodes: usize,
     },
+    /// An open-loop workload over a connected random topology
+    /// ([`Scenario::open_loop`], extension): finite flows arriving from a
+    /// built-in [`TrafficModel`] profile, all running the job's
+    /// transport.
+    Traffic {
+        /// Node count of the random field.
+        nodes: usize,
+        /// Built-in profile name ([`TrafficModel::PROFILES`]).
+        profile: &'static str,
+        /// Total flow arrivals before the generator stops.
+        flows: u64,
+    },
 }
 
 impl ScenarioKind {
-    /// Canonical token, e.g. `"chain:7"` or `"random_large:200"`.
+    /// Canonical token, e.g. `"chain:7"`, `"random_large:200"` or
+    /// `"traffic:20:web:1200"`.
     pub fn token(self) -> String {
         match self {
             ScenarioKind::Chain { hops } => format!("chain:{hops}"),
             ScenarioKind::Grid6 => "grid6".into(),
             ScenarioKind::Random10 => "random10".into(),
             ScenarioKind::RandomLarge { nodes } => format!("random_large:{nodes}"),
+            ScenarioKind::Traffic {
+                nodes,
+                profile,
+                flows,
+            } => format!("traffic:{nodes}:{profile}:{flows}"),
         }
     }
 }
@@ -133,6 +154,17 @@ impl JobSpec {
             ScenarioKind::RandomLarge { nodes } => {
                 Scenario::random_large(nodes, self.bandwidth, self.transport, self.seed)
             }
+            ScenarioKind::Traffic {
+                nodes,
+                profile,
+                flows,
+            } => Scenario::open_loop(
+                nodes,
+                TrafficModel::profile(profile, flows).expect("built-in traffic profile"),
+                self.transport,
+                self.bandwidth,
+                self.seed,
+            ),
         }
     }
 }
@@ -183,6 +215,39 @@ pub fn chain_study(scale: ExperimentScale) -> Vec<JobSpec> {
                 seed_for(&[6, vi as u64, hops as u64]),
                 scale,
             ));
+        }
+    }
+    jobs
+}
+
+/// The open-loop traffic study (extension): every built-in workload
+/// profile crossed with the TCP variants of interest, each over a
+/// 20-node connected random field at 11 Mbit/s. The flow count scales
+/// with the batch size so larger `--scale` sweeps see proportionally
+/// more churn rather than truncating early.
+pub fn traffic_study(scale: ExperimentScale) -> Vec<JobSpec> {
+    let flows = scale.batch_packets.saturating_mul(3);
+    let variants: [(&str, Transport); 3] = [
+        ("NewReno", Transport::newreno()),
+        ("NewReno +thin", Transport::newreno_thinning()),
+        ("Vegas", Transport::vegas(2)),
+    ];
+    let mut jobs = Vec::new();
+    for (pi, profile) in TrafficModel::PROFILES.into_iter().enumerate() {
+        for (vi, (label, t)) in variants.into_iter().enumerate() {
+            jobs.push(JobSpec {
+                group: "traffic".to_string(),
+                point: format!("profile={profile} variant={label}"),
+                kind: ScenarioKind::Traffic {
+                    nodes: 20,
+                    profile,
+                    flows,
+                },
+                bandwidth: DataRate::MBPS_11,
+                transport: t,
+                seed: seed_for(&[30, pi as u64, vi as u64]),
+                scale,
+            });
         }
     }
     jobs
@@ -442,6 +507,48 @@ mod tests {
         let s = job.scenario();
         assert_eq!(s.topology.len(), 200);
         let _ = s.build();
+    }
+
+    #[test]
+    fn traffic_study_jobs_are_distinct_and_build() {
+        let jobs = traffic_study(tiny());
+        // profiles × variants.
+        assert_eq!(jobs.len(), 9);
+        let mut keys: Vec<String> = jobs.iter().map(JobSpec::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 9, "content-key collision in traffic study");
+        let job = &jobs[0];
+        assert_eq!(job.kind.token(), "traffic:20:web:180");
+        let s = job.scenario();
+        assert_eq!(s.topology.len(), 20);
+        assert!(
+            s.flows.is_empty(),
+            "open-loop jobs have no persistent flows"
+        );
+        let spec = s.traffic.as_ref().expect("traffic spec attached");
+        assert_eq!(spec.model.max_flows, 180);
+        assert_eq!(spec.transport, job.transport);
+        let _ = s.build();
+    }
+
+    #[test]
+    fn traffic_kind_participates_in_the_content_key() {
+        let base = traffic_study(tiny()).remove(0);
+        let mut other = base.clone();
+        other.kind = ScenarioKind::Traffic {
+            nodes: 20,
+            profile: "web",
+            flows: 181,
+        };
+        assert_ne!(base.key(), other.key());
+        let mut renamed = base.clone();
+        renamed.kind = ScenarioKind::Traffic {
+            nodes: 20,
+            profile: "heavy",
+            flows: 180,
+        };
+        assert_ne!(base.key(), renamed.key());
     }
 
     #[test]

@@ -41,7 +41,12 @@ pub mod trace;
 
 pub use experiment::{ExperimentScale, FlowResult, ObsConfig, RunOutcome, RunResults};
 pub use network::{Network, NetworkTotals, StepOutcome};
-pub use scenario::{FlowSpec, Scenario, Transport};
+pub use scenario::{FlowSpec, Scenario, TrafficSpec, Transport};
+
+// Re-export the open-loop workload vocabulary so callers can describe
+// traffic without naming the `mwn-traffic` crate.
+pub use mwn_obs::{ClassFct, FctSummary};
+pub use mwn_traffic::{Arrival, Diurnal, SizeDist, TrafficClass, TrafficModel};
 
 // Re-export the observability layer's vocabulary so downstream users
 // (runner, CLI) see one coherent API.

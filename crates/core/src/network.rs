@@ -4,7 +4,9 @@ use std::rc::Rc;
 
 use mwn_aodv::{AodvAction, AodvCounters, Router};
 use mwn_mac80211::{Dcf, MacAction, MacCounters, MacTimer};
-use mwn_obs::{CounterBlock, FlowCounters, MetricsSnapshot, NodeCounters, ProbeBuffer, ProbeKind};
+use mwn_obs::{
+    CounterBlock, FctSummary, FlowCounters, MetricsSnapshot, NodeCounters, ProbeBuffer, ProbeKind,
+};
 use mwn_phy::{EnergyMeter, EnergyParams, Medium, RadioEvent, Transceiver, TxId};
 use mwn_pkt::{Body, FlowId, MacFrame, NodeId, Packet};
 use mwn_sim::stats::TimeWeightedAverage;
@@ -13,6 +15,7 @@ use mwn_tcp::{
     PacedUdpSource, TcpSender, TcpSenderStats, TcpSink, TcpSinkStats, TransportAction,
     TransportTimer, UdpSink,
 };
+use mwn_traffic::TrafficEngine;
 
 use crate::mobility::MobilityModel;
 use crate::scenario::{Scenario, Transport};
@@ -65,6 +68,8 @@ enum Event {
     },
     /// A flow opens.
     FlowStart { flow: FlowId },
+    /// The next open-loop traffic flow of `class` arrives.
+    TrafficArrival { class: usize },
     /// Mobility model tick: reposition nodes and recompute the medium.
     MobilityTick,
 }
@@ -80,6 +85,7 @@ fn event_kind(event: &Event) -> &'static str {
         Event::AodvDiscovery { .. } => "aodv_discovery",
         Event::Transport { .. } => "transport_timer",
         Event::FlowStart { .. } => "flow_start",
+        Event::TrafficArrival { .. } => "traffic_arrival",
         Event::MobilityTick => "mobility_tick",
     }
 }
@@ -97,6 +103,10 @@ enum SinkAgent {
     Udp(UdpSink),
 }
 
+/// Class marker for persistent (scenario-listed) flows, which never
+/// complete and never free their slot.
+const PERSISTENT: u32 = u32::MAX;
+
 #[derive(Debug)]
 struct Flow {
     src: NodeId,
@@ -109,6 +119,74 @@ struct Flow {
     last_delivery: Option<SimTime>,
     /// Time-weighted congestion window (TCP only).
     cwnd_twa: TimeWeightedAverage,
+    /// Traffic class index, or [`PERSISTENT`].
+    class: u32,
+    /// When the transaction this leg belongs to started (the request
+    /// arrival, even for a response leg).
+    started: SimTime,
+    /// Packets completed by earlier legs of the same transaction.
+    carried: u64,
+    /// Response-leg size to spawn once this leg completes (`None` for
+    /// the final leg).
+    response: Option<u64>,
+}
+
+/// One slot of the flow slab. The generation counter increments every
+/// time the slot is vacated, so a stale [`FlowId`] (packets or timers
+/// from a finished flow) can never reach the slot's next tenant.
+#[derive(Debug)]
+struct FlowSlot {
+    generation: u32,
+    flow: Option<Flow>,
+}
+
+/// Generation-checked slot lookup. A free function (not a method) so
+/// callers can keep borrowing `Network`'s other fields while the flow
+/// is held mutably.
+fn lookup_flow(flows: &mut [FlowSlot], flow: FlowId) -> Option<&mut Flow> {
+    let slot = flows.get_mut(flow.slot() as usize)?;
+    if slot.generation != flow.generation() {
+        return None;
+    }
+    slot.flow.as_mut()
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds one value into an FNV-1a64 running hash, byte by byte.
+fn fnv_mix(hash: &mut u64, value: u64) {
+    for b in value.to_le_bytes() {
+        *hash = (*hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Journal-record tags for the traffic digest (distinct so an arrival
+/// and a completion can never hash alike).
+const JOURNAL_ARRIVAL: u64 = 0xA5;
+const JOURNAL_COMPLETION: u64 = 0xC7;
+
+/// Everything the network tracks for an open-loop workload: the
+/// generator, per-class FCT accounting and two streaming digests.
+///
+/// The *journal* digest folds every spawn and completion (with times),
+/// so two runs agree iff their whole traffic histories agree. The
+/// *arrival* digest folds only first-leg arrivals, whose times and
+/// draws are a pure function of the scenario seed — it is invariant
+/// across deadline subdivision and worker counts by construction.
+struct TrafficState {
+    engine: TrafficEngine,
+    transport: Transport,
+    /// Legs spawned so far (requests and responses); names the uid
+    /// namespace of each leg.
+    spawn_counter: u64,
+    /// Flows currently occupying slots.
+    live: u64,
+    fct: FctSummary,
+    journal_count: u64,
+    journal_hash: u64,
+    arrival_count: u64,
+    arrival_hash: u64,
 }
 
 /// Network-wide aggregate counters (sums over nodes).
@@ -145,7 +223,14 @@ pub struct Network {
     macs: Vec<Dcf>,
     routers: Vec<Router>,
     energy: Vec<EnergyMeter>,
-    flows: Vec<Flow>,
+    /// Flow slab: persistent flows occupy slots `0..n` forever; traffic
+    /// flows churn through the remainder via `free_slots`, so steady-state
+    /// churn recycles slots (and their timer rows) without allocating.
+    flows: Vec<FlowSlot>,
+    /// Vacated slot indices, reused LIFO.
+    free_slots: Vec<u32>,
+    /// Open-loop workload state, if the scenario has one.
+    traffic: Option<TrafficState>,
     /// Frames on the air: one shared payload per transmission plus the
     /// outstanding SignalEnd count. Every receiver decodes the same
     /// `Rc<MacFrame>`; the list is linear-scanned because only a handful
@@ -240,14 +325,21 @@ impl Network {
                     SinkAgent::Udp(UdpSink::new()),
                 ),
             };
-            flows.push(Flow {
-                src: spec.src,
-                dst: spec.dst,
-                source,
-                sink,
-                delivered: 0,
-                last_delivery: None,
-                cwnd_twa: TimeWeightedAverage::new(SimTime::ZERO, 1.0),
+            flows.push(FlowSlot {
+                generation: 0,
+                flow: Some(Flow {
+                    src: spec.src,
+                    dst: spec.dst,
+                    source,
+                    sink,
+                    delivered: 0,
+                    last_delivery: None,
+                    cwnd_twa: TimeWeightedAverage::new(SimTime::ZERO, 1.0),
+                    class: PERSISTENT,
+                    started: SimTime::ZERO,
+                    carried: 0,
+                    response: None,
+                }),
             });
             // Stagger flow starts slightly to de-synchronise discoveries.
             let start = SimTime::ZERO + SimDuration::from_millis(10 * i as u64);
@@ -261,6 +353,35 @@ impl Network {
             queue.schedule(SimTime::ZERO + m.tick(), Event::MobilityTick);
         }
 
+        // The traffic fork comes after every other consumer of `root`, so
+        // scenarios without traffic draw exactly the pre-traffic stream
+        // (golden traces stay bit-identical).
+        let mut traffic = scenario.traffic.as_ref().map(|spec| {
+            assert!(
+                matches!(spec.transport, Transport::Tcp { .. }),
+                "open-loop traffic needs a TCP transport (completion is ACK-driven)"
+            );
+            let engine = TrafficEngine::new(spec.model.clone(), n as u32, &mut root);
+            let fct = FctSummary::new(&spec.model.class_names());
+            TrafficState {
+                engine,
+                transport: spec.transport,
+                spawn_counter: 0,
+                live: 0,
+                fct,
+                journal_count: 0,
+                journal_hash: FNV_OFFSET,
+                arrival_count: 0,
+                arrival_hash: FNV_OFFSET,
+            }
+        });
+        if let Some(t) = &mut traffic {
+            for class in 0..t.engine.class_count() {
+                let gap = t.engine.next_gap(class, 0.0);
+                queue.schedule(SimTime::ZERO + gap, Event::TrafficArrival { class });
+            }
+        }
+
         Network {
             now: SimTime::ZERO,
             queue,
@@ -271,6 +392,8 @@ impl Network {
             routers,
             energy,
             flows,
+            free_slots: Vec::new(),
+            traffic,
             in_flight: Vec::new(),
             next_tx_id: 0,
             mac_timers: vec![[None; MacTimer::COUNT]; n],
@@ -355,9 +478,15 @@ impl Network {
         self.total_delivered
     }
 
-    /// Number of flows.
+    /// Number of flow *slots* (persistent flows plus the churn slab's
+    /// high-water mark — not all slots are occupied).
     pub fn flow_count(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Number of currently occupied flow slots.
+    pub fn live_flow_count(&self) -> usize {
+        self.flows.iter().filter(|s| s.flow.is_some()).count()
     }
 
     /// Number of nodes.
@@ -365,22 +494,44 @@ impl Network {
         self.macs.len()
     }
 
-    /// In-order packets delivered by `flow`'s sink.
-    pub fn flow_delivered(&self, flow: FlowId) -> u64 {
-        self.flows[flow.index()].delivered
+    /// Generation-checked read access; `None` for vacated or recycled
+    /// slots.
+    fn flow_ref(&self, flow: FlowId) -> Option<&Flow> {
+        let slot = self.flows.get(flow.slot() as usize)?;
+        if slot.generation != flow.generation() {
+            return None;
+        }
+        slot.flow.as_ref()
     }
 
-    /// Sender statistics for a TCP flow (`None` for paced UDP).
+    /// The live flow id occupying `slot`, if any (traffic churn means a
+    /// slot's generation moves on; callers must re-key per batch).
+    pub fn flow_at(&self, slot: usize) -> Option<FlowId> {
+        let s = self.flows.get(slot)?;
+        s.flow
+            .as_ref()
+            .map(|_| FlowId::from_parts(slot as u32, s.generation))
+    }
+
+    /// In-order packets delivered by `flow`'s sink (0 once the flow has
+    /// completed and its slot was vacated).
+    pub fn flow_delivered(&self, flow: FlowId) -> u64 {
+        self.flow_ref(flow).map_or(0, |f| f.delivered)
+    }
+
+    /// Sender statistics for a TCP flow (`None` for paced UDP or a
+    /// vacated slot).
     pub fn flow_sender_stats(&self, flow: FlowId) -> Option<&TcpSenderStats> {
-        match &self.flows[flow.index()].source {
+        match &self.flow_ref(flow)?.source {
             SourceAgent::Tcp(s) => Some(s.stats()),
             SourceAgent::Udp(_) => None,
         }
     }
 
-    /// Sink statistics for a TCP flow (`None` for paced UDP).
+    /// Sink statistics for a TCP flow (`None` for paced UDP or a vacated
+    /// slot).
     pub fn flow_sink_stats(&self, flow: FlowId) -> Option<&TcpSinkStats> {
-        match &self.flows[flow.index()].sink {
+        match &self.flow_ref(flow)?.sink {
             SinkAgent::Tcp(s) => Some(s.stats()),
             SinkAgent::Udp(_) => None,
         }
@@ -388,19 +539,23 @@ impl Network {
 
     /// When `flow`'s sink last advanced, if it ever did.
     pub fn flow_last_delivery(&self, flow: FlowId) -> Option<SimTime> {
-        self.flows[flow.index()].last_delivery
+        self.flow_ref(flow)?.last_delivery
     }
 
     /// Time-weighted average congestion window of `flow` since the last
-    /// [`Network::reset_window_averages`] (1.0 for paced UDP).
+    /// [`Network::reset_window_averages`] (1.0 for paced UDP or a
+    /// vacated slot).
     pub fn flow_avg_window(&self, flow: FlowId) -> f64 {
-        self.flows[flow.index()].cwnd_twa.average(self.now)
+        self.flow_ref(flow)
+            .map_or(1.0, |f| f.cwnd_twa.average(self.now))
     }
 
     /// Restarts the per-flow window averages (called at batch boundaries).
     pub fn reset_window_averages(&mut self) {
-        for f in &mut self.flows {
-            f.cwnd_twa.reset(self.now);
+        for s in &mut self.flows {
+            if let Some(f) = &mut s.flow {
+                f.cwnd_twa.reset(self.now);
+            }
         }
     }
 
@@ -434,14 +589,20 @@ impl Network {
             flows: self
                 .flows
                 .iter()
-                .map(|f| FlowCounters {
-                    sender: match &f.source {
-                        SourceAgent::Tcp(s) => Some(*s.stats()),
-                        SourceAgent::Udp(_) => None,
+                .map(|slot| match &slot.flow {
+                    Some(f) => FlowCounters {
+                        sender: match &f.source {
+                            SourceAgent::Tcp(s) => Some(*s.stats()),
+                            SourceAgent::Udp(_) => None,
+                        },
+                        sink: match &f.sink {
+                            SinkAgent::Tcp(s) => Some(*s.stats()),
+                            SinkAgent::Udp(_) => None,
+                        },
                     },
-                    sink: match &f.sink {
-                        SinkAgent::Tcp(s) => Some(*s.stats()),
-                        SinkAgent::Udp(_) => None,
+                    None => FlowCounters {
+                        sender: None,
+                        sink: None,
                     },
                 })
                 .collect(),
@@ -471,6 +632,57 @@ impl Network {
             }
         }
         StepOutcome::TargetReached
+    }
+
+    /// `true` once the open-loop workload has spawned its whole arrival
+    /// budget and every flow has completed (vacuously true without a
+    /// workload).
+    pub fn traffic_done(&self) -> bool {
+        self.traffic
+            .as_ref()
+            .is_none_or(|t| t.engine.exhausted() && t.live == 0)
+    }
+
+    /// Runs until [`Network::traffic_done`], the simulated-time
+    /// `deadline` passes, or the event queue drains.
+    pub fn run_until_traffic_done(&mut self, deadline: SimTime) -> StepOutcome {
+        while !self.traffic_done() {
+            match self.queue.peek_time() {
+                None => return StepOutcome::Quiescent,
+                Some(t) if t > deadline => return StepOutcome::DeadlineExpired,
+                Some(_) => self.step(),
+            }
+        }
+        StepOutcome::TargetReached
+    }
+
+    /// Streaming per-class FCT/goodput accounting for the open-loop
+    /// workload, if the scenario has one.
+    pub fn traffic_summary(&self) -> Option<&FctSummary> {
+        self.traffic.as_ref().map(|t| &t.fct)
+    }
+
+    /// `(records, fnv1a64)` digest of the full traffic journal — every
+    /// spawn and completion with its time. Two runs of the same scenario
+    /// match iff their traffic histories are identical.
+    pub fn traffic_digest(&self) -> Option<(u64, u64)> {
+        self.traffic
+            .as_ref()
+            .map(|t| (t.journal_count, t.journal_hash))
+    }
+
+    /// `(arrivals, fnv1a64)` digest of first-leg arrivals only. A pure
+    /// function of the scenario seed: invariant across deadline
+    /// subdivision and `--jobs` worker counts.
+    pub fn traffic_arrival_digest(&self) -> Option<(u64, u64)> {
+        self.traffic
+            .as_ref()
+            .map(|t| (t.arrival_count, t.arrival_hash))
+    }
+
+    /// Traffic legs spawned so far (requests plus response legs).
+    pub fn traffic_spawned(&self) -> u64 {
+        self.traffic.as_ref().map_or(0, |t| t.spawn_counter)
     }
 
     /// Runs until simulated time `deadline`.
@@ -541,8 +753,18 @@ impl Network {
                 self.apply_aodv_actions(node, actions);
             }
             Event::Transport { flow, role, timer } => {
-                self.transport_timers[flow.index()][role.index()][timer.index()] = None;
-                self.dispatch_transport_timer(flow, role, timer);
+                // A completed traffic flow cancels its timers, so a stale
+                // generation firing here should be impossible — but if one
+                // ever slipped through, clearing the slot would wipe the
+                // next tenant's timer id, so guard anyway.
+                if self
+                    .flows
+                    .get(flow.slot() as usize)
+                    .is_some_and(|s| s.generation == flow.generation())
+                {
+                    self.transport_timers[flow.slot() as usize][role.index()][timer.index()] = None;
+                    self.dispatch_transport_timer(flow, role, timer);
+                }
             }
             Event::MobilityTick => {
                 if let Some(m) = &mut self.mobility {
@@ -569,7 +791,10 @@ impl Network {
             }
             Event::FlowStart { flow } => {
                 let mut actions = self.transport_pool.pop().unwrap_or_default();
-                let f = &mut self.flows[flow.index()];
+                let Some(f) = lookup_flow(&mut self.flows, flow) else {
+                    self.transport_pool.push(actions);
+                    return;
+                };
                 let node = f.src;
                 match &mut f.source {
                     SourceAgent::Tcp(s) => s.start(self.now, &mut actions),
@@ -578,12 +803,199 @@ impl Network {
                 self.note_window(flow);
                 self.apply_transport_actions(flow, Role::Source, node, actions);
             }
+            Event::TrafficArrival { class } => self.handle_traffic_arrival(class),
         }
+    }
+
+    /// One open-loop arrival: draw the flow, reschedule the class's next
+    /// arrival, and spawn the request leg.
+    fn handle_traffic_arrival(&mut self, class: usize) {
+        let Some(t) = &mut self.traffic else {
+            return;
+        };
+        if t.engine.exhausted() {
+            return;
+        }
+        let draw = t.engine.draw(class);
+        let response = t.engine.response_packets(class);
+        let next =
+            (!t.engine.exhausted()).then(|| t.engine.next_gap(class, self.now.as_secs_f64()));
+        t.fct.class_mut(class).record_arrival();
+        if let Some(gap) = next {
+            self.queue
+                .schedule(self.now + gap, Event::TrafficArrival { class });
+        }
+        self.spawn_traffic_flow(
+            class as u32,
+            NodeId(draw.src),
+            NodeId(draw.dst),
+            draw.packets,
+            response,
+            self.now,
+            0,
+        );
+    }
+
+    /// Admits one traffic leg into the slab: reuses a vacated slot (or
+    /// grows the slab and its timer table once, at the high-water mark),
+    /// builds the TCP pair with an app-limited budget, journals the
+    /// spawn and starts the sender immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_traffic_flow(
+        &mut self,
+        class: u32,
+        src: NodeId,
+        dst: NodeId,
+        packets: u64,
+        response: Option<u64>,
+        started: SimTime,
+        carried: u64,
+    ) -> FlowId {
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.flows.len() as u32;
+                self.flows.push(FlowSlot {
+                    generation: 0,
+                    flow: None,
+                });
+                self.transport_timers
+                    .push([[None; TransportTimer::COUNT]; 2]);
+                s
+            }
+        };
+        let generation = self.flows[slot as usize].generation;
+        let flow_id = FlowId::from_parts(slot, generation);
+
+        let t = self
+            .traffic
+            .as_mut()
+            .expect("traffic flows need a traffic state");
+        let k = t.spawn_counter;
+        assert!(
+            k < 1 << 21,
+            "traffic spawn counter exhausted its uid namespace"
+        );
+        t.spawn_counter += 1;
+        t.live += 1;
+        let transport = t.transport;
+        let t_ns = started.as_nanos();
+        fnv_mix(&mut t.journal_hash, JOURNAL_ARRIVAL);
+        fnv_mix(&mut t.journal_hash, k);
+        fnv_mix(&mut t.journal_hash, u64::from(class));
+        fnv_mix(&mut t.journal_hash, u64::from(src.raw()));
+        fnv_mix(&mut t.journal_hash, u64::from(dst.raw()));
+        fnv_mix(&mut t.journal_hash, packets);
+        fnv_mix(&mut t.journal_hash, t_ns);
+        t.journal_count += 1;
+        if carried == 0 {
+            // First legs only: response legs spawn at completion times,
+            // which depend on how the network is coping.
+            fnv_mix(&mut t.arrival_hash, u64::from(class));
+            fnv_mix(&mut t.arrival_hash, u64::from(src.raw()));
+            fnv_mix(&mut t.arrival_hash, u64::from(dst.raw()));
+            fnv_mix(&mut t.arrival_hash, packets);
+            fnv_mix(&mut t.arrival_hash, t_ns);
+            t.arrival_count += 1;
+        }
+
+        let uid_base = (3 << 61) | (k << 40);
+        let Transport::Tcp {
+            flavor,
+            config,
+            ack_policy,
+        } = transport
+        else {
+            unreachable!("build() rejects non-TCP traffic transports");
+        };
+        let mut sender = TcpSender::new(config, flavor, flow_id, src, dst, uid_base);
+        sender.set_budget(packets);
+        let sink = TcpSink::new(ack_policy, flow_id, dst, src, uid_base | (1 << 39));
+        self.flows[slot as usize].flow = Some(Flow {
+            src,
+            dst,
+            source: SourceAgent::Tcp(sender),
+            sink: SinkAgent::Tcp(sink),
+            delivered: 0,
+            last_delivery: None,
+            cwnd_twa: TimeWeightedAverage::new(self.now, 1.0),
+            class,
+            started,
+            carried,
+            response,
+        });
+        self.trace_event(src, || TraceEvent::FlowOpen {
+            flow: flow_id,
+            src,
+            dst,
+            packets,
+        });
+
+        let mut actions = self.transport_pool.pop().unwrap_or_default();
+        let f = lookup_flow(&mut self.flows, flow_id).expect("slot was just filled");
+        let SourceAgent::Tcp(s) = &mut f.source else {
+            unreachable!("traffic flows are TCP");
+        };
+        s.start(self.now, &mut actions);
+        self.note_window(flow_id);
+        self.apply_transport_actions(flow_id, Role::Source, src, actions);
+        flow_id
+    }
+
+    /// Retires a completed traffic leg: cancels its remaining timers,
+    /// vacates and generation-bumps the slot, then either spawns the
+    /// response leg or journals the finished transaction.
+    fn complete_traffic_flow(&mut self, flow: FlowId) {
+        let slot = flow.slot() as usize;
+        for role in &mut self.transport_timers[slot] {
+            for timer in role {
+                if let Some(old) = timer.take() {
+                    self.queue.cancel(old);
+                }
+            }
+        }
+        let entry = &mut self.flows[slot];
+        debug_assert_eq!(entry.generation, flow.generation(), "stale completion");
+        let f = entry.flow.take().expect("completing an empty slot");
+        entry.generation = (entry.generation + 1) % FlowId::GENERATIONS;
+        self.free_slots.push(slot as u32);
+
+        let budget = match &f.source {
+            SourceAgent::Tcp(s) => s.budget().expect("traffic sender has a budget"),
+            SourceAgent::Udp(_) => unreachable!("traffic flows are TCP"),
+        };
+        let total = f.carried + budget;
+        let t = self.traffic.as_mut().expect("traffic flow without state");
+        t.live -= 1;
+        if let Some(resp) = f.response {
+            // Response leg runs the other way; the transaction's clock
+            // and packet tally keep running.
+            self.spawn_traffic_flow(f.class, f.dst, f.src, resp, None, f.started, total);
+            return;
+        }
+        let fct = self.now.saturating_duration_since(f.started);
+        fnv_mix(&mut t.journal_hash, JOURNAL_COMPLETION);
+        fnv_mix(&mut t.journal_hash, u64::from(flow.raw()));
+        fnv_mix(&mut t.journal_hash, u64::from(f.class));
+        fnv_mix(&mut t.journal_hash, total);
+        fnv_mix(&mut t.journal_hash, self.now.as_nanos());
+        t.journal_count += 1;
+        t.fct
+            .class_mut(f.class as usize)
+            .record_completion(fct, total);
+        self.trace_event(f.src, || TraceEvent::FlowClose {
+            flow,
+            packets: total,
+            fct_nanos: fct.as_nanos(),
+        });
     }
 
     fn dispatch_transport_timer(&mut self, flow: FlowId, role: Role, timer: TransportTimer) {
         let mut actions = self.transport_pool.pop().unwrap_or_default();
-        let f = &mut self.flows[flow.index()];
+        let Some(f) = lookup_flow(&mut self.flows, flow) else {
+            self.transport_pool.push(actions);
+            return;
+        };
         let mut note = false;
         let node = match (role, timer, &mut f.source, &mut f.sink) {
             (Role::Source, TransportTimer::Rtx, SourceAgent::Tcp(s), _) => {
@@ -855,7 +1267,8 @@ impl Network {
                 let flow_id = seg.flow;
                 let (seq, ack, is_data) = (seg.seq, seg.ack, seg.is_data());
                 let mut actions = self.transport_pool.pop().unwrap_or_default();
-                let Some(f) = self.flows.get_mut(flow_id.index()) else {
+                let Some(f) = lookup_flow(&mut self.flows, flow_id) else {
+                    // Stale generation: a straggler from a finished flow.
                     self.transport_pool.push(actions);
                     return;
                 };
@@ -883,13 +1296,22 @@ impl Network {
                     let src = f.src;
                     self.note_window(flow_id);
                     self.apply_transport_actions(flow_id, Role::Source, src, actions);
+                    // The ACK may have been the flow's last: an app-limited
+                    // sender with its whole budget acknowledged retires.
+                    let done = lookup_flow(&mut self.flows, flow_id).is_some_and(|f| {
+                        f.class != PERSISTENT
+                            && matches!(&f.source, SourceAgent::Tcp(s) if s.is_complete())
+                    });
+                    if done {
+                        self.complete_traffic_flow(flow_id);
+                    }
                 } else {
                     self.transport_pool.push(actions);
                 }
             }
             Body::Udp(d) => {
                 let flow_id = d.flow;
-                let Some(f) = self.flows.get_mut(flow_id.index()) else {
+                let Some(f) = lookup_flow(&mut self.flows, flow_id) else {
                     return;
                 };
                 if node == f.dst {
@@ -912,13 +1334,16 @@ impl Network {
     /// its route just failed.
     fn notify_route_failure(&mut self, node: NodeId, dst: NodeId) {
         for i in 0..self.flows.len() {
-            let flow_id = FlowId(i as u32);
-            let f = &self.flows[i];
+            let Some(f) = &self.flows[i].flow else {
+                continue;
+            };
             if f.src != node || f.dst != dst || !matches!(f.source, SourceAgent::Tcp(_)) {
                 continue;
             }
+            let flow_id = FlowId::from_parts(i as u32, self.flows[i].generation);
             let mut actions = self.transport_pool.pop().unwrap_or_default();
-            let SourceAgent::Tcp(sender) = &mut self.flows[i].source else {
+            let Some(SourceAgent::Tcp(sender)) = self.flows[i].flow.as_mut().map(|f| &mut f.source)
+            else {
                 unreachable!("checked above");
             };
             sender.on_route_failure(self.now, &mut actions);
@@ -927,7 +1352,9 @@ impl Network {
     }
 
     fn note_window(&mut self, flow: FlowId) {
-        let f = &mut self.flows[flow.index()];
+        let Some(f) = lookup_flow(&mut self.flows, flow) else {
+            return;
+        };
         let SourceAgent::Tcp(s) = &f.source else {
             return;
         };
@@ -981,8 +1408,8 @@ impl Network {
                     self.apply_aodv_actions(node, aodv);
                 }
                 TransportAction::SetTimer { timer, delay } => {
-                    let slot =
-                        &mut self.transport_timers[flow.index()][role.index()][timer.index()];
+                    let slot = &mut self.transport_timers[flow.slot() as usize][role.index()]
+                        [timer.index()];
                     if let Some(old) = slot.take() {
                         self.queue.cancel(old);
                     }
@@ -992,8 +1419,9 @@ impl Network {
                     );
                 }
                 TransportAction::CancelTimer(timer) => {
-                    if let Some(old) =
-                        self.transport_timers[flow.index()][role.index()][timer.index()].take()
+                    if let Some(old) = self.transport_timers[flow.slot() as usize][role.index()]
+                        [timer.index()]
+                    .take()
                     {
                         self.queue.cancel(old);
                     }
@@ -1107,6 +1535,112 @@ mod tests {
         net.run_until_delivered(100, deadline(240));
         assert!(net.flow_delivered(FlowId(0)) > 0);
         assert!(net.flow_delivered(FlowId(1)) > 0);
+    }
+
+    fn traffic_scenario(max_flows: u64, seed: u64) -> Scenario {
+        use crate::scenario::TrafficSpec;
+        use mwn_traffic::{Arrival, SizeDist, TrafficClass, TrafficModel};
+        // Arrivals paced well apart from completions (0.5 s mean gap vs
+        // ~0.1 s transfers), so slots genuinely churn instead of piling
+        // up concurrently.
+        let model = TrafficModel {
+            classes: vec![TrafficClass {
+                name: "short".into(),
+                arrival: Arrival::Poisson { rate_fps: 2.0 },
+                size: SizeDist::Fixed { packets: 3 },
+                response: None,
+            }],
+            max_flows,
+            zipf_skew: 0.5,
+            diurnal: None,
+        };
+        let mut s = Scenario::new(topology::chain(3), Vec::new(), DataRate::MBPS_2, seed);
+        s.traffic = Some(TrafficSpec {
+            model,
+            transport: Transport::newreno(),
+        });
+        s
+    }
+
+    #[test]
+    fn open_loop_traffic_completes_with_slot_churn() {
+        let mut net = traffic_scenario(60, 21).build();
+        let out = net.run_until_traffic_done(deadline(4000));
+        assert_eq!(out, StepOutcome::TargetReached);
+        let sum = net
+            .traffic_summary()
+            .expect("traffic scenario has a summary");
+        assert_eq!(sum.arrivals(), 60);
+        assert_eq!(sum.completions(), 60);
+        assert_eq!(net.live_flow_count(), 0);
+        // 60 flows churned through a handful of recycled slots.
+        assert!(
+            net.flow_count() < 30,
+            "slab grew to {} slots for 60 sequentially-completing flows",
+            net.flow_count()
+        );
+        // heavy has no response legs: one spawn + one completion each.
+        let (records, _) = net.traffic_digest().unwrap();
+        assert_eq!(records, 120);
+        let fct = sum.classes()[0].fct();
+        assert!(fct.p99().expect("completions recorded") > 0.0);
+        // Slab invariants: free slots are unique and genuinely vacant,
+        // and every recycled slot's generation moved past zero.
+        let mut fs = net.free_slots.clone();
+        fs.sort_unstable();
+        fs.dedup();
+        assert_eq!(fs.len(), net.free_slots.len(), "free list has duplicates");
+        for &slot in &net.free_slots {
+            assert!(net.flows[slot as usize].flow.is_none());
+            assert!(net.flows[slot as usize].generation > 0);
+        }
+    }
+
+    #[test]
+    fn traffic_digest_is_deterministic_and_seed_sensitive() {
+        let digest = |seed| {
+            let mut net = traffic_scenario(40, seed).build();
+            assert_eq!(
+                net.run_until_traffic_done(deadline(4000)),
+                StepOutcome::TargetReached
+            );
+            net.traffic_digest().unwrap()
+        };
+        assert_eq!(digest(5), digest(5));
+        assert_ne!(digest(5), digest(6));
+    }
+
+    #[test]
+    fn traffic_digests_are_invariant_across_deadline_subdivision() {
+        let run_chunked = |chunks: u64| {
+            let mut net = traffic_scenario(40, 9).build();
+            for c in 1..=chunks {
+                net.run_until(deadline(40 * c / chunks));
+            }
+            assert_eq!(
+                net.run_until_traffic_done(deadline(100_000)),
+                StepOutcome::TargetReached
+            );
+            (
+                net.traffic_arrival_digest().unwrap(),
+                net.traffic_digest().unwrap(),
+            )
+        };
+        assert_eq!(run_chunked(1), run_chunked(7));
+    }
+
+    #[test]
+    fn scenarios_without_traffic_are_vacuously_done() {
+        let s = Scenario::chain(1, DataRate::MBPS_2, Transport::newreno(), 1);
+        let mut net = s.build();
+        assert!(net.traffic_done());
+        assert!(net.traffic_digest().is_none());
+        assert!(net.traffic_summary().is_none());
+        assert_eq!(
+            net.run_until_traffic_done(deadline(60)),
+            StepOutcome::TargetReached
+        );
+        assert_eq!(net.live_flow_count(), 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use mwn_phy::{DataRate, RangeModel};
 use mwn_pkt::NodeId;
 use mwn_sim::SimDuration;
 use mwn_tcp::{AckPolicy, Flavor, TcpConfig};
+use mwn_traffic::TrafficModel;
 
 use crate::network::Network;
 use crate::topology::{self, Topology};
@@ -127,6 +128,23 @@ impl Transport {
     }
 }
 
+/// An open-loop workload attached to a scenario: the [`TrafficModel`]
+/// describes *when* finite flows arrive and *what* they look like; the
+/// [`Transport`] is the protocol every traffic flow runs (classes are
+/// workload classes, not protocol variants — sweeping transports is the
+/// job harness's axis).
+///
+/// Traffic coexists with the persistent [`FlowSpec`] list: persistent
+/// flows occupy the low flow-table slots for the whole run, traffic
+/// flows churn through slots above them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// Arrival processes, sizes, endpoint skew and rate modulation.
+    pub model: TrafficModel,
+    /// Transport protocol of every traffic flow.
+    pub transport: Transport,
+}
+
 /// One end-to-end flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSpec {
@@ -157,6 +175,9 @@ pub struct Scenario {
     /// Node mobility (extension): `None` keeps the paper's static
     /// networks; `Some` runs random waypoint.
     pub mobility: Option<crate::mobility::RandomWaypoint>,
+    /// Open-loop traffic workload (extension): `None` keeps the paper's
+    /// persistent-flows-only model.
+    pub traffic: Option<TrafficSpec>,
     /// Root RNG seed; every run is a pure function of (scenario, seed).
     pub seed: u64,
 }
@@ -172,8 +193,39 @@ impl Scenario {
             aodv: AodvConfig::default(),
             mac_override: None,
             mobility: None,
+            traffic: None,
             seed,
         }
+    }
+
+    /// An open-loop traffic scenario: `nodes` nodes placed uniformly at
+    /// the paper's density (the [`topology::random_paper`] field scaled
+    /// to the node count, resampled until connected), no persistent
+    /// flows, all load coming from `model` over `transport`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or the model fails
+    /// [`TrafficModel::validate`].
+    pub fn open_loop(
+        nodes: usize,
+        model: TrafficModel,
+        transport: Transport,
+        bandwidth: DataRate,
+        seed: u64,
+    ) -> Self {
+        assert!(nodes >= 2, "traffic needs at least two nodes");
+        model
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid traffic model: {e}"));
+        // One node per ~20 800 m² with the paper's 2.5:1 aspect ratio.
+        let area = nodes as f64 * 20_800.0;
+        let width = (area * 2.5).sqrt();
+        let height = area / width;
+        let topology = topology::random(nodes, width, height, 250.0, seed);
+        let mut s = Scenario::new(topology, Vec::new(), bandwidth, seed);
+        s.traffic = Some(TrafficSpec { model, transport });
+        s
     }
 
     /// The paper's h-hop chain with a single flow from end to end

@@ -1,0 +1,227 @@
+//! Streaming per-class flow-completion summaries for open-loop traffic.
+//!
+//! An open-loop workload spawns hundreds of thousands of finite flows per
+//! run, so per-event retention is off the table: each traffic class keeps
+//! O(1) counters plus two bounded [`Quantiles`] reservoirs (completion
+//! time and per-flow goodput), giving p50/p95/p99 SLO lines at constant
+//! memory. Counters are cumulative and monotone, so callers can take
+//! batch-means deltas across summaries the same way they do for
+//! [`crate::metrics::MetricsSnapshot`] counter blocks.
+
+use mwn_sim::{SimDuration, SimTime};
+
+use crate::json::{arr, Obj};
+use crate::metrics::Quantiles;
+
+/// Payload bits per data packet (1460-byte MSS), matching the goodput
+/// accounting used by the persistent-flow experiment pipeline.
+const BITS_PER_PACKET: f64 = 1460.0 * 8.0;
+
+/// Default reservoir size per class, per metric. 4096 samples keep the
+/// p99 estimate stable for the flow counts this repo sweeps (1e5–1e6)
+/// while bounding a class summary to a few tens of kilobytes.
+const RESERVOIR: usize = 4096;
+
+/// One traffic class's completion statistics.
+#[derive(Debug, Clone)]
+pub struct ClassFct {
+    name: String,
+    arrivals: u64,
+    completions: u64,
+    packets_completed: u64,
+    sum_fct_secs: f64,
+    fct_secs: Quantiles,
+    goodput_kbps: Quantiles,
+}
+
+impl ClassFct {
+    /// An empty summary for class `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassFct {
+            name: name.into(),
+            arrivals: 0,
+            completions: 0,
+            packets_completed: 0,
+            sum_fct_secs: 0.0,
+            fct_secs: Quantiles::new(RESERVOIR),
+            goodput_kbps: Quantiles::new(RESERVOIR),
+        }
+    }
+
+    /// Class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Counts one flow arrival (spawn).
+    pub fn record_arrival(&mut self) {
+        self.arrivals += 1;
+    }
+
+    /// Counts one flow completion: `fct` is the time from spawn to the
+    /// last ACK, `packets` the data packets the flow transferred.
+    pub fn record_completion(&mut self, fct: SimDuration, packets: u64) {
+        let secs = fct.as_secs_f64();
+        self.completions += 1;
+        self.packets_completed += packets;
+        self.sum_fct_secs += secs;
+        self.fct_secs.record(secs);
+        if secs > 0.0 {
+            self.goodput_kbps
+                .record(packets as f64 * BITS_PER_PACKET / secs / 1_000.0);
+        }
+    }
+
+    /// Flows spawned so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Flows completed so far.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Data packets transferred by completed flows.
+    pub fn packets_completed(&self) -> u64 {
+        self.packets_completed
+    }
+
+    /// Mean completion time over completed flows, seconds.
+    pub fn mean_fct_secs(&self) -> Option<f64> {
+        (self.completions > 0).then(|| self.sum_fct_secs / self.completions as f64)
+    }
+
+    /// Completion-time quantiles (seconds).
+    pub fn fct(&self) -> &Quantiles {
+        &self.fct_secs
+    }
+
+    /// Per-flow goodput quantiles (kbit/s of payload).
+    pub fn goodput(&self) -> &Quantiles {
+        &self.goodput_kbps
+    }
+
+    fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| match v {
+            Some(x) => crate::json::fmt_f64(x),
+            None => "null".into(),
+        };
+        Obj::new()
+            .str("class", &self.name)
+            .u64("arrivals", self.arrivals)
+            .u64("completions", self.completions)
+            .u64("packets", self.packets_completed)
+            .raw("fct_mean_secs", &opt(self.mean_fct_secs()))
+            .raw("fct_p50_secs", &opt(self.fct_secs.p50()))
+            .raw("fct_p95_secs", &opt(self.fct_secs.p95()))
+            .raw("fct_p99_secs", &opt(self.fct_secs.p99()))
+            .raw("goodput_p50_kbps", &opt(self.goodput_kbps.p50()))
+            .raw("goodput_p99_kbps", &opt(self.goodput_kbps.p99()))
+            .finish()
+    }
+}
+
+/// Per-class completion summaries for one traffic run.
+#[derive(Debug, Clone, Default)]
+pub struct FctSummary {
+    classes: Vec<ClassFct>,
+}
+
+impl FctSummary {
+    /// A summary with one empty [`ClassFct`] per class name, in order.
+    pub fn new<S: AsRef<str>>(names: &[S]) -> Self {
+        FctSummary {
+            classes: names.iter().map(|n| ClassFct::new(n.as_ref())).collect(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The summaries, in class order.
+    pub fn classes(&self) -> &[ClassFct] {
+        &self.classes
+    }
+
+    /// Mutable access to class `idx` (panics if out of range — class
+    /// indices come from the traffic model, which is fixed per run).
+    pub fn class_mut(&mut self, idx: usize) -> &mut ClassFct {
+        &mut self.classes[idx]
+    }
+
+    /// Total completions across classes.
+    pub fn completions(&self) -> u64 {
+        self.classes.iter().map(|c| c.completions).sum()
+    }
+
+    /// Total arrivals across classes.
+    pub fn arrivals(&self) -> u64 {
+        self.classes.iter().map(|c| c.arrivals).sum()
+    }
+
+    /// Serializes the summary as one deterministic JSON object. The shape
+    /// is documented in EXPERIMENTS.md ("Traffic model"): reservoir-backed
+    /// quantiles are a pure function of the completion sequence, so this
+    /// string is byte-identical across worker counts and machines.
+    pub fn to_json(&self, end: SimTime) -> String {
+        Obj::new()
+            .f64("t_secs", end.as_secs_f64())
+            .u64("arrivals", self.arrivals())
+            .u64("completions", self.completions())
+            .raw("classes", &arr(self.classes.iter().map(|c| c.to_json())))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_summary_counts_and_quantiles() {
+        let mut s = FctSummary::new(&["web", "bulk"]);
+        assert_eq!(s.class_count(), 2);
+        s.class_mut(0).record_arrival();
+        s.class_mut(0).record_arrival();
+        s.class_mut(1).record_arrival();
+        s.class_mut(0)
+            .record_completion(SimDuration::from_millis(100), 4);
+        s.class_mut(0)
+            .record_completion(SimDuration::from_millis(300), 4);
+        assert_eq!(s.arrivals(), 3);
+        assert_eq!(s.completions(), 2);
+        let web = &s.classes()[0];
+        assert_eq!(web.packets_completed(), 8);
+        assert!((web.mean_fct_secs().unwrap() - 0.2).abs() < 1e-12);
+        assert!((web.fct().p50().unwrap() - 0.2).abs() < 1e-12);
+        // 4 packets in 0.1 s = 4 * 11.68 kbit / 0.1 s = 467.2 kbit/s; the
+        // p50 of {467.2, 155.73..} interpolates between the two.
+        assert!(web.goodput().p50().unwrap() > 155.0);
+        assert_eq!(s.classes()[1].completions(), 0);
+        assert_eq!(s.classes()[1].mean_fct_secs(), None);
+    }
+
+    #[test]
+    fn summary_json_shape_is_stable() {
+        let mut s = FctSummary::new(&["web"]);
+        s.class_mut(0).record_arrival();
+        s.class_mut(0)
+            .record_completion(SimDuration::from_secs(1), 10);
+        assert_eq!(
+            s.to_json(SimTime::from_nanos(2_000_000_000)),
+            r#"{"t_secs":2,"arrivals":1,"completions":1,"classes":[{"class":"web","arrivals":1,"completions":1,"packets":10,"fct_mean_secs":1,"fct_p50_secs":1,"fct_p95_secs":1,"fct_p99_secs":1,"goodput_p50_kbps":116.8,"goodput_p99_kbps":116.8}]}"#
+        );
+    }
+
+    #[test]
+    fn zero_duration_completion_skips_goodput() {
+        let mut c = ClassFct::new("x");
+        c.record_completion(SimDuration::ZERO, 5);
+        assert_eq!(c.completions(), 1);
+        assert_eq!(c.fct().p50(), Some(0.0));
+        assert_eq!(c.goodput().p50(), None);
+    }
+}

@@ -7,8 +7,11 @@
 //! zero cost when disabled:
 //!
 //! * [`metrics`] — typed counter blocks ([`CounterBlock`]) unifying the
-//!   PHY, MAC, AODV and TCP statistics structs, and a [`MetricsRegistry`]
-//!   that snapshots them per node per batch;
+//!   PHY, MAC, AODV and TCP statistics structs, a [`MetricsRegistry`]
+//!   that snapshots them per node per batch, and the bounded-reservoir
+//!   [`Quantiles`] estimator;
+//! * [`fct`] — streaming per-class flow-completion summaries (p50/p95/p99
+//!   FCT and goodput) for open-loop traffic, no per-event retention;
 //! * [`trace`] — a [`TraceEvent`] enum replacing pre-formatted strings,
 //!   recorded into a bounded ring buffer and exportable as JSONL;
 //! * [`probe`] — on-change time-series sampling of cwnd, srtt, the Vegas
@@ -28,14 +31,16 @@
 //! assert_eq!(reg.batches().len(), 1);
 //! ```
 
+pub mod fct;
 pub mod json;
 pub mod metrics;
 pub mod probe;
 pub mod trace;
 
+pub use fct::{ClassFct, FctSummary};
 pub use metrics::{
     BatchMetrics, CounterBlock, FlowCounters, MetricsRegistry, MetricsReport, MetricsSnapshot,
-    NodeCounters,
+    NodeCounters, Quantiles,
 };
 pub use probe::{ProbeBuffer, ProbeKind, ProbeSample};
 pub use trace::{TraceBuffer, TraceEvent, TraceLayer, TraceRecord};

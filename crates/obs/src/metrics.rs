@@ -16,11 +16,130 @@ use mwn_aodv::AodvCounters;
 use mwn_mac80211::MacCounters;
 use mwn_phy::PhyCounters;
 use mwn_sim::profile::EngineProfile;
-use mwn_sim::SimTime;
+use mwn_sim::{Pcg32, SimTime};
 use mwn_tcp::{TcpSenderStats, TcpSinkStats};
 
 use crate::json::{arr, Obj};
 use crate::probe::ProbeSample;
+
+/// Streaming p50/p95/p99 over a bounded sample reservoir.
+///
+/// Keeps at most `capacity` samples. While the input fits, quantiles are
+/// exact; beyond that, Algorithm R reservoir sampling keeps a uniform
+/// subsample, driven by a *fixed-stream* internal [`Pcg32`] so two
+/// `Quantiles` fed the same value sequence retain byte-identical
+/// reservoirs — quantile summaries stay a pure function of the input
+/// stream, independent of wall clock, worker count or global RNG state.
+///
+/// Memory is `O(capacity)` regardless of how many values are recorded,
+/// which is what lets per-class flow-completion summaries survive
+/// million-flow open-loop runs without per-event retention.
+///
+/// # Example
+///
+/// ```
+/// use mwn_obs::metrics::Quantiles;
+///
+/// let mut q = Quantiles::new(64);
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     q.record(v);
+/// }
+/// assert_eq!(q.quantile(0.5), Some(2.5));
+/// assert!((q.p99().unwrap() - 3.97).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Quantiles {
+    capacity: usize,
+    samples: Vec<f64>,
+    seen: u64,
+    rng: Pcg32,
+}
+
+impl Quantiles {
+    /// Reservoir stream constants: every `Quantiles` starts from the same
+    /// RNG state, so reservoir contents depend only on the value sequence.
+    const SEED: u64 = 0x005E_ED0F_9A17;
+    const STREAM: u64 = 0x95EA;
+
+    /// A reservoir holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "quantile reservoir needs capacity");
+        Quantiles {
+            capacity,
+            samples: Vec::new(),
+            seen: 0,
+            rng: Pcg32::with_stream(Self::SEED, Self::STREAM),
+        }
+    }
+
+    /// Records one sample. Non-finite values are counted but excluded
+    /// from the reservoir (a NaN would poison the sort).
+    pub fn record(&mut self, value: f64) {
+        let index = self.seen;
+        self.seen += 1;
+        if !value.is_finite() {
+            return;
+        }
+        if self.samples.len() < self.capacity {
+            if self.samples.capacity() < self.capacity {
+                // One up-front allocation; `record` never reallocates.
+                self.samples.reserve_exact(self.capacity);
+            }
+            self.samples.push(value);
+        } else {
+            // Algorithm R: keep the i-th value with probability cap/(i+1).
+            let j = self.rng.gen_range_u64(index + 1);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = value;
+            }
+        }
+    }
+
+    /// Values recorded so far (including any discarded by the reservoir).
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// `true` while every recorded value is still retained, i.e. the
+    /// quantiles are exact rather than sampled.
+    pub fn is_exact(&self) -> bool {
+        self.seen <= self.capacity as u64
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) with linear interpolation between
+    /// order statistics; `None` until a sample exists.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("reservoir holds no NaN"));
+        let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
 
 /// A block of named monotonic `u64` counters.
 ///
@@ -67,7 +186,12 @@ macro_rules! counter_block {
             }
 
             fn minus(&self, earlier: &Self) -> Self {
-                Self { $($field: self.$field - earlier.$field),+ }
+                // Saturating: under flow churn a slot can be re-occupied by
+                // a younger flow whose counters restart from zero, making
+                // "later minus earlier" briefly non-monotonic. Clamping to
+                // zero beats a debug-build underflow panic there, and is
+                // exact whenever counters are monotone (the steady case).
+                Self { $($field: self.$field.saturating_sub(earlier.$field)),+ }
             }
 
             fn plus(&self, other: &Self) -> Self {
@@ -322,17 +446,25 @@ impl MetricsRegistry {
     /// Closes a batch: records the deltas since the previous boundary and
     /// makes `snapshot` the new baseline.
     ///
+    /// The *node* population is fixed for the life of a run, but the flow
+    /// table churns under open-loop traffic: a flow may appear (slot
+    /// grown) or vanish (slot freed) between boundaries. A flow absent
+    /// from one side is measured against [`FlowCounters::default`], so a
+    /// flow born mid-batch contributes its whole lifetime-so-far and a
+    /// flow that completed contributes nothing further.
+    ///
     /// # Panics
     ///
     /// Panics if [`MetricsRegistry::begin`] was never called, or if the
-    /// snapshot's node/flow shape changed mid-run.
+    /// snapshot's node count changed mid-run.
     pub fn end_batch(&mut self, snapshot: MetricsSnapshot) {
         let base = self
             .baseline
             .as_ref()
             .expect("MetricsRegistry::begin before end_batch");
         assert_eq!(base.nodes.len(), snapshot.nodes.len(), "node count changed");
-        assert_eq!(base.flows.len(), snapshot.flows.len(), "flow count changed");
+        let empty = FlowCounters::default();
+        let flow_slots = base.flows.len().max(snapshot.flows.len());
         self.batches.push(BatchMetrics {
             start: base.time,
             end: snapshot.time,
@@ -342,11 +474,12 @@ impl MetricsRegistry {
                 .zip(&base.nodes)
                 .map(|(now, then)| now.delta_since(then))
                 .collect(),
-            flows: snapshot
-                .flows
-                .iter()
-                .zip(&base.flows)
-                .map(|(now, then)| now.delta_since(then))
+            flows: (0..flow_slots)
+                .map(|i| {
+                    let now = snapshot.flows.get(i).unwrap_or(&empty);
+                    let then = base.flows.get(i).unwrap_or(&empty);
+                    now.delta_since(then)
+                })
                 .collect(),
         });
         self.baseline = Some(snapshot);
@@ -529,6 +662,121 @@ mod tests {
         let t = s.node_totals();
         assert_eq!(t.mac.unicast_accepted, 12);
         assert_eq!(t.route_table_size, 5);
+    }
+
+    #[test]
+    fn end_batch_tolerates_flow_churn() {
+        // Two flows at the baseline, three at the boundary (one born
+        // mid-batch), then back to one (two completed and freed).
+        let flow = |sent| FlowCounters {
+            sender: Some(TcpSenderStats {
+                data_packets_sent: sent,
+                ..Default::default()
+            }),
+            sink: None,
+        };
+        let mut reg = MetricsRegistry::new();
+        reg.begin(MetricsSnapshot {
+            time: SimTime::ZERO,
+            nodes: vec![],
+            flows: vec![flow(10), flow(20)],
+        });
+        reg.end_batch(MetricsSnapshot {
+            time: SimTime::from_nanos(1_000),
+            nodes: vec![],
+            flows: vec![flow(15), flow(26), flow(4)],
+        });
+        reg.end_batch(MetricsSnapshot {
+            time: SimTime::from_nanos(2_000),
+            nodes: vec![],
+            flows: vec![flow(18)],
+        });
+
+        let b = reg.batches();
+        assert_eq!(b[0].flows.len(), 3);
+        assert_eq!(b[0].flows[0].sender.unwrap().data_packets_sent, 5);
+        // Born mid-batch: measured against an empty baseline.
+        assert_eq!(b[0].flows[2].sender.unwrap().data_packets_sent, 4);
+        assert_eq!(b[1].flows.len(), 3);
+        assert_eq!(b[1].flows[0].sender.unwrap().data_packets_sent, 3);
+        // Completed mid-batch: no further contribution.
+        assert_eq!(b[1].flows[1].sender, None);
+    }
+
+    #[test]
+    fn minus_saturates_on_slot_reuse() {
+        // A freed slot re-occupied by a younger flow makes counters go
+        // backwards; the delta clamps to zero instead of underflowing.
+        let older = TcpSenderStats {
+            data_packets_sent: 100,
+            retransmissions: 7,
+            ..Default::default()
+        };
+        let younger = TcpSenderStats {
+            data_packets_sent: 3,
+            ..Default::default()
+        };
+        let d = younger.minus(&older);
+        assert_eq!(d.data_packets_sent, 0);
+        assert_eq!(d.retransmissions, 0);
+    }
+
+    #[test]
+    fn quantiles_exact_small_n() {
+        let mut q = Quantiles::new(16);
+        assert_eq!(q.quantile(0.5), None);
+        q.record(42.0);
+        assert_eq!(q.p50(), Some(42.0));
+        assert_eq!(q.p99(), Some(42.0));
+
+        let mut q = Quantiles::new(16);
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            q.record(v);
+        }
+        assert!(q.is_exact());
+        assert_eq!(q.count(), 4);
+        // Linear interpolation between order statistics (type-7):
+        // positions 0..3, p50 at 1.5 → 2.5, p95 at 2.85 → 3.85.
+        assert_eq!(q.quantile(0.0), Some(1.0));
+        assert_eq!(q.quantile(1.0), Some(4.0));
+        assert_eq!(q.p50(), Some(2.5));
+        assert!((q.p95().unwrap() - 3.85).abs() < 1e-12);
+        assert!((q.p99().unwrap() - 3.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_reservoir_is_deterministic_and_bounded() {
+        let feed = |n: u64| {
+            let mut q = Quantiles::new(32);
+            for i in 0..n {
+                // A fixed pseudo-arbitrary sequence, not sorted.
+                q.record(((i * 2_654_435_761) % 1_000) as f64);
+            }
+            q
+        };
+        let a = feed(10_000);
+        let b = feed(10_000);
+        assert_eq!(a.count(), 10_000);
+        assert!(!a.is_exact());
+        assert_eq!(a.samples, b.samples, "same input stream, same reservoir");
+        assert!(a.samples.len() <= 32);
+        assert!(a.samples.capacity() <= 32, "reservoir never outgrows cap");
+        // The subsample still spans the population: quantiles land inside
+        // the recorded value range and are ordered.
+        let (p50, p95, p99) = (a.p50().unwrap(), a.p95().unwrap(), a.p99().unwrap());
+        assert!((0.0..1000.0).contains(&p50));
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn quantiles_skip_non_finite() {
+        let mut q = Quantiles::new(8);
+        q.record(1.0);
+        q.record(f64::NAN);
+        q.record(f64::INFINITY);
+        q.record(3.0);
+        assert_eq!(q.count(), 4);
+        assert_eq!(q.p50(), Some(2.0));
     }
 
     #[test]

@@ -169,6 +169,28 @@ pub enum TraceEvent {
         /// `diff` in units of 1/1000 packet.
         diff_milli: i64,
     },
+    /// An open-loop traffic flow was admitted to the flow table (recorded
+    /// at the source node).
+    FlowOpen {
+        /// The slot+generation flow id.
+        flow: FlowId,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Request size, data packets.
+        packets: u64,
+    },
+    /// An open-loop traffic transaction completed: the last leg's final
+    /// ACK arrived (recorded at the node that initiated the transaction).
+    FlowClose {
+        /// The slot+generation flow id of the finishing leg.
+        flow: FlowId,
+        /// Total packets moved across all legs of the transaction.
+        packets: u64,
+        /// Flow completion time (arrival to last ACK), nanoseconds.
+        fct_nanos: u64,
+    },
 }
 
 impl TraceEvent {
@@ -190,7 +212,9 @@ impl TraceEvent {
             | TraceEvent::TcpAck { .. }
             | TraceEvent::UdpData { .. }
             | TraceEvent::TcpCwnd { .. }
-            | TraceEvent::TcpVegasDiff { .. } => TraceLayer::Transport,
+            | TraceEvent::TcpVegasDiff { .. }
+            | TraceEvent::FlowOpen { .. }
+            | TraceEvent::FlowClose { .. } => TraceLayer::Transport,
         }
     }
 
@@ -215,6 +239,8 @@ impl TraceEvent {
             TraceEvent::UdpData { .. } => "udp_data",
             TraceEvent::TcpCwnd { .. } => "tcp_cwnd",
             TraceEvent::TcpVegasDiff { .. } => "tcp_vegas_diff",
+            TraceEvent::FlowOpen { .. } => "flow_open",
+            TraceEvent::FlowClose { .. } => "flow_close",
         }
     }
 }
@@ -275,6 +301,21 @@ impl fmt::Display for TraceEvent {
                 )
             }
             TraceEvent::UdpData { flow, seq } => write!(f, "{flow} send cbr seq={seq}"),
+            TraceEvent::FlowOpen {
+                flow,
+                src,
+                dst,
+                packets,
+            } => write!(f, "{flow} open {src} -> {dst} ({packets} pkts)"),
+            TraceEvent::FlowClose {
+                flow,
+                packets,
+                fct_nanos,
+            } => write!(
+                f,
+                "{flow} close ({packets} pkts, fct {})",
+                SimDuration::from_nanos(*fct_nanos)
+            ),
         }
     }
 }
@@ -360,6 +401,24 @@ impl TraceRecord {
             TraceEvent::UdpData { flow, seq } => {
                 head.u64("flow", u64::from(flow.raw())).u64("seq", seq)
             }
+            TraceEvent::FlowOpen {
+                flow,
+                src,
+                dst,
+                packets,
+            } => head
+                .u64("flow", u64::from(flow.raw()))
+                .u64("src", u64::from(src.raw()))
+                .u64("dst", u64::from(dst.raw()))
+                .u64("packets", packets),
+            TraceEvent::FlowClose {
+                flow,
+                packets,
+                fct_nanos,
+            } => head
+                .u64("flow", u64::from(flow.raw()))
+                .u64("packets", packets)
+                .u64("fct_nanos", fct_nanos),
         }
         .finish()
     }
@@ -609,6 +668,37 @@ mod tests {
             r.to_jsonl(),
             r#"{"t":0,"node":0,"layer":"TRN","event":"tcp_vegas_diff","flow":0,"diff_milli":-250}"#
         );
+    }
+
+    #[test]
+    fn flow_lifecycle_events_display_and_serialize() {
+        let open = TraceEvent::FlowOpen {
+            flow: FlowId::from_parts(3, 2),
+            src: NodeId(1),
+            dst: NodeId(4),
+            packets: 8,
+        };
+        assert_eq!(open.layer(), TraceLayer::Transport);
+        assert_eq!(open.kind(), "flow_open");
+        let r = TraceRecord {
+            time: SimTime::from_nanos(1_000_000_000),
+            node: NodeId(1),
+            event: open,
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            format!(
+                r#"{{"t":1,"node":1,"layer":"TRN","event":"flow_open","flow":{},"src":1,"dst":4,"packets":8}}"#,
+                FlowId::from_parts(3, 2).raw()
+            )
+        );
+        let close = TraceEvent::FlowClose {
+            flow: FlowId::from_parts(3, 2),
+            packets: 9,
+            fct_nanos: 2_500_000,
+        };
+        assert_eq!(close.kind(), "flow_close");
+        assert!(close.to_string().contains("close (9 pkts"));
     }
 
     #[test]

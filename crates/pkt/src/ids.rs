@@ -61,12 +61,72 @@ impl From<u32> for NodeId {
     }
 }
 
-/// Identifies an end-to-end transport flow (one FTP or CBR connection).
+/// Identifies an end-to-end transport flow (one FTP, CBR or finite
+/// traffic connection).
+///
+/// The raw value packs a *slot* in the host's flow table (low
+/// [`FlowId::SLOT_BITS`] bits) and a *generation* (high bits). Persistent
+/// scenario flows always carry generation 0, so their raw value equals
+/// their slot and nothing changes for the classic fixed-vector layout.
+/// Open-loop traffic reuses freed slots; the generation is bumped on each
+/// reuse so a packet or timer addressed to a dead flow can never be
+/// mistaken for the slot's new occupant.
+///
+/// # Example
+///
+/// ```
+/// use mwn_pkt::FlowId;
+///
+/// let classic = FlowId(3);
+/// assert_eq!((classic.slot(), classic.generation()), (3, 0));
+///
+/// let reused = FlowId::from_parts(3, 2);
+/// assert_eq!((reused.slot(), reused.generation()), (3, 2));
+/// assert_ne!(classic, reused);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct FlowId(pub u32);
 
 impl FlowId {
+    /// Bits of the raw id holding the flow-table slot (up to ~1M
+    /// concurrently live flows); the remaining 12 high bits hold the
+    /// slot's reuse generation.
+    pub const SLOT_BITS: u32 = 20;
+
+    /// Maximum slot count a host may address.
+    pub const MAX_SLOTS: u32 = 1 << Self::SLOT_BITS;
+
+    /// Generations wrap modulo this (4096). Only one flow per slot is
+    /// ever live, so a wrapped generation can only collide with flows
+    /// that died thousands of reuses ago.
+    pub const GENERATIONS: u32 = 1 << (32 - Self::SLOT_BITS);
+
+    /// Packs a slot and a reuse generation into a `FlowId`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= MAX_SLOTS`. `generation` wraps modulo
+    /// [`FlowId::GENERATIONS`].
+    pub fn from_parts(slot: u32, generation: u32) -> Self {
+        assert!(slot < Self::MAX_SLOTS, "flow slot out of range: {slot}");
+        FlowId((generation % Self::GENERATIONS) << Self::SLOT_BITS | slot)
+    }
+
+    /// The flow-table slot this id addresses.
+    pub const fn slot(self) -> u32 {
+        self.0 & (Self::MAX_SLOTS - 1)
+    }
+
+    /// The slot's reuse generation (0 for persistent scenario flows).
+    pub const fn generation(self) -> u32 {
+        self.0 >> Self::SLOT_BITS
+    }
+
     /// The id as an array index.
+    ///
+    /// Indexes by raw value, which equals the slot for generation-0 flows
+    /// — the only ones stored in plain vectors. Hosts with churning flow
+    /// tables index by [`slot`](Self::slot) and check the generation.
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -111,5 +171,30 @@ mod tests {
         assert_eq!(NodeId::from(4).index(), 4);
         assert_eq!(FlowId::from(2).index(), 2);
         assert_eq!(format!("{}", FlowId(2)), "f2");
+    }
+
+    #[test]
+    fn flow_id_slot_generation_roundtrip() {
+        // Generation 0 is the identity: raw value == slot, so the packing
+        // is invisible to persistent-flow scenarios and their traces.
+        for slot in [0u32, 1, 7, FlowId::MAX_SLOTS - 1] {
+            let id = FlowId::from_parts(slot, 0);
+            assert_eq!(id.raw(), slot);
+            assert_eq!(id.slot(), slot);
+            assert_eq!(id.generation(), 0);
+        }
+        let id = FlowId::from_parts(5, 3);
+        assert_eq!(id.slot(), 5);
+        assert_eq!(id.generation(), 3);
+        assert_ne!(id, FlowId::from_parts(5, 2));
+        // Generations wrap modulo GENERATIONS without touching the slot.
+        let wrapped = FlowId::from_parts(5, FlowId::GENERATIONS + 3);
+        assert_eq!(wrapped, id);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow slot out of range")]
+    fn flow_slot_out_of_range_panics() {
+        FlowId::from_parts(FlowId::MAX_SLOTS, 0);
     }
 }

@@ -152,6 +152,9 @@ pub struct TcpSender {
     t_seqno: u64,
     /// Packets cumulatively acknowledged (`highest_ack + 1`).
     acked: u64,
+    /// App-limited transfer size in packets; `None` is an unbounded FTP
+    /// backlog (the classic persistent-flow behaviour).
+    budget: Option<u64>,
     cwnd: f64,
     ssthresh: f64,
     dupacks: u32,
@@ -192,6 +195,7 @@ impl TcpSender {
             next_uid: uid_base,
             t_seqno: 0,
             acked: 0,
+            budget: None,
             cwnd: f64::from(config.winit),
             ssthresh: f64::from(config.wmax),
             dupacks: 0,
@@ -225,6 +229,27 @@ impl TcpSender {
     /// Packets cumulatively acknowledged so far.
     pub fn acked(&self) -> u64 {
         self.acked
+    }
+
+    /// Limits the transfer to `packets` data packets (clamped to at least
+    /// one): the sender never opens sequence space past the budget, and
+    /// [`is_complete`](Self::is_complete) turns true when the last packet
+    /// is cumulatively acknowledged — at which point the window is empty
+    /// and the retransmission timer has cancelled itself, so a finite
+    /// flow closes on its last ACK with no extra action variant.
+    pub fn set_budget(&mut self, packets: u64) {
+        self.budget = Some(packets.max(1));
+    }
+
+    /// The configured transfer size, if this is a finite flow.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// `true` once a finite flow's whole budget is acknowledged. Always
+    /// `false` for unbounded (persistent) senders.
+    pub fn is_complete(&self) -> bool {
+        self.budget.is_some_and(|b| self.acked >= b)
     }
 
     /// Sender statistics.
@@ -599,9 +624,11 @@ impl TcpSender {
         }
     }
 
-    /// Fills the window with new packets.
+    /// Fills the window with new packets, stopping at the app-limited
+    /// budget when one is set.
     fn send_window(&mut self, now: SimTime, actions: &mut Vec<TransportAction>) {
-        while self.t_seqno < self.acked + self.window() {
+        let limit = self.budget.unwrap_or(u64::MAX);
+        while self.t_seqno < (self.acked + self.window()).min(limit) {
             let seq = self.t_seqno;
             self.t_seqno += 1;
             self.send_seq(now, seq, actions);
@@ -945,6 +972,67 @@ mod tests {
         assert!(a
             .iter()
             .any(|x| matches!(x, TransportAction::SetTimer { .. })));
+    }
+
+    #[test]
+    fn budget_caps_sequence_space_and_completes_on_last_ack() {
+        let mut s = sender(Flavor::NewReno);
+        s.cwnd = 8.0;
+        s.set_budget(3);
+        assert!(!s.is_complete());
+        let a = act!(s.start(t(0)));
+        // Window would allow 8 packets; the budget stops at 3.
+        assert_eq!(sent_seqs(&a), vec![0, 1, 2]);
+        act!(s.on_ack(t(100), 0));
+        act!(s.on_ack(t(110), 1));
+        assert!(!s.is_complete());
+        let a = act!(s.on_ack(t(120), 2));
+        assert!(s.is_complete(), "complete once the whole budget is acked");
+        assert!(sent_seqs(&a).is_empty(), "no data past the budget");
+        // Close-on-last-ACK: nothing outstanding, so the retransmission
+        // timer cancels itself on the final ACK.
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, TransportAction::CancelTimer(TransportTimer::Rtx))));
+        assert_eq!(s.stats().data_packets_sent, 3);
+    }
+
+    #[test]
+    fn budget_survives_timeout_recovery() {
+        let mut s = sender(Flavor::NewReno);
+        s.cwnd = 4.0;
+        s.set_budget(2);
+        act!(s.start(t(0))); // sends 0, 1
+        let a = act!(s.on_rtx_timeout(t(1000)));
+        assert_eq!(sent_seqs(&a), vec![0], "go-back-N from the first hole");
+        act!(s.on_ack(t(1100), 0));
+        let a = act!(s.on_ack(t(1200), 1));
+        assert!(s.is_complete());
+        assert!(sent_seqs(&a).is_empty());
+        // Retransmissions never push past the budget.
+        assert!(s.stats().data_packets_sent >= 3);
+        act!(s.on_rtx_timeout(t(5000)));
+        assert_eq!(s.stats().timeouts, 1, "no spurious timeout after close");
+    }
+
+    #[test]
+    fn unbounded_sender_never_completes() {
+        let mut s = sender(Flavor::NewReno);
+        act!(s.start(t(0)));
+        act!(s.on_ack(t(100), 0));
+        assert_eq!(s.budget(), None);
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn zero_budget_clamps_to_one_packet() {
+        let mut s = sender(Flavor::NewReno);
+        s.set_budget(0);
+        assert_eq!(s.budget(), Some(1));
+        let a = act!(s.start(t(0)));
+        assert_eq!(sent_seqs(&a), vec![0]);
+        act!(s.on_ack(t(100), 0));
+        assert!(s.is_complete());
     }
 
     #[test]

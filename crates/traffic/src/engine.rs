@@ -1,0 +1,331 @@
+//! The workload generator: turns a [`TrafficModel`] into a deterministic
+//! stream of flow arrivals.
+//!
+//! Every stochastic ingredient draws from its own [`Pcg32`] stream forked
+//! from one root at construction, in a fixed order (per class: gap, size,
+//! response, endpoints). Consuming gaps for one class therefore never
+//! perturbs another class's sizes or endpoints, and the whole arrival
+//! sequence is a pure function of the root seed — which is what makes
+//! traffic runs bit-identical across `--jobs` worker counts.
+
+use mwn_sim::{Pcg32, SimDuration};
+
+use crate::model::{Arrival, SizeDist, TrafficModel};
+
+/// One flow arrival: endpoints, class and request size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowDraw {
+    /// Source node index in `0..nodes`.
+    pub src: u32,
+    /// Destination node index, never equal to `src`.
+    pub dst: u32,
+    /// Request size, data packets.
+    pub packets: u64,
+}
+
+/// Per-class forked RNG streams, in fork order.
+#[derive(Debug, Clone)]
+struct ClassStreams {
+    gap: Pcg32,
+    size: Pcg32,
+    response: Pcg32,
+    endpoints: Pcg32,
+}
+
+/// Zipf popularity ranking over node indices: node `r`'s weight is
+/// `1/(r+1)^s`. Sampling is a binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+struct ZipfCdf {
+    cdf: Vec<f64>,
+}
+
+impl ZipfCdf {
+    fn new(n: u32, skew: f64) -> Self {
+        assert!(n >= 2, "traffic needs at least two nodes");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / f64::from(rank + 1).powf(skew);
+            cdf.push(total);
+        }
+        ZipfCdf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Pcg32) -> u32 {
+        let total = *self.cdf.last().expect("non-empty cdf");
+        let u = rng.gen_f64() * total;
+        self.cdf.partition_point(|&c| c <= u) as u32
+    }
+}
+
+/// Inverse-CDF sample of a bounded Pareto on `[lo, hi]` with shape
+/// `alpha`: `x = lo / (1 − u·(1 − (lo/hi)^α))^(1/α)`.
+fn bounded_pareto(rng: &mut Pcg32, alpha: f64, lo: f64, hi: f64) -> f64 {
+    if lo >= hi {
+        return lo;
+    }
+    let u = rng.gen_f64();
+    let ratio = (lo / hi).powf(alpha);
+    (lo / (1.0 - u * (1.0 - ratio)).powf(1.0 / alpha)).clamp(lo, hi)
+}
+
+fn sample_size(rng: &mut Pcg32, dist: &SizeDist) -> u64 {
+    match *dist {
+        SizeDist::Fixed { packets } => packets,
+        SizeDist::Uniform { min, max } => min + rng.gen_range_u64(max - min + 1),
+        SizeDist::BoundedPareto {
+            alpha,
+            min_packets,
+            max_packets,
+        } => {
+            let x = bounded_pareto(rng, alpha, min_packets as f64, max_packets as f64);
+            (x.round() as u64).clamp(min_packets, max_packets)
+        }
+    }
+}
+
+/// The open-loop workload generator. The host owns the spawn schedule;
+/// the engine only answers "when is the next class-`c` arrival?" and
+/// "what does it look like?".
+#[derive(Debug, Clone)]
+pub struct TrafficEngine {
+    model: TrafficModel,
+    zipf: ZipfCdf,
+    streams: Vec<ClassStreams>,
+    spawned: u64,
+}
+
+impl TrafficEngine {
+    /// Builds the engine for a topology of `nodes` nodes, forking all
+    /// class streams from `root` in class order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fails [`TrafficModel::validate`] or
+    /// `nodes < 2`.
+    pub fn new(model: TrafficModel, nodes: u32, root: &mut Pcg32) -> Self {
+        model
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid traffic model: {e}"));
+        let streams = model
+            .classes
+            .iter()
+            .map(|_| ClassStreams {
+                gap: root.fork(),
+                size: root.fork(),
+                response: root.fork(),
+                endpoints: root.fork(),
+            })
+            .collect();
+        TrafficEngine {
+            zipf: ZipfCdf::new(nodes, model.zipf_skew),
+            model,
+            streams,
+            spawned: 0,
+        }
+    }
+
+    /// The model driving this engine.
+    pub fn model(&self) -> &TrafficModel {
+        &self.model
+    }
+
+    /// Number of workload classes.
+    pub fn class_count(&self) -> usize {
+        self.model.classes.len()
+    }
+
+    /// Flow arrivals drawn so far (excluding response legs).
+    pub fn spawned(&self) -> u64 {
+        self.spawned
+    }
+
+    /// `true` once the arrival budget is exhausted; the host stops
+    /// scheduling arrivals for every class.
+    pub fn exhausted(&self) -> bool {
+        self.spawned >= self.model.max_flows
+    }
+
+    /// Draws the gap to class `class`'s next arrival, given the current
+    /// simulated time (for diurnal modulation). Gaps are clamped to at
+    /// least 1 ns so consecutive arrivals keep a strict order.
+    pub fn next_gap(&mut self, class: usize, now_secs: f64) -> SimDuration {
+        let rng = &mut self.streams[class].gap;
+        let base = match self.model.classes[class].arrival {
+            Arrival::Poisson { rate_fps } => {
+                // Exponential gap via inversion; gen_f64 < 1 keeps ln finite.
+                -(1.0 - rng.gen_f64()).ln() / rate_fps
+            }
+            Arrival::BoundedPareto {
+                alpha,
+                min_gap_secs,
+                max_gap_secs,
+            } => bounded_pareto(rng, alpha, min_gap_secs, max_gap_secs),
+        };
+        let modulated = match self.model.diurnal {
+            // A higher instantaneous rate shortens the gap.
+            Some(d) => base / d.modulation(now_secs),
+            None => base,
+        };
+        SimDuration::from_secs_f64(modulated).max(SimDuration::from_nanos(1))
+    }
+
+    /// Draws the next class-`class` arrival: Zipf-weighted endpoints
+    /// (destination redrawn until distinct from the source) and a request
+    /// size. Counts one arrival against `max_flows`.
+    pub fn draw(&mut self, class: usize) -> FlowDraw {
+        self.spawned += 1;
+        let c = &self.model.classes[class];
+        let streams = &mut self.streams[class];
+        let src = self.zipf.sample(&mut streams.endpoints);
+        let dst = loop {
+            let d = self.zipf.sample(&mut streams.endpoints);
+            if d != src {
+                break d;
+            }
+        };
+        FlowDraw {
+            src,
+            dst,
+            packets: sample_size(&mut streams.size, &c.size),
+        }
+    }
+
+    /// Draws the response size for a class-`class` transaction, or `None`
+    /// for one-way classes.
+    pub fn response_packets(&mut self, class: usize) -> Option<u64> {
+        let dist = self.model.classes[class].response.clone()?;
+        Some(sample_size(&mut self.streams[class].response, &dist))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Diurnal, TrafficClass};
+
+    fn engine(model: TrafficModel) -> TrafficEngine {
+        let mut root = Pcg32::new(42);
+        TrafficEngine::new(model, 20, &mut root)
+    }
+
+    #[test]
+    fn identical_roots_give_identical_arrival_sequences() {
+        let mut a = engine(TrafficModel::mixed(1000));
+        let mut b = engine(TrafficModel::mixed(1000));
+        for i in 0..500 {
+            let class = i % 2;
+            assert_eq!(
+                a.next_gap(class, i as f64 * 0.01),
+                b.next_gap(class, i as f64 * 0.01)
+            );
+            assert_eq!(a.draw(class), b.draw(class));
+            assert_eq!(a.response_packets(class), b.response_packets(class));
+        }
+    }
+
+    #[test]
+    fn class_streams_are_independent() {
+        // Draining class 0 must not perturb class 1's sequence.
+        let mut a = engine(TrafficModel::mixed(100_000));
+        let mut b = engine(TrafficModel::mixed(100_000));
+        for _ in 0..200 {
+            a.next_gap(0, 0.0);
+            a.draw(0);
+            a.response_packets(0);
+        }
+        for _ in 0..50 {
+            assert_eq!(a.next_gap(1, 1.0), b.next_gap(1, 1.0));
+            assert_eq!(a.draw(1), b.draw(1));
+        }
+    }
+
+    #[test]
+    fn poisson_gap_mean_matches_rate() {
+        let mut e = engine(TrafficModel::web(100_000));
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| e.next_gap(0, 0.0).as_secs_f64()).sum();
+        let mean = sum / n as f64;
+        // web profile: 40 flows/s → mean gap 25 ms.
+        assert!((mean - 0.025).abs() < 0.002, "mean gap {mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_sizes_stay_in_bounds() {
+        let mut e = engine(TrafficModel::web(100_000));
+        let mut seen_small = false;
+        let mut seen_large = false;
+        for _ in 0..5_000 {
+            let d = e.draw(0);
+            assert!((2..=64).contains(&d.packets), "size {} escaped", d.packets);
+            seen_small |= d.packets <= 3;
+            seen_large |= d.packets >= 32;
+        }
+        assert!(seen_small && seen_large, "tail not exercised");
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks_and_avoids_self_loops() {
+        let mut e = engine(TrafficModel::heavy(1_000_000));
+        let mut hits = [0u64; 20];
+        for _ in 0..20_000 {
+            let d = e.draw(0);
+            assert_ne!(d.src, d.dst);
+            hits[d.src as usize] += 1;
+            hits[d.dst as usize] += 1;
+        }
+        assert!(
+            hits[0] > 3 * hits[10],
+            "rank 0 ({}) not favoured over rank 10 ({})",
+            hits[0],
+            hits[10]
+        );
+    }
+
+    #[test]
+    fn diurnal_peak_shortens_gaps() {
+        let model = TrafficModel {
+            classes: vec![TrafficClass {
+                name: "d".into(),
+                arrival: Arrival::Poisson { rate_fps: 10.0 },
+                size: SizeDist::Fixed { packets: 1 },
+                response: None,
+            }],
+            max_flows: 1_000_000,
+            zipf_skew: 0.0,
+            diurnal: Some(Diurnal {
+                period_secs: 100.0,
+                amplitude: 0.8,
+            }),
+        };
+        let mut peak = engine(model.clone());
+        let mut trough = engine(model);
+        let n = 5_000;
+        // Same underlying exponential samples, different modulation point.
+        let at_peak: f64 = (0..n).map(|_| peak.next_gap(0, 25.0).as_secs_f64()).sum();
+        let at_trough: f64 = (0..n).map(|_| trough.next_gap(0, 75.0).as_secs_f64()).sum();
+        assert!(
+            at_peak * 4.0 < at_trough,
+            "peak {at_peak} trough {at_trough}"
+        );
+    }
+
+    #[test]
+    fn arrival_budget_is_tracked() {
+        let mut e = engine(TrafficModel::heavy(3));
+        assert!(!e.exhausted());
+        for _ in 0..3 {
+            e.draw(0);
+        }
+        assert!(e.exhausted());
+        assert_eq!(e.spawned(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid traffic model")]
+    fn invalid_model_panics_at_construction() {
+        let mut m = TrafficModel::web(10);
+        m.classes[0].arrival = Arrival::Poisson { rate_fps: -1.0 };
+        engine(m);
+    }
+}

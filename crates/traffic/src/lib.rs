@@ -1,0 +1,42 @@
+//! `mwn-traffic` — the open-loop workload engine of the multihop-wireless
+//! TCP study.
+//!
+//! The paper evaluates a handful of persistent FTP flows; the ROADMAP's
+//! north star is SLOs under production-scale load. This crate bridges the
+//! two with an *open-loop* traffic model: flows arrive on a stochastic
+//! process regardless of how the network is coping, transfer a finite
+//! number of packets, optionally trigger a response leg, and vanish.
+//!
+//! * [`TrafficModel`] — declarative workload: per-class [`Arrival`]
+//!   processes (Poisson or bounded-Pareto heavy-tailed gaps),
+//!   [`SizeDist`] flow sizes, request/response legs, a shared Zipf
+//!   endpoint popularity skew and optional [`Diurnal`] rate modulation;
+//! * [`TrafficEngine`] — the sampler. All randomness comes from streams
+//!   forked off one root [`mwn_sim::Pcg32`] in a fixed order, so the
+//!   arrival sequence is a pure function of the root seed: bit-identical
+//!   across `--jobs` worker counts, machines and runs.
+//!
+//! The crate is deliberately host-agnostic (it depends only on `mwn-sim`
+//! and `mwn-pkt`): `mwn-core`'s `Network` owns flow spawning, slab slots
+//! and completion bookkeeping; this crate only answers "when is the next
+//! arrival and what does it look like?".
+//!
+//! # Example
+//!
+//! ```
+//! use mwn_sim::Pcg32;
+//! use mwn_traffic::{TrafficEngine, TrafficModel};
+//!
+//! let mut root = Pcg32::new(7);
+//! let mut eng = TrafficEngine::new(TrafficModel::web(100), 10, &mut root);
+//! let gap = eng.next_gap(0, 0.0);
+//! let flow = eng.draw(0);
+//! assert!(gap.as_nanos() > 0);
+//! assert_ne!(flow.src, flow.dst);
+//! ```
+
+mod engine;
+mod model;
+
+pub use engine::{FlowDraw, TrafficEngine};
+pub use model::{Arrival, Diurnal, SizeDist, TrafficClass, TrafficModel};

@@ -1,0 +1,391 @@
+//! Declarative description of an open-loop workload.
+
+/// Flow inter-arrival process of one traffic class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arrival {
+    /// Poisson arrivals: exponential gaps with mean `1/rate_fps`.
+    Poisson {
+        /// Mean arrival rate, flows per second.
+        rate_fps: f64,
+    },
+    /// Heavy-tailed gaps from a bounded Pareto on
+    /// `[min_gap_secs, max_gap_secs]` with shape `alpha` — bursts of
+    /// near-back-to-back arrivals separated by long silences.
+    BoundedPareto {
+        /// Tail index (smaller ⇒ heavier tail). Typical: 1.1–1.9.
+        alpha: f64,
+        /// Shortest possible gap, seconds.
+        min_gap_secs: f64,
+        /// Truncation point, seconds.
+        max_gap_secs: f64,
+    },
+}
+
+/// Flow-size distribution (data packets per transfer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeDist {
+    /// Every flow transfers exactly `packets` packets.
+    Fixed {
+        /// Packets per flow.
+        packets: u64,
+    },
+    /// Uniform on `[min, max]` inclusive.
+    Uniform {
+        /// Smallest flow, packets.
+        min: u64,
+        /// Largest flow, packets.
+        max: u64,
+    },
+    /// Bounded Pareto on `[min_packets, max_packets]`: mice and
+    /// elephants, the canonical web-workload shape.
+    BoundedPareto {
+        /// Tail index (smaller ⇒ more elephants).
+        alpha: f64,
+        /// Smallest flow, packets.
+        min_packets: u64,
+        /// Truncation point, packets.
+        max_packets: u64,
+    },
+}
+
+impl SizeDist {
+    /// Largest value this distribution can produce.
+    pub fn max_packets(&self) -> u64 {
+        match *self {
+            SizeDist::Fixed { packets } => packets,
+            SizeDist::Uniform { max, .. } => max,
+            SizeDist::BoundedPareto { max_packets, .. } => max_packets,
+        }
+    }
+}
+
+/// Sinusoidal arrival-rate modulation: the instantaneous rate is
+/// `base · (1 + amplitude · sin(2π·t/period))`, mimicking a day/night
+/// load cycle compressed to simulation scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diurnal {
+    /// Modulation period, seconds of simulated time.
+    pub period_secs: f64,
+    /// Relative swing in `[0, 1)`; 0.5 means rate varies ±50 %.
+    pub amplitude: f64,
+}
+
+impl Diurnal {
+    /// The rate multiplier at simulated time `t` (clamped away from zero
+    /// so a gap sample can never become infinite).
+    pub fn modulation(&self, t_secs: f64) -> f64 {
+        let m = 1.0 + self.amplitude * (std::f64::consts::TAU * t_secs / self.period_secs).sin();
+        m.max(0.05)
+    }
+}
+
+/// One workload class: an arrival process, a size distribution and an
+/// optional response leg turning each flow into a short request/response
+/// transaction (the response runs dst→src once the request completes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficClass {
+    /// Class name (reported in FCT summaries).
+    pub name: String,
+    /// Flow inter-arrival process.
+    pub arrival: Arrival,
+    /// Request size distribution.
+    pub size: SizeDist,
+    /// Response size distribution; `None` makes flows one-way.
+    pub response: Option<SizeDist>,
+}
+
+/// A complete open-loop workload: one or more classes over a shared
+/// Zipf-weighted endpoint popularity ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficModel {
+    /// Workload classes, each with independent forked RNG streams.
+    pub classes: Vec<TrafficClass>,
+    /// Total flow *arrivals* across classes before the generator stops
+    /// (responses don't count: a request/response transaction is one
+    /// arrival).
+    pub max_flows: u64,
+    /// Zipf skew `s` for endpoint popularity (`weight ∝ 1/(rank+1)^s`);
+    /// 0 is uniform.
+    pub zipf_skew: f64,
+    /// Optional arrival-rate modulation applied to every class.
+    pub diurnal: Option<Diurnal>,
+}
+
+impl TrafficModel {
+    /// Short web transfers: Poisson arrivals, bounded-Pareto mice with a
+    /// small response leg (an ACK-sized reply page).
+    pub fn web(max_flows: u64) -> Self {
+        TrafficModel {
+            classes: vec![TrafficClass {
+                name: "web".into(),
+                arrival: Arrival::Poisson { rate_fps: 40.0 },
+                size: SizeDist::BoundedPareto {
+                    alpha: 1.3,
+                    min_packets: 2,
+                    max_packets: 64,
+                },
+                response: Some(SizeDist::Fixed { packets: 1 }),
+            }],
+            max_flows,
+            zipf_skew: 0.8,
+            diurnal: None,
+        }
+    }
+
+    /// Two-class mix: interactive mice (request/response) plus a bulk
+    /// class of larger one-way transfers, under diurnal modulation.
+    pub fn mixed(max_flows: u64) -> Self {
+        TrafficModel {
+            classes: vec![
+                TrafficClass {
+                    name: "interactive".into(),
+                    arrival: Arrival::Poisson { rate_fps: 30.0 },
+                    size: SizeDist::Uniform { min: 1, max: 8 },
+                    response: Some(SizeDist::Uniform { min: 1, max: 4 }),
+                },
+                TrafficClass {
+                    name: "bulk".into(),
+                    arrival: Arrival::Poisson { rate_fps: 4.0 },
+                    size: SizeDist::BoundedPareto {
+                        alpha: 1.2,
+                        min_packets: 16,
+                        max_packets: 512,
+                    },
+                    response: None,
+                },
+            ],
+            max_flows,
+            zipf_skew: 1.0,
+            diurnal: Some(Diurnal {
+                period_secs: 60.0,
+                amplitude: 0.5,
+            }),
+        }
+    }
+
+    /// Bursty heavy-tailed arrivals (bounded-Pareto gaps) of small fixed
+    /// transfers: the stress case for flow-table churn.
+    pub fn heavy(max_flows: u64) -> Self {
+        TrafficModel {
+            classes: vec![TrafficClass {
+                name: "burst".into(),
+                arrival: Arrival::BoundedPareto {
+                    alpha: 1.5,
+                    min_gap_secs: 0.002,
+                    max_gap_secs: 2.0,
+                },
+                size: SizeDist::Fixed { packets: 4 },
+                response: None,
+            }],
+            max_flows,
+            zipf_skew: 1.2,
+            diurnal: None,
+        }
+    }
+
+    /// The same workload with every class's arrival rate multiplied by
+    /// `factor` (heavy-tailed gap bounds are divided by it), leaving the
+    /// flow mix, sizes and endpoint skew untouched. This is the standard
+    /// load-sweep axis of FCT studies: `with_load(0.5)` offers half the
+    /// demand, `with_load(2.0)` doubles it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is positive and finite.
+    pub fn with_load(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "load factor must be positive and finite"
+        );
+        for c in &mut self.classes {
+            c.arrival = match c.arrival {
+                Arrival::Poisson { rate_fps } => Arrival::Poisson {
+                    rate_fps: rate_fps * factor,
+                },
+                Arrival::BoundedPareto {
+                    alpha,
+                    min_gap_secs,
+                    max_gap_secs,
+                } => Arrival::BoundedPareto {
+                    alpha,
+                    min_gap_secs: min_gap_secs / factor,
+                    max_gap_secs: max_gap_secs / factor,
+                },
+            };
+        }
+        self
+    }
+
+    /// Looks up a built-in profile by name (`web`, `mixed`, `heavy`).
+    pub fn profile(name: &str, max_flows: u64) -> Option<Self> {
+        match name {
+            "web" => Some(Self::web(max_flows)),
+            "mixed" => Some(Self::mixed(max_flows)),
+            "heavy" => Some(Self::heavy(max_flows)),
+            _ => None,
+        }
+    }
+
+    /// The built-in profile names accepted by [`TrafficModel::profile`].
+    pub const PROFILES: [&'static str; 3] = ["web", "mixed", "heavy"];
+
+    /// Class names in class order.
+    pub fn class_names(&self) -> Vec<&str> {
+        self.classes.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Checks the model is well-formed; returns a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.classes.is_empty() {
+            return Err("traffic model needs at least one class".into());
+        }
+        if self.max_flows == 0 {
+            return Err("max_flows must be positive".into());
+        }
+        for c in &self.classes {
+            match c.arrival {
+                Arrival::Poisson { rate_fps } => {
+                    if !(rate_fps > 0.0 && rate_fps.is_finite()) {
+                        return Err(format!("class {}: rate must be positive", c.name));
+                    }
+                }
+                Arrival::BoundedPareto {
+                    alpha,
+                    min_gap_secs,
+                    max_gap_secs,
+                } => {
+                    if !(alpha > 0.0 && alpha.is_finite()) {
+                        return Err(format!("class {}: alpha must be positive", c.name));
+                    }
+                    if !(min_gap_secs > 0.0 && max_gap_secs >= min_gap_secs) {
+                        return Err(format!("class {}: bad gap bounds", c.name));
+                    }
+                }
+            }
+            for (leg, size) in
+                std::iter::once(("size", &c.size)).chain(c.response.iter().map(|r| ("response", r)))
+            {
+                match *size {
+                    SizeDist::Fixed { packets } => {
+                        if packets == 0 {
+                            return Err(format!("class {}: {leg} must be ≥1 packet", c.name));
+                        }
+                    }
+                    SizeDist::Uniform { min, max } => {
+                        if min == 0 || max < min {
+                            return Err(format!("class {}: bad {leg} bounds", c.name));
+                        }
+                    }
+                    SizeDist::BoundedPareto {
+                        alpha,
+                        min_packets,
+                        max_packets,
+                    } => {
+                        if !(alpha > 0.0 && alpha.is_finite()) {
+                            return Err(format!("class {}: {leg} alpha must be positive", c.name));
+                        }
+                        if min_packets == 0 || max_packets < min_packets {
+                            return Err(format!("class {}: bad {leg} bounds", c.name));
+                        }
+                    }
+                }
+            }
+        }
+        if !(self.zipf_skew >= 0.0 && self.zipf_skew.is_finite()) {
+            return Err("zipf_skew must be a finite non-negative value".into());
+        }
+        if let Some(d) = self.diurnal {
+            if !(d.period_secs > 0.0 && d.period_secs.is_finite()) {
+                return Err("diurnal period must be positive".into());
+            }
+            if !(0.0..1.0).contains(&d.amplitude) {
+                return Err("diurnal amplitude must be in [0, 1)".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles_validate() {
+        for name in TrafficModel::PROFILES {
+            let m = TrafficModel::profile(name, 1000).expect("known profile");
+            m.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(TrafficModel::profile("nope", 10).is_none());
+    }
+
+    #[test]
+    fn with_load_scales_rates_and_gaps() {
+        let m = TrafficModel::web(100).with_load(0.25);
+        assert!(
+            matches!(m.classes[0].arrival, Arrival::Poisson { rate_fps } if rate_fps == 10.0),
+            "{:?}",
+            m.classes[0].arrival
+        );
+        // Sizes and skew untouched; the scaled model still validates.
+        assert_eq!(m.classes[0].size, TrafficModel::web(100).classes[0].size);
+        assert_eq!(m.zipf_skew, TrafficModel::web(100).zipf_skew);
+        m.validate().unwrap();
+        // Heavy-tailed gaps stretch when load shrinks.
+        let h = TrafficModel::heavy(10).with_load(0.5);
+        assert!(matches!(
+            h.classes[0].arrival,
+            Arrival::BoundedPareto { min_gap_secs, max_gap_secs, .. }
+                if min_gap_secs == 0.004 && max_gap_secs == 4.0
+        ));
+        h.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor")]
+    fn with_load_rejects_zero() {
+        let _ = TrafficModel::web(10).with_load(0.0);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_models() {
+        let mut m = TrafficModel::web(100);
+        m.max_flows = 0;
+        assert!(m.validate().is_err());
+
+        let mut m = TrafficModel::web(100);
+        m.classes.clear();
+        assert!(m.validate().is_err());
+
+        let mut m = TrafficModel::web(100);
+        m.classes[0].size = SizeDist::Uniform { min: 4, max: 2 };
+        assert!(m.validate().is_err());
+
+        let mut m = TrafficModel::web(100);
+        m.classes[0].arrival = Arrival::Poisson { rate_fps: 0.0 };
+        assert!(m.validate().is_err());
+
+        let mut m = TrafficModel::mixed(100);
+        m.diurnal = Some(Diurnal {
+            period_secs: 10.0,
+            amplitude: 1.5,
+        });
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn diurnal_modulation_is_bounded() {
+        let d = Diurnal {
+            period_secs: 10.0,
+            amplitude: 0.9,
+        };
+        for i in 0..100 {
+            let m = d.modulation(i as f64 * 0.37);
+            assert!((0.05..=1.9).contains(&m));
+        }
+        // Peak near t = period/4, trough near 3·period/4.
+        assert!(d.modulation(2.5) > 1.8);
+        assert!(d.modulation(7.5) < 0.2);
+    }
+}

@@ -26,12 +26,25 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-# Cross-layer invariants + golden-trace conformance on the three fast
-# canonical scenarios, plus a 32-case scenario-fuzz smoke. Budget: the
-# fast suite runs in well under a second and the fuzz cases a few
-# seconds total in release; the whole step stays under ~10 s.
+# Cross-layer invariants + golden-trace conformance on the four fast
+# canonical scenarios (three persistent-flow cases plus the open-loop
+# traffic case), plus a 32-case scenario-fuzz smoke. Budget: the fast
+# suite runs in well under a second and the fuzz cases a few seconds
+# total in release; the whole step stays under ~10 s.
 echo "==> mwn check --suite fast --fuzz 32"
 cargo run --release -q -p mwn-cli -- check --suite fast --fuzz 32
+
+# Open-loop traffic determinism: the same finite-flow workload must
+# print byte-identical reports — journal and arrival digests included —
+# for any worker count. Two replications, one vs four workers.
+echo "==> mwn traffic determinism (--jobs 1 vs --jobs 4)"
+t1=$(cargo run --release -q -p mwn-cli -- traffic --nodes 10 --flows 300 --profile web --reps 2 --jobs 1)
+t4=$(cargo run --release -q -p mwn-cli -- traffic --nodes 10 --flows 300 --profile web --reps 2 --jobs 4)
+if [ "$t1" != "$t4" ]; then
+    echo "error: mwn traffic output differs across --jobs" >&2
+    diff <(printf '%s\n' "$t1") <(printf '%s\n' "$t4") >&2 || true
+    exit 1
+fi
 
 echo "==> observability overhead bench (trace disabled vs enabled)"
 cargo bench -p mwn-bench --bench obs_overhead -- --quick
