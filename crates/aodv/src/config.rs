@@ -31,6 +31,11 @@ pub struct AodvConfig {
     /// destination just became unreachable so they freeze instead of
     /// backing off. Off by default (the paper's configuration).
     pub elfn: bool,
+    /// Fault-injection hook for the conservation audit: when set, the
+    /// first buffered packet flushed after route discovery is handed to
+    /// the MAC *twice* — a custody double-free/duplication the
+    /// `conservation` rule must catch. Never set in real experiments.
+    pub fault_double_flush: bool,
 }
 
 impl Default for AodvConfig {
@@ -43,6 +48,7 @@ impl Default for AodvConfig {
             buffer_capacity: 64,
             intermediate_rrep: true,
             elfn: false,
+            fault_double_flush: false,
         }
     }
 }

@@ -140,6 +140,8 @@ pub struct Router {
     pending: FxHashMap<NodeId, Discovery>,
     next_uid: u64,
     counters: AodvCounters,
+    /// `true` once the `fault_double_flush` hook has fired.
+    fault_flushed: bool,
 }
 
 impl Router {
@@ -158,6 +160,7 @@ impl Router {
             pending: FxHashMap::default(),
             next_uid: uid_base,
             counters: AodvCounters::default(),
+            fault_flushed: false,
         }
     }
 
@@ -169,6 +172,12 @@ impl Router {
     /// Read access to the routing table (for tests and inspection).
     pub fn table(&self) -> &RoutingTable {
         &self.table
+    }
+
+    /// Packets buffered while route discoveries run, for residual custody
+    /// enumeration by the conservation audit.
+    pub fn buffered_packets(&self) -> impl Iterator<Item = &Packet> {
+        self.pending.values().flat_map(|d| d.buffered.iter())
     }
 
     /// The transport layer sends `packet` (with `packet.src == me`);
@@ -709,6 +718,17 @@ impl Router {
                 let next_hop = route.next_hop;
                 self.table
                     .refresh(dst, now, self.config.active_route_lifetime);
+                if self.config.fault_double_flush && !self.fault_flushed {
+                    // Planted custody double-free: the same buffered packet
+                    // is handed to the MAC twice, for the
+                    // conservation-audit tests.
+                    self.fault_flushed = true;
+                    actions.push(AodvAction::Send {
+                        packet: packet.clone(),
+                        next_hop,
+                        delay: SimDuration::ZERO,
+                    });
+                }
                 actions.push(AodvAction::Send {
                     packet,
                     next_hop,

@@ -17,7 +17,6 @@ use mwn::{Scenario, SimDuration, TrafficModel, Transport};
 use mwn_phy::DataRate;
 
 use crate::checker::{check, CheckContext, Violation};
-use crate::run_traced;
 
 /// The committed digests, compiled in so `mwn check` works from any
 /// working directory.
@@ -48,12 +47,14 @@ impl CanonicalCase {
         (self.build)()
     }
 
-    /// Runs the case: trace, digest and invariant check.
+    /// Runs the case: trace, digest, invariant check and the post-run
+    /// packet-custody conservation audit.
     pub fn run(&self) -> CaseReport {
         let scenario = self.scenario();
-        let records = run_traced(&scenario, self.target, self.deadline);
+        let (records, net) = crate::run_case(&scenario, self.target, self.deadline);
         let ctx = CheckContext::for_scenario(&scenario);
-        let violations = check(&records, &ctx);
+        let mut violations = check(&records, &ctx);
+        violations.extend(crate::conservation_violations(&net));
         let (count, hash) = trace_digest(&records);
         CaseReport {
             name: self.name,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mwn repro <experiment|all> [--scale N] [--jobs N] [--csv]   regenerate paper figures/tables
-//! mwn sweep [--suite chain|full|traffic] [--jobs N] [--out F]  parallel sweep into a JSONL store
+//! mwn sweep [--suite chain|full|traffic|load] [--jobs N] [--out F]  parallel sweep into a JSONL store
 //! mwn run [options]                                           run one scenario, print measures
 //! mwn stats [options]                                         run instrumented, print metrics
 //! mwn list                                                    list reproducible experiments
@@ -10,12 +10,14 @@
 //! mwn check [--suite fast|full] [--bless] [--fuzz N]          invariants + golden-trace conformance
 //! mwn bench [--quick] [--check] [--record LABEL]              engine events/sec vs committed baseline
 //! mwn traffic [--nodes N] [--flows F] [--profile P]           open-loop workload, per-class FCT percentiles
+//! mwn report [--store F] [--csv] [--curve] [--diff F2]        aggregate/diff a sweep's JSONL store
 //! ```
 
 use std::process::ExitCode;
 
 mod bench_cmd;
 mod check_cmd;
+mod report_cmd;
 mod repro;
 mod run;
 mod stats_cmd;
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         Some("check") => check_cmd::command(&args[1..]),
         Some("bench") => bench_cmd::command(&args[1..]),
         Some("traffic") => traffic_cmd::command(&args[1..]),
+        Some("report") => report_cmd::command(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -65,7 +68,7 @@ fn print_usage() {
          \x20     --scale N   batch size multiplier (1 = quick, 25 = paper scale)\n\
          \x20     --jobs N    run experiments on N worker threads (0 = one per CPU)\n\
          \x20     --csv       emit CSV instead of aligned text\n\n\
-         \x20 mwn sweep [--suite chain|full|traffic] [--jobs N] [--out results.jsonl] [--scale N]\n\
+         \x20 mwn sweep [--suite chain|full|traffic|load] [--jobs N] [--out results.jsonl] [--scale N]\n\
          \x20           [--metrics]\n\
          \x20     Run a suite of experiment jobs on a worker pool, appending\n\
          \x20     results to a JSONL store. Re-running with the same --out\n\
@@ -106,6 +109,13 @@ fn print_usage() {
          \x20     a connected random topology until every flow completes, and\n\
          \x20     report per-class FCT percentiles, goodput and the journal\n\
          \x20     digest (bit-identical across --jobs worker counts).\n\n\
+         \x20 mwn report [--store results.jsonl] [--scenario S] [--variant V] [--seed N]\n\
+         \x20            [--csv] [--curve] [--diff OTHER.jsonl]\n\
+         \x20     Aggregate a sweep's JSONL store: per-cell goodput, summed\n\
+         \x20     drop ledgers and averaged FCT percentiles across\n\
+         \x20     replications, as aligned tables or CSV. --curve renders the\n\
+         \x20     FCT-vs-offered-load relation from a `--suite load` sweep;\n\
+         \x20     --diff compares two stores cell by cell (A/B).\n\n\
          \x20 mwn list\n\
          \x20     List the reproducible experiments."
     );

@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use mwn::experiment::{run_instrumented, ObsConfig};
 use mwn::{ExperimentScale, ProbeKind, ProbeSample, Scenario};
-use mwn_obs::CounterBlock;
+use mwn_obs::{CounterBlock, DropReason};
 
 use crate::args;
 
@@ -126,6 +126,46 @@ pub fn command(rest: &[String]) -> Result<(), String> {
         if let Some(rx) = &f.sink {
             print_block(&format!("f{i} rx"), rx);
         }
+    }
+
+    if let Some(ledger) = &m.drops {
+        println!();
+        println!(
+            "drop ledger — {} dropped, {} terminal (* = takes custody)",
+            ledger.grand_total(),
+            ledger.terminal_total()
+        );
+        if ledger.is_empty() {
+            println!("  (no drops recorded)");
+        } else {
+            let classes = ledger.class_names();
+            print!("  {:<26}", "layer / reason");
+            for name in classes {
+                print!(" {name:>12}");
+            }
+            println!(" {:>12}", "total");
+            let totals = ledger.totals();
+            let mut last_layer = "";
+            for reason in DropReason::ALL {
+                if totals[reason.index()] == 0 {
+                    continue;
+                }
+                if reason.layer() != last_layer {
+                    last_layer = reason.layer();
+                    println!("  {last_layer}");
+                }
+                let mark = if reason.is_terminal() { "*" } else { "" };
+                print!("    {:<24}", format!("{}{mark}", reason.label()));
+                for c in 0..classes.len() {
+                    print!(" {:>12}", ledger.class_counts(c)[reason.index()]);
+                }
+                println!(" {:>12}", totals[reason.index()]);
+            }
+        }
+    }
+    if let Some(cons) = &r.conservation {
+        println!();
+        println!("conservation audit: {cons}");
     }
 
     println!();

@@ -30,9 +30,10 @@ pub fn command(rest: &[String]) -> Result<(), String> {
         "chain" => jobs::chain_study(scale),
         "full" => jobs::full_suite(scale),
         "traffic" => jobs::traffic_study(scale),
+        "load" => jobs::traffic_load_study(scale),
         other => {
             return Err(format!(
-                "unknown suite {other:?} (use chain, full or traffic)"
+                "unknown suite {other:?} (use chain, full, traffic or load)"
             ))
         }
     };

@@ -98,6 +98,9 @@ pub struct ObsConfig {
     pub probe_capacity: usize,
     /// Profile the event loop (events processed, histogram, peak queue).
     pub profile: bool,
+    /// Run the packet-custody conservation audit alongside the drop
+    /// ledger; the verdict lands in [`RunResults::conservation`].
+    pub audit: bool,
 }
 
 impl ObsConfig {
@@ -112,11 +115,12 @@ impl ObsConfig {
             metrics: true,
             probe_capacity,
             profile: true,
+            audit: true,
         }
     }
 
     fn enabled(&self) -> bool {
-        self.metrics || self.probe_capacity > 0 || self.profile
+        self.metrics || self.probe_capacity > 0 || self.profile || self.audit
     }
 }
 
@@ -175,6 +179,9 @@ pub struct RunResults {
     /// Unified observability report (`None` unless requested via
     /// [`run_instrumented`]).
     pub metrics: Option<MetricsReport>,
+    /// Packet-custody conservation verdict (`None` unless
+    /// [`ObsConfig::audit`] was set).
+    pub conservation: Option<mwn_obs::ConservationReport>,
 }
 
 /// Per-slot counters snapshot at a batch boundary. `tenant` keys the
@@ -213,6 +220,9 @@ pub fn run_instrumented(scenario: &Scenario, scale: ExperimentScale, obs: ObsCon
     }
     if obs.profile {
         net.enable_profiling();
+    }
+    if obs.audit {
+        net.enable_audit();
     }
     let mut registry = obs.metrics.then(MetricsRegistry::new);
     if let Some(reg) = &mut registry {
@@ -350,6 +360,7 @@ pub fn run_instrumented(scenario: &Scenario, scale: ExperimentScale, obs: ObsCon
     };
     let energy = net.total_energy_joules();
     let delivered_total = net.total_delivered().max(1);
+    let end = net.now();
     let metrics = obs.enabled().then(|| MetricsReport {
         batches: registry
             .map(MetricsRegistry::into_batches)
@@ -360,7 +371,10 @@ pub fn run_instrumented(scenario: &Scenario, scale: ExperimentScale, obs: ObsCon
             .map(|p| p.samples().copied().collect())
             .unwrap_or_default(),
         profile: net.profile().cloned().unwrap_or_default(),
+        drops: Some(net.drop_report()),
+        fct: net.traffic_summary().map(|s| s.to_json(end)),
     });
+    let conservation = net.conservation_report();
 
     RunResults {
         per_flow: (0..goodput.len())
@@ -382,6 +396,7 @@ pub fn run_instrumented(scenario: &Scenario, scale: ExperimentScale, obs: ObsCon
         energy_per_packet: energy / delivered_total as f64,
         outcome,
         metrics,
+        conservation,
     }
 }
 
@@ -447,6 +462,41 @@ mod tests {
         assert!(m.profile.events_processed() > 0);
         assert!(m.profile.peak_queue_depth() > 0);
         assert!(m.profile.by_kind().iter().any(|&(k, _)| k == "mac_timer"));
+        // The drop ledger rode along in the report; a persistent-flow
+        // run has no traffic classes, so no FCT section.
+        let ledger = m.drops.as_ref().expect("ledger collected");
+        assert_eq!(ledger.class_names(), ["persistent", "unattributed"]);
+        assert!(m.fct.is_none());
+        // The custody audit balanced on a clean run.
+        let cons = inst.conservation.expect("audit ran");
+        assert!(cons.is_balanced(), "{cons}");
+        assert!(cons.flows_checked >= 1);
+    }
+
+    #[test]
+    fn conservation_balances_under_open_loop_churn() {
+        // Finite flows open, complete and recycle slots; every custody
+        // path (originate, deliver, consume, teardown, terminal drops)
+        // must still balance per node and per flow.
+        use mwn_traffic::TrafficModel;
+        let s = Scenario::open_loop(
+            10,
+            TrafficModel::web(600),
+            Transport::newreno(),
+            DataRate::MBPS_2,
+            9,
+        );
+        let obs = ObsConfig {
+            audit: true,
+            ..ObsConfig::off()
+        };
+        let r = run_instrumented(&s, ExperimentScale::smoke(), obs);
+        let cons = r.conservation.expect("audit ran");
+        assert!(cons.is_balanced(), "{cons}");
+        assert!(cons.flows_checked > 0);
+        // The FCT section rides along for open-loop runs.
+        let m = r.metrics.expect("instrumented");
+        assert!(m.fct.as_deref().is_some_and(|f| f.contains("\"classes\"")));
     }
 
     #[test]

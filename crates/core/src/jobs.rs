@@ -53,6 +53,11 @@ pub enum ScenarioKind {
         profile: &'static str,
         /// Total flow arrivals before the generator stops.
         flows: u64,
+        /// Offered-load multiplier applied to the profile's arrival
+        /// rates ([`TrafficModel::with_load`]), in per-mille: 1000 is
+        /// the profile as-is, 500 halves the arrival rate, 2000 doubles
+        /// it. Stored as an integer so the content key stays exact.
+        load: u32,
     },
 }
 
@@ -69,7 +74,16 @@ impl ScenarioKind {
                 nodes,
                 profile,
                 flows,
-            } => format!("traffic:{nodes}:{profile}:{flows}"),
+                load,
+            } => {
+                // The load suffix appears only off the default, so keys
+                // of pre-existing stores stay valid.
+                if load == 1000 {
+                    format!("traffic:{nodes}:{profile}:{flows}")
+                } else {
+                    format!("traffic:{nodes}:{profile}:{flows}:l{load}")
+                }
+            }
         }
     }
 }
@@ -158,13 +172,15 @@ impl JobSpec {
                 nodes,
                 profile,
                 flows,
-            } => Scenario::open_loop(
-                nodes,
-                TrafficModel::profile(profile, flows).expect("built-in traffic profile"),
-                self.transport,
-                self.bandwidth,
-                self.seed,
-            ),
+                load,
+            } => {
+                let mut model =
+                    TrafficModel::profile(profile, flows).expect("built-in traffic profile");
+                if load != 1000 {
+                    model = model.with_load(f64::from(load) / 1000.0);
+                }
+                Scenario::open_loop(nodes, model, self.transport, self.bandwidth, self.seed)
+            }
         }
     }
 }
@@ -242,6 +258,7 @@ pub fn traffic_study(scale: ExperimentScale) -> Vec<JobSpec> {
                     nodes: 20,
                     profile,
                     flows,
+                    load: 1000,
                 },
                 bandwidth: DataRate::MBPS_11,
                 transport: t,
@@ -249,6 +266,33 @@ pub fn traffic_study(scale: ExperimentScale) -> Vec<JobSpec> {
                 scale,
             });
         }
+    }
+    jobs
+}
+
+/// The FCT-vs-offered-load study (extension): the web profile under
+/// NewReno, with the arrival rate swept from one quarter of to double
+/// the profile's nominal load. Aggregated with `mwn report --curve`,
+/// the per-load FCT percentiles trace the congestion knee that
+/// open-loop workloads expose and closed-loop persistent flows cannot.
+pub fn traffic_load_study(scale: ExperimentScale) -> Vec<JobSpec> {
+    let flows = scale.batch_packets.saturating_mul(3);
+    let mut jobs = Vec::new();
+    for load in [250u32, 500, 750, 1000, 1500, 2000] {
+        jobs.push(JobSpec {
+            group: "load".to_string(),
+            point: format!("profile=web load={:.2}x", f64::from(load) / 1000.0),
+            kind: ScenarioKind::Traffic {
+                nodes: 20,
+                profile: "web",
+                flows,
+                load,
+            },
+            bandwidth: DataRate::MBPS_11,
+            transport: Transport::newreno(),
+            seed: seed_for(&[31, u64::from(load)]),
+            scale,
+        });
     }
     jobs
 }
@@ -540,6 +584,7 @@ mod tests {
             nodes: 20,
             profile: "web",
             flows: 181,
+            load: 1000,
         };
         assert_ne!(base.key(), other.key());
         let mut renamed = base.clone();
@@ -547,8 +592,39 @@ mod tests {
             nodes: 20,
             profile: "heavy",
             flows: 180,
+            load: 1000,
         };
         assert_ne!(base.key(), renamed.key());
+        // Off-nominal load changes both the token and the key; nominal
+        // load keeps the historical token so stored keys stay valid.
+        let mut loaded = base.clone();
+        loaded.kind = ScenarioKind::Traffic {
+            nodes: 20,
+            profile: "web",
+            flows: 180,
+            load: 1500,
+        };
+        assert_eq!(loaded.kind.token(), "traffic:20:web:180:l1500");
+        assert_ne!(base.key(), loaded.key());
+    }
+
+    #[test]
+    fn load_study_jobs_are_distinct_and_scale_arrivals() {
+        let jobs = traffic_load_study(tiny());
+        assert_eq!(jobs.len(), 6);
+        let mut keys: Vec<String> = jobs.iter().map(JobSpec::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 6, "content-key collision in load study");
+        for job in &jobs {
+            let _ = job.scenario().build();
+        }
+        // The swept factor really reaches the model's arrival rates.
+        let rate = |j: &JobSpec| match j.scenario().traffic.unwrap().model.classes[0].arrival {
+            mwn_traffic::Arrival::Poisson { rate_fps } => rate_fps,
+            _ => panic!("web profile arrives Poisson"),
+        };
+        assert!(rate(&jobs[5]) > rate(&jobs[0]) * 7.0);
     }
 
     #[test]

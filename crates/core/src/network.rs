@@ -1,11 +1,15 @@
 //! The network: every protocol layer wired to one event loop.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use mwn_aodv::{AodvAction, AodvCounters, Router};
-use mwn_mac80211::{Dcf, MacAction, MacCounters, MacTimer};
+use mwn_aodv::{AodvAction, AodvCounters, AodvDropReason, Router};
+use mwn_mac80211::{Dcf, MacAction, MacCounters, MacDropReason, MacTimer};
+use mwn_obs::flight::{self, FlightKind, FlightRecord, FlightRecorder, NO_REASON};
 use mwn_obs::{
-    CounterBlock, FctSummary, FlowCounters, MetricsSnapshot, NodeCounters, ProbeBuffer, ProbeKind,
+    ConservationAudit, ConservationReport, CounterBlock, DropLedger, DropReason, FctSummary,
+    FlowCounters, MetricsSnapshot, NodeCounters, ProbeBuffer, ProbeKind,
 };
 use mwn_phy::{EnergyMeter, EnergyParams, Medium, RadioEvent, Transceiver, TxId};
 use mwn_pkt::{Body, FlowId, MacFrame, NodeId, Packet};
@@ -151,6 +155,16 @@ fn lookup_flow(flows: &mut [FlowSlot], flow: FlowId) -> Option<&mut Flow> {
     slot.flow.as_mut()
 }
 
+/// The flow a transport-bodied packet belongs to (`FlowId::raw`); `None`
+/// for AODV control traffic, which the custody audit excludes.
+fn transport_flow(packet: &Packet) -> Option<u32> {
+    match &packet.body {
+        Body::Tcp(seg) => Some(seg.flow.raw()),
+        Body::Udp(d) => Some(d.flow.raw()),
+        Body::Aodv(_) => None,
+    }
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
@@ -246,6 +260,13 @@ pub struct Network {
     trace: Option<TraceBuffer>,
     probes: Option<ProbeBuffer>,
     profile: Option<EngineProfile>,
+    /// Always-on loss ledger: one array increment per drop event.
+    ledger: DropLedger,
+    /// Opt-in custody tracking for the conservation audit.
+    audit: Option<ConservationAudit>,
+    /// Always-on flight recorder of the rare events, shared with the
+    /// panic hook via [`mwn_obs::flight::register`].
+    flight: Rc<RefCell<FlightRecorder>>,
     mobility: Option<MobilityModel>,
     /// Reused moved-node batch for the mobility tick: only nodes whose
     /// position actually changed (paused nodes don't) are handed to the
@@ -382,6 +403,29 @@ impl Network {
             }
         }
 
+        // Ledger classes: the workload's traffic classes, then a class for
+        // the scenario's persistent flows, then a catch-all for losses that
+        // cannot be attributed to a live flow (stale generations, PHY
+        // frame-level tallies).
+        let mut class_names: Vec<String> = scenario
+            .traffic
+            .as_ref()
+            .map(|spec| {
+                spec.model
+                    .class_names()
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        class_names.push("persistent".into());
+        class_names.push("unattributed".into());
+        let ledger = DropLedger::new(n, class_names);
+        let flight = Rc::new(RefCell::new(FlightRecorder::new(
+            mwn_obs::flight::DEFAULT_CAPACITY,
+        )));
+        flight::register(&flight);
+
         Network {
             now: SimTime::ZERO,
             queue,
@@ -403,6 +447,9 @@ impl Network {
             trace: None,
             probes: None,
             profile: None,
+            ledger,
+            audit: None,
+            flight,
             mobility,
             moved: Vec::new(),
             mac_pool: Vec::new(),
@@ -454,6 +501,131 @@ impl Network {
     /// The engine profile, if profiling was enabled.
     pub fn profile(&self) -> Option<&EngineProfile> {
         self.profile.as_ref()
+    }
+
+    /// Enables custody tracking so [`Network::conservation_report`] can
+    /// verify `created = destroyed + residual` per node and per flow.
+    /// Call before running; the equations only balance when every custody
+    /// event since time zero was seen.
+    pub fn enable_audit(&mut self) {
+        self.audit = Some(ConservationAudit::new(self.macs.len()));
+    }
+
+    /// `true` if custody tracking is on.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// The loss ledger with PHY frame-level tallies synthesized from the
+    /// transceiver counters (collision, capture loss, undecodable). PHY
+    /// losses are per frame, not per packet, so they land in the
+    /// `unattributed` class.
+    pub fn drop_report(&self) -> DropLedger {
+        let mut ledger = self.ledger.clone();
+        let unattributed = ledger.class_names().len() - 1;
+        for (i, t) in self.transceivers.iter().enumerate() {
+            let c = t.counters();
+            ledger.add(i, unattributed, DropReason::PhyCollision, c.collisions);
+            ledger.add(i, unattributed, DropReason::PhyCaptureLoss, c.captures);
+            ledger.add(i, unattributed, DropReason::PhyUndecodable, c.undecoded);
+        }
+        ledger
+    }
+
+    /// Verifies packet conservation: for every node and every flow,
+    /// packets created (originated + delivered up) must equal packets
+    /// destroyed (handed off + consumed + terminally dropped) plus the
+    /// copies still buffered in interface queues, in-service MAC slots
+    /// and AODV discovery buffers. `None` unless
+    /// [`Network::enable_audit`] was called before the run.
+    pub fn conservation_report(&self) -> Option<ConservationReport> {
+        let audit = self.audit.as_ref()?;
+        let mut node_residual = vec![0u64; self.macs.len()];
+        let mut flow_residual: HashMap<u32, u64> = HashMap::new();
+        {
+            let mut count = |i: usize, p: &Packet| {
+                if let Some(flow) = transport_flow(p) {
+                    node_residual[i] += 1;
+                    *flow_residual.entry(flow).or_insert(0) += 1;
+                }
+            };
+            for (i, mac) in self.macs.iter().enumerate() {
+                for p in mac.queued_packets() {
+                    count(i, p);
+                }
+                if let Some(p) = mac.current_packet() {
+                    count(i, p);
+                }
+            }
+            for (i, router) in self.routers.iter().enumerate() {
+                for p in router.buffered_packets() {
+                    count(i, p);
+                }
+            }
+        }
+        Some(audit.verify(&node_residual, &flow_residual))
+    }
+
+    /// The flight recorder's ring rendered as display lines (header plus
+    /// the retained events, oldest first).
+    pub fn flight_dump(&self) -> Vec<String> {
+        self.flight.borrow().dump_lines()
+    }
+
+    /// Flight-recorder events written so far (retained or evicted).
+    pub fn flight_written(&self) -> u64 {
+        self.flight.borrow().written()
+    }
+
+    /// The ledger class a packet's losses are attributed to: its flow's
+    /// traffic class, the `persistent` class for scenario-listed flows,
+    /// or the trailing `unattributed` class when no live flow matches.
+    fn packet_class(&self, packet: &Packet) -> usize {
+        let unattributed = self.ledger.class_names().len() - 1;
+        let flow_id = match &packet.body {
+            Body::Tcp(seg) => seg.flow,
+            Body::Udp(d) => d.flow,
+            Body::Aodv(_) => return unattributed,
+        };
+        match self.flow_ref(flow_id) {
+            Some(f) if f.class == PERSISTENT => unattributed - 1,
+            Some(f) => f.class as usize,
+            None => unattributed,
+        }
+    }
+
+    /// Records a drop in the flight recorder and — for transport-bodied
+    /// packets — in the ledger (the ledger is a *data-plane* account;
+    /// dropped AODV control messages would muddy the per-cause tables)
+    /// and, when the reason ends custody, in the audit.
+    fn record_drop(&mut self, node: NodeId, packet: &Packet, reason: DropReason) {
+        if let Some(flow) = transport_flow(packet) {
+            let class = self.packet_class(packet);
+            self.ledger.record(node.index(), class, reason);
+            if reason.is_terminal() {
+                if let Some(audit) = self.audit.as_mut() {
+                    audit.terminal_drop(node.index(), flow);
+                }
+            }
+        }
+        self.flight.borrow_mut().record(FlightRecord {
+            t_nanos: self.now.as_nanos(),
+            id: packet.uid,
+            node: node.raw(),
+            kind: FlightKind::Drop,
+            reason: reason.index() as u8,
+        });
+    }
+
+    /// Appends a non-drop record to the flight recorder.
+    fn flight_note(&mut self, node: NodeId, kind: FlightKind, id: u64) {
+        self.flight.borrow_mut().record(FlightRecord {
+            t_nanos: self.now.as_nanos(),
+            id,
+            node: node.raw(),
+            kind,
+            reason: NO_REASON,
+        });
     }
 
     /// Records a trace event; the closure never runs (no formatting, no
@@ -930,6 +1102,7 @@ impl Network {
             dst,
             packets,
         });
+        self.flight_note(src, FlightKind::FlowOpen, u64::from(flow_id.raw()));
 
         let mut actions = self.transport_pool.pop().unwrap_or_default();
         let f = lookup_flow(&mut self.flows, flow_id).expect("slot was just filled");
@@ -988,6 +1161,7 @@ impl Network {
             packets: total,
             fct_nanos: fct.as_nanos(),
         });
+        self.flight_note(f.src, FlightKind::FlowClose, u64::from(flow.raw()));
     }
 
     fn dispatch_transport_timer(&mut self, flow: FlowId, role: Role, timer: TransportTimer) {
@@ -1155,6 +1329,12 @@ impl Network {
                         uid: packet.uid,
                         from,
                     });
+                    // Custody: this node now holds a fresh copy.
+                    if let (Some(audit), Some(flow)) =
+                        (self.audit.as_mut(), transport_flow(&packet))
+                    {
+                        audit.deliver_up(node.index(), flow);
+                    }
                     let mut aodv = self.aodv_pool.pop().unwrap_or_default();
                     self.routers[node.index()].on_received(self.now, from, packet, &mut aodv);
                     self.apply_aodv_actions(node, aodv);
@@ -1164,22 +1344,42 @@ impl Network {
                     packet,
                     success,
                 } => {
-                    if !success {
+                    if success {
+                        // Custody: the next hop's deliver-up created its
+                        // own copy; this node's copy is done.
+                        if let (Some(audit), Some(flow)) =
+                            (self.audit.as_mut(), transport_flow(&packet))
+                        {
+                            audit.handoff(node.index(), flow);
+                        }
+                    } else {
                         self.trace_event(node, || TraceEvent::MacRetryExhausted {
                             uid: packet.uid,
                             next_hop,
                         });
+                        // Frame-level loss: the router still holds the
+                        // packet and decides its terminal fate (always a
+                        // `RouteError` drop), so no custody event here.
+                        if transport_flow(&packet).is_some() {
+                            let class = self.packet_class(&packet);
+                            self.ledger
+                                .record(node.index(), class, DropReason::MacRetryExhausted);
+                        }
+                        self.flight_note(node, FlightKind::TxFail, packet.uid);
                     }
                     let mut aodv = self.aodv_pool.pop().unwrap_or_default();
                     self.routers[node.index()]
                         .on_tx_confirm(self.now, next_hop, packet, success, &mut aodv);
                     self.apply_aodv_actions(node, aodv);
                 }
-                MacAction::Dropped { ref packet, .. } => {
-                    // Queue drops are already tallied in the MAC counters;
-                    // the transport recovers end-to-end.
+                MacAction::Dropped { ref packet, reason } => {
                     let uid = packet.uid;
                     self.trace_event(node, || TraceEvent::MacQueueDrop { uid });
+                    let reason = match reason {
+                        MacDropReason::QueueFull => DropReason::IfqOverflow,
+                        MacDropReason::EarlyDrop => DropReason::MacEarlyDrop,
+                    };
+                    self.record_drop(node, packet, reason);
                 }
             }
         }
@@ -1233,6 +1433,7 @@ impl Network {
                 }
                 AodvAction::NotifyRouteFailure { dst } => {
                     self.trace_event(node, || TraceEvent::RouteFailure { dst });
+                    self.flight_note(node, FlightKind::RouteFail, u64::from(dst.raw()));
                     self.notify_route_failure(node, dst);
                 }
                 AodvAction::RouteInstalled {
@@ -1252,9 +1453,15 @@ impl Network {
                     self.trace_event(node, || TraceEvent::RouteInvalidate { dst, dst_seq });
                 }
                 AodvAction::Drop { ref packet, reason } => {
-                    // Tallied in the router's counters.
                     let uid = packet.uid;
                     self.trace_event(node, || TraceEvent::RouteDrop { uid, reason });
+                    let reason = match reason {
+                        AodvDropReason::NoRoute => DropReason::NoRoute,
+                        AodvDropReason::LinkFailure => DropReason::RouteError,
+                        AodvDropReason::TtlExpired => DropReason::TtlExpired,
+                        AodvDropReason::BufferFull => DropReason::RouteBufferFull,
+                    };
+                    self.record_drop(node, packet, reason);
                 }
             }
         }
@@ -1265,11 +1472,13 @@ impl Network {
         match &packet.body {
             Body::Tcp(seg) => {
                 let flow_id = seg.flow;
+                let flow_raw = flow_id.raw();
                 let (seq, ack, is_data) = (seg.seq, seg.ack, seg.is_data());
                 let mut actions = self.transport_pool.pop().unwrap_or_default();
                 let Some(f) = lookup_flow(&mut self.flows, flow_id) else {
                     // Stale generation: a straggler from a finished flow.
                     self.transport_pool.push(actions);
+                    self.record_drop(node, &packet, DropReason::FlowTeardown);
                     return;
                 };
                 if is_data && node == f.dst {
@@ -1285,6 +1494,11 @@ impl Network {
                     }
                     f.delivered += after - before;
                     self.total_delivered += after - before;
+                    // Custody: the endpoint consumed this copy (duplicate
+                    // or not).
+                    if let Some(audit) = self.audit.as_mut() {
+                        audit.consume(node.index(), flow_raw);
+                    }
                     let dst = f.dst;
                     self.apply_transport_actions(flow_id, Role::Sink, dst, actions);
                 } else if !is_data && node == f.src {
@@ -1293,6 +1507,9 @@ impl Network {
                         return;
                     };
                     sender.on_ack(self.now, ack, &mut actions);
+                    if let Some(audit) = self.audit.as_mut() {
+                        audit.consume(node.index(), flow_raw);
+                    }
                     let src = f.src;
                     self.note_window(flow_id);
                     self.apply_transport_actions(flow_id, Role::Source, src, actions);
@@ -1307,11 +1524,15 @@ impl Network {
                     }
                 } else {
                     self.transport_pool.push(actions);
+                    // Wrong node or wrong direction: nothing consumes it.
+                    self.record_drop(node, &packet, DropReason::SinkDiscard);
                 }
             }
             Body::Udp(d) => {
                 let flow_id = d.flow;
+                let flow_raw = flow_id.raw();
                 let Some(f) = lookup_flow(&mut self.flows, flow_id) else {
+                    self.record_drop(node, &packet, DropReason::FlowTeardown);
                     return;
                 };
                 if node == f.dst {
@@ -1322,6 +1543,11 @@ impl Network {
                     f.delivered += 1;
                     f.last_delivery = Some(self.now);
                     self.total_delivered += 1;
+                    if let Some(audit) = self.audit.as_mut() {
+                        audit.consume(node.index(), flow_raw);
+                    }
+                } else {
+                    self.record_drop(node, &packet, DropReason::SinkDiscard);
                 }
             }
             Body::Aodv(_) => {
@@ -1403,6 +1629,12 @@ impl Network {
                         Body::Udp(d) => TraceEvent::UdpData { flow, seq: d.seq },
                         Body::Aodv(_) => unreachable!("transport never sends AODV"),
                     });
+                    // Custody: a fresh copy enters the network here.
+                    if let (Some(audit), Some(flow_raw)) =
+                        (self.audit.as_mut(), transport_flow(&packet))
+                    {
+                        audit.originate(node.index(), flow_raw);
+                    }
                     let mut aodv = self.aodv_pool.pop().unwrap_or_default();
                     self.routers[node.index()].send(self.now, packet, &mut aodv);
                     self.apply_aodv_actions(node, aodv);

@@ -178,6 +178,8 @@ pub struct Dcf {
     /// extension's contention estimate).
     retry_ewma: f64,
     counters: MacCounters,
+    /// `true` once the `fault_leak_packet` hook has fired.
+    fault_leaked: bool,
 }
 
 impl Dcf {
@@ -202,6 +204,7 @@ impl Dcf {
             rx_cache: FxHashMap::default(),
             retry_ewma: 0.0,
             counters: MacCounters::default(),
+            fault_leaked: false,
         }
     }
 
@@ -214,6 +217,17 @@ impl Dcf {
     /// in service).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The packets waiting in the interface queue, for residual custody
+    /// enumeration by the conservation audit.
+    pub fn queued_packets(&self) -> impl Iterator<Item = &Packet> {
+        self.queue.iter().map(|(_, p)| p)
+    }
+
+    /// The packet in service (between dequeue and its `TxConfirm`), if any.
+    pub fn current_packet(&self) -> Option<&Packet> {
+        self.current.as_ref().map(|c| &c.packet)
     }
 
     /// This node's MAC address.
@@ -231,6 +245,17 @@ impl Dcf {
         packet: Packet,
         out: &mut Vec<MacAction>,
     ) {
+        if self.params.fault_leak_packet
+            && !self.fault_leaked
+            && !matches!(packet.body, mwn_pkt::Body::Aodv(_))
+        {
+            // Planted custody leak: the first data packet vanishes with no
+            // Dropped action and no TxConfirm, for the conservation-audit
+            // tests. Control packets are spared — routing would just retry
+            // and the transport-only audit would never see the leak.
+            self.fault_leaked = true;
+            return;
+        }
         if self.queue.len() >= self.params.queue_capacity {
             self.counters.queue_drops += 1;
             out.push(MacAction::Dropped {

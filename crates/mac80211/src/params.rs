@@ -56,6 +56,12 @@ pub struct MacParams {
     /// reception. Exists only so `mwn check` can demonstrate that the
     /// EIFS invariant catches the bug; never set in real experiments.
     pub fault_skip_eifs: bool,
+    /// Fault-injection hook for the conservation audit: when set, the DCF
+    /// silently discards the first data (non-AODV) packet it accepts —
+    /// no `Dropped` action, no `TxConfirm` — planting a custody leak
+    /// that the `conservation` rule must catch. Never set in real
+    /// experiments.
+    pub fault_leak_packet: bool,
 }
 
 /// Parameters of the link-layer RED extension.
@@ -102,6 +108,7 @@ impl MacParams {
             adaptive_pacing: false,
             link_red: None,
             fault_skip_eifs: false,
+            fault_leak_packet: false,
         }
     }
 
@@ -120,6 +127,7 @@ impl MacParams {
             adaptive_pacing: false,
             link_red: None,
             fault_skip_eifs: false,
+            fault_leak_packet: false,
         }
     }
 

@@ -12,6 +12,12 @@
 //!   [`Quantiles`] estimator;
 //! * [`fct`] — streaming per-class flow-completion summaries (p50/p95/p99
 //!   FCT and goodput) for open-loop traffic, no per-event retention;
+//! * [`mod@drop`] — the cross-layer [`DropReason`] loss taxonomy, the always-on
+//!   [`DropLedger`] (drops per reason × node × class), and the opt-in
+//!   [`ConservationAudit`] proving `created = destroyed + residual` per
+//!   node and per flow;
+//! * [`flight`] — an always-on [`FlightRecorder`] ring of 24-byte records
+//!   of the rare events, dumped when an invariant trips or a run panics;
 //! * [`trace`] — a [`TraceEvent`] enum replacing pre-formatted strings,
 //!   recorded into a bounded ring buffer and exportable as JSONL;
 //! * [`probe`] — on-change time-series sampling of cwnd, srtt, the Vegas
@@ -31,13 +37,17 @@
 //! assert_eq!(reg.batches().len(), 1);
 //! ```
 
+pub mod drop;
 pub mod fct;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod probe;
 pub mod trace;
 
+pub use drop::{ConservationAudit, ConservationReport, Custody, DropLedger, DropReason, Imbalance};
 pub use fct::{ClassFct, FctSummary};
+pub use flight::{FlightKind, FlightRecord, FlightRecorder};
 pub use metrics::{
     BatchMetrics, CounterBlock, FlowCounters, MetricsRegistry, MetricsReport, MetricsSnapshot,
     NodeCounters, Quantiles,

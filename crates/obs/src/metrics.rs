@@ -513,6 +513,12 @@ pub struct MetricsReport {
     pub probes: Vec<ProbeSample>,
     /// Engine self-profiling (zeroed unless profiling was enabled).
     pub profile: EngineProfile,
+    /// The drop ledger (loss counts per reason, node and traffic
+    /// class), when loss accounting was collected.
+    pub drops: Option<crate::drop::DropLedger>,
+    /// Pre-serialized per-class FCT summary JSON
+    /// ([`crate::fct::FctSummary::to_json`]), for open-loop traffic runs.
+    pub fct: Option<String>,
 }
 
 impl MetricsReport {
@@ -523,15 +529,23 @@ impl MetricsReport {
     /// pure function of the job spec, preserving the store's
     /// byte-determinism across worker counts and machines.
     pub fn to_json(&self) -> String {
-        Obj::new()
+        let mut obj = Obj::new()
             .raw("profile", &profile_json(&self.profile))
             .raw("totals", &self.totals.to_json())
             .raw(
                 "batches",
                 &arr(self.batches.iter().map(BatchMetrics::to_json)),
             )
-            .raw("probes", &arr(self.probes.iter().map(ProbeSample::to_json)))
-            .finish()
+            .raw("probes", &arr(self.probes.iter().map(ProbeSample::to_json)));
+        // Optional sections append after the fixed prefix, so readers
+        // pinned to the `profile`-first shape keep working.
+        if let Some(drops) = &self.drops {
+            obj = obj.raw("drops", &drops.to_json());
+        }
+        if let Some(fct) = &self.fct {
+            obj = obj.raw("fct", fct);
+        }
+        obj.finish()
     }
 }
 
@@ -786,10 +800,75 @@ mod tests {
             totals: MetricsSnapshot::empty(SimTime::from_nanos(1_000_000_000)),
             probes: vec![],
             profile: EngineProfile::default(),
+            drops: None,
+            fct: None,
         };
         assert_eq!(
             report.to_json(),
             r#"{"profile":{"events":0,"peak_queue":0,"by_kind":{},"timed_counts":{}},"totals":{"t_secs":1,"nodes":[],"flows":[]},"batches":[],"probes":[]}"#
         );
+    }
+
+    #[test]
+    fn report_json_appends_optional_sections_after_fixed_prefix() {
+        let report = MetricsReport {
+            batches: vec![],
+            totals: MetricsSnapshot::empty(SimTime::ZERO),
+            probes: vec![],
+            profile: EngineProfile::default(),
+            drops: Some(crate::drop::DropLedger::new(1, vec!["all".into()])),
+            fct: Some(r#"{"classes":[]}"#.into()),
+        };
+        let json = report.to_json();
+        assert!(json.starts_with(r#"{"profile":{"events":0"#));
+        assert!(json.contains(r#","drops":{"total":0,"#));
+        assert!(json.ends_with(r#""fct":{"classes":[]}}"#));
+    }
+
+    #[test]
+    fn quantiles_empty_and_single_sample_edges() {
+        let q = Quantiles::new(4);
+        assert_eq!(q.count(), 0);
+        assert!(q.is_exact());
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(q.quantile(p), None);
+        }
+        let mut q = Quantiles::new(4);
+        q.record(7.5);
+        // With one sample every quantile is that sample, clamp included.
+        for p in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(q.quantile(p), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn quantiles_capacity_boundary_is_exact_then_sampled() {
+        let mut q = Quantiles::new(3);
+        q.record(1.0);
+        q.record(2.0);
+        q.record(3.0);
+        // Exactly at capacity: still exact, nothing discarded.
+        assert!(q.is_exact());
+        assert_eq!(q.samples.len(), 3);
+        assert_eq!(q.p50(), Some(2.0));
+        // One past capacity: the estimator turns sampled, the reservoir
+        // stays at capacity, and the count keeps the true total.
+        q.record(4.0);
+        assert!(!q.is_exact());
+        assert_eq!(q.samples.len(), 3);
+        assert_eq!(q.count(), 4);
+        // Every retained sample came from the input stream.
+        for s in &q.samples {
+            assert!([1.0, 2.0, 3.0, 4.0].contains(s));
+        }
+    }
+
+    #[test]
+    fn quantiles_all_non_finite_stream_has_no_quantiles() {
+        let mut q = Quantiles::new(2);
+        q.record(f64::NAN);
+        q.record(f64::NEG_INFINITY);
+        assert_eq!(q.count(), 2);
+        assert_eq!(q.p50(), None);
     }
 }

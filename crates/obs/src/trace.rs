@@ -614,6 +614,26 @@ mod tests {
     }
 
     #[test]
+    fn dropped_accounting_across_wrap_boundary() {
+        let mut b = TraceBuffer::new(4);
+        // Fill exactly to capacity: nothing dropped yet.
+        for i in 0..4 {
+            b.push(rec(i, i));
+        }
+        assert_eq!(b.dropped(), 0);
+        assert_eq!(b.len(), 4);
+        // Each push past capacity evicts exactly one record, so after k
+        // wraps len + dropped equals the total ever pushed.
+        for i in 4..23 {
+            b.push(rec(i, i));
+            assert_eq!(b.dropped() + b.len() as u64, i + 1);
+        }
+        assert_eq!(b.dropped(), 19);
+        let times: Vec<u64> = b.records().map(|r| r.time.as_nanos()).collect();
+        assert_eq!(times, vec![19, 20, 21, 22]);
+    }
+
+    #[test]
     fn phy_events_map_and_serialize() {
         assert_eq!(TraceEvent::PhyRxOk.layer(), TraceLayer::Phy);
         assert_eq!(TraceEvent::PhyCorrupt.layer(), TraceLayer::Phy);

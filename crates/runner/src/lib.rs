@@ -34,6 +34,7 @@
 pub use mwn_obs::json;
 pub mod pool;
 pub mod progress;
+pub mod query;
 pub mod store;
 
 use std::path::PathBuf;
@@ -92,6 +93,7 @@ pub fn simulate_instrumented(spec: &JobSpec) -> RunResults {
             metrics: true,
             probe_capacity: 0,
             profile: true,
+            audit: false,
         },
     )
 }

@@ -46,6 +46,32 @@ if [ "$t1" != "$t4" ]; then
     exit 1
 fi
 
+# Store analytics smoke: a tiny instrumented chain sweep must aggregate
+# through `mwn report` in table, CSV and self-diff modes. Uses a temp
+# store so reruns start clean.
+echo "==> mwn report smoke (sweep --metrics -> report/--csv/--diff)"
+report_store=$(mktemp -t mwn-report-XXXXXX.jsonl)
+rm -f "$report_store"
+cargo run --release -q -p mwn-cli -- sweep --suite chain --metrics --jobs 0 --out "$report_store" >/dev/null 2>&1
+report_out=$(cargo run --release -q -p mwn-cli -- report --store "$report_store" 2>/dev/null)
+grep -q "drop ledger by reason" <<<"$report_out" || {
+    echo "error: mwn report did not render a drop ledger" >&2; exit 1; }
+# Capture before grepping: under pipefail, `grep -q` closing the pipe
+# early would kill the report process with SIGPIPE and fail the step.
+report_csv=$(cargo run --release -q -p mwn-cli -- report --store "$report_store" --csv 2>/dev/null)
+head -1 <<<"$report_csv" | grep -q "^scenario,variant,load,reps,goodput_kbps" || {
+    echo "error: mwn report --csv header mismatch" >&2; exit 1; }
+report_diff=$(cargo run --release -q -p mwn-cli -- report --store "$report_store" --diff "$report_store" 2>/dev/null)
+grep -q "0.0" <<<"$report_diff" || {
+    echo "error: mwn report --diff of a store against itself is not a zero delta" >&2; exit 1; }
+rm -f "$report_store"
+
+# Conservation audit + flight recorder: the planted leak/double-free
+# faults must trip the `conservation` rule and the violation must carry
+# the flight-recorder dump (crates/check/tests/conservation.rs).
+echo "==> conservation audit fault-injection (flight-recorder dump check)"
+cargo test --release -q -p mwn-check --test conservation
+
 echo "==> observability overhead bench (trace disabled vs enabled)"
 cargo bench -p mwn-bench --bench obs_overhead -- --quick
 
