@@ -24,5 +24,5 @@ mod router;
 mod table;
 
 pub use config::AodvConfig;
-pub use router::{AodvAction, AodvCounters, AodvDropReason, Router};
+pub use router::{AodvAction, AodvCounters, AodvDropReason, Router, MIN_JITTER};
 pub use table::{Route, RoutingTable};

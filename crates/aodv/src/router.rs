@@ -10,6 +10,15 @@ use mwn_sim::{Pcg32, SimDuration, SimTime};
 use crate::config::AodvConfig;
 use crate::table::RoutingTable;
 
+/// Floor on every non-zero broadcast-jitter draw. This is the *only*
+/// sub-SIFS delay any protocol cascade can request, so flooring it gives
+/// the sharded engine a hard lookahead: every event a cascade schedules
+/// lands at least `min(SIFS, MIN_JITTER)` after the cascade's own
+/// timestamp. 16 µs sits above the batch horizon and five orders of
+/// magnitude below the default 10 ms jitter window, so route-discovery
+/// de-synchronisation is unaffected.
+pub const MIN_JITTER: SimDuration = SimDuration::from_micros(16);
+
 /// Why the router dropped a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AodvDropReason {
@@ -335,7 +344,14 @@ impl Router {
         if max == 0 {
             SimDuration::ZERO
         } else {
-            SimDuration::from_nanos(self.rng.gen_range_u64(max))
+            // Clamp to MIN_JITTER so a jittered rebroadcast is the only
+            // event a cascade can schedule closer than a SIFS: the sharded
+            // engine's burst-batching window relies on every in-cascade
+            // schedule landing at least min(SIFS, MIN_JITTER) in the
+            // future. One draw in ~625 lands below 16 µs with the default
+            // 10 ms jitter, so the clamp is a one-time golden re-bless,
+            // not a behavioural change at protocol timescales.
+            SimDuration::from_nanos(self.rng.gen_range_u64(max).max(MIN_JITTER.as_nanos()))
         }
     }
 

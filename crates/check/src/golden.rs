@@ -50,18 +50,28 @@ impl CanonicalCase {
     /// Runs the case: trace, digest, invariant check and the post-run
     /// packet-custody conservation audit.
     pub fn run(&self) -> CaseReport {
+        self.run_sharded(1).0
+    }
+
+    /// [`Self::run`] on `shards` worker threads (1 = the sequential
+    /// oracle). Also returns the open-loop traffic completion-journal
+    /// digest (`None` for closed-loop cases), so determinism stress can
+    /// hold the journal — not just the trace — identical across shard
+    /// counts.
+    pub fn run_sharded(&self, shards: usize) -> (CaseReport, Option<(u64, u64)>) {
         let scenario = self.scenario();
-        let (records, net) = crate::run_case(&scenario, self.target, self.deadline);
+        let (records, net) = crate::run_case_sharded(&scenario, self.target, self.deadline, shards);
         let ctx = CheckContext::for_scenario(&scenario);
         let mut violations = check(&records, &ctx);
         violations.extend(crate::conservation_violations(&net));
         let (count, hash) = trace_digest(&records);
-        CaseReport {
+        let report = CaseReport {
             name: self.name,
             count,
             hash,
             violations,
-        }
+        };
+        (report, net.traffic_digest())
     }
 }
 

@@ -13,7 +13,13 @@
 //! mwn bench --record LABEL       append this run to BENCH_engine.json
 //! mwn bench --repeat N           best-of-N wall time per scenario
 //! mwn bench --out FILE           baseline path (default BENCH_engine.json)
+//! mwn bench --shards N           run the engine on N shard workers
 //! ```
+//!
+//! `--shards` runs the sharded parallel engine (results are digest-
+//! identical to the sequential oracle, so events/sec is the only thing
+//! that can move). Sharded entries get distinct labels when recorded, so
+//! `--check` always compares like against like.
 
 use std::time::Instant;
 
@@ -170,6 +176,8 @@ struct Measurement {
     /// Wall seconds the best run spent recomputing medium effect lists
     /// on mobility ticks (0 for static scenarios).
     medium_recompute_secs: f64,
+    /// Parallel bursts the best run executed (0 on the sequential path).
+    bursts: u64,
 }
 
 impl Measurement {
@@ -190,16 +198,18 @@ impl Measurement {
             .f64("sim_secs", self.sim_secs)
             .f64("wall_secs", self.wall_secs)
             .f64("medium_recompute_secs", self.medium_recompute_secs)
+            .u64("bursts", self.bursts)
             .f64("events_per_sec", self.events_per_sec())
             .finish()
     }
 }
 
-fn run_case(case: &BenchCase, repeat: u32) -> Measurement {
+fn run_case(case: &BenchCase, repeat: u32, shards: usize) -> Measurement {
     let mut best: Option<Measurement> = None;
     for _ in 0..repeat.max(1) {
         let scenario = (case.build)();
         let mut net = scenario.build();
+        net.set_shards(shards);
         net.enable_profiling();
         let started = Instant::now();
         net.run_until_delivered(case.target, SimTime::ZERO + case.deadline);
@@ -218,6 +228,7 @@ fn run_case(case: &BenchCase, repeat: u32) -> Measurement {
             sim_secs: net.now().as_secs_f64(),
             wall_secs,
             medium_recompute_secs: profile.timed_secs("medium_recompute"),
+            bursts: net.bursts_run(),
         };
         if best.as_ref().is_none_or(|b| m.wall_secs < b.wall_secs) {
             best = Some(m);
@@ -236,25 +247,39 @@ pub fn command(argv: &[String]) -> Result<(), String> {
         Some(v) => parse(&v, "repeat count")?,
         None => 1,
     };
+    let shards: usize = match take_value(&mut argv, "--shards")? {
+        Some(v) => parse::<usize>(&v, "shard count")?.max(1),
+        None => 1,
+    };
     reject_leftovers(&argv)?;
     if record.is_some() && quick {
         return Err("--record requires the full scenario set (drop --quick)".to_string());
     }
+    // Sharded recordings get a `-sN` label suffix so sequential and
+    // sharded trajectories never silently become each other's baseline.
+    let record = record.map(|l| {
+        if shards > 1 {
+            format!("{l}-s{shards}")
+        } else {
+            l
+        }
+    });
 
     let baseline = std::fs::read_to_string(&out).ok();
     let baseline_eps = baseline.as_deref().map(last_entry_eps);
 
     let selected: Vec<BenchCase> = cases().into_iter().filter(|c| !quick || c.quick).collect();
     println!(
-        "running {} scenario(s), best of {} run(s) each:",
+        "running {} scenario(s), best of {} run(s) each, {} shard(s):",
         selected.len(),
-        repeat.max(1)
+        repeat.max(1),
+        shards
     );
 
     let mut measurements = Vec::new();
     let mut worst_ratio: Option<(f64, &'static str)> = None;
     for case in &selected {
-        let m = run_case(case, repeat);
+        let m = run_case(case, repeat, shards);
         let eps = m.events_per_sec();
         let vs = baseline_eps
             .as_ref()
@@ -268,10 +293,15 @@ pub fn command(argv: &[String]) -> Result<(), String> {
         } else {
             String::new()
         };
+        let bursts = if m.bursts > 0 {
+            format!("  bursts {}", m.bursts)
+        } else {
+            String::new()
+        };
         match vs {
             Some(r) => {
                 println!(
-                    "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  ({:.2}x vs baseline){medium}",
+                    "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  ({:.2}x vs baseline){medium}{bursts}",
                     m.name, m.events, m.wall_secs, eps, r
                 );
                 if worst_ratio.is_none_or(|(w, _)| r < w) {
@@ -279,7 +309,7 @@ pub fn command(argv: &[String]) -> Result<(), String> {
                 }
             }
             None => println!(
-                "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  (no baseline){medium}",
+                "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  (no baseline){medium}{bursts}",
                 m.name, m.events, m.wall_secs, eps
             ),
         }
@@ -440,6 +470,7 @@ mod tests {
             sim_secs: 2.5,
             wall_secs: wall,
             medium_recompute_secs: 0.125,
+            bursts: 0,
         }
     }
 

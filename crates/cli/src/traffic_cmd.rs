@@ -59,6 +59,10 @@ pub fn command(argv: &[String]) -> Result<(), String> {
         Some(v) => parse(&v, "deadline (simulated seconds)")?,
         None => 1_000_000,
     };
+    let shards: usize = match take_value(&mut argv, "--shards")? {
+        Some(v) => parse::<usize>(&v, "shard count")?.max(1),
+        None => 1,
+    };
     let json = take_flag(&mut argv, "--json");
     reject_leftovers(&argv)?;
 
@@ -89,6 +93,7 @@ pub fn command(argv: &[String]) -> Result<(), String> {
         reps,
         jobs,
         deadline_secs,
+        shards,
         json,
     );
 
@@ -129,6 +134,7 @@ fn run_reps(
     reps: u64,
     jobs: usize,
     deadline_secs: u64,
+    shards: usize,
     json: bool,
 ) -> Vec<RepResult> {
     let jobs = if jobs == 0 {
@@ -155,6 +161,7 @@ fn run_reps(
                     rate,
                     rep_seed,
                     deadline_secs,
+                    shards,
                     json,
                 );
                 slots.lock().unwrap()[i] = Some(result);
@@ -169,6 +176,7 @@ fn run_reps(
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     nodes: usize,
     model: TrafficModel,
@@ -176,10 +184,15 @@ fn run_one(
     rate: mwn_phy::DataRate,
     seed: u64,
     deadline_secs: u64,
+    shards: usize,
     json: bool,
 ) -> RepResult {
     let scenario = Scenario::open_loop(nodes, model, transport, rate, seed);
     let mut net = scenario.build();
+    // Open-loop churn currently degrades to the sequential path inside
+    // the engine, so this is accepted-but-inert; it becomes live the day
+    // the traffic engine joins the batch path, with no CLI change.
+    net.set_shards(shards);
     let deadline = SimTime::ZERO + SimDuration::from_secs(deadline_secs);
     let outcome = net.run_until_traffic_done(deadline);
     let summary = net.traffic_summary().expect("open-loop run has a summary");

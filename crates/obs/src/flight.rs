@@ -13,11 +13,16 @@
 //! [`register`]; the first registration installs a chained panic hook that
 //! dumps the registered ring to stderr. Registration holds a weak
 //! reference, so a finished run's recorder is collected normally.
+//!
+//! The recorder is shared as `Arc<Mutex<_>>` (not `Rc<RefCell<_>>`) so a
+//! network holding one stays `Send`: the sharded engine moves per-node
+//! work across worker threads, and rare-event recording must not be the
+//! one field pinning the whole simulation to a single thread. The panic
+//! hook uses `try_lock`, so a panic while the lock is held degrades to
+//! "no dump", never to a second panic.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::{Rc, Weak};
-use std::sync::Once;
+use std::sync::{Arc, Mutex, Once, Weak};
 
 use crate::drop::DropReason;
 
@@ -187,17 +192,17 @@ impl FlightRecorder {
 }
 
 thread_local! {
-    static CURRENT: RefCell<Weak<RefCell<FlightRecorder>>> =
-        const { RefCell::new(Weak::new()) };
+    static CURRENT: std::cell::RefCell<Weak<Mutex<FlightRecorder>>> =
+        const { std::cell::RefCell::new(Weak::new()) };
 }
 
 static HOOK: Once = Once::new();
 
 /// Registers `recorder` as the current thread's flight recorder and
 /// installs the process-wide panic hook on first use. The registration is
-/// weak: dropping the owning `Rc` deactivates it.
-pub fn register(recorder: &Rc<RefCell<FlightRecorder>>) {
-    CURRENT.with(|slot| *slot.borrow_mut() = Rc::downgrade(recorder));
+/// weak: dropping the owning `Arc` deactivates it.
+pub fn register(recorder: &Arc<Mutex<FlightRecorder>>) {
+    CURRENT.with(|slot| *slot.borrow_mut() = Arc::downgrade(recorder));
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
@@ -216,11 +221,11 @@ pub fn register(recorder: &Rc<RefCell<FlightRecorder>>) {
 }
 
 /// Dumps the current thread's registered recorder, if one is alive and
-/// not mid-mutation (the panic hook must never re-panic on a borrow).
+/// not locked (the panic hook must never block or re-panic on the lock).
 pub fn dump_current() -> Option<Vec<String>> {
     CURRENT.with(|slot| {
         let recorder = slot.borrow().upgrade()?;
-        let recorder = recorder.try_borrow().ok()?;
+        let recorder = recorder.try_lock().ok()?;
         Some(recorder.dump_lines())
     })
 }
@@ -309,12 +314,22 @@ mod tests {
 
     #[test]
     fn registration_is_weak_and_dumpable() {
-        let recorder = Rc::new(RefCell::new(FlightRecorder::new(8)));
+        let recorder = Arc::new(Mutex::new(FlightRecorder::new(8)));
         register(&recorder);
-        recorder.borrow_mut().record(rec(9, 9));
+        recorder.lock().unwrap().record(rec(9, 9));
         let lines = dump_current().expect("registered recorder dumps");
         assert!(lines.iter().any(|l| l.contains("uid=9")));
         drop(recorder);
         assert!(dump_current().is_none(), "weak registration must expire");
+    }
+
+    #[test]
+    fn dump_skips_a_held_lock_instead_of_blocking() {
+        let recorder = Arc::new(Mutex::new(FlightRecorder::new(8)));
+        register(&recorder);
+        let guard = recorder.lock().unwrap();
+        assert!(dump_current().is_none(), "held lock must not deadlock");
+        drop(guard);
+        assert!(dump_current().is_some());
     }
 }

@@ -94,6 +94,7 @@ pub fn simulate_instrumented(spec: &JobSpec) -> RunResults {
             probe_capacity: 0,
             profile: true,
             audit: false,
+            shards: 0,
         },
     )
 }

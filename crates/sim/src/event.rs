@@ -112,24 +112,38 @@ impl<E> ReferenceEventQueue<E> {
 
     /// Removes and returns the next live event, skipping cancelled ones.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(time, _, event)| (time, event))
+    }
+
+    /// Like [`pop`](Self::pop), but also returns the event's schedule
+    /// sequence number (the FIFO tie-break key), mirroring
+    /// [`EventQueue::pop_keyed`](crate::EventQueue::pop_keyed).
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
             if !self.pending.remove(&entry.id) {
                 continue; // cancelled
             }
             self.last_popped = entry.time;
-            return Some((entry.time, entry.event));
+            return Some((entry.time, entry.id.0, entry.event));
         }
         None
     }
 
     /// The timestamp of the next live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek_key().map(|(time, _)| time)
+    }
+
+    /// The `(time, seq)` ordering key of the next live event without
+    /// removing it, mirroring
+    /// [`EventQueue::peek_key`](crate::EventQueue::peek_key).
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
         while let Some(Reverse(entry)) = self.heap.peek() {
             if !self.pending.contains(&entry.id) {
                 self.heap.pop();
                 continue;
             }
-            return Some(entry.time);
+            return Some((entry.time, entry.id.0));
         }
         None
     }
