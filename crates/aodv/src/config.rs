@@ -26,6 +26,22 @@ pub struct AodvConfig {
     /// Whether intermediate nodes with a fresh-enough route may answer an
     /// RREQ themselves.
     pub intermediate_rrep: bool,
+    /// Expanding-ring RREQ search (RFC 3561 §6.4): stage discovery TTLs
+    /// from [`AodvConfig::ttl_start`] upward instead of flooding the
+    /// whole network on the first attempt, and let intermediate repliers
+    /// send gratuitous RREPs (§6.6.3) so the destination caches the
+    /// route back to the originator. Off by default — the paper's
+    /// configuration floods — and enabled by the city-scale presets
+    /// ([`AodvConfig::city`]).
+    pub expanding_ring: bool,
+    /// First ring radius (RREQ TTL of discovery attempt 1) when
+    /// [`AodvConfig::expanding_ring`] is set.
+    pub ttl_start: u8,
+    /// Ring growth per retry (TTL_INCREMENT, RFC 3561 §6.4).
+    pub ttl_increment: u8,
+    /// Largest staged ring; the next attempt jumps straight to a
+    /// network-wide TTL (TTL_THRESHOLD, RFC 3561 §6.4).
+    pub ttl_threshold: u8,
     /// Explicit link failure notification (extension; Holland & Vaidya):
     /// when a route is invalidated, notify local transport senders whose
     /// destination just became unreachable so they freeze instead of
@@ -36,6 +52,31 @@ pub struct AodvConfig {
     /// the MAC *twice* — a custody double-free/duplication the
     /// `conservation` rule must catch. Never set in real experiments.
     pub fault_double_flush: bool,
+    /// Fault-injection hook for the expanding-ring TTL path: data
+    /// packets are originated with the first-ring TTL, and a forwarder
+    /// whose TTL check fires swallows the packet *silently* instead of
+    /// emitting the `TtlExpired` drop — the classic mishandled-TTL bug.
+    /// The custody audit (`mwn check`'s `conservation` rule) must catch
+    /// the unaccounted copy. Never set in real experiments.
+    pub fault_ttl_mishandle: bool,
+}
+
+impl AodvConfig {
+    /// The city-scale discovery configuration: expanding-ring search
+    /// with the RFC 3561 §6.4 staging constants (TTL_START = 1,
+    /// TTL_INCREMENT = 2, TTL_THRESHOLD = 7) and enough retries that an
+    /// escalating discovery still reaches a network-wide flood twice
+    /// (rings 1, 3, 5, 7, then two full-TTL attempts). Used by the
+    /// `metro` scenario preset and the `random5k`/`random20k`/`random50k`
+    /// bench scenarios; canonical paper scenarios keep the flooding
+    /// default so their golden digests are untouched.
+    pub fn city() -> Self {
+        AodvConfig {
+            expanding_ring: true,
+            rreq_retries: 5,
+            ..AodvConfig::default()
+        }
+    }
 }
 
 impl Default for AodvConfig {
@@ -47,8 +88,13 @@ impl Default for AodvConfig {
             broadcast_jitter: SimDuration::from_millis(10),
             buffer_capacity: 64,
             intermediate_rrep: true,
+            expanding_ring: false,
+            ttl_start: 1,
+            ttl_increment: 2,
+            ttl_threshold: 7,
             elfn: false,
             fault_double_flush: false,
+            fault_ttl_mishandle: false,
         }
     }
 }
@@ -63,5 +109,21 @@ mod tests {
         assert!(c.rreq_wait > c.broadcast_jitter);
         assert!(c.buffer_capacity > 0);
         assert!(c.active_route_lifetime > c.rreq_wait);
+        // Canonical scenarios flood: the ring knobs must stay dormant.
+        assert!(!c.expanding_ring);
+        assert!(!c.fault_ttl_mishandle);
+        assert!(c.ttl_start >= 1 && c.ttl_start <= c.ttl_threshold);
+        assert!(c.ttl_increment >= 1);
+    }
+
+    #[test]
+    fn city_preset_stages_rings() {
+        let c = AodvConfig::city();
+        assert!(c.expanding_ring);
+        assert_eq!(c.rreq_retries, 5);
+        assert_eq!((c.ttl_start, c.ttl_increment, c.ttl_threshold), (1, 2, 7));
+        // Everything else inherits the paper defaults.
+        assert_eq!(c.rreq_wait, AodvConfig::default().rreq_wait);
+        assert!(!c.fault_double_flush && !c.fault_ttl_mishandle);
     }
 }

@@ -10,6 +10,10 @@
 //!   fresh-enough route;
 //! * RERR propagation when a next hop is declared unreachable;
 //! * packet buffering while discovery is in progress;
+//! * **expanding-ring search** (RFC 3561 §6.4, off by default): TTL-staged
+//!   RREQ rings with gratuitous-RREP route caching, so city-scale
+//!   discoveries stop flooding every node per connection — see
+//!   [`AodvConfig::city`];
 //! * **false route failure accounting**: when the 802.11 MAC gives up on a
 //!   frame after its retry limit, the routing layer declares the link broken
 //!   and tears the route down. In a static network every such event is
@@ -20,9 +24,11 @@
 //! the MAC.
 
 mod config;
+mod nodemap;
 mod router;
 mod table;
 
 pub use config::AodvConfig;
+pub use nodemap::NodeMap;
 pub use router::{AodvAction, AodvCounters, AodvDropReason, Router, MIN_JITTER};
 pub use table::{Route, RoutingTable};

@@ -2,12 +2,11 @@
 
 use std::collections::VecDeque;
 
-use mwn_sim::FxHashMap;
-
 use mwn_pkt::{AodvMessage, Body, NodeId, Packet};
 use mwn_sim::{Pcg32, SimDuration, SimTime};
 
 use crate::config::AodvConfig;
+use crate::nodemap::NodeMap;
 use crate::table::RoutingTable;
 
 /// Floor on every non-zero broadcast-jitter draw. This is the *only*
@@ -115,6 +114,14 @@ pub struct AodvCounters {
     pub no_route_drops: u64,
     /// Data packets dropped because the link layer gave up on them.
     pub link_failure_drops: u64,
+    /// RREQ rebroadcasts suppressed because the ring TTL ran out — the
+    /// nodes an expanding-ring search (RFC 3561 §6.4) spared from the
+    /// flood. Zero under the default full-TTL flooding configuration.
+    pub rreq_rebroadcasts_suppressed: u64,
+    /// Gratuitous RREPs (RFC 3561 §6.6.3) sent toward the flow
+    /// destination by intermediate repliers, so it caches the route back
+    /// to the originator. Only emitted with expanding-ring enabled.
+    pub gratuitous_rreps: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -144,9 +151,10 @@ pub struct Router {
     /// Next RREQ id.
     next_rreq_id: u32,
     /// Highest RREQ id seen per originator (ids increase monotonically, so
-    /// this suffices for duplicate suppression).
-    seen_rreqs: FxHashMap<NodeId, u32>,
-    pending: FxHashMap<NodeId, Discovery>,
+    /// this suffices for duplicate suppression). Flat sorted map: at city
+    /// scale the per-router hash maps dominated the footprint.
+    seen_rreqs: NodeMap<u32>,
+    pending: NodeMap<Discovery>,
     next_uid: u64,
     counters: AodvCounters,
     /// `true` once the `fault_double_flush` hook has fired.
@@ -165,8 +173,8 @@ impl Router {
             seq: 0,
             // Ids start at 1: `seen_rreqs` uses 0 as "none seen yet".
             next_rreq_id: 1,
-            seen_rreqs: FxHashMap::default(),
-            pending: FxHashMap::default(),
+            seen_rreqs: NodeMap::new(),
+            pending: NodeMap::new(),
             next_uid: uid_base,
             counters: AodvCounters::default(),
             fault_flushed: false,
@@ -189,9 +197,29 @@ impl Router {
         self.pending.values().flat_map(|d| d.buffered.iter())
     }
 
+    /// Approximate heap bytes held by this router's per-destination state
+    /// (routing table, RREQ duplicate-suppression table, discovery
+    /// buffers), for the engine's `bytes_per_node` accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.memory_bytes()
+            + self.seen_rreqs.memory_bytes()
+            + self.pending.memory_bytes()
+            + self
+                .pending
+                .values()
+                .map(|d| d.buffered.capacity() * std::mem::size_of::<Packet>())
+                .sum::<usize>()
+    }
+
     /// The transport layer sends `packet` (with `packet.src == me`);
     /// resulting actions are appended to `out`.
-    pub fn send(&mut self, now: SimTime, packet: Packet, out: &mut Vec<AodvAction>) {
+    pub fn send(&mut self, now: SimTime, mut packet: Packet, out: &mut Vec<AodvAction>) {
+        if self.config.fault_ttl_mishandle {
+            // Planted TTL bug: originate data with the first-ring TTL so
+            // an intermediate forwarder's TTL check fires (and, with the
+            // same flag set there, swallows the packet unaccounted).
+            packet.ttl = self.config.ttl_start;
+        }
         let dst = packet.dst;
         if dst == self.me {
             out.push(AodvAction::Deliver(packet));
@@ -312,11 +340,11 @@ impl Router {
             self.flush_buffered(now, dst, out);
             return;
         }
-        let Some(d) = self.pending.get_mut(&dst) else {
+        let Some(d) = self.pending.get_mut(dst) else {
             return; // stale timer
         };
         if d.attempts > self.config.rreq_retries {
-            let d = self.pending.remove(&dst).expect("checked above");
+            let d = self.pending.remove(dst).expect("checked above");
             for packet in d.buffered {
                 self.counters.no_route_drops += 1;
                 out.push(AodvAction::Drop {
@@ -355,11 +383,36 @@ impl Router {
         }
     }
 
+    /// The first discovery attempt that floods at the network-wide TTL
+    /// (attempts before it walk the expanding rings).
+    fn first_full_ttl_attempt(&self) -> u32 {
+        let c = &self.config;
+        if c.ttl_start > c.ttl_threshold {
+            1
+        } else {
+            u32::from(c.ttl_threshold - c.ttl_start) / u32::from(c.ttl_increment.max(1)) + 2
+        }
+    }
+
+    /// The RREQ TTL for discovery attempt `attempt` (1-based) under
+    /// expanding-ring search: `ttl_start`, growing by `ttl_increment` per
+    /// retry, capped at `ttl_threshold`; past the threshold, attempts
+    /// flood network-wide.
+    fn ring_ttl(&self, attempt: u32) -> u8 {
+        if attempt >= self.first_full_ttl_attempt() {
+            mwn_pkt::sizes::DEFAULT_TTL
+        } else {
+            let c = &self.config;
+            let staged = u32::from(c.ttl_start) + (attempt - 1) * u32::from(c.ttl_increment);
+            staged.min(u32::from(c.ttl_threshold)) as u8
+        }
+    }
+
     fn buffer_and_discover(&mut self, now: SimTime, packet: Packet, actions: &mut Vec<AodvAction>) {
         let dst = packet.dst;
         let capacity = self.config.buffer_capacity;
-        let discovery_needed = !self.pending.contains_key(&dst);
-        let d = self.pending.entry(dst).or_insert_with(|| Discovery {
+        let discovery_needed = !self.pending.contains_key(dst);
+        let d = self.pending.or_insert_with(dst, || Discovery {
             attempts: 1,
             buffered: VecDeque::new(),
         });
@@ -396,20 +449,33 @@ impl Router {
             dst_seq,
             hop_count: 0,
         };
-        let packet = Packet::new(
+        let mut packet = Packet::new(
             self.alloc_uid(),
             self.me,
             NodeId::BROADCAST,
             Body::Aodv(msg),
         );
+        let wait = if self.config.expanding_ring {
+            packet.ttl = self.ring_ttl(attempt);
+            // Ring attempts wait a constant RREQ round trip (RFC 3561
+            // §6.4's ring traversal time); binary backoff only starts
+            // once attempts flood network-wide.
+            let first_full = self.first_full_ttl_attempt();
+            if attempt < first_full {
+                self.config.rreq_wait
+            } else {
+                self.config.rreq_wait * (1u64 << (attempt - first_full).min(16))
+            }
+        } else {
+            // Binary exponential wait: 1x, 2x, 4x, ...
+            self.config.rreq_wait * (1u64 << (attempt - 1).min(16))
+        };
         let delay = self.jitter();
         actions.push(AodvAction::Send {
             packet,
             next_hop: NodeId::BROADCAST,
             delay,
         });
-        // Binary exponential wait: 1x, 2x, 4x, ...
-        let wait = self.config.rreq_wait * (1u64 << (attempt - 1).min(16));
         actions.push(AodvAction::SetDiscoveryTimer { dst, delay: wait });
     }
 
@@ -447,14 +513,14 @@ impl Router {
             });
         }
         // A reverse route may satisfy a discovery we have pending.
-        if self.pending.contains_key(&orig) {
+        if self.pending.contains_key(orig) {
             self.flush_buffered(now, orig, actions);
             actions.push(AodvAction::CancelDiscoveryTimer { dst: orig });
         }
 
         // Duplicate suppression: ids increase monotonically per
         // originator, so remembering the highest seen id suffices.
-        let newest = self.seen_rreqs.entry(orig).or_insert(0);
+        let newest = self.seen_rreqs.or_insert_with(orig, || 0);
         if rreq_id <= *newest {
             return;
         }
@@ -483,6 +549,23 @@ impl Router {
                     route.hop_count,
                     actions,
                 );
+                if self.config.expanding_ring {
+                    // Gratuitous RREP (RFC 3561 §6.6.3): the destination
+                    // never hears a ring-limited RREQ we answered, so
+                    // push it the route back to the originator — sent
+                    // along our forward route, advertising `orig` at our
+                    // reverse-route distance.
+                    self.counters.gratuitous_rreps += 1;
+                    self.send_rrep(
+                        now,
+                        route.next_hop,
+                        dst,
+                        orig,
+                        orig_seq,
+                        hop_count.saturating_add(1),
+                        actions,
+                    );
+                }
             } else {
                 self.rebroadcast_rreq(
                     now,
@@ -525,6 +608,9 @@ impl Router {
         actions: &mut Vec<AodvAction>,
     ) {
         if packet.ttl <= 1 {
+            // The ring boundary: under expanding-ring search this is
+            // where the flood stops — count the nodes it spared.
+            self.counters.rreq_rebroadcasts_suppressed += 1;
             return;
         }
         self.counters.rreqs_forwarded += 1;
@@ -697,6 +783,12 @@ impl Router {
             return;
         }
         if packet.ttl <= 1 {
+            if self.config.fault_ttl_mishandle {
+                // Planted TTL bug: the packet vanishes without a Drop
+                // action — an unaccounted copy the conservation audit
+                // must flag as leaked custody.
+                return;
+            }
             actions.push(AodvAction::Drop {
                 packet,
                 reason: AodvDropReason::TtlExpired,
@@ -726,7 +818,7 @@ impl Router {
     }
 
     fn flush_buffered(&mut self, now: SimTime, dst: NodeId, actions: &mut Vec<AodvAction>) {
-        let Some(d) = self.pending.remove(&dst) else {
+        let Some(d) = self.pending.remove(dst) else {
             return;
         };
         for packet in d.buffered {
@@ -1163,6 +1255,189 @@ mod tests {
         assert_eq!(
             r.table().active(NodeId(5), t(2)).unwrap().next_hop,
             NodeId(3)
+        );
+    }
+}
+
+#[cfg(test)]
+mod ring_tests {
+    use super::*;
+    use mwn_pkt::sizes::DEFAULT_TTL;
+    use mwn_pkt::{FlowId, TcpSegment};
+
+    fn city_router(id: u32) -> Router {
+        Router::new(
+            NodeId(id),
+            AodvConfig::city(),
+            Pcg32::new(u64::from(id)),
+            u64::from(id) << 32,
+        )
+    }
+
+    fn data(uid: u64, src: u32, dst: u32) -> Packet {
+        Packet::new(
+            uid,
+            NodeId(src),
+            NodeId(dst),
+            Body::Tcp(TcpSegment::data(FlowId(0), 0)),
+        )
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    /// The (RREQ TTL, discovery-timer wait) of one originate burst.
+    fn rreq_shape(actions: &[AodvAction]) -> (u8, SimDuration) {
+        let ttl = actions
+            .iter()
+            .find_map(|a| match a {
+                AodvAction::Send { packet, .. }
+                    if matches!(packet.body, Body::Aodv(AodvMessage::Rreq { .. })) =>
+                {
+                    Some(packet.ttl)
+                }
+                _ => None,
+            })
+            .expect("an RREQ send");
+        let wait = actions
+            .iter()
+            .find_map(|a| match a {
+                AodvAction::SetDiscoveryTimer { delay, .. } => Some(*delay),
+                _ => None,
+            })
+            .expect("a discovery timer");
+        (ttl, wait)
+    }
+
+    #[test]
+    fn expanding_ring_stages_ttls_then_escalates() {
+        let mut r = city_router(0);
+        let wait = AodvConfig::default().rreq_wait;
+        let mut shapes = vec![rreq_shape(&act!(r.send(t(0), data(1, 0, 5))))];
+        for i in 1..=5 {
+            shapes.push(rreq_shape(&act!(
+                r.on_discovery_timeout(t(10_000 * i), NodeId(5))
+            )));
+        }
+        let (ttls, waits): (Vec<u8>, Vec<SimDuration>) = shapes.into_iter().unzip();
+        // Rings 1, 3, 5, 7 (RFC 3561 §6.4 staging), then network-wide.
+        assert_eq!(ttls, vec![1, 3, 5, 7, DEFAULT_TTL, DEFAULT_TTL]);
+        // Constant ring wait; binary backoff only once flooding starts.
+        assert_eq!(waits, vec![wait, wait, wait, wait, wait, wait * 2]);
+        assert_eq!(r.counters().rreqs_originated, 6);
+        // The next timeout gives up (retries exhausted).
+        let a = act!(r.on_discovery_timeout(t(100_000), NodeId(5)));
+        assert!(a.iter().any(|x| matches!(
+            x,
+            AodvAction::Drop {
+                reason: AodvDropReason::NoRoute,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn default_config_floods_network_wide_with_backoff() {
+        // Digest guard: the paper configuration must keep flooding at
+        // DEFAULT_TTL with binary backoff from the first retry.
+        let mut r = Router::new(NodeId(0), AodvConfig::default(), Pcg32::new(0), 0);
+        let wait = AodvConfig::default().rreq_wait;
+        let (ttl, w1) = rreq_shape(&act!(r.send(t(0), data(1, 0, 5))));
+        assert_eq!((ttl, w1), (DEFAULT_TTL, wait));
+        let (ttl, w2) = rreq_shape(&act!(r.on_discovery_timeout(t(10_000), NodeId(5))));
+        assert_eq!((ttl, w2), (DEFAULT_TTL, wait * 2));
+    }
+
+    #[test]
+    fn ring_boundary_suppression_is_counted() {
+        let mut r = city_router(2);
+        let mut p = Packet::new(
+            100,
+            NodeId(0),
+            NodeId::BROADCAST,
+            Body::Aodv(AodvMessage::Rreq {
+                rreq_id: 1,
+                orig: NodeId(0),
+                orig_seq: 1,
+                dst: NodeId(5),
+                dst_seq: None,
+                hop_count: 0,
+            }),
+        );
+        p.ttl = 1; // we sit on the first ring's boundary
+        let a = act!(r.on_received(t(10), NodeId(0), p));
+        assert!(!a.iter().any(|x| matches!(x, AodvAction::Send { .. })));
+        assert_eq!(r.counters().rreq_rebroadcasts_suppressed, 1);
+        assert_eq!(r.counters().rreqs_forwarded, 0);
+    }
+
+    #[test]
+    fn intermediate_reply_sends_gratuitous_rrep() {
+        let mut r = city_router(2);
+        // Forward route to the flow destination 5 via 3, two hops away.
+        r.table
+            .update(NodeId(5), NodeId(3), 2, 7, t(0), SimDuration::from_secs(10));
+        let rreq = Packet::new(
+            100,
+            NodeId(0),
+            NodeId::BROADCAST,
+            Body::Aodv(AodvMessage::Rreq {
+                rreq_id: 1,
+                orig: NodeId(0),
+                orig_seq: 4,
+                dst: NodeId(5),
+                dst_seq: Some(3),
+                hop_count: 1,
+            }),
+        );
+        let a = act!(r.on_received(t(1), NodeId(1), rreq));
+        let sends: Vec<(&Packet, NodeId)> = a
+            .iter()
+            .filter_map(|x| match x {
+                AodvAction::Send {
+                    packet, next_hop, ..
+                } => Some((packet, *next_hop)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends.len(), 2, "normal RREP plus gratuitous RREP");
+        // Normal RREP back toward the originator.
+        assert_eq!(sends[0].1, NodeId(1));
+        assert!(matches!(
+            sends[0].0.body,
+            Body::Aodv(AodvMessage::Rrep {
+                orig: NodeId(0),
+                dst: NodeId(5),
+                dst_seq: 7,
+                ..
+            })
+        ));
+        // Gratuitous RREP toward the destination, advertising the
+        // originator at our reverse-route distance (1 RREQ hop + us).
+        assert_eq!(sends[1].1, NodeId(3));
+        assert_eq!(sends[1].0.dst, NodeId(5));
+        assert!(matches!(
+            sends[1].0.body,
+            Body::Aodv(AodvMessage::Rrep {
+                orig: NodeId(5),
+                dst: NodeId(0),
+                dst_seq: 4,
+                hop_count: 2,
+            })
+        ));
+        assert_eq!(r.counters().gratuitous_rreps, 1);
+        assert_eq!(r.counters().rreps_generated, 2);
+    }
+
+    #[test]
+    fn memory_bytes_tracks_per_destination_state() {
+        let mut r = city_router(0);
+        let before = r.memory_bytes();
+        act!(r.send(t(0), data(1, 0, 5)));
+        assert!(
+            r.memory_bytes() > before,
+            "a pending discovery with a buffered packet must show up"
         );
     }
 }

@@ -1,7 +1,6 @@
 //! The sequence-numbered routing table.
 
-use std::collections::HashMap;
-
+use crate::nodemap::NodeMap;
 use mwn_pkt::NodeId;
 use mwn_sim::{SimDuration, SimTime};
 
@@ -21,7 +20,13 @@ pub struct Route {
     pub expires: SimTime,
 }
 
-/// AODV routing table: destination → [`Route`].
+/// AODV routing table: destination → [`Route`], stored flat.
+///
+/// Backed by a sorted-`Vec` [`NodeMap`] rather than a hash map: a router
+/// only learns routes its traffic touches, so tables stay small and a
+/// binary search over one contiguous allocation beats hashing — and at
+/// city scale (50 000 routers) the saved per-map overhead is most of the
+/// routing layer's footprint.
 ///
 /// # Example
 ///
@@ -38,7 +43,7 @@ pub struct Route {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
-    routes: HashMap<NodeId, Route>,
+    routes: NodeMap<Route>,
 }
 
 impl RoutingTable {
@@ -49,12 +54,12 @@ impl RoutingTable {
 
     /// The entry for `dst` regardless of validity or expiry.
     pub fn get(&self, dst: NodeId) -> Option<&Route> {
-        self.routes.get(&dst)
+        self.routes.get(dst)
     }
 
     /// The entry for `dst` if it is valid and unexpired.
     pub fn active(&self, dst: NodeId, now: SimTime) -> Option<&Route> {
-        self.routes.get(&dst).filter(|r| r.valid && r.expires > now)
+        self.routes.get(dst).filter(|r| r.valid && r.expires > now)
     }
 
     /// Installs or refreshes a route to `dst` if the new information is
@@ -77,7 +82,7 @@ impl RoutingTable {
             valid: true,
             expires: now + lifetime,
         };
-        match self.routes.get_mut(&dst) {
+        match self.routes.get_mut(dst) {
             Some(old) => {
                 let stale = !old.valid || old.expires <= now;
                 let better = dst_seq > old.dst_seq
@@ -99,7 +104,7 @@ impl RoutingTable {
 
     /// Extends the lifetime of the route to `dst`, if present and valid.
     pub fn refresh(&mut self, dst: NodeId, now: SimTime, lifetime: SimDuration) {
-        if let Some(r) = self.routes.get_mut(&dst) {
+        if let Some(r) = self.routes.get_mut(dst) {
             if r.valid {
                 r.expires = r.expires.max(now + lifetime);
             }
@@ -111,14 +116,15 @@ impl RoutingTable {
     /// `(destination, new sequence number)` pairs for the RERR.
     pub fn invalidate_via(&mut self, next_hop: NodeId) -> Vec<(NodeId, u32)> {
         let mut broken = Vec::new();
-        for (&dst, route) in &mut self.routes {
+        // NodeMap iterates in ascending NodeId order, so `broken` comes
+        // out in the deterministic order the RERR wire format needs.
+        for (dst, route) in self.routes.iter_mut() {
             if route.valid && route.next_hop == next_hop {
                 route.valid = false;
                 route.dst_seq = route.dst_seq.wrapping_add(1);
                 broken.push((dst, route.dst_seq));
             }
         }
-        broken.sort_by_key(|(d, _)| *d); // deterministic ordering
         broken
     }
 
@@ -126,7 +132,7 @@ impl RoutingTable {
     /// and is valid; adopts `dst_seq` if it is newer. Returns `true` if a
     /// route was invalidated (so the RERR should propagate).
     pub fn invalidate_from_rerr(&mut self, dst: NodeId, dst_seq: u32, via: NodeId) -> Option<u32> {
-        let r = self.routes.get_mut(&dst)?;
+        let r = self.routes.get_mut(dst)?;
         if r.valid && r.next_hop == via {
             r.valid = false;
             r.dst_seq = r.dst_seq.max(dst_seq);
@@ -144,6 +150,11 @@ impl RoutingTable {
     /// `true` if the table has no entries.
     pub fn is_empty(&self) -> bool {
         self.routes.is_empty()
+    }
+
+    /// Heap bytes held by the table, for `bytes_per_node` accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.routes.memory_bytes()
     }
 }
 
@@ -234,5 +245,204 @@ mod tests {
         assert_eq!(rt.invalidate_from_rerr(NodeId(5), 9, NodeId(2)), None);
         assert_eq!(rt.invalidate_from_rerr(NodeId(5), 9, NodeId(1)), Some(9));
         assert!(rt.active(NodeId(5), t(1)).is_none());
+    }
+
+    mod differential {
+        //! The flat table against the hash-map implementation it replaced.
+
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        /// The pre-flattening `RoutingTable`, verbatim except for the
+        /// container: the behavioral oracle for the proptest below.
+        #[derive(Default)]
+        struct ReferenceTable {
+            routes: HashMap<NodeId, Route>,
+        }
+
+        impl ReferenceTable {
+            fn active(&self, dst: NodeId, now: SimTime) -> Option<&Route> {
+                self.routes.get(&dst).filter(|r| r.valid && r.expires > now)
+            }
+
+            fn update(
+                &mut self,
+                dst: NodeId,
+                next_hop: NodeId,
+                hop_count: u8,
+                dst_seq: u32,
+                now: SimTime,
+                lifetime: SimDuration,
+            ) -> bool {
+                let fresh = Route {
+                    next_hop,
+                    hop_count,
+                    dst_seq,
+                    valid: true,
+                    expires: now + lifetime,
+                };
+                match self.routes.get_mut(&dst) {
+                    Some(old) => {
+                        let stale = !old.valid || old.expires <= now;
+                        let better = dst_seq > old.dst_seq
+                            || (dst_seq == old.dst_seq && hop_count < old.hop_count)
+                            || (dst_seq == old.dst_seq && next_hop == old.next_hop);
+                        if stale || better {
+                            *old = fresh;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => {
+                        self.routes.insert(dst, fresh);
+                        true
+                    }
+                }
+            }
+
+            fn refresh(&mut self, dst: NodeId, now: SimTime, lifetime: SimDuration) {
+                if let Some(r) = self.routes.get_mut(&dst) {
+                    if r.valid {
+                        r.expires = r.expires.max(now + lifetime);
+                    }
+                }
+            }
+
+            fn invalidate_via(&mut self, next_hop: NodeId) -> Vec<(NodeId, u32)> {
+                let mut broken = Vec::new();
+                for (&dst, route) in &mut self.routes {
+                    if route.valid && route.next_hop == next_hop {
+                        route.valid = false;
+                        route.dst_seq = route.dst_seq.wrapping_add(1);
+                        broken.push((dst, route.dst_seq));
+                    }
+                }
+                broken.sort_by_key(|(d, _)| *d);
+                broken
+            }
+
+            fn invalidate_from_rerr(
+                &mut self,
+                dst: NodeId,
+                dst_seq: u32,
+                via: NodeId,
+            ) -> Option<u32> {
+                let r = self.routes.get_mut(&dst)?;
+                if r.valid && r.next_hop == via {
+                    r.valid = false;
+                    r.dst_seq = r.dst_seq.max(dst_seq);
+                    Some(r.dst_seq)
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// One step of the table op language; node ids and times stay
+        /// small so operations collide the way real routing churn does.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Update {
+                dst: u32,
+                next_hop: u32,
+                hop_count: u8,
+                dst_seq: u32,
+                at: u64,
+            },
+            Refresh {
+                dst: u32,
+                at: u64,
+            },
+            InvalidateVia {
+                next_hop: u32,
+            },
+            Rerr {
+                dst: u32,
+                dst_seq: u32,
+                via: u32,
+            },
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                ((0u32..12, 0u32..12), (1u8..8, 0u32..6, 0u64..40)).prop_map(
+                    |((dst, next_hop), (hop_count, dst_seq, at))| Op::Update {
+                        dst,
+                        next_hop,
+                        hop_count,
+                        dst_seq,
+                        at,
+                    }
+                ),
+                (0u32..12, 0u64..40).prop_map(|(dst, at)| Op::Refresh { dst, at }),
+                (0u32..12).prop_map(|next_hop| Op::InvalidateVia { next_hop }),
+                (0u32..12, 0u32..6, 0u32..12).prop_map(|(dst, dst_seq, via)| Op::Rerr {
+                    dst,
+                    dst_seq,
+                    via
+                }),
+            ]
+        }
+
+        proptest! {
+            /// Differential: random route churn must leave the flat table
+            /// and the hash-map oracle observably identical — same return
+            /// values, same active-route answers, same entries.
+            #[test]
+            fn flat_table_matches_hashmap_oracle(
+                ops in proptest::collection::vec(op_strategy(), 0..150),
+            ) {
+                let mut flat = RoutingTable::new();
+                let mut oracle = ReferenceTable::default();
+                for op in ops {
+                    match op {
+                        Op::Update { dst, next_hop, hop_count, dst_seq, at } => {
+                            prop_assert_eq!(
+                                flat.update(
+                                    NodeId(dst), NodeId(next_hop),
+                                    hop_count, dst_seq, t(at), LIFE,
+                                ),
+                                oracle.update(
+                                    NodeId(dst), NodeId(next_hop),
+                                    hop_count, dst_seq, t(at), LIFE,
+                                ),
+                            );
+                        }
+                        Op::Refresh { dst, at } => {
+                            flat.refresh(NodeId(dst), t(at), LIFE);
+                            oracle.refresh(NodeId(dst), t(at), LIFE);
+                        }
+                        Op::InvalidateVia { next_hop } => {
+                            prop_assert_eq!(
+                                flat.invalidate_via(NodeId(next_hop)),
+                                oracle.invalidate_via(NodeId(next_hop)),
+                            );
+                        }
+                        Op::Rerr { dst, dst_seq, via } => {
+                            prop_assert_eq!(
+                                flat.invalidate_from_rerr(NodeId(dst), dst_seq, NodeId(via)),
+                                oracle.invalidate_from_rerr(NodeId(dst), dst_seq, NodeId(via)),
+                            );
+                        }
+                    }
+                    prop_assert_eq!(flat.len(), oracle.routes.len());
+                }
+                // Full-content and active-view equality at a few probe times.
+                for dst in 0..12 {
+                    prop_assert_eq!(
+                        flat.get(NodeId(dst)),
+                        oracle.routes.get(&NodeId(dst)),
+                    );
+                    for at in [0, 20, 45] {
+                        prop_assert_eq!(
+                            flat.active(NodeId(dst), t(at)),
+                            oracle.active(NodeId(dst), t(at)),
+                        );
+                    }
+                }
+            }
+        }
     }
 }

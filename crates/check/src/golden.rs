@@ -183,6 +183,12 @@ pub fn canonical_cases() -> Vec<CanonicalCase> {
                 )
             },
         },
+        CanonicalCase {
+            name: "metro200-newreno-11m",
+            target: 60,
+            deadline: secs(30),
+            build: || Scenario::metro(200, DataRate::MBPS_11, Transport::newreno(), 42),
+        },
     ]
 }
 

@@ -66,6 +66,38 @@ fn double_flushed_packet_is_caught() {
     );
 }
 
+/// A router that mishandles the expanding-ring TTL — data originated
+/// with the first-ring TTL and forwarders swallowing the TTL-expired
+/// packet without emitting a drop — plants the classic TTL bug: the
+/// intermediate node destroys a copy it never accounts for. The chain's
+/// two hops exceed the ring-1 TTL, so every data packet trips it, and
+/// the custody leak must be caught by the existing `conservation` rule.
+#[test]
+fn mishandled_ring_ttl_is_caught() {
+    let mut faulty = Scenario::chain(2, DataRate::MBPS_2, Transport::newreno(), 1);
+    faulty.aodv = AodvConfig {
+        fault_ttl_mishandle: true,
+        ..AodvConfig::city()
+    };
+    let v = check_scenario(&faulty, 5, SimDuration::from_secs(30));
+    assert!(
+        rules(&v).contains(&"conservation"),
+        "planted TTL mishandling went undetected: {v:?}"
+    );
+    let leak = v.iter().find(|x| x.rule == "conservation").unwrap();
+    assert!(
+        leak.message.contains("custody imbalance") && leak.message.contains("leaked"),
+        "TTL swallowing is a positive-delta leak: {}",
+        leak.message
+    );
+
+    // The same city configuration with the fault off is clean.
+    let mut clean = Scenario::chain(2, DataRate::MBPS_2, Transport::newreno(), 1);
+    clean.aodv = AodvConfig::city();
+    let v = check_scenario(&clean, 30, SimDuration::from_secs(30));
+    assert!(v.is_empty(), "expanding-ring chain(2) is not clean: {v:?}");
+}
+
 /// When the conservation rule trips, the flight recorder's ring is
 /// dumped into the violation window, so the last packet-lifecycle
 /// events before the imbalance are visible. An open-loop traffic run

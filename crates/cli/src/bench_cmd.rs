@@ -14,6 +14,7 @@
 //! mwn bench --repeat N           best-of-N wall time per scenario
 //! mwn bench --out FILE           baseline path (default BENCH_engine.json)
 //! mwn bench --shards N           run the engine on N shard workers
+//! mwn bench --case SUBSTR        run only cases whose name contains SUBSTR
 //! ```
 //!
 //! `--shards` runs the sharded parallel engine (results are digest-
@@ -24,7 +25,9 @@
 use std::time::Instant;
 
 use mwn::mobility::RandomWaypoint;
-use mwn::{topology, FlowSpec, NodeId, Scenario, SimDuration, SimTime, TrafficModel, Transport};
+use mwn::{
+    topology, AodvConfig, FlowSpec, NodeId, Scenario, SimDuration, SimTime, TrafficModel, Transport,
+};
 use mwn_obs::json::Obj;
 use mwn_phy::DataRate;
 
@@ -97,6 +100,54 @@ fn random_large_mobility(nodes: usize, transport: Transport) -> Scenario {
     s
 }
 
+/// A city-scale scenario: `nodes` at the paper's density with the
+/// expanding-ring AODV preset and ten deterministic *local* TCP flows
+/// (each source paired with a node 2.2–2.8 radio ranges away, ~3 hops).
+/// City traffic is local by construction — at these field sizes a random
+/// cross-field pair would exceed the 64-hop default TTL anyway — so these
+/// cases measure discovery plus steady forwarding, not undeliverable
+/// paths. The geometric pairing needs no BFS, keeping 50k-node setup
+/// cheap. The topology is a ≥ 99 % giant-component draw
+/// ([`topology::random_large_giant`]): past ~10k nodes at the paper's
+/// density a fully connected field does not exist, and the delivery
+/// target spans all ten flows, so an unlucky endpoint in an isolated
+/// pocket cannot stall the run.
+fn city(nodes: usize, mobility: bool) -> Scenario {
+    let seed = 4242;
+    let topo = topology::random_large_giant(nodes, seed);
+    let positions = topo.positions();
+    let flows = (0..10usize)
+        .map(|i| {
+            let src = (i * nodes / 10) as u32;
+            let dst = (0..nodes as u32)
+                .find(|&d| {
+                    let m = positions[src as usize].distance_to(positions[d as usize]);
+                    (550.0..700.0).contains(&m)
+                })
+                .expect("paper density guarantees a ~3-hop partner");
+            FlowSpec {
+                src: NodeId(src),
+                dst: NodeId(dst),
+                transport: Transport::newreno(),
+            }
+        })
+        .collect();
+    let mut s = Scenario::new(topo, flows, DataRate::MBPS_11, seed);
+    s.aodv = AodvConfig::city();
+    if mobility {
+        let (width, height) = topology::random_large_dims(nodes);
+        s.mobility = Some(RandomWaypoint {
+            width,
+            height,
+            min_speed: 1.0,
+            max_speed: 10.0,
+            pause: SimDuration::from_secs(2),
+            tick: SimDuration::from_millis(100),
+        });
+    }
+    s
+}
+
 fn cases() -> Vec<BenchCase> {
     vec![
         BenchCase {
@@ -141,6 +192,32 @@ fn cases() -> Vec<BenchCase> {
             deadline: SimDuration::from_secs(1_000),
             build: || random_large_mobility(500, Transport::newreno()),
         },
+        // City-scale tier (PR 9): the flat per-node engine on 5k–50k
+        // nodes. random5k adds full-field random-waypoint mobility; the
+        // 20k and 50k cases are static and mostly measure discovery cost
+        // and bytes/node at scale. None are quick — the 50k topology
+        // alone takes a while to sample into a connected field.
+        BenchCase {
+            name: "random5k-mobility",
+            quick: false,
+            target: 3_000,
+            deadline: SimDuration::from_secs(1_000),
+            build: || city(5_000, true),
+        },
+        BenchCase {
+            name: "random20k",
+            quick: false,
+            target: 3_000,
+            deadline: SimDuration::from_secs(1_000),
+            build: || city(20_000, false),
+        },
+        BenchCase {
+            name: "random50k",
+            quick: false,
+            target: 1_500,
+            deadline: SimDuration::from_secs(1_000),
+            build: || city(50_000, false),
+        },
         // Open-loop flow churn: a 100 000-flow web workload (at a
         // sustainable 20% load) spawning, transferring and vacating
         // flow-table slots; the target samples the first ~2 700
@@ -178,6 +255,13 @@ struct Measurement {
     medium_recompute_secs: f64,
     /// Parallel bursts the best run executed (0 on the sequential path).
     bursts: u64,
+    /// Accounted per-node engine state (structs + tracked heap) from
+    /// [`mwn::Network::bytes_per_node`], measured at the end of the run.
+    bytes_per_node: u64,
+    /// Process peak RSS (`VmHWM`) in bytes, `None` where `/proc` is
+    /// unavailable. Cumulative across the process, so within one bench
+    /// invocation it only ever grows case-over-case.
+    peak_rss_bytes: Option<u64>,
 }
 
 impl Measurement {
@@ -190,7 +274,7 @@ impl Measurement {
     }
 
     fn to_json(&self) -> String {
-        Obj::new()
+        let obj = Obj::new()
             .str("name", self.name)
             .u64("events", self.events)
             .usize("peak_queue_depth", self.peak_queue_depth)
@@ -199,8 +283,12 @@ impl Measurement {
             .f64("wall_secs", self.wall_secs)
             .f64("medium_recompute_secs", self.medium_recompute_secs)
             .u64("bursts", self.bursts)
-            .f64("events_per_sec", self.events_per_sec())
-            .finish()
+            .u64("bytes_per_node", self.bytes_per_node);
+        let obj = match self.peak_rss_bytes {
+            Some(b) => obj.u64("peak_rss_bytes", b),
+            None => obj.raw("peak_rss_bytes", "null"),
+        };
+        obj.f64("events_per_sec", self.events_per_sec()).finish()
     }
 }
 
@@ -229,6 +317,8 @@ fn run_case(case: &BenchCase, repeat: u32, shards: usize) -> Measurement {
             wall_secs,
             medium_recompute_secs: profile.timed_secs("medium_recompute"),
             bursts: net.bursts_run(),
+            bytes_per_node: net.bytes_per_node(),
+            peak_rss_bytes: peak_rss_bytes(),
         };
         if best.as_ref().is_none_or(|b| m.wall_secs < b.wall_secs) {
             best = Some(m);
@@ -237,11 +327,22 @@ fn run_case(case: &BenchCase, repeat: u32, shards: usize) -> Measurement {
     best.expect("repeat >= 1")
 }
 
+/// Peak resident set size of this process in bytes — the `VmHWM` line of
+/// Linux's `/proc/self/status` — or `None` wherever that interface does
+/// not exist (recorded as JSON `null` so the schema stays stable).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 pub fn command(argv: &[String]) -> Result<(), String> {
     let mut argv = argv.to_vec();
     let quick = take_flag(&mut argv, "--quick");
     let check = take_flag(&mut argv, "--check");
     let record = take_value(&mut argv, "--record")?;
+    let case_filter = take_value(&mut argv, "--case")?;
     let out = take_value(&mut argv, "--out")?.unwrap_or_else(|| "BENCH_engine.json".to_string());
     let repeat: u32 = match take_value(&mut argv, "--repeat")? {
         Some(v) => parse(&v, "repeat count")?,
@@ -254,6 +355,9 @@ pub fn command(argv: &[String]) -> Result<(), String> {
     reject_leftovers(&argv)?;
     if record.is_some() && quick {
         return Err("--record requires the full scenario set (drop --quick)".to_string());
+    }
+    if record.is_some() && case_filter.is_some() {
+        return Err("--record requires the full scenario set (drop --case)".to_string());
     }
     // Sharded recordings get a `-sN` label suffix so sequential and
     // sharded trajectories never silently become each other's baseline.
@@ -268,7 +372,21 @@ pub fn command(argv: &[String]) -> Result<(), String> {
     let baseline = std::fs::read_to_string(&out).ok();
     let baseline_eps = baseline.as_deref().map(last_entry_eps);
 
-    let selected: Vec<BenchCase> = cases().into_iter().filter(|c| !quick || c.quick).collect();
+    let selected: Vec<BenchCase> = cases()
+        .into_iter()
+        .filter(|c| !quick || c.quick)
+        .filter(|c| {
+            case_filter
+                .as_deref()
+                .is_none_or(|pat| c.name.contains(pat))
+        })
+        .collect();
+    if selected.is_empty() {
+        return Err(format!(
+            "--case {:?} matches no benchmark scenario",
+            case_filter.as_deref().unwrap_or_default()
+        ));
+    }
     println!(
         "running {} scenario(s), best of {} run(s) each, {} shard(s):",
         selected.len(),
@@ -298,10 +416,14 @@ pub fn command(argv: &[String]) -> Result<(), String> {
         } else {
             String::new()
         };
+        let mut mem = format!("  {:.1} KiB/node", m.bytes_per_node as f64 / 1024.0);
+        if let Some(rss) = m.peak_rss_bytes {
+            mem.push_str(&format!("  rss {:.0} MiB", rss as f64 / (1024.0 * 1024.0)));
+        }
         match vs {
             Some(r) => {
                 println!(
-                    "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  ({:.2}x vs baseline){medium}{bursts}",
+                    "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  ({:.2}x vs baseline){mem}{medium}{bursts}",
                     m.name, m.events, m.wall_secs, eps, r
                 );
                 if worst_ratio.is_none_or(|(w, _)| r < w) {
@@ -309,7 +431,7 @@ pub fn command(argv: &[String]) -> Result<(), String> {
                 }
             }
             None => println!(
-                "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  (no baseline){medium}{bursts}",
+                "  {:<30} {:>12} events {:>8.2} s {:>12.0} ev/s  (no baseline){mem}{medium}{bursts}",
                 m.name, m.events, m.wall_secs, eps
             ),
         }
@@ -471,6 +593,8 @@ mod tests {
             wall_secs: wall,
             medium_recompute_secs: 0.125,
             bursts: 0,
+            bytes_per_node: 2_048,
+            peak_rss_bytes: Some(64 << 20),
         }
     }
 
@@ -504,6 +628,29 @@ mod tests {
         assert_eq!(extract_str(&line, "name").as_deref(), Some("chain"));
         assert_eq!(extract_num(&line, "events"), Some(123.0));
         assert_eq!(extract_num(&line, "events_per_sec"), Some(492.0));
+        assert_eq!(extract_num(&line, "bytes_per_node"), Some(2048.0));
+        assert_eq!(
+            extract_num(&line, "peak_rss_bytes"),
+            Some((64u64 << 20) as f64)
+        );
+    }
+
+    /// Peak RSS is best-effort: where `/proc/self/status` does not exist
+    /// the field must degrade to JSON `null`, never vanish from the
+    /// schema.
+    #[test]
+    fn missing_peak_rss_renders_as_null() {
+        let mut m = meas("chain", 123, 0.25);
+        m.peak_rss_bytes = None;
+        let line = m.to_json();
+        assert!(
+            line.contains(r#""peak_rss_bytes":null"#),
+            "schema lost the field: {line}"
+        );
+        assert_eq!(extract_num(&line, "peak_rss_bytes"), None);
+        // The numeric fields around it still parse.
+        assert_eq!(extract_num(&line, "bytes_per_node"), Some(2048.0));
+        assert_eq!(extract_num(&line, "events_per_sec"), Some(492.0));
     }
 
     #[test]
@@ -527,5 +674,12 @@ mod tests {
         assert!(all
             .iter()
             .any(|c| c.name == "random500-mobility" && !c.quick));
+        // The city-scale tier is full-run only (minutes, not CI seconds).
+        for name in ["random5k-mobility", "random20k", "random50k"] {
+            assert!(
+                all.iter().any(|c| c.name == name && !c.quick),
+                "{name} missing or marked quick"
+            );
+        }
     }
 }

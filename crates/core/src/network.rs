@@ -8,7 +8,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use mwn_aodv::{AodvCounters, Router};
+use mwn_aodv::{AodvCounters, NodeMap, Router};
 use mwn_mac80211::{Dcf, MacCounters, MacTimer};
 use mwn_obs::flight::{self, FlightRecorder};
 use mwn_obs::{
@@ -18,7 +18,7 @@ use mwn_obs::{
 use mwn_phy::{EnergyMeter, EnergyParams, Medium, Transceiver, TxId};
 use mwn_pkt::{Body, FlowId, NodeId, Packet};
 use mwn_sim::stats::TimeWeightedAverage;
-use mwn_sim::{EngineProfile, EventId, EventQueue, FxHashMap, Pcg32, SimDuration, SimTime};
+use mwn_sim::{EngineProfile, EventId, EventQueue, Pcg32, SimDuration, SimTime};
 use mwn_tcp::{
     PacedUdpSource, TcpSender, TcpSenderStats, TcpSink, TcpSinkStats, TransportTimer, UdpSink,
 };
@@ -220,7 +220,10 @@ pub struct Network {
     frames: FrameSlab,
     /// Flat per-node MAC timer table, indexed by [`MacTimer::index`].
     mac_timers: Vec<[Option<EventId>; MacTimer::COUNT]>,
-    discovery_timers: FxHashMap<(NodeId, NodeId), EventId>,
+    /// Flat per-node AODV discovery timer table: outer `Vec` indexed by
+    /// node, inner sorted map keyed by the destination being discovered
+    /// (a node rarely runs more than a handful of discoveries at once).
+    discovery_timers: Vec<NodeMap<EventId>>,
     /// Flat per-flow transport timer table, `[role][timer]`.
     transport_timers: Vec<[[Option<EventId>; TransportTimer::COUNT]; 2]>,
     total_delivered: u64,
@@ -427,7 +430,7 @@ impl Network {
             traffic,
             frames: FrameSlab::new(),
             mac_timers: vec![[None; MacTimer::COUNT]; n],
-            discovery_timers: FxHashMap::default(),
+            discovery_timers: vec![NodeMap::new(); n],
             transport_timers: vec![[[None; TransportTimer::COUNT]; 2]; flow_count],
             total_delivered: 0,
             trace: None,
@@ -621,6 +624,34 @@ impl Network {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.macs.len()
+    }
+
+    /// Tracked estimate of per-node engine state, in heap bytes: the
+    /// fixed struct-of-arrays slot every node occupies (transceiver,
+    /// MAC, router, timer-table rows) plus each node's dynamic
+    /// per-destination state (routing/duplicate tables, discovery
+    /// buffers, interface queue), averaged over the node count.
+    ///
+    /// This is an accounting estimate of what the flat per-node layouts
+    /// charge — not an allocator measurement; pair it with the bench's
+    /// peak-RSS column for ground truth.
+    pub fn bytes_per_node(&self) -> u64 {
+        use std::mem::size_of;
+        let n = self.macs.len().max(1);
+        let fixed = size_of::<Transceiver>()
+            + size_of::<Dcf>()
+            + size_of::<Router>()
+            + size_of::<EnergyMeter>()
+            + size_of::<[Option<EventId>; MacTimer::COUNT]>()
+            + size_of::<NodeMap<EventId>>();
+        let dynamic: usize = (0..n)
+            .map(|i| {
+                self.macs[i].memory_bytes()
+                    + self.routers[i].memory_bytes()
+                    + self.discovery_timers[i].memory_bytes()
+            })
+            .sum();
+        (fixed + dynamic / n) as u64
     }
 
     /// The live flow id occupying `slot`, if any (traffic churn means a

@@ -31,7 +31,7 @@ use mwn_obs::{ConservationAudit, DropLedger, DropReason, ProbeBuffer, ProbeKind}
 use mwn_phy::{EnergyMeter, Medium, RadioEvent, Transceiver, TxId};
 use mwn_pkt::{Body, FlowId, MacFrame, NodeId, Packet};
 use mwn_sim::stats::TimeWeightedAverage;
-use mwn_sim::{EventId, EventQueue, FxHashMap, SimTime};
+use mwn_sim::{EventId, EventQueue, SimTime};
 use mwn_tcp::{TcpSender, TcpSink, TransportAction, TransportTimer};
 
 use crate::scenario::Transport;
@@ -983,7 +983,7 @@ impl NodeStates for SeqStates<'_> {
 pub(super) struct SeqEffects<'a> {
     pub queue: &'a mut EventQueue<Event>,
     pub mac_timers: &'a mut Vec<[Option<EventId>; MacTimer::COUNT]>,
-    pub discovery_timers: &'a mut FxHashMap<(NodeId, NodeId), EventId>,
+    pub discovery_timers: &'a mut Vec<mwn_aodv::NodeMap<EventId>>,
     pub transport_timers: &'a mut Vec<[[Option<EventId>; TransportTimer::COUNT]; 2]>,
     pub trace: &'a mut Option<TraceBuffer>,
     pub probes: &'a mut Option<ProbeBuffer>,
@@ -1067,23 +1067,23 @@ impl Effects for SeqEffects<'_> {
     }
 
     fn set_discovery_timer(&mut self, time: SimTime, node: NodeId, dst: NodeId) {
-        if let Some(old) = self.discovery_timers.remove(&(node, dst)) {
+        if let Some(old) = self.discovery_timers[node.index()].remove(dst) {
             self.queue.cancel(old);
         }
         let id = self
             .queue
             .schedule(time, Event::AodvDiscovery { node, dst });
-        self.discovery_timers.insert((node, dst), id);
+        self.discovery_timers[node.index()].insert(dst, id);
     }
 
     fn cancel_discovery_timer(&mut self, node: NodeId, dst: NodeId) {
-        if let Some(old) = self.discovery_timers.remove(&(node, dst)) {
+        if let Some(old) = self.discovery_timers[node.index()].remove(dst) {
             self.queue.cancel(old);
         }
     }
 
     fn clear_discovery_timer(&mut self, node: NodeId, dst: NodeId) {
-        self.discovery_timers.remove(&(node, dst));
+        self.discovery_timers[node.index()].remove(dst);
     }
 
     fn trace(&mut self, now: SimTime, node: NodeId, event: impl FnOnce() -> TraceEvent) {

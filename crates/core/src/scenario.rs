@@ -274,15 +274,16 @@ impl Scenario {
         Scenario::new(topology, flows, bandwidth, seed)
     }
 
-    /// A large random scenario at the paper's density: `nodes` ∈
-    /// {200, 500} on the [`topology::random_large`] field with ten
-    /// random distinct-endpoint flows, drawn exactly like
+    /// A large random scenario at the paper's density: any `nodes ≥ 2`
+    /// on the [`topology::random_large`] field with ten random
+    /// distinct-endpoint flows, drawn exactly like
     /// [`Scenario::random10`]. Used by the `random200-mobility` /
-    /// `random500-mobility` bench scenarios.
+    /// `random500-mobility` bench scenarios and, via the city-scale
+    /// sizes, by `random5k-mobility` / `random20k` / `random50k`.
     ///
     /// # Panics
     ///
-    /// Panics unless `nodes` is 200 or 500.
+    /// Panics if `nodes < 2`.
     pub fn random_large(
         nodes: usize,
         bandwidth: DataRate,
@@ -292,6 +293,23 @@ impl Scenario {
         let topology = topology::random_large(nodes, seed);
         let flows = random_flows(&topology, 10, transport, seed);
         Scenario::new(topology, flows, bandwidth, seed)
+    }
+
+    /// The metro preset: a city-scale mesh of fixed rooftop nodes — a
+    /// [`Scenario::random_large`] field driven with the expanding-ring
+    /// AODV configuration ([`AodvConfig::city`]), so route discoveries
+    /// walk TTL rings instead of flooding all `nodes` routers. The
+    /// canonical paper scenarios keep the flooding default; this preset
+    /// (and its `metro200-newreno-11m` golden case) pins the ring
+    /// machinery's behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    pub fn metro(nodes: usize, bandwidth: DataRate, transport: Transport, seed: u64) -> Self {
+        let mut s = Scenario::random_large(nodes, bandwidth, transport, seed);
+        s.aodv = AodvConfig::city();
+        s
     }
 
     /// The 802.11b MAC parameters implied by the configured bandwidth

@@ -68,6 +68,43 @@ impl Topology {
         count == n
     }
 
+    /// Fraction of nodes in the largest connected component of the
+    /// `range`-limited link graph (1.0 iff the graph is connected).
+    ///
+    /// Same grid-backed sweep as [`is_connected`](Self::is_connected),
+    /// extended over every component — O(n·k) for the whole topology, so
+    /// it stays cheap even on 50 000-node city fields.
+    pub fn largest_component_fraction(&self, range: f64) -> f64 {
+        let n = self.positions.len();
+        let grid = SpatialGrid::build(range, &self.positions);
+        let mut seen = vec![false; n];
+        let mut stack = Vec::new();
+        let mut candidates = Vec::new();
+        let mut best = 0usize;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            stack.push(start);
+            let mut count = 1usize;
+            while let Some(i) = stack.pop() {
+                candidates.clear();
+                grid.candidates_near(self.positions[i], &mut candidates);
+                for &j in &candidates {
+                    let j = j as usize;
+                    if !seen[j] && self.positions[i].distance_to(self.positions[j]) <= range {
+                        seen[j] = true;
+                        count += 1;
+                        stack.push(j);
+                    }
+                }
+            }
+            best = best.max(count);
+        }
+        best as f64 / n as f64
+    }
+
     /// Minimum hop count between two nodes over `range`-limited links, or
     /// `None` if unreachable.
     pub fn hop_distance(&self, a: NodeId, b: NodeId, range: f64) -> Option<usize> {
@@ -168,6 +205,20 @@ pub fn grid_node(cols: usize, col: usize, row: usize) -> NodeId {
 ///
 /// Panics if `n` is zero or the area is degenerate.
 pub fn random(n: usize, width: f64, height: f64, tx_range: f64, seed: u64) -> Topology {
+    random_accepting(n, width, height, seed, "connected", |t| {
+        t.is_connected(tx_range)
+    })
+}
+
+/// Uniform draws on `width × height` m², resampled until `accept` holds.
+fn random_accepting(
+    n: usize,
+    width: f64,
+    height: f64,
+    seed: u64,
+    what: &str,
+    accept: impl Fn(&Topology) -> bool,
+) -> Topology {
     assert!(n > 0, "need at least one node");
     assert!(width > 0.0 && height > 0.0, "area must be positive");
     let mut rng = Pcg32::with_stream(seed, 0x7090_17E0);
@@ -181,11 +232,11 @@ pub fn random(n: usize, width: f64, height: f64, tx_range: f64, seed: u64) -> To
             })
             .collect();
         let t = Topology::from_positions(positions);
-        if t.is_connected(tx_range) {
+        if accept(&t) {
             return t;
         }
     }
-    panic!("could not draw a connected {n}-node topology on {width}x{height} m²");
+    panic!("could not draw a {what} {n}-node topology on {width}x{height} m²");
 }
 
 /// The paper's random scenario: 120 nodes on 2500 × 1000 m².
@@ -195,33 +246,63 @@ pub fn random_paper(seed: u64) -> Topology {
 
 /// Field dimensions of the [`random_large`] preset with `n` nodes: the
 /// area scales with `n` to keep the paper's node density (120 nodes on
-/// 2500 × 1000 m² ≈ one node per 20 800 m²), so connectivity and
-/// contention stay comparable across sizes.
+/// 2500 × 1000 m² ≈ one node per 20 800 m²) at the paper's 2.5:1 aspect
+/// ratio, so connectivity and contention stay comparable across sizes.
+/// Dimensions are rounded to the nearest 100 m (width) / 50 m (height);
+/// the historical 200- and 500-node presets (3200 × 1300, 5100 × 2050)
+/// fall out of the formula bit-identically.
 ///
 /// # Panics
 ///
-/// Panics unless `n` is one of the supported presets (200 or 500).
+/// Panics if `n < 2` (a field needs at least one flow's two endpoints).
 pub fn random_large_dims(n: usize) -> (f64, f64) {
-    match n {
-        200 => (3200.0, 1300.0),
-        500 => (5100.0, 2050.0),
-        _ => panic!("random_large supports the 200- and 500-node presets, not {n}"),
-    }
+    assert!(n >= 2, "random_large needs at least two nodes, not {n}");
+    let area = n as f64 * 20_800.0;
+    let width = ((area * 2.5).sqrt() / 100.0).round() * 100.0;
+    let height = ((area / width) / 50.0).round() * 50.0;
+    (width, height)
 }
 
-/// A large random topology preset at the paper's node density: `n` ∈
-/// {200, 500} nodes on the [`random_large_dims`] field, resampled until
-/// the 250 m-link graph is connected (like [`random`], whose grid-backed
-/// connectivity check keeps the resampling cheap at this scale). These
-/// presets drive the `random200-mobility` / `random500-mobility` bench
-/// scenarios and large random-waypoint studies.
+/// A large random topology at the paper's node density: any `n ≥ 2`
+/// nodes on the [`random_large_dims`] field, resampled until the
+/// 250 m-link graph is connected (like [`random`], with the grid-backed
+/// connectivity check keeping the resampling cheap). Drives the
+/// `random200-mobility` / `random500-mobility` bench scenarios, the
+/// `metro` preset and large random-waypoint studies.
+///
+/// Beware the connectivity threshold: at the paper's density the mean
+/// 250 m-link degree is ≈ 9.4, and a random geometric graph needs mean
+/// degree ≈ ln n to be connected — so past roughly 10 000 nodes a fully
+/// connected draw becomes astronomically rare and this function will
+/// panic after exhausting its resample budget. City-scale work should
+/// use [`random_large_giant`] instead.
 ///
 /// # Panics
 ///
-/// Panics unless `n` is 200 or 500.
+/// Panics if `n < 2`, or if no connected draw is found (see above).
 pub fn random_large(n: usize, seed: u64) -> Topology {
     let (width, height) = random_large_dims(n);
     random(n, width, height, 250.0, seed)
+}
+
+/// Like [`random_large`], but requires only that the largest connected
+/// component span ≥ 99 % of the nodes instead of full connectivity.
+///
+/// Above the connectivity threshold (see [`random_large`]) virtually
+/// every draw is a giant component plus a sprinkling of tiny isolated
+/// pockets; insisting on zero pockets is hopeless at 50 000 nodes, while
+/// the ≥ 99 % giant component is what city-scale scenarios with local
+/// flows actually need. Drives the `random5k-mobility` / `random20k` /
+/// `random50k` bench scenarios.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or no acceptable draw is found.
+pub fn random_large_giant(n: usize, seed: u64) -> Topology {
+    let (width, height) = random_large_dims(n);
+    random_accepting(n, width, height, seed, "99%-giant-component", |t| {
+        t.largest_component_fraction(250.0) >= 0.99
+    })
 }
 
 #[cfg(test)]
@@ -305,9 +386,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "200- and 500-node presets")]
-    fn random_large_rejects_unsupported_sizes() {
-        random_large_dims(300);
+    #[should_panic(expected = "at least two nodes")]
+    fn random_large_rejects_tiny_sizes() {
+        random_large_dims(1);
+    }
+
+    #[test]
+    fn random_large_dims_formula_keeps_presets_bit_identical() {
+        // The density formula must reproduce the historical presets
+        // exactly — these dimensions are baked into committed bench
+        // baselines and golden digests.
+        assert_eq!(random_large_dims(200), (3200.0, 1300.0));
+        assert_eq!(random_large_dims(500), (5100.0, 2050.0));
+        // And hold the paper's density for arbitrary n, including the
+        // city scales (rounding error shrinks relative to area as n
+        // grows).
+        for n in [2, 37, 300, 1_000, 5_000, 20_000, 50_000] {
+            let (w, h) = random_large_dims(n);
+            assert!(w > 0.0 && h > 0.0);
+            assert!(w % 100.0 == 0.0 && h % 50.0 == 0.0, "{n}: ({w}, {h})");
+            let density = w * h / n as f64;
+            let paper = 20_800.0;
+            assert!(
+                (density - paper).abs() / paper < 0.25,
+                "{n}-node field ({w} x {h}) density {density} m²/node \
+                 strays from the paper's {paper}"
+            );
+        }
     }
 
     #[test]
@@ -316,5 +421,19 @@ mod tests {
             Topology::from_positions(vec![Position::new(0.0, 0.0), Position::new(10_000.0, 0.0)]);
         assert!(!t.is_connected(250.0));
         assert_eq!(t.hop_distance(NodeId(0), NodeId(1), 250.0), None);
+        assert_eq!(t.largest_component_fraction(250.0), 0.5);
+    }
+
+    #[test]
+    fn giant_component_variant_covers_the_field() {
+        // A connected topology is trivially a 100% giant component.
+        let t = chain(4);
+        assert_eq!(t.largest_component_fraction(250.0), 1.0);
+        // The giant-component draw is deterministic and near-spanning at
+        // a size where full connectivity is still checkable.
+        let g = random_large_giant(1_000, 9);
+        assert_eq!(g.len(), 1_000);
+        assert!(g.largest_component_fraction(250.0) >= 0.99);
+        assert_eq!(g, random_large_giant(1_000, 9), "same seed, same layout");
     }
 }

@@ -230,6 +230,14 @@ impl Dcf {
         self.current.as_ref().map(|c| &c.packet)
     }
 
+    /// Approximate heap bytes held by this MAC (interface queue plus
+    /// receive-dedup cache), for the engine's `bytes_per_node`
+    /// accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.queue.capacity() * std::mem::size_of::<(NodeId, Packet)>()
+            + self.rx_cache.capacity() * std::mem::size_of::<(NodeId, u16)>()
+    }
+
     /// This node's MAC address.
     pub fn addr(&self) -> NodeId {
         self.me

@@ -233,6 +233,8 @@ counter_block!(
         rerrs_sent,
         no_route_drops,
         link_failure_drops,
+        rreq_rebroadcasts_suppressed,
+        gratuitous_rreps,
     ]
 );
 

@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use mwn_sim::{FxHashMap, SimTime};
+use mwn_sim::SimTime;
 
 use crate::json::Obj;
 
@@ -26,6 +26,9 @@ pub enum ProbeKind {
     IfqDepth,
 }
 
+/// Number of [`ProbeKind`] variants (the change-detection array size).
+const KIND_COUNT: usize = 4;
+
 impl ProbeKind {
     /// Stable machine-readable name (the JSONL `kind` field).
     pub fn name(&self) -> &'static str {
@@ -34,6 +37,15 @@ impl ProbeKind {
             ProbeKind::Srtt => "srtt",
             ProbeKind::VegasDiff => "vegas_diff",
             ProbeKind::IfqDepth => "ifq_depth",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ProbeKind::Cwnd => 0,
+            ProbeKind::Srtt => 1,
+            ProbeKind::VegasDiff => 2,
+            ProbeKind::IfqDepth => 3,
         }
     }
 }
@@ -69,8 +81,12 @@ pub struct ProbeBuffer {
     samples: VecDeque<ProbeSample>,
     capacity: usize,
     dropped: u64,
-    /// Last stored value per (kind, id) series, for change detection.
-    last: FxHashMap<(ProbeKind, u32), f64>,
+    /// Last stored value per series, for change detection — flat: one
+    /// dense id-indexed `Vec` per kind (`NaN` = never recorded, which a
+    /// `==` change check treats as always-changed, exactly what we
+    /// want). Replaces a `(kind, id)`-keyed hash map whose bucket
+    /// overhead dominated the probe footprint at city scale.
+    last: [Vec<f64>; KIND_COUNT],
 }
 
 impl ProbeBuffer {
@@ -86,17 +102,22 @@ impl ProbeBuffer {
             samples: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
             dropped: 0,
-            last: FxHashMap::default(),
+            last: Default::default(),
         }
     }
 
     /// Records `value` for the `(kind, id)` series at `time`, unless it
     /// equals the series' previous value.
     pub fn record(&mut self, time: SimTime, kind: ProbeKind, id: u32, value: f64) {
-        if self.last.get(&(kind, id)) == Some(&value) {
+        let series = &mut self.last[kind.index()];
+        let idx = id as usize;
+        if series.len() <= idx {
+            series.resize(idx + 1, f64::NAN);
+        }
+        if series[idx] == value {
             return;
         }
-        self.last.insert((kind, id), value);
+        series[idx] = value;
         if self.samples.len() == self.capacity {
             self.samples.pop_front();
             self.dropped += 1;
@@ -139,6 +160,17 @@ impl ProbeBuffer {
     /// Drains the buffer into a vector, oldest first.
     pub fn into_samples(self) -> Vec<ProbeSample> {
         self.samples.into_iter().collect()
+    }
+
+    /// Heap bytes held by the buffer (ring plus change-detection state),
+    /// for the engine's `bytes_per_node` accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.samples.capacity() * std::mem::size_of::<ProbeSample>()
+            + self
+                .last
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<f64>())
+                .sum::<usize>()
     }
 }
 

@@ -107,11 +107,121 @@ impl fmt::Display for Estimate {
     }
 }
 
+/// Streaming first/second moments (Welford's online algorithm) with
+/// running min/max: O(1) memory however many observations arrive, which
+/// is what lets per-signal statistics survive 50 000-node runs without
+/// retaining per-event (or even per-batch) history.
+///
+/// # Example
+///
+/// ```
+/// use mwn_sim::stats::StreamingMoments;
+///
+/// let mut m = StreamingMoments::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.mean(), 4.0);
+/// assert!((m.sample_variance() - 4.0).abs() < 1e-12);
+/// assert_eq!((m.min(), m.max()), (2.0, 6.0));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2).
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingMoments {
+    fn default() -> Self {
+        StreamingMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl StreamingMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0.0 before the first observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n − 1 denominator), 0.0 below two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Smallest observation (+∞ before the first).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ before the first).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator in (Chan's parallel update), as if
+    /// every observation had been pushed into one accumulator.
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / (n1 + n2);
+        self.m2 += other.m2 + delta * delta * n1 * n2 / (n1 + n2);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Batch-means estimator for steady-state simulation output.
 ///
 /// Feed one observation per batch; [`BatchMeans::estimate`] returns the grand
 /// mean with a 95 % confidence half-width computed from the Student-t
 /// distribution with `n − 1` degrees of freedom.
+///
+/// Built on [`StreamingMoments`], so memory stays O(1) no matter how many
+/// batches a long city-scale run produces.
 ///
 /// # Example
 ///
@@ -128,7 +238,7 @@ impl fmt::Display for Estimate {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct BatchMeans {
-    batches: Vec<f64>,
+    moments: StreamingMoments,
 }
 
 impl BatchMeans {
@@ -139,35 +249,35 @@ impl BatchMeans {
 
     /// Records the mean of one batch.
     pub fn push(&mut self, batch_mean: f64) {
-        self.batches.push(batch_mean);
+        self.moments.push(batch_mean);
     }
 
     /// Number of batches recorded so far.
     pub fn len(&self) -> usize {
-        self.batches.len()
+        self.moments.count() as usize
     }
 
     /// `true` if no batches have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.batches.is_empty()
+        self.moments.count() == 0
     }
 
-    /// The recorded batch means.
-    pub fn batches(&self) -> &[f64] {
-        &self.batches
+    /// The streaming moments over the recorded batch means.
+    pub fn moments(&self) -> &StreamingMoments {
+        &self.moments
     }
 
     /// Grand mean and 95 % confidence half-width.
     pub fn estimate(&self) -> Estimate {
-        let n = self.batches.len();
-        let m = mean(&self.batches);
+        let n = self.len();
+        let m = self.moments.mean();
         if n < 2 {
             return Estimate {
                 mean: m,
                 half_width: 0.0,
             };
         }
-        let s2 = sample_variance(&self.batches);
+        let s2 = self.moments.sample_variance();
         let hw = t_critical_95(n - 1) * (s2 / n as f64).sqrt();
         Estimate {
             mean: m,
@@ -178,15 +288,17 @@ impl BatchMeans {
 
 impl FromIterator<f64> for BatchMeans {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        BatchMeans {
-            batches: iter.into_iter().collect(),
-        }
+        let mut bm = BatchMeans::new();
+        bm.extend(iter);
+        bm
     }
 }
 
 impl Extend<f64> for BatchMeans {
     fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
-        self.batches.extend(iter);
+        for x in iter {
+            self.push(x);
+        }
     }
 }
 
@@ -322,6 +434,30 @@ mod tests {
     }
 
     #[test]
+    fn streaming_moments_empty_and_single() {
+        let m = StreamingMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        let mut m = StreamingMoments::new();
+        m.push(7.0);
+        assert_eq!((m.mean(), m.min(), m.max()), (7.0, 7.0, 7.0));
+        assert_eq!(m.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn streaming_moments_merge_identity() {
+        let mut a = StreamingMoments::new();
+        a.push(1.0);
+        let empty = StreamingMoments::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+        let mut b = StreamingMoments::new();
+        b.merge(&a);
+        assert_eq!((b.count(), b.mean()), (1, 1.0));
+    }
+
+    #[test]
     fn estimate_display_format() {
         let est = Estimate {
             mean: 0.54,
@@ -383,6 +519,36 @@ mod tests {
             let est = bm.estimate();
             prop_assert!((est.mean - x).abs() < 1e-6);
             prop_assert!(est.half_width < 1e-6);
+        }
+
+        #[test]
+        fn streaming_moments_match_slice_reference(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..128),
+            split in 0usize..128,
+        ) {
+            // Differential: the O(1) streaming accumulator must agree with
+            // the retained-slice formulas, pushed whole or merged in two
+            // halves at an arbitrary split point.
+            let mut whole = StreamingMoments::new();
+            for &x in &xs {
+                whole.push(x);
+            }
+            let split = split.min(xs.len());
+            let (mut lo, mut hi) = (StreamingMoments::new(), StreamingMoments::new());
+            for &x in &xs[..split] {
+                lo.push(x);
+            }
+            for &x in &xs[split..] {
+                hi.push(x);
+            }
+            lo.merge(&hi);
+            for m in [&whole, &lo] {
+                prop_assert_eq!(m.count() as usize, xs.len());
+                prop_assert!((m.mean() - mean(&xs)).abs() < 1e-6);
+                prop_assert!((m.sample_variance() - sample_variance(&xs)).abs() < 1e-3);
+                prop_assert_eq!(m.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+                prop_assert_eq!(m.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+            }
         }
 
         #[test]

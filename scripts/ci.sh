@@ -131,6 +131,13 @@ if [ "${MWN_BENCH_SKIP:-0}" = "1" ]; then
 else
     echo "==> mwn bench --quick --check"
     cargo run --release -q -p mwn-cli -- bench --quick --check --repeat 5
+
+    # City-scale smoke: one pass of the 5k-node mobility case (flat
+    # per-node state + expanding-ring AODV). Single run, no --check —
+    # the point is that the engine completes the city tier at all and
+    # reports bytes/node, not a tight wall-clock gate.
+    echo "==> mwn bench --case random5k (city-scale smoke)"
+    cargo run --release -q -p mwn-cli -- bench --case random5k
 fi
 
 echo "CI gate passed."
