@@ -1,15 +1,19 @@
-//! Differential check of the spatial-grid medium under *realistic*
+//! Differential check of the lazy epoch-stamped medium under *realistic*
 //! mobility: random-waypoint trajectories (the exact workload of the
 //! `random200-mobility` / `random500-mobility` benches and the ELFN
 //! extension study) driven through both [`Medium::move_nodes`] and the
 //! dense [`ReferenceMedium`] oracle, asserting bit-identical effect
-//! lists after every tick.
+//! lists on every refresh.
 //!
 //! The proptest differential in `mwn-phy` covers adversarial positions
 //! (cell boundaries, co-location, inclusive range edges); this test
 //! covers the integration path: `MobilityModel::step` → changed-position
-//! diff → incremental grid update, tick after tick, where stale dirty
-//! sets or missed neighborhood rescans would accumulate into divergence.
+//! diff → lazy epoch-stamped update, tick after tick. Queries are
+//! deliberately *sparse* — only a rotating subset of nodes is refreshed
+//! each tick, so staleness accumulates across many epochs before a node
+//! is read, exactly the transmission pattern the lazy medium optimizes
+//! for. A missed stamp, an under-scanned neighborhood, or a premature
+//! revalidation would surface here as a divergent refresh.
 
 use mwn::mobility::{MobilityModel, RandomWaypoint};
 use mwn::{topology, SimDuration};
@@ -17,16 +21,23 @@ use mwn_phy::{Medium, Position, RangeModel, ReferenceMedium};
 use mwn_pkt::NodeId;
 use mwn_sim::Pcg32;
 
-fn assert_media_agree(grid: &Medium, dense: &ReferenceMedium, tick: usize) {
+/// Refreshes `grid`'s list for every node satisfying `pick` and compares
+/// it against the dense oracle, which is recomputed eagerly every tick.
+fn assert_media_agree(
+    grid: &mut Medium,
+    dense: &ReferenceMedium,
+    tick: usize,
+    pick: impl Fn(usize) -> bool,
+) {
     assert_eq!(
         grid.positions(),
         dense.positions(),
         "positions at tick {tick}"
     );
-    for tx in 0..grid.positions().len() {
+    for tx in (0..grid.positions().len()).filter(|&tx| pick(tx)) {
         let id = NodeId(tx as u32);
         assert_eq!(
-            grid.effects_of(id),
+            grid.refresh(id),
             dense.effects_of(id),
             "effect lists diverged for tx {tx} at tick {tick}"
         );
@@ -34,10 +45,11 @@ fn assert_media_agree(grid: &Medium, dense: &ReferenceMedium, tick: usize) {
 }
 
 /// Random-waypoint trajectories over the paper-density 1500 × 500 m²
-/// field: every node moves every tick, so each tick exercises the full
-/// dirty-set path (old neighborhood + new neighborhood rescans).
+/// field: every node moves every tick, so each epoch invalidates almost
+/// every neighborhood, while only a rotating third of the nodes is
+/// queried per tick (all of them every 25th tick and at the end).
 #[test]
-fn waypoint_trajectories_keep_grid_and_dense_media_identical() {
+fn waypoint_trajectories_keep_lazy_and_dense_media_identical() {
     let topo = topology::random(40, 1500.0, 500.0, 250.0, 7);
     let params = RandomWaypoint {
         width: 1500.0,
@@ -50,7 +62,7 @@ fn waypoint_trajectories_keep_grid_and_dense_media_identical() {
     let mut model = MobilityModel::new(params, topo.positions().to_vec(), Pcg32::new(99));
     let mut grid = Medium::new(topo.positions().to_vec(), RangeModel::paper());
     let mut dense = ReferenceMedium::new(topo.positions().to_vec(), RangeModel::paper());
-    assert_media_agree(&grid, &dense, 0);
+    assert_media_agree(&mut grid, &dense, 0, |_| true);
 
     let mut moves: Vec<(NodeId, Position)> = Vec::new();
     for tick in 1..=300 {
@@ -64,23 +76,38 @@ fn waypoint_trajectories_keep_grid_and_dense_media_identical() {
         }
         grid.move_nodes(&moves);
         dense.move_nodes(&moves);
-        assert_media_agree(&grid, &dense, tick);
+        let full = tick % 25 == 0 || tick == 300;
+        assert_media_agree(&mut grid, &dense, tick, |tx| full || (tx + tick) % 3 == 0);
     }
+    let c = grid.counters();
+    assert!(c.epoch > 0, "trajectories never moved anything");
+    assert_eq!(c.queries, c.rebuilds + c.revalidations + fast_hits(&c));
+}
+
+fn fast_hits(c: &mwn_phy::MediumCounters) -> u64 {
+    c.queries - c.rebuilds - c.revalidations
 }
 
 /// Long pauses make the per-tick moved set *sparse* (most nodes paused,
-/// a few in flight), the regime where an incremental updater that
-/// under-scans neighborhoods of the non-movers would get away with it
-/// for many ticks before a stale list is observable.
+/// a few in flight) — the regime where most refreshes should resolve as
+/// cheap revalidations (nothing moved near the queried node) and a
+/// revalidation that wrongly skips a genuinely changed neighborhood
+/// would get away with it for many ticks before diverging. The field is
+/// a 150-node paper-density draw (~2800 × 1100 m²): wide enough that a
+/// 3×3 cell neighborhood (1650 m at the 550 m cell size) does *not*
+/// cover the whole field, so revalidation is geometrically possible.
 #[test]
 fn sparse_moves_under_long_pauses_stay_identical() {
-    let topo = topology::random(30, 1200.0, 800.0, 250.0, 3);
+    let (width, height) = topology::random_large_dims(150);
+    let topo = topology::random_large(150, 3);
+    // Fast walkers, long pauses: legs take ~30–150 s, then 120 s parked,
+    // so once first arrivals stagger, most ticks see only a few movers.
     let params = RandomWaypoint {
-        width: 1200.0,
-        height: 800.0,
-        min_speed: 5.0,
-        max_speed: 15.0,
-        pause: SimDuration::from_secs(60),
+        width,
+        height,
+        min_speed: 10.0,
+        max_speed: 30.0,
+        pause: SimDuration::from_secs(120),
         tick: SimDuration::from_millis(200),
     };
     let mut model = MobilityModel::new(params, topo.positions().to_vec(), Pcg32::new(5));
@@ -89,7 +116,7 @@ fn sparse_moves_under_long_pauses_stay_identical() {
 
     let mut moves: Vec<(NodeId, Position)> = Vec::new();
     let mut saw_sparse_tick = false;
-    for tick in 1..=1200 {
+    for tick in 1..=2000 {
         let old: Vec<Position> = grid.positions().to_vec();
         let new = model.step();
         moves.clear();
@@ -98,13 +125,23 @@ fn sparse_moves_under_long_pauses_stay_identical() {
                 moves.push((NodeId(i as u32), n));
             }
         }
-        saw_sparse_tick |= !moves.is_empty() && moves.len() < 10;
+        // "Sparse" = at most 10% of the field in flight this tick.
+        saw_sparse_tick |= !moves.is_empty() && moves.len() <= 15;
         grid.move_nodes(&moves);
         dense.move_nodes(&moves);
-        assert_media_agree(&grid, &dense, tick);
+        let full = tick % 200 == 0 || tick == 2000;
+        assert_media_agree(&mut grid, &dense, tick, |tx| {
+            full || (tx * 7 + tick) % 5 == 0
+        });
     }
     assert!(
         saw_sparse_tick,
         "pause regime never produced a sparse move batch; test lost its point"
+    );
+    let c = grid.counters();
+    assert!(
+        c.revalidations > 0,
+        "sparse movement never produced a rebuild-free revalidation; \
+         the cheap tier is dead code under the regime built to exercise it"
     );
 }

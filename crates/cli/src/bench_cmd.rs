@@ -218,6 +218,24 @@ fn cases() -> Vec<BenchCase> {
             deadline: SimDuration::from_secs(1_000),
             build: || city(50_000, false),
         },
+        // City-scale *mobility* tier (PR 10): the lazy epoch-stamped
+        // medium makes the tick O(moved nodes), so full-field
+        // random-waypoint mobility is affordable at 20k and 50k. Same
+        // targets as the static cousins for row comparability.
+        BenchCase {
+            name: "random20k-mobility",
+            quick: false,
+            target: 3_000,
+            deadline: SimDuration::from_secs(1_000),
+            build: || city(20_000, true),
+        },
+        BenchCase {
+            name: "random50k-mobility",
+            quick: false,
+            target: 1_500,
+            deadline: SimDuration::from_secs(1_000),
+            build: || city(50_000, true),
+        },
         // Open-loop flow churn: a 100 000-flow web workload (at a
         // sustainable 20% load) spawning, transferring and vacating
         // flow-table slots; the target samples the first ~2 700
@@ -250,9 +268,13 @@ struct Measurement {
     sim_secs: f64,
     /// Best (smallest) wall time over the repeats.
     wall_secs: f64,
-    /// Wall seconds the best run spent recomputing medium effect lists
-    /// on mobility ticks (0 for static scenarios).
-    medium_recompute_secs: f64,
+    /// Wall seconds the best run spent in the mobility tick proper:
+    /// position diffs, grid relocation and epoch stamping (0 for static
+    /// scenarios). `medium_tick` profile bucket.
+    medium_tick_secs: f64,
+    /// Wall seconds the best run spent in lazy transmission-time effect
+    /// rebuilds. `medium_lazy` profile bucket.
+    medium_lazy_secs: f64,
     /// Parallel bursts the best run executed (0 on the sequential path).
     bursts: u64,
     /// Accounted per-node engine state (structs + tracked heap) from
@@ -273,6 +295,23 @@ impl Measurement {
         }
     }
 
+    /// Total medium wall seconds: tick bookkeeping plus lazy rebuilds —
+    /// the same quantity the pre-split `medium_recompute` bucket held,
+    /// so entries stay comparable row-by-row across the PR 10 boundary.
+    fn medium_secs(&self) -> f64 {
+        self.medium_tick_secs + self.medium_lazy_secs
+    }
+
+    /// Medium share of wall time in percent (the at-a-glance regression
+    /// signal for the lazy path).
+    fn medium_pct(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            100.0 * self.medium_secs() / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
     fn to_json(&self) -> String {
         let obj = Obj::new()
             .str("name", self.name)
@@ -281,7 +320,9 @@ impl Measurement {
             .u64("delivered", self.delivered)
             .f64("sim_secs", self.sim_secs)
             .f64("wall_secs", self.wall_secs)
-            .f64("medium_recompute_secs", self.medium_recompute_secs)
+            .f64("medium_recompute_secs", self.medium_secs())
+            .f64("medium_tick_secs", self.medium_tick_secs)
+            .f64("medium_lazy_secs", self.medium_lazy_secs)
             .u64("bursts", self.bursts)
             .u64("bytes_per_node", self.bytes_per_node);
         let obj = match self.peak_rss_bytes {
@@ -294,8 +335,17 @@ impl Measurement {
 
 fn run_case(case: &BenchCase, repeat: u32, shards: usize) -> Measurement {
     let mut best: Option<Measurement> = None;
-    for _ in 0..repeat.max(1) {
+    for rep in 0..repeat.max(1) {
         let scenario = (case.build)();
+        if rep == 0 && shards > 1 && scenario.traffic.is_some() {
+            // Not silent: the engine accepts --shards but open-loop flow
+            // churn re-keys slots mid-burst, so it runs sequentially.
+            println!(
+                "  note: {}: open-loop traffic runs on the sequential path \
+                 (bursts will read 0)",
+                case.name
+            );
+        }
         let mut net = scenario.build();
         net.set_shards(shards);
         net.enable_profiling();
@@ -315,7 +365,8 @@ fn run_case(case: &BenchCase, repeat: u32, shards: usize) -> Measurement {
             delivered: net.total_delivered(),
             sim_secs: net.now().as_secs_f64(),
             wall_secs,
-            medium_recompute_secs: profile.timed_secs("medium_recompute"),
+            medium_tick_secs: profile.timed_secs("medium_tick"),
+            medium_lazy_secs: profile.timed_secs("medium_lazy"),
             bursts: net.bursts_run(),
             bytes_per_node: net.bytes_per_node(),
             peak_rss_bytes: peak_rss_bytes(),
@@ -403,15 +454,13 @@ pub fn command(argv: &[String]) -> Result<(), String> {
             .as_ref()
             .and_then(|b| b.iter().find(|(n, _)| n == m.name))
             .map(|&(_, base)| eps / base);
-        let medium = if m.medium_recompute_secs > 0.0 && m.wall_secs > 0.0 {
-            format!(
-                "  medium {:.0}%",
-                100.0 * m.medium_recompute_secs / m.wall_secs
-            )
-        } else {
-            String::new()
-        };
-        let bursts = if m.bursts > 0 {
+        // Derived medium share of wall: a column on every row (static
+        // cases read 0.0%), so lazy-path regressions are readable at a
+        // glance without jq over BENCH_engine.json.
+        let medium = format!("  medium {:>4.1}%", m.medium_pct());
+        // Sharded runs always show the burst count — "bursts 0" under
+        // --shards N is exactly the sequential-fallback signal.
+        let bursts = if m.bursts > 0 || shards > 1 {
             format!("  bursts {}", m.bursts)
         } else {
             String::new()
@@ -591,7 +640,8 @@ mod tests {
             delivered: 100,
             sim_secs: 2.5,
             wall_secs: wall,
-            medium_recompute_secs: 0.125,
+            medium_tick_secs: 0.045,
+            medium_lazy_secs: 0.08,
             bursts: 0,
             bytes_per_node: 2_048,
             peak_rss_bytes: Some(64 << 20),
@@ -633,6 +683,23 @@ mod tests {
             extract_num(&line, "peak_rss_bytes"),
             Some((64u64 << 20) as f64)
         );
+        // The split medium buckets ride along, and the pre-split sum
+        // keeps its historical key so old and new entries compare
+        // row-by-row.
+        assert_eq!(extract_num(&line, "medium_tick_secs"), Some(0.045));
+        assert_eq!(extract_num(&line, "medium_lazy_secs"), Some(0.08));
+        assert_eq!(extract_num(&line, "medium_recompute_secs"), Some(0.125));
+    }
+
+    #[test]
+    fn medium_share_of_wall_is_derived_per_row() {
+        let m = meas("chain", 123, 0.25);
+        assert!((m.medium_secs() - 0.125).abs() < 1e-12);
+        assert!((m.medium_pct() - 50.0).abs() < 1e-9);
+        let mut idle = meas("idle", 0, 0.0);
+        idle.medium_tick_secs = 0.0;
+        idle.medium_lazy_secs = 0.0;
+        assert_eq!(idle.medium_pct(), 0.0, "zero wall must not divide");
     }
 
     /// Peak RSS is best-effort: where `/proc/self/status` does not exist
@@ -675,11 +742,22 @@ mod tests {
             .iter()
             .any(|c| c.name == "random500-mobility" && !c.quick));
         // The city-scale tier is full-run only (minutes, not CI seconds).
-        for name in ["random5k-mobility", "random20k", "random50k"] {
+        for name in [
+            "random5k-mobility",
+            "random20k",
+            "random50k",
+            "random20k-mobility",
+            "random50k-mobility",
+        ] {
             assert!(
                 all.iter().any(|c| c.name == name && !c.quick),
                 "{name} missing or marked quick"
             );
         }
+        // The PR 10 mobility tiers reuse their static cousins' targets so
+        // rows compare across entries.
+        let target_of = |n: &str| all.iter().find(|c| c.name == n).unwrap().target;
+        assert_eq!(target_of("random20k-mobility"), target_of("random20k"));
+        assert_eq!(target_of("random50k-mobility"), target_of("random50k"));
     }
 }

@@ -88,7 +88,7 @@ fn print_usage() {
          \x20     per-layer counters, per-batch dropping probability (Fig. 14),\n\
          \x20     a cwnd-vs-time series (Figs. 3-4) and the engine profile\n\
          \x20     (random200/random500 run under waypoint mobility and report\n\
-         \x20     the medium_recompute timed section).\n\n\
+         \x20     the medium_tick/medium_lazy timed sections).\n\n\
          \x20 mwn trace [--hops H] [--events N] [--transport <variant>]\n\
          \x20           [--rate 2|5.5|11] [--format text|jsonl]\n\
          \x20     Show the annotated event trace of a chain's first packets.\n\n\

@@ -48,7 +48,8 @@ pub fn command(rest: &[String]) -> Result<(), String> {
         "random" => Scenario::random10(bandwidth, transport, seed),
         // The large presets run under waypoint mobility (like the
         // `random200-mobility` / `random500-mobility` benches), so the
-        // profile includes the `medium_recompute` timed section.
+        // profile includes the `medium_tick` timed section (and
+        // `medium_lazy` for the transmission-time rebuilds).
         "random200" | "random500" => {
             let nodes = if topology == "random200" { 200 } else { 500 };
             let mut s = Scenario::random_large(nodes, bandwidth, transport, seed);

@@ -16,6 +16,10 @@ struct RepResult {
     live_at_end: usize,
     journal: (u64, u64),
     arrivals: (u64, u64),
+    /// Parallel bursts the engine executed ([`mwn::Network::bursts_run`]):
+    /// 0 whenever the open-loop workload forced the sequential path, so
+    /// "did --shards actually engage?" is visible per replication.
+    bursts: u64,
     /// Pre-rendered per-class report (text or JSON).
     report: String,
 }
@@ -83,6 +87,16 @@ pub fn command(argv: &[String]) -> Result<(), String> {
     if nodes < 2 {
         return Err("traffic needs at least two nodes".to_string());
     }
+    if shards > 1 {
+        // Not silent: the engine accepts --shards but open-loop flow
+        // churn re-keys flow-table slots mid-burst, so batching is
+        // declined and the run proceeds sequentially (ROADMAP sharded
+        // residual (b)). The per-rep `bursts=` field confirms it.
+        println!(
+            "note: --shards {shards} accepted, but open-loop traffic runs on the \
+             sequential path; bursts will read 0"
+        );
+    }
 
     let results = run_reps(
         nodes,
@@ -100,8 +114,8 @@ pub fn command(argv: &[String]) -> Result<(), String> {
     let mut failures = 0usize;
     for r in &results {
         println!(
-            "rep seed={} journal={}:{:016x} arrivals={}:{:016x}",
-            r.seed, r.journal.0, r.journal.1, r.arrivals.0, r.arrivals.1
+            "rep seed={} journal={}:{:016x} arrivals={}:{:016x} bursts={}",
+            r.seed, r.journal.0, r.journal.1, r.arrivals.0, r.arrivals.1, r.bursts
         );
         print!("{}", r.report);
         if r.outcome != StepOutcome::TargetReached {
@@ -190,8 +204,9 @@ fn run_one(
     let scenario = Scenario::open_loop(nodes, model, transport, rate, seed);
     let mut net = scenario.build();
     // Open-loop churn currently degrades to the sequential path inside
-    // the engine, so this is accepted-but-inert; it becomes live the day
-    // the traffic engine joins the batch path, with no CLI change.
+    // the engine (`command` prints a notice and `bursts` records the
+    // engagement); it becomes live the day the traffic engine joins the
+    // batch path, with no CLI change.
     net.set_shards(shards);
     let deadline = SimTime::ZERO + SimDuration::from_secs(deadline_secs);
     let outcome = net.run_until_traffic_done(deadline);
@@ -227,6 +242,7 @@ fn run_one(
         live_at_end: net.live_flow_count(),
         journal: net.traffic_digest().expect("traffic digest"),
         arrivals: net.traffic_arrival_digest().expect("arrival digest"),
+        bursts: net.bursts_run(),
         report,
     }
 }

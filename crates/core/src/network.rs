@@ -243,6 +243,11 @@ pub struct Network {
     /// position actually changed (paused nodes don't) are handed to the
     /// medium's incremental update.
     moved: Vec<(NodeId, mwn_phy::Position)>,
+    /// When set, every mobility tick eagerly refreshes all effect lists
+    /// (the pre-lazy behaviour) instead of leaving stale lists for
+    /// transmission-time refresh. Observables are identical either way —
+    /// this switch exists so the lazy-vs-eager differential can prove it.
+    eager_medium: bool,
     /// Recycled action/event buffers for the sequential cascade lane.
     pools: Pools,
     /// The sharded batch engine's worker pool and per-worker contexts;
@@ -441,6 +446,7 @@ impl Network {
             flight,
             mobility,
             moved: Vec::new(),
+            eager_medium: false,
             pools: Pools::default(),
             batch: None,
             delivery_bound,
@@ -783,18 +789,22 @@ impl Network {
     /// Runs until `target` total packets are delivered, the simulated-time
     /// `deadline` passes, or the event queue drains.
     pub fn run_until_delivered(&mut self, target: u64, deadline: SimTime) -> StepOutcome {
-        while self.total_delivered < target {
+        let outcome = loop {
+            if self.total_delivered >= target {
+                break StepOutcome::TargetReached;
+            }
             match self.peek_next_time() {
-                None => return StepOutcome::Quiescent,
-                Some(t) if t > deadline => return StepOutcome::DeadlineExpired,
+                None => break StepOutcome::Quiescent,
+                Some(t) if t > deadline => break StepOutcome::DeadlineExpired,
                 Some(_) => {
                     if !self.try_batch(deadline, Some(target)) {
                         self.step();
                     }
                 }
             }
-        }
-        StepOutcome::TargetReached
+        };
+        self.flush_medium_profile();
+        outcome
     }
 
     /// `true` once the open-loop workload has spawned its whole arrival
@@ -809,14 +819,18 @@ impl Network {
     /// Runs until [`Network::traffic_done`], the simulated-time
     /// `deadline` passes, or the event queue drains.
     pub fn run_until_traffic_done(&mut self, deadline: SimTime) -> StepOutcome {
-        while !self.traffic_done() {
+        let outcome = loop {
+            if self.traffic_done() {
+                break StepOutcome::TargetReached;
+            }
             match self.peek_next_time() {
-                None => return StepOutcome::Quiescent,
-                Some(t) if t > deadline => return StepOutcome::DeadlineExpired,
+                None => break StepOutcome::Quiescent,
+                Some(t) if t > deadline => break StepOutcome::DeadlineExpired,
                 Some(_) => self.step(),
             }
-        }
-        StepOutcome::TargetReached
+        };
+        self.flush_medium_profile();
+        outcome
     }
 
     /// Streaming per-class FCT/goodput accounting for the open-loop
@@ -859,6 +873,7 @@ impl Network {
             }
         }
         self.now = self.now.max(deadline);
+        self.flush_medium_profile();
     }
 
     /// Processes a single event. No-op if the queue is empty.
@@ -899,7 +914,7 @@ impl Network {
             flight: &self.flight,
             total_delivered: &mut self.total_delivered,
             frames: &mut self.frames,
-            medium: &self.medium,
+            medium: &mut self.medium,
             energy: &mut self.energy,
             params: &self.params,
         };
@@ -919,22 +934,55 @@ impl Network {
         if let Some(m) = &mut self.mobility {
             let started = std::time::Instant::now();
             let positions = m.step();
-            // Diff against the medium's current positions so the
-            // incremental update only touches nodes that moved
-            // (paused nodes hold their position across ticks).
+            // Diff against the medium's current positions so the lazy
+            // update only touches nodes that moved (paused nodes hold
+            // their position across ticks).
             self.moved.clear();
             for (i, (&new, &old)) in positions.iter().zip(self.medium.positions()).enumerate() {
                 if new != old {
                     self.moved.push((NodeId(i as u32), new));
                 }
             }
+            // O(moved): positions, grid relocation and epoch stamps only.
+            // Effect-list rebuilds happen at transmission time and are
+            // accounted separately (the `medium_lazy` bucket).
             self.medium.move_nodes(&self.moved);
             if let Some(p) = &mut self.profile {
-                p.record_timed("medium_recompute", started.elapsed().as_secs_f64());
+                p.record_timed("medium_tick", started.elapsed().as_secs_f64());
+            }
+            if self.eager_medium {
+                self.medium.refresh_all();
             }
             let next = self.now + m.tick();
             self.queue.schedule(next, Event::MobilityTick);
+            self.flush_medium_profile();
         }
+    }
+
+    /// Drains the lazy medium's accrued rebuild costs into the profile's
+    /// `medium_lazy` bucket (no-op without profiling). Called once per
+    /// mobility tick and at the end of every run loop, so the bucket is
+    /// complete whenever a caller reads the profile.
+    fn flush_medium_profile(&mut self) {
+        if let Some(p) = &mut self.profile {
+            let (rebuilds, secs) = self.medium.take_lazy_profile();
+            p.record_timed_n("medium_lazy", rebuilds, secs);
+        }
+    }
+
+    /// Forces the pre-lazy eager behaviour: every mobility tick refreshes
+    /// all effect lists immediately. Observables are identical to the
+    /// default lazy mode (effect lists are pure functions of current
+    /// positions at query time); this exists for the lazy-vs-eager
+    /// differential tests and A/B profiling.
+    pub fn set_eager_medium(&mut self, eager: bool) {
+        self.eager_medium = eager;
+    }
+
+    /// Cumulative lazy-medium statistics (epoch, queries, rebuilds,
+    /// revalidations) since construction.
+    pub fn medium_counters(&self) -> mwn_phy::MediumCounters {
+        self.medium.counters()
     }
 }
 

@@ -758,7 +758,7 @@ impl Network {
                 flight: &self.flight,
                 total_delivered: &mut self.total_delivered,
                 frames: &mut self.frames,
-                medium: &self.medium,
+                medium: &mut self.medium,
                 energy: &mut self.energy,
                 params: &self.params,
             };

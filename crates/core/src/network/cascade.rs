@@ -992,7 +992,7 @@ pub(super) struct SeqEffects<'a> {
     pub flight: &'a Arc<Mutex<FlightRecorder>>,
     pub total_delivered: &'a mut u64,
     pub frames: &'a mut FrameSlab,
-    pub medium: &'a Medium,
+    pub medium: &'a mut Medium,
     pub energy: &'a mut [EnergyMeter],
     pub params: &'a MacParams,
 }
@@ -1170,9 +1170,12 @@ impl Effects for SeqEffects<'_> {
             nav,
         });
         self.energy[node.index()].add_tx(duration);
-        // `effects` borrows the medium in place; the loop only touches
-        // disjoint fields (queue, energy), so no copy of the list is made.
-        let effects = self.medium.effects_of(node);
+        // Transmission time is where lazy medium staleness resolves:
+        // `refresh` rebuilds the effect list only if this node's 3×3
+        // neighborhood changed since the list was built. The returned
+        // borrow lives in place; the loop only touches disjoint fields
+        // (queue, frames, energy), so no copy of the list is made.
+        let effects = self.medium.refresh(node);
         if !effects.is_empty() {
             let tx = self.frames.insert(frame, effects.len());
             for e in effects {

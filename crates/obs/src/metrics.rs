@@ -554,7 +554,7 @@ impl MetricsReport {
 /// Serializes an [`EngineProfile`] as a JSON object (histogram keys
 /// sorted, so output is deterministic).
 ///
-/// Timed sections (e.g. `medium_recompute`) are exported as invocation
+/// Timed sections (e.g. `medium_tick`, `medium_lazy`) are exported as invocation
 /// *counts* only: their wall-clock seconds vary across machines, which
 /// would break the sweep store's byte-determinism, so seconds stay
 /// API-only (`EngineProfile::timed_secs`) for `mwn stats` / `mwn bench`.

@@ -18,3 +18,24 @@ pub struct PhyCounters {
     /// each one makes the MAC defer EIFS instead of DIFS.
     pub undecoded: u64,
 }
+
+/// Cumulative statistics of the lazy epoch-stamped medium (see
+/// `Medium`): how often transmission-time queries found their effect
+/// list already exact, provably unchanged, or actually stale.
+///
+/// `queries = fast-path hits + revalidations + rebuilds` — the fast-path
+/// count is the difference. A mobile workload where `rebuilds` stays far
+/// below `epoch × nodes` is exactly the regime the lazy medium exists
+/// for: most nodes move every tick but transmit rarely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediumCounters {
+    /// Global move epoch (one bump per non-empty move batch).
+    pub epoch: u64,
+    /// `Medium::refresh` calls.
+    pub queries: u64,
+    /// Queries that paid an O(k) effect-list rebuild.
+    pub rebuilds: u64,
+    /// Queries whose 3×3 neighborhood carried no newer stamp: marked
+    /// current without rebuilding.
+    pub revalidations: u64,
+}

@@ -259,4 +259,62 @@ mod tests {
         let mut grid = SpatialGrid::build(100.0, &[Position::new(10.0, 10.0)]);
         grid.remove(0, Position::new(500.0, 500.0));
     }
+
+    #[test]
+    fn repeated_relocations_of_one_node_in_a_batch_chain_correctly() {
+        // A mobility tick may move the same node more than once when the
+        // caller coalesces sub-steps; each relocate hands the grid the
+        // node's *previous* position, so the chain must stay consistent
+        // even when intermediate hops land in fresh cells.
+        let a = Position::new(10.0, 10.0);
+        let b = Position::new(250.0, 10.0); // cell (2, 0)
+        let c = Position::new(910.0, 10.0); // cell (9, 0)
+        let mut grid = SpatialGrid::build(100.0, &[a, a]);
+        // Node 0 moves twice within one batch; node 1 stays put.
+        grid.relocate(0, a, b);
+        grid.relocate(0, b, c);
+        assert_eq!(grid.len(), 2, "no duplicate registrations");
+        assert_eq!(grid.occupants(grid.cell_of(a)), &[1]);
+        assert!(grid.occupants(grid.cell_of(b)).is_empty());
+        assert_eq!(grid.occupants(grid.cell_of(c)), &[0]);
+    }
+
+    #[test]
+    fn relocate_onto_exact_cell_boundary_lands_in_the_upper_cell() {
+        // floor() semantics: a coordinate exactly on a cell edge belongs
+        // to the higher-indexed cell, and relocating onto the edge must
+        // agree with where a fresh insert would put the node.
+        let mut grid = SpatialGrid::build(100.0, &[Position::new(50.0, 50.0)]);
+        let edge = Position::new(100.0, 100.0);
+        assert_eq!(grid.cell_of(edge), (1, 1));
+        grid.relocate(0, Position::new(50.0, 50.0), edge);
+        assert_eq!(grid.occupants((1, 1)), &[0]);
+        assert!(grid.occupants((0, 0)).is_empty(), "old cell vacated");
+        // The negative edge mirrors it: exactly -100.0 is cell -1, and a
+        // move from -100.0 to -99.9 (cell -1 both) is a no-op relocate.
+        grid.relocate(0, edge, Position::new(-100.0, -100.0));
+        assert_eq!(grid.cell_of(Position::new(-100.0, -100.0)), (-1, -1));
+        grid.relocate(
+            0,
+            Position::new(-100.0, -100.0),
+            Position::new(-99.9, -99.9),
+        );
+        assert_eq!(grid.occupants((-1, -1)), &[0]);
+        assert_eq!(grid.len(), 1);
+    }
+
+    #[test]
+    fn node_returning_to_its_original_cell_within_a_tick_round_trips() {
+        // Leave and re-enter the starting cell inside one batch: the net
+        // grid state must equal never having moved, including the case
+        // where the swap_remove in `remove` reordered the bucket.
+        let home = Position::new(10.0, 10.0);
+        let away = Position::new(510.0, 10.0);
+        let mut grid = SpatialGrid::build(100.0, &[home, home, home]);
+        grid.relocate(1, home, away);
+        grid.relocate(1, away, Position::new(20.0, 30.0)); // back home, new offset
+        assert_eq!(sorted_candidates(&grid, home), vec![0, 1, 2]);
+        assert!(grid.occupants(grid.cell_of(away)).is_empty());
+        assert_eq!(grid.len(), 3);
+    }
 }

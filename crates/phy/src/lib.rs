@@ -21,7 +21,7 @@ mod position;
 mod rate;
 mod transceiver;
 
-pub use counters::PhyCounters;
+pub use counters::{MediumCounters, PhyCounters};
 pub use energy::{EnergyMeter, EnergyParams};
 pub use grid::SpatialGrid;
 pub use medium::{Effect, Medium, RangeModel, ReferenceMedium, SignalClass};

@@ -1,8 +1,9 @@
 //! The shared wireless medium: who hears whom, and how.
 
 use mwn_pkt::NodeId;
-use mwn_sim::SimDuration;
+use mwn_sim::{FxHashMap, SimDuration};
 
+use crate::counters::MediumCounters;
 use crate::grid::SpatialGrid;
 use crate::position::Position;
 
@@ -170,17 +171,34 @@ pub struct SignalClass {
 }
 
 /// The shared wireless medium: node positions plus the range model, with
-/// precomputed per-transmitter effect lists.
+/// per-transmitter effect lists rebuilt *lazily*.
 ///
 /// Effect lists are derived through a uniform [`SpatialGrid`] with cell
 /// size [`RangeModel::max_range`], so construction costs O(n·k) for k =
-/// nodes per 3×3 cell neighborhood (instead of the dense O(n²)), and
-/// [`Medium::move_nodes`] re-derives effects only for moved nodes and
-/// their old/new neighborhoods. The grid is a pure acceleration
-/// structure: candidate receivers still pass the exact
-/// [`RangeModel::classify`] distance tests and each effect list stays
-/// sorted by node id, so results are bit-identical to the dense scan
-/// (checked against [`ReferenceMedium`] by a differential proptest).
+/// nodes per 3×3 cell neighborhood (instead of the dense O(n²)).
+///
+/// # Epoch-stamped laziness
+///
+/// [`Medium::move_nodes`] is O(moved): it only updates positions,
+/// relocates grid occupants, bumps a global **epoch** and stamps the
+/// touched cells with it. Effect lists are *not* recomputed at move
+/// time. Instead each node carries the epoch its list was last valid at
+/// ([`Medium::refresh`] recomputes on demand): a list built at epoch *e*
+/// is still exact iff no cell in the node's current 3×3 neighborhood
+/// carries a stamp `> e` — every node that moved into, out of, or within
+/// the neighborhood (including the node itself) stamped a neighborhood
+/// cell, because the cell side equals `max_range` and effect lists only
+/// ever contain nodes within `max_range`. At city scale most nodes move
+/// every tick but transmit rarely, so almost all recompute work
+/// vanishes; correctness is unchanged because link sets depend only on
+/// *current* positions at query time (pinned by the lazy-vs-eager
+/// differentials against [`ReferenceMedium`]).
+///
+/// The grid is a pure acceleration structure: candidate receivers still
+/// pass the exact [`RangeModel::classify`] distance tests and each
+/// effect list stays sorted by node id, so results are bit-identical to
+/// the dense scan (checked against [`ReferenceMedium`] by a differential
+/// proptest).
 ///
 /// # Example
 ///
@@ -206,16 +224,28 @@ pub struct Medium {
     positions: Vec<Position>,
     ranges: RangeModel,
     /// `effects[tx]` lists every node affected by a transmission from `tx`,
-    /// ordered by node id.
+    /// ordered by node id. Exact as of epoch `node_epoch[tx]`.
     effects: Vec<Vec<Effect>>,
     /// Node index per cell; cell size = `ranges.max_range()`.
     grid: SpatialGrid,
     /// Reusable candidate-id buffer (steady state allocates nothing).
     scratch: Vec<u32>,
-    /// Reusable dirty-transmitter buffer for [`Medium::move_nodes`].
-    dirty: Vec<u32>,
-    /// Reusable touched-cell buffer for [`Medium::move_nodes`].
-    dirty_cells: Vec<(i64, i64)>,
+    /// Global move epoch: bumped once per non-empty [`Medium::move_nodes`]
+    /// batch.
+    epoch: u64,
+    /// Epoch at which each node's effect list was last known exact.
+    node_epoch: Vec<u64>,
+    /// Last epoch any occupant of a cell moved into, out of, or within
+    /// it. Entries persist after a cell empties — a stale reader must
+    /// still see that its neighborhood changed. Bounded by the number of
+    /// cells ever occupied.
+    stamps: FxHashMap<(i64, i64), u64>,
+    /// Cumulative lazy-path statistics (see [`MediumCounters`]).
+    counters: MediumCounters,
+    /// Rebuilds and wall seconds accrued since the last
+    /// [`Medium::take_lazy_profile`] drain.
+    pending_rebuilds: u64,
+    pending_secs: f64,
 }
 
 /// One receiver affected by a given transmitter.
@@ -241,14 +271,19 @@ impl Medium {
         assert!(!positions.is_empty(), "medium needs at least one node");
         ranges.validate();
         let grid = SpatialGrid::build(ranges.max_range(), &positions);
+        let n = positions.len();
         let mut medium = Medium {
             positions,
             ranges,
             effects: Vec::new(),
             grid,
             scratch: Vec::new(),
-            dirty: Vec::new(),
-            dirty_cells: Vec::new(),
+            epoch: 0,
+            node_epoch: vec![0; n],
+            stamps: FxHashMap::default(),
+            counters: MediumCounters::default(),
+            pending_rebuilds: 0,
+            pending_secs: 0.0,
         };
         medium.recompute_all();
         medium
@@ -274,12 +309,11 @@ impl Medium {
         self.recompute_all();
     }
 
-    /// Incrementally applies a batch of position updates: moved nodes are
-    /// relocated in the grid, and effect lists are re-derived only for
-    /// the moved nodes plus every node in the 3×3 cell neighborhoods of
-    /// their old and new positions — O(moved · k) instead of O(n²). With
-    /// every node moving (a random-waypoint tick) this degrades
-    /// gracefully to a full O(n·k) grid recompute.
+    /// Applies a batch of position updates lazily, in O(moved): each
+    /// mover is relocated in the grid, its old and new cells are stamped
+    /// with a freshly bumped epoch, and *no* effect list is recomputed —
+    /// stale lists are rebuilt on demand by [`Medium::refresh`] when a
+    /// transmission (or carrier-sense fan-out) actually reads them.
     ///
     /// Duplicate ids in `moves` are applied in order (last position
     /// wins). Signals already in flight keep the classification they
@@ -289,61 +323,111 @@ impl Medium {
     ///
     /// Panics if a move references a node outside the medium.
     pub fn move_nodes(&mut self, moves: &[(NodeId, Position)]) {
-        let mut cells = std::mem::take(&mut self.dirty_cells);
-        cells.clear();
-        // A node's effect list can only change if it lies within one cell
-        // of a mover's old or new cell, so collect those cells first …
-        for &(id, _) in moves {
+        if moves.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &(id, new) in moves {
             assert!(
                 id.index() < self.positions.len(),
                 "move references node {id:?} outside the medium"
             );
-            cells.push(self.grid.cell_of(self.positions[id.index()]));
-        }
-        for &(id, new) in moves {
             let old = self.positions[id.index()];
+            let old_cell = self.grid.cell_of(old);
+            let new_cell = self.grid.cell_of(new);
             self.grid.relocate(id.raw(), old, new);
             self.positions[id.index()] = new;
-            cells.push(self.grid.cell_of(new));
+            // Stamp the old cell even for a within-cell move: the
+            // distances to every neighbor changed.
+            self.stamps.insert(old_cell, epoch);
+            if new_cell != old_cell {
+                self.stamps.insert(new_cell, epoch);
+            }
         }
-        // … then expand each (unique) touched cell to its 3×3
-        // neighborhood. Dedup happens at the cell level: occupant lists
-        // of distinct cells never overlap, so the dirty-transmitter list
-        // below is duplicate-free without any per-node pass.
-        cells.sort_unstable();
-        cells.dedup();
-        let touched = cells.len();
-        for i in 0..touched {
-            let (cx, cy) = cells[i];
-            for dx in -1..=1 {
-                for dy in -1..=1 {
-                    cells.push((cx + dx, cy + dy));
+    }
+
+    /// Brings `tx`'s effect list up to date and returns it — the hot-path
+    /// accessor for transmission-time fan-out. Three tiers, cheapest
+    /// first: a node already at the current epoch returns immediately; a
+    /// node whose current 3×3 cell neighborhood carries no stamp newer
+    /// than its list is *revalidated* (marked current without a rebuild,
+    /// at most one 9-cell stamp scan per node per epoch); only a node
+    /// whose neighborhood actually changed pays the O(k) rebuild.
+    pub fn refresh(&mut self, tx: NodeId) -> &[Effect] {
+        let i = tx.index();
+        self.counters.queries += 1;
+        if self.node_epoch[i] != self.epoch {
+            if self.max_stamp_near(self.positions[i]) <= self.node_epoch[i] {
+                self.counters.revalidations += 1;
+            } else {
+                let started = std::time::Instant::now();
+                let (bucket, scratch) = self.take_buffers(i);
+                let (bucket, scratch) = self.fill_effects(i, bucket, scratch);
+                self.put_buffers(i, bucket, scratch);
+                self.counters.rebuilds += 1;
+                self.pending_rebuilds += 1;
+                self.pending_secs += started.elapsed().as_secs_f64();
+            }
+            self.node_epoch[i] = self.epoch;
+        }
+        &self.effects[i]
+    }
+
+    /// Brings every effect list up to date (the eager mode of the
+    /// lazy-vs-eager differential, and the escape hatch for callers that
+    /// want to iterate lists through `&self` after moves).
+    pub fn refresh_all(&mut self) {
+        for i in 0..self.positions.len() {
+            self.refresh(NodeId(i as u32));
+        }
+    }
+
+    /// `true` if `tx`'s effect list is exact for the current positions —
+    /// i.e. [`Medium::effects_of`] may be read without a
+    /// [`Medium::refresh`].
+    pub fn is_fresh(&self, tx: NodeId) -> bool {
+        let i = tx.index();
+        self.node_epoch[i] == self.epoch
+            || self.max_stamp_near(self.positions[i]) <= self.node_epoch[i]
+    }
+
+    /// The largest stamp over the 3×3 cell neighborhood of `p` (0 if no
+    /// occupant of those cells ever moved).
+    fn max_stamp_near(&self, p: Position) -> u64 {
+        let (cx, cy) = self.grid.cell_of(p);
+        let mut max = 0;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(&s) = self.stamps.get(&(cx + dx, cy + dy)) {
+                    max = max.max(s);
                 }
             }
         }
-        cells.drain(..touched);
-        cells.sort_unstable();
-        cells.dedup();
-        let mut dirty = std::mem::take(&mut self.dirty);
-        dirty.clear();
-        for &cell in &cells {
-            dirty.extend_from_slice(self.grid.occupants(cell));
+        max
+    }
+
+    /// The current move epoch (0 until the first [`Medium::move_nodes`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative lazy-path statistics since construction.
+    pub fn counters(&self) -> MediumCounters {
+        MediumCounters {
+            epoch: self.epoch,
+            ..self.counters
         }
-        if dirty.len() == self.positions.len() {
-            // Everyone is dirty (the common case while every node is
-            // between waypoints): the symmetric full recompute halves
-            // the distance work.
-            self.recompute_all();
-        } else {
-            for &rx in &dirty {
-                let tx = rx as usize;
-                let (bucket, scratch) = self.take_buffers(tx);
-                let (bucket, scratch) = self.fill_effects(tx, bucket, scratch);
-                self.put_buffers(tx, bucket, scratch);
-            }
-        }
-        self.dirty = dirty;
-        self.dirty_cells = cells;
+    }
+
+    /// Drains the `(rebuilds, wall seconds)` accrued by lazy rebuilds
+    /// since the last drain — the host feeds these into its engine
+    /// profile's `medium_lazy` bucket.
+    pub fn take_lazy_profile(&mut self) -> (u64, f64) {
+        let drained = (self.pending_rebuilds, self.pending_secs);
+        self.pending_rebuilds = 0;
+        self.pending_secs = 0.0;
+        drained
     }
 
     /// Rebuilds every per-transmitter effect list in place via the grid,
@@ -396,6 +480,10 @@ impl Medium {
             bucket.sort_unstable_by_key(|e| e.node.raw());
         }
         self.scratch = scratch;
+        // A full rebuild reflects every position: all lists are exact at
+        // the current epoch. (Stamps never exceed the epoch, so the
+        // validity check holds without clearing them.)
+        self.node_epoch.fill(self.epoch);
     }
 
     fn take_buffers(&mut self, tx: usize) -> (Vec<Effect>, Vec<u32>) {
@@ -474,7 +562,17 @@ impl Medium {
 
     /// Every node affected by a transmission from `tx`, with classification
     /// and propagation delay.
+    ///
+    /// Reads the stored list without refreshing it: exact for a static
+    /// medium (no moves ever), or after [`Medium::refresh`] /
+    /// [`Medium::refresh_all`]. Hosts driving mobility use
+    /// [`Medium::refresh`] instead; a stale read trips a debug
+    /// assertion.
     pub fn effects_of(&self, tx: NodeId) -> &[Effect] {
+        debug_assert!(
+            self.is_fresh(tx),
+            "effects_of({tx:?}) on a stale list; call refresh() after move_nodes()"
+        );
         &self.effects[tx.index()]
     }
 
@@ -484,8 +582,14 @@ impl Medium {
         self.positions[a.index()].distance_to(self.positions[b.index()]) <= self.ranges.tx_range
     }
 
-    /// Ids of nodes within transmission range of `node`.
+    /// Ids of nodes within transmission range of `node`. Reads the stored
+    /// effect list, with the same freshness contract as
+    /// [`Medium::effects_of`].
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        debug_assert!(
+            self.is_fresh(node),
+            "neighbors({node:?}) on a stale list; call refresh() after move_nodes()"
+        );
         self.effects[node.index()]
             .iter()
             .filter(|e| e.class.decodable)
@@ -558,25 +662,34 @@ impl ReferenceMedium {
         self.recompute();
     }
 
+    /// Dense single-transmitter scan over arbitrary positions — the
+    /// per-node oracle for large-field lazy differentials, where a full
+    /// O(n²) recompute after every move batch would dominate the test.
+    /// Produces exactly what [`ReferenceMedium::effects_of`] would hold
+    /// for `tx` if the medium were rebuilt at these positions.
+    pub fn effects_from(positions: &[Position], ranges: RangeModel, tx: NodeId) -> Vec<Effect> {
+        let mut bucket = Vec::new();
+        for rx in 0..positions.len() {
+            if rx == tx.index() {
+                continue;
+            }
+            let d = positions[tx.index()].distance_to(positions[rx]);
+            if let Some(class) = ranges.classify(d) {
+                bucket.push(Effect {
+                    node: NodeId(rx as u32),
+                    class,
+                    delay: SimDuration::from_secs_f64(d / SPEED_OF_LIGHT),
+                });
+            }
+        }
+        bucket
+    }
+
     fn recompute(&mut self) {
         let n = self.positions.len();
         self.effects.resize_with(n, Vec::new);
         for tx in 0..n {
-            let bucket = &mut self.effects[tx];
-            bucket.clear();
-            for rx in 0..n {
-                if rx == tx {
-                    continue;
-                }
-                let d = self.positions[tx].distance_to(self.positions[rx]);
-                if let Some(class) = self.ranges.classify(d) {
-                    bucket.push(Effect {
-                        node: NodeId(rx as u32),
-                        class,
-                        delay: SimDuration::from_secs_f64(d / SPEED_OF_LIGHT),
-                    });
-                }
-            }
+            self.effects[tx] = Self::effects_from(&self.positions, self.ranges, NodeId(tx as u32));
         }
     }
 
@@ -717,7 +830,7 @@ mod mobility_tests {
         rebuilt.set_positions(&positions);
         for tx in 0..4u32 {
             assert_eq!(
-                incremental.effects_of(NodeId(tx)),
+                incremental.refresh(NodeId(tx)).to_vec(),
                 rebuilt.effects_of(NodeId(tx)),
                 "effect lists diverged for tx {tx}"
             );
@@ -800,6 +913,143 @@ mod mobility_tests {
             assert_eq!(m.effects_of(NodeId(tx)), r.effects_of(NodeId(tx)));
         }
         assert!(m.effects_of(NodeId(3)).iter().all(|e| e.class.senses));
+    }
+}
+
+#[cfg(test)]
+mod lazy_tests {
+    use super::*;
+
+    /// Two nodes 200 m apart at the origin plus one node 5 km away:
+    /// the far node's 3×3 neighborhood is disjoint from the cluster's.
+    fn cluster_and_far() -> Medium {
+        Medium::new(
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(200.0, 0.0),
+                Position::new(5000.0, 0.0),
+            ],
+            RangeModel::paper(),
+        )
+    }
+
+    #[test]
+    fn epoch_bumps_once_per_batch() {
+        let mut m = cluster_and_far();
+        assert_eq!(m.epoch(), 0);
+        m.move_nodes(&[
+            (NodeId(0), Position::new(0.0, 100.0)),
+            (NodeId(1), Position::new(200.0, 100.0)),
+        ]);
+        assert_eq!(m.epoch(), 1);
+        m.move_nodes(&[]);
+        assert_eq!(m.epoch(), 1, "empty batch must not invalidate anything");
+        m.move_nodes(&[(NodeId(0), Position::new(0.0, 0.0))]);
+        assert_eq!(m.epoch(), 2);
+    }
+
+    #[test]
+    fn refresh_tiers_and_counters() {
+        let mut m = cluster_and_far();
+        m.move_nodes(&[(NodeId(0), Position::new(0.0, 100.0))]);
+        // The mover and its (non-moving) neighbor are both stale; the far
+        // node's neighborhood saw no movement.
+        assert!(!m.is_fresh(NodeId(0)));
+        assert!(!m.is_fresh(NodeId(1)));
+        assert!(m.is_fresh(NodeId(2)));
+        // Tier 3: stale neighborhoods pay a rebuild.
+        let fx = m.refresh(NodeId(0));
+        assert_eq!(fx.len(), 1, "node 1 is ~224 m away");
+        assert!(fx[0].class.decodable);
+        m.refresh(NodeId(1));
+        // Tier 2: the far node is revalidated without a rebuild.
+        m.refresh(NodeId(2));
+        // Tier 1: a second query at the same epoch is a no-op.
+        m.refresh(NodeId(2));
+        let c = m.counters();
+        assert_eq!(c.epoch, 1);
+        assert_eq!(c.queries, 4);
+        assert_eq!(c.rebuilds, 2);
+        assert_eq!(c.revalidations, 1);
+    }
+
+    #[test]
+    fn take_lazy_profile_drains_rebuild_costs() {
+        let mut m = cluster_and_far();
+        m.move_nodes(&[(NodeId(0), Position::new(0.0, 100.0))]);
+        m.refresh(NodeId(0));
+        m.refresh(NodeId(2)); // revalidation: not profiled as a rebuild
+        let (rebuilds, secs) = m.take_lazy_profile();
+        assert_eq!(rebuilds, 1);
+        assert!(secs >= 0.0);
+        assert_eq!(m.take_lazy_profile(), (0, 0.0), "drain must reset");
+    }
+
+    #[test]
+    fn set_positions_marks_everything_fresh() {
+        let mut m = cluster_and_far();
+        m.move_nodes(&[(NodeId(0), Position::new(0.0, 100.0))]);
+        assert!(!m.is_fresh(NodeId(0)));
+        let positions = m.positions().to_vec();
+        m.set_positions(&positions);
+        for i in 0..3u32 {
+            assert!(m.is_fresh(NodeId(i)));
+            m.effects_of(NodeId(i)); // must not trip the freshness assert
+        }
+    }
+
+    #[test]
+    fn stale_accumulation_refreshes_to_reference() {
+        // Many epochs of movement with no intervening refresh: lists must
+        // still come back exact against the dense oracle.
+        let mut positions: Vec<Position> = (0..25)
+            .map(|i| Position::new((i % 5) as f64 * 260.0, (i / 5) as f64 * 260.0))
+            .collect();
+        let mut m = Medium::new(positions.clone(), RangeModel::paper());
+        // Deterministic pseudo-random walk (LCG), 8 ticks.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..8 {
+            let moves: Vec<(NodeId, Position)> = (0..25u32)
+                .step_by(3)
+                .map(|i| {
+                    let p = positions[i as usize];
+                    let np = Position::new(p.x + rng() * 300.0, p.y + rng() * 300.0);
+                    positions[i as usize] = np;
+                    (NodeId(i), np)
+                })
+                .collect();
+            m.move_nodes(&moves);
+        }
+        let r = ReferenceMedium::new(positions, m.ranges());
+        for tx in 0..25u32 {
+            assert_eq!(
+                m.refresh(NodeId(tx)).to_vec(),
+                r.effects_of(NodeId(tx)),
+                "lazy refresh diverged from dense oracle for tx {tx}"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_all_matches_per_node_refresh() {
+        let mut a = cluster_and_far();
+        let mut b = a.clone();
+        let moves = [
+            (NodeId(0), Position::new(100.0, 100.0)),
+            (NodeId(2), Position::new(300.0, 0.0)),
+        ];
+        a.move_nodes(&moves);
+        b.move_nodes(&moves);
+        a.refresh_all();
+        for tx in 0..3u32 {
+            assert_eq!(a.effects_of(NodeId(tx)), b.refresh(NodeId(tx)));
+        }
     }
 }
 

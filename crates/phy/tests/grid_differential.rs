@@ -1,12 +1,14 @@
 //! Differential test: the spatial-grid medium against the dense oracle.
 //!
-//! [`Medium`] derives effect lists from a spatial hash grid and updates
-//! them incrementally on [`Medium::move_nodes`]; [`ReferenceMedium`] is
-//! the dense all-pairs implementation it replaced. For ANY initial
-//! placement and ANY sequence of move batches — including co-located
-//! nodes, nodes exactly on cell boundaries, and distances exactly at the
-//! inclusive 250 m / 550 m classification boundaries — both media must
-//! agree on every effect list bit for bit: same receivers in the same
+//! [`Medium`] derives effect lists from a spatial hash grid and, since
+//! the lazy epoch-stamped refactor, defers rebuilding them from
+//! [`Medium::move_nodes`] to the first [`Medium::refresh`] that touches a
+//! stale 3×3 neighborhood; [`ReferenceMedium`] is the dense all-pairs
+//! implementation it replaced. For ANY initial placement and ANY
+//! sequence of move batches — including co-located nodes, nodes exactly
+//! on cell boundaries, and distances exactly at the inclusive
+//! 250 m / 550 m classification boundaries — both media must agree on
+//! every refreshed effect list bit for bit: same receivers in the same
 //! (node-id) order, same signal class, same power, same delay.
 
 use mwn_phy::{Medium, Position, RangeModel, ReferenceMedium};
@@ -51,18 +53,18 @@ proptest! {
         let mut grid = Medium::new(initial.clone(), RangeModel::paper());
         let mut dense = ReferenceMedium::new(initial, RangeModel::paper());
 
-        let assert_equal = |grid: &Medium, dense: &ReferenceMedium, when: &str| {
+        let assert_equal = |grid: &mut Medium, dense: &ReferenceMedium, when: &str| {
             for tx in 0..n {
                 let id = NodeId(tx as u32);
                 prop_assert_eq!(
-                    grid.effects_of(id),
+                    grid.refresh(id),
                     dense.effects_of(id),
                     "effect lists diverged for tx {tx} {when}"
                 );
             }
             prop_assert_eq!(grid.positions(), dense.positions());
         };
-        assert_equal(&grid, &dense, "after construction");
+        assert_equal(&mut grid, &dense, "after construction");
 
         for (b, batch) in batches.iter().enumerate() {
             let moves: Vec<(NodeId, Position)> = positions_of(
@@ -74,7 +76,7 @@ proptest! {
             .collect();
             grid.move_nodes(&moves);
             dense.move_nodes(&moves);
-            assert_equal(&grid, &dense, &format!("after move batch {b}"));
+            assert_equal(&mut grid, &dense, &format!("after move batch {b}"));
         }
     }
 

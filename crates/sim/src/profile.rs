@@ -58,16 +58,27 @@ impl EngineProfile {
     /// Adds one invocation of the timed section `kind` lasting `secs`
     /// wall-clock seconds. Unlike the event histogram, timed buckets are
     /// machine-dependent; they exist to attribute wall time to named hot
-    /// sections (e.g. `medium_recompute` on mobility ticks).
+    /// sections (e.g. `medium_tick` on mobility ticks).
     pub fn record_timed(&mut self, kind: &'static str, secs: f64) {
+        self.record_timed_n(kind, 1, secs);
+    }
+
+    /// Adds `n` invocations of the timed section `kind` totalling `secs`
+    /// wall-clock seconds in one call — the drain-style variant for hosts
+    /// that accumulate a section's cost elsewhere and flush it
+    /// periodically (e.g. the lazy medium's per-rebuild timings flushed
+    /// into `medium_lazy` once per mobility tick). `n = 0` with
+    /// `secs = 0.0` still creates the bucket, so reports show the section
+    /// exists even when it never fired.
+    pub fn record_timed_n(&mut self, kind: &'static str, n: u64, secs: f64) {
         for (k, count, total) in &mut self.timed {
             if std::ptr::eq(*k as *const str, kind as *const str) || *k == kind {
-                *count += 1;
+                *count += n;
                 *total += secs;
                 return;
             }
         }
-        self.timed.push((kind, 1, secs));
+        self.timed.push((kind, n, secs));
     }
 
     /// The timed sections as `(name, invocations, total seconds)`, sorted
@@ -174,6 +185,30 @@ mod tests {
         assert_eq!(
             a.timed(),
             vec![("medium_recompute", 3, 1.0), ("other", 1, 1.0)]
+        );
+    }
+
+    #[test]
+    fn record_timed_n_batches_and_merges_like_singles() {
+        let mut batched = EngineProfile::new();
+        batched.record_timed_n("medium_lazy", 3, 0.6);
+        batched.record_timed_n("medium_lazy", 0, 0.0); // bucket exists even when idle
+        let mut singles = EngineProfile::new();
+        for _ in 0..3 {
+            singles.record_timed("medium_lazy", 0.2);
+        }
+        let (bk, bn, bs) = batched.timed()[0];
+        let (sk, sn, ss) = singles.timed()[0];
+        assert_eq!((bk, bn), (sk, sn));
+        assert!((bs - ss).abs() < 1e-12, "batched {bs} vs singles {ss}");
+        // Split buckets survive a merge with per-bucket fidelity — the
+        // sharded path must report identical totals at any shard count.
+        let mut merged = EngineProfile::new();
+        merged.record_timed_n("medium_tick", 2, 0.1);
+        merged.merge(&batched);
+        assert_eq!(
+            merged.timed(),
+            vec![("medium_lazy", 3, 0.6), ("medium_tick", 2, 0.1)]
         );
     }
 

@@ -83,6 +83,14 @@ echo "==> spatial-grid medium differential (proptest + mobility trajectories)"
 cargo test --release -q -p mwn-phy --test grid_differential
 cargo test --release -q -p mwn-check --test medium_mobility
 
+# Lazy epoch-stamped medium: the lazy-vs-dense-oracle differential
+# proptest (random-waypoint mobility, refreshed lists compared against
+# ReferenceMedium) plus the lazy-vs-eager network digest A/B. Runs in
+# release so the 5 000-node scale tier is enabled (debug builds cap the
+# proptest at 500 nodes).
+echo "==> lazy medium differential (oracle proptest + eager/lazy digest A/B)"
+cargo test --release -q -p mwn-check --test lazy_medium
+
 # Sharded parallel engine: the burst-batch engine must be byte-identical
 # to the sequential oracle. Three angles: the random-scenario
 # differential proptest, the fast canonical suite run entirely on 4
@@ -138,6 +146,12 @@ else
     # reports bytes/node, not a tight wall-clock gate.
     echo "==> mwn bench --case random5k (city-scale smoke)"
     cargo run --release -q -p mwn-cli -- bench --case random5k
+
+    # Mobile city smoke: the 20k-node full-field mobility case, feasible
+    # only with the lazy epoch-stamped medium (tick is O(moved nodes),
+    # rebuilds deferred to transmission time). Single run, no --check.
+    echo "==> mwn bench --case random20k-mobility (lazy-medium smoke)"
+    cargo run --release -q -p mwn-cli -- bench --case random20k-mobility
 fi
 
 echo "CI gate passed."
